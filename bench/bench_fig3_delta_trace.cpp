@@ -1,0 +1,89 @@
+//===- bench/bench_fig3_delta_trace.cpp --------------------------------------===//
+//
+// Experiment F3: reproduces Figure 3, the Delta test algorithm, by
+// tracing its execution step by step on the paper's coupled-subscript
+// examples: constraint derivation by the exact SIV tests, constraint
+// intersection in the lattice (including the empty intersection that
+// proves independence), propagation of distance constraints into MIV
+// subscripts (reducing them to SIV and triggering another pass), and
+// the coupled RDIV special case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeltaTest.h"
+
+#include <cstdio>
+
+using namespace pdt;
+
+namespace {
+
+LinearExpr idx(const char *N, int64_t C = 1) {
+  return LinearExpr::index(N, C);
+}
+
+LoopNestContext rect(unsigned Depth, int64_t U) {
+  static const char *Names[] = {"i", "j", "k"};
+  std::vector<LoopBounds> Loops;
+  for (unsigned L = 0; L != Depth; ++L) {
+    LoopBounds B;
+    B.Index = Names[L];
+    B.Lower = LinearExpr(1);
+    B.Upper = LinearExpr(U);
+    Loops.push_back(std::move(B));
+  }
+  return LoopNestContext(std::move(Loops), SymbolRangeMap());
+}
+
+void trace(const char *Title, const std::vector<SubscriptPair> &Group,
+           const LoopNestContext &Ctx) {
+  std::printf("=== %s ===\n", Title);
+  std::string Trace;
+  DeltaResult R = runDeltaTest(Group, Ctx, nullptr, &Trace);
+  std::fputs(Trace.c_str(), stdout);
+  std::printf("verdict: %s%s, %u pass(es)%s\n\n",
+              R.TheVerdict == Verdict::Independent ? "independent"
+              : R.TheVerdict == Verdict::Dependent ? "dependent"
+                                                   : "dependence assumed",
+              R.Exact ? " (exact)" : "", R.Passes,
+              R.ResidualMIV ? ", residual MIV handled by Banerjee-GCD" : "");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 3 reproduction: the Delta test, traced\n\n");
+
+  // 1. Empty constraint intersection: A(i+1, i) = A(i, i+1).
+  trace("constraint intersection disproves: A(i+1, i) = A(i, i+1)",
+        {SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+         SubscriptPair(idx("i"), idx("i") + LinearExpr(1), 1)},
+        rect(1, 100));
+
+  // 2. Distance + crossing line meet in a point.
+  trace("distance meets crossing line: A(i+1, i) = A(i, -i+5)",
+        {SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+         SubscriptPair(idx("i"), idx("i", -1) + LinearExpr(5), 1)},
+        rect(1, 100));
+
+  // 3. Propagation reduces MIV to SIV (multiple passes).
+  trace("distance propagation into MIV: A(i+1, i+j) = A(i, i+j)",
+        {SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+         SubscriptPair(idx("i") + idx("j"), idx("i") + idx("j"), 1)},
+        rect(2, 100));
+
+  // 4. Propagation then GCD on the residue.
+  trace("propagation exposes a GCD disproof",
+        {SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+         SubscriptPair(idx("i", 2) + idx("j", 2),
+                       idx("i", 2) + idx("j", 4) + LinearExpr(1), 1)},
+        rect(2, 100));
+
+  // 5. Coupled RDIV pair (section 5.3.2): the transpose pattern.
+  trace("coupled RDIV pair: A(i, j) = A(j, i)",
+        {SubscriptPair(idx("i"), idx("j"), 0),
+         SubscriptPair(idx("j"), idx("i"), 1)},
+        rect(2, 100));
+
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===- bench/bench_micro_tests.cpp -----------------------------------------===//
+//
+// Microbenchmarks of the individual dependence tests, supporting the
+// paper's per-test cost ordering: ZIV < strong SIV < weak SIV forms <
+// exact SIV < GCD < Banerjee hierarchy < Delta (coupled group) <<
+// Fourier-Motzkin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeltaTest.h"
+#include "core/FourierMotzkin.h"
+#include "core/MIVTests.h"
+#include "core/SIVTests.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pdt;
+
+namespace {
+
+LinearExpr idx(const char *N, int64_t C = 1) {
+  return LinearExpr::index(N, C);
+}
+
+const LoopNestContext &nest2() {
+  static const LoopNestContext Ctx = [] {
+    LoopBounds I, J;
+    I.Index = "i";
+    I.Lower = LinearExpr(1);
+    I.Upper = LinearExpr(100);
+    J.Index = "j";
+    J.Lower = LinearExpr(1);
+    J.Upper = LinearExpr(100);
+    return LoopNestContext({I, J}, SymbolRangeMap());
+  }();
+  return Ctx;
+}
+
+void BM_ZIV(benchmark::State &State) {
+  LinearExpr Eq = SubscriptPair(LinearExpr(3), LinearExpr(5)).equation();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(testZIV(Eq, nest2()).TheVerdict);
+}
+BENCHMARK(BM_ZIV);
+
+void BM_StrongSIV(benchmark::State &State) {
+  LinearExpr Eq =
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i")).equation();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(testSIV(Eq, nest2()).TheVerdict);
+}
+BENCHMARK(BM_StrongSIV);
+
+void BM_WeakZeroSIV(benchmark::State &State) {
+  LinearExpr Eq = SubscriptPair(idx("i"), LinearExpr(1)).equation();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(testSIV(Eq, nest2()).TheVerdict);
+}
+BENCHMARK(BM_WeakZeroSIV);
+
+void BM_WeakCrossingSIV(benchmark::State &State) {
+  LinearExpr Eq =
+      SubscriptPair(idx("i"), idx("i", -1) + LinearExpr(101)).equation();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(testSIV(Eq, nest2()).TheVerdict);
+}
+BENCHMARK(BM_WeakCrossingSIV);
+
+void BM_ExactSIV(benchmark::State &State) {
+  LinearExpr Eq =
+      SubscriptPair(idx("i", 2), idx("i", 3) + LinearExpr(1)).equation();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(testSIV(Eq, nest2()).TheVerdict);
+}
+BENCHMARK(BM_ExactSIV);
+
+void BM_RDIV(benchmark::State &State) {
+  LinearExpr Eq =
+      SubscriptPair(idx("i"), idx("j") + LinearExpr(1)).equation();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(testRDIV(Eq, nest2()).TheVerdict);
+}
+BENCHMARK(BM_RDIV);
+
+void BM_GCD(benchmark::State &State) {
+  LinearExpr Eq = SubscriptPair(idx("i", 2) + idx("j", 2),
+                                idx("i", 2) + idx("j", 4) + LinearExpr(1))
+                      .equation();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(testGCD(Eq, nest2()).TheVerdict);
+}
+BENCHMARK(BM_GCD);
+
+void BM_BanerjeeHierarchy(benchmark::State &State) {
+  LinearExpr Eq =
+      SubscriptPair(idx("i") + idx("j"), idx("i") + idx("j", 2)).equation();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(testBanerjee(Eq, nest2()).TheVerdict);
+}
+BENCHMARK(BM_BanerjeeHierarchy);
+
+void BM_DeltaCoupledGroup(benchmark::State &State) {
+  std::vector<SubscriptPair> Group = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i") + idx("j"), idx("i") + idx("j"), 1)};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runDeltaTest(Group, nest2()).TheVerdict);
+}
+BENCHMARK(BM_DeltaCoupledGroup);
+
+void BM_FourierMotzkinPair(benchmark::State &State) {
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i") + idx("j"), idx("i") + idx("j"), 1)};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(fourierMotzkinTest(Subs, nest2()));
+}
+BENCHMARK(BM_FourierMotzkinPair);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+//===- bench/bench_table3_independence.cpp -----------------------------------===//
+//
+// Experiment T3: regenerates Table 3 of the paper — which test proves
+// independence, per suite, plus the comparison of the practical suite
+// against the subscript-by-subscript baseline and Fourier-Motzkin.
+// The shape to reproduce: the exact SIV tests and the ZIV test do most
+// of the disproving; on coupled subscript pairs the Delta test proves
+// independence the baseline misses (the Li et al. comparison on
+// eispack-like code); Fourier-Motzkin matches the practical suite on
+// real-valued disproofs but misses integer-only ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/TableReport.h"
+
+#include <cstdio>
+
+using namespace pdt;
+
+int main() {
+  std::vector<SuiteReport> Reports =
+      analyzeCorpusSuites(/*IncludePaperSuite=*/true);
+  std::string Out = formatTable3(Reports);
+  std::fputs(Out.c_str(), stdout);
+
+  uint64_t CoupledPract = 0, CoupledBase = 0;
+  for (const SuiteReport &R : Reports) {
+    CoupledPract += R.CoupledIndependentPractical;
+    CoupledBase += R.CoupledIndependentBaseline;
+  }
+  std::printf("\ncoupled pairs proven independent: practical %llu vs "
+              "subscript-by-subscript %llu\n",
+              static_cast<unsigned long long>(CoupledPract),
+              static_cast<unsigned long long>(CoupledBase));
+  return 0;
+}

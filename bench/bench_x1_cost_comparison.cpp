@@ -1,0 +1,139 @@
+//===- bench/bench_x1_cost_comparison.cpp -------------------------------------===//
+//
+// Experiment X1: the cost argument. The paper's case for the
+// practical suite is that exact special-case tests are far cheaper
+// than general-purpose machinery; section 7 cites Triolet's
+// measurement of Fourier-Motzkin elimination running 22-28x slower
+// than conventional dependence tests. This google-benchmark binary
+// times, over the identical prepared reference pairs of the whole
+// corpus:
+//
+//   * the practical suite (partition + exact tests + Delta),
+//   * the subscript-by-subscript Banerjee-GCD baseline,
+//   * the multidimensional GCD test,
+//   * Fourier-Motzkin elimination.
+//
+// The shape to reproduce: practical < subscript-by-subscript <<
+// Fourier-Motzkin (an order of magnitude or more).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DependenceTester.h"
+#include "core/FourierMotzkin.h"
+#include "core/MultidimGCD.h"
+#include "core/PowerTest.h"
+#include "core/SubscriptBySubscript.h"
+#include "driver/Analyzer.h"
+#include "driver/Corpus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pdt;
+
+namespace {
+
+/// All prepared reference pairs of the corpus, built once.
+const std::vector<PreparedPair> &corpusPairs() {
+  static const std::vector<PreparedPair> Pairs = [] {
+    std::vector<PreparedPair> Result;
+    for (const CorpusKernel &K : corpus()) {
+      AnalysisResult A = analyzeSource(K.Source, K.Name);
+      if (!A.Parsed)
+        continue;
+      std::vector<ArrayAccess> Accesses = collectAccesses(*A.Prog);
+      std::set<std::string> Varying = collectVaryingScalars(*A.Prog);
+      for (unsigned I = 0; I != Accesses.size(); ++I) {
+        for (unsigned J = I + 1; J != Accesses.size(); ++J) {
+          if (Accesses[I].Ref->getArrayName() !=
+              Accesses[J].Ref->getArrayName())
+            continue;
+          if (!Accesses[I].IsWrite && !Accesses[J].IsWrite)
+            continue;
+          if (std::optional<PreparedPair> P = prepareAccessPair(
+                  Accesses[I], Accesses[J], SymbolRangeMap(), &Varying))
+            Result.push_back(std::move(*P));
+        }
+      }
+    }
+    return Result;
+  }();
+  return Pairs;
+}
+
+void BM_PracticalSuite(benchmark::State &State) {
+  const auto &Pairs = corpusPairs();
+  for (auto _ : State) {
+    unsigned Indep = 0;
+    for (const PreparedPair &P : Pairs) {
+      DependenceTestResult R = testDependence(P.Subscripts, P.Ctx);
+      Indep += R.isIndependent();
+    }
+    benchmark::DoNotOptimize(Indep);
+  }
+  State.counters["pairs"] = Pairs.size();
+}
+BENCHMARK(BM_PracticalSuite);
+
+void BM_SubscriptBySubscript(benchmark::State &State) {
+  const auto &Pairs = corpusPairs();
+  for (auto _ : State) {
+    unsigned Indep = 0;
+    for (const PreparedPair &P : Pairs)
+      Indep += subscriptBySubscriptTest(P.Subscripts, P.Ctx).isIndependent();
+    benchmark::DoNotOptimize(Indep);
+  }
+}
+BENCHMARK(BM_SubscriptBySubscript);
+
+void BM_MultidimensionalGCD(benchmark::State &State) {
+  const auto &Pairs = corpusPairs();
+  for (auto _ : State) {
+    unsigned Indep = 0;
+    for (const PreparedPair &P : Pairs)
+      Indep += multidimensionalGCDTest(P.Subscripts, P.Ctx) ==
+               Verdict::Independent;
+    benchmark::DoNotOptimize(Indep);
+  }
+}
+BENCHMARK(BM_MultidimensionalGCD);
+
+void BM_PowerTest(benchmark::State &State) {
+  const auto &Pairs = corpusPairs();
+  for (auto _ : State) {
+    unsigned Indep = 0;
+    for (const PreparedPair &P : Pairs)
+      Indep += powerTest(P.Subscripts, P.Ctx) == Verdict::Independent;
+    benchmark::DoNotOptimize(Indep);
+  }
+}
+BENCHMARK(BM_PowerTest);
+
+void BM_FourierMotzkin(benchmark::State &State) {
+  const auto &Pairs = corpusPairs();
+  for (auto _ : State) {
+    unsigned Indep = 0;
+    for (const PreparedPair &P : Pairs)
+      Indep += fourierMotzkinTest(P.Subscripts, P.Ctx) ==
+               Verdict::Independent;
+    benchmark::DoNotOptimize(Indep);
+  }
+}
+BENCHMARK(BM_FourierMotzkin);
+
+/// Whole-pipeline throughput: parse + normalize + substitute + build
+/// the dependence graph for the entire corpus.
+void BM_FullPipelineCorpus(benchmark::State &State) {
+  for (auto _ : State) {
+    uint64_t Deps = 0;
+    for (const CorpusKernel &K : corpus()) {
+      AnalysisResult R = analyzeSource(K.Source, K.Name);
+      Deps += R.Graph.dependences().size();
+    }
+    benchmark::DoNotOptimize(Deps);
+  }
+}
+BENCHMARK(BM_FullPipelineCorpus);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+//===- examples/depcheck.cpp -----------------------------------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Domain example 3: a command-line dependence checker. Reads a program
+// in the input language from a file (or stdin with "-"), runs the full
+// pipeline, and prints the normalized program, the dependence graph,
+// the parallelism report, and the per-test statistics — the tool a
+// compiler engineer would point at a loop nest to understand why it
+// does not vectorize.
+//
+// Usage: depcheck [file|-] [--no-normalize] [--no-ivsub] [--input-deps]
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Analyzer.h"
+#include "ir/PrettyPrinter.h"
+#include "transforms/Parallelizer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace pdt;
+
+static std::string readAll(std::FILE *F) {
+  std::string Data;
+  char Buffer[4096];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Data.append(Buffer, N);
+  return Data;
+}
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  AnalyzerOptions Options;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--no-normalize") == 0)
+      Options.Normalize = false;
+    else if (std::strcmp(argv[I], "--no-ivsub") == 0)
+      Options.SubstituteIVs = false;
+    else if (std::strcmp(argv[I], "--input-deps") == 0)
+      Options.IncludeInputDeps = true;
+    else
+      Path = argv[I];
+  }
+
+  std::string Source;
+  std::string Name = "<stdin>";
+  if (!Path || std::strcmp(Path, "-") == 0) {
+    Source = readAll(stdin);
+  } else {
+    std::FILE *F = std::fopen(Path, "rb");
+    if (!F) {
+      std::fprintf(stderr, "depcheck: cannot open %s\n", Path);
+      return 1;
+    }
+    Source = readAll(F);
+    std::fclose(F);
+    Name = Path;
+  }
+
+  AnalysisResult R = analyzeSource(Source, Name, Options);
+  if (!R.Parsed) {
+    for (const Diagnostic &D : R.Diagnostics)
+      std::fprintf(stderr, "%s: %s\n", Name.c_str(), D.str().c_str());
+    return 1;
+  }
+
+  std::printf("--- analyzed program ---\n%s\n",
+              programToString(*R.Prog).c_str());
+  std::printf("--- dependences (%zu) ---\n%s\n",
+              R.Graph.dependences().size(), R.Graph.str().c_str());
+  std::fputs(parallelismReport(R.Graph, findParallelLoops(R.Graph)).c_str(),
+             stdout);
+
+  std::printf("\n--- statistics ---\n");
+  std::printf("%-26s %llu\n", "reference pairs",
+              static_cast<unsigned long long>(R.Stats.ReferencePairs));
+  std::printf("%-26s %llu\n", "proven independent",
+              static_cast<unsigned long long>(R.Stats.IndependentPairs));
+  for (unsigned K = 0; K != NumTestKinds; ++K) {
+    TestKind Kind = static_cast<TestKind>(K);
+    if (!R.Stats.applications(Kind))
+      continue;
+    std::printf("%-26s applied %llu, disproved %llu\n", testKindName(Kind),
+                static_cast<unsigned long long>(R.Stats.applications(Kind)),
+                static_cast<unsigned long long>(
+                    R.Stats.independences(Kind)));
+  }
+  return 0;
+}

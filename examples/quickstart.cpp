@@ -1,0 +1,69 @@
+//===- examples/quickstart.cpp - Analyze a loop nest ----------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: parse a small Fortran-like loop nest, run the full
+// dependence analysis pipeline, and print the dependence graph, the
+// per-loop parallelism report, and the test-application statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Analyzer.h"
+#include "ir/PrettyPrinter.h"
+#include "transforms/Parallelizer.h"
+
+#include <cstdio>
+
+using namespace pdt;
+
+int main() {
+  // The canonical example: a recurrence on the i loop (distance 1), a
+  // parallel j loop, and a GCD-disprovable pair on array c.
+  const char *Source = R"(
+do i = 1, n
+  do j = 1, m
+    a(i+1, j) = a(i, j) + b(i, j)
+    c(2*i) = c(2*i+1) + a(i, j)
+  end do
+end do
+)";
+
+  std::printf("=== input ===\n%s\n", Source);
+
+  AnalysisResult Result = analyzeSource(Source, "quickstart");
+  if (!Result.Parsed) {
+    for (const Diagnostic &D : Result.Diagnostics)
+      std::fprintf(stderr, "%s\n", D.str().c_str());
+    return 1;
+  }
+
+  std::printf("=== normalized program ===\n%s\n",
+              programToString(*Result.Prog).c_str());
+
+  std::printf("=== dependences ===\n%s\n", Result.Graph.str().c_str());
+
+  std::vector<LoopParallelism> Par = findParallelLoops(Result.Graph);
+  std::printf("=== parallelism ===\n%s\n",
+              parallelismReport(Result.Graph, Par).c_str());
+
+  std::printf("=== statistics ===\n");
+  std::printf("reference pairs tested: %llu\n",
+              static_cast<unsigned long long>(Result.Stats.ReferencePairs));
+  std::printf("proven independent:     %llu\n",
+              static_cast<unsigned long long>(Result.Stats.IndependentPairs));
+  for (unsigned K = 0; K != NumTestKinds; ++K) {
+    TestKind Kind = static_cast<TestKind>(K);
+    if (Result.Stats.applications(Kind) == 0)
+      continue;
+    std::printf("%-24s applied %3llu, proved independence %3llu\n",
+                testKindName(Kind),
+                static_cast<unsigned long long>(
+                    Result.Stats.applications(Kind)),
+                static_cast<unsigned long long>(
+                    Result.Stats.independences(Kind)));
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- examples/restructure.cpp --------------------------------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Domain example 5: a small restructuring pipeline driven entirely by
+// dependence information. Given a loop with mixed recurrences and
+// parallel statements, the example:
+//
+//   1. analyzes the dependences,
+//   2. distributes the loop into pi-blocks (isolating the recurrence),
+//   3. re-analyzes and reports which pieces became parallel,
+//   4. fuses adjacent pieces back together where *legal* (fusion is
+//      purely dependence-driven here; a real scheduler would fuse only
+//      the parallel pieces and leave the recurrence isolated),
+//   5. verifies at every step, by direct execution, that the program
+//      still computes the same memory state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DependenceGraph.h"
+#include "driver/Interpreter.h"
+#include "ir/PrettyPrinter.h"
+#include "parser/Parser.h"
+#include "transforms/LoopDistribution.h"
+#include "transforms/LoopFusion.h"
+#include "transforms/Parallelizer.h"
+
+#include <cstdio>
+
+using namespace pdt;
+
+namespace {
+
+bool sameBehavior(const Program &A, const Program &B) {
+  ExecutionTrace TA = interpret(A);
+  ExecutionTrace TB = interpret(B);
+  return TA.OK && TB.OK && TA.Memory == TB.Memory;
+}
+
+void report(const char *Stage, const Program &P) {
+  DependenceGraph G = DependenceGraph::build(P, SymbolRangeMap());
+  std::printf("--- %s ---\n%s", Stage, programToString(P).c_str());
+  unsigned Parallel = 0, Total = 0;
+  for (const LoopParallelism &L : findParallelLoops(G)) {
+    ++Total;
+    Parallel += L.Parallel;
+  }
+  std::printf("(%u of %u loops parallel)\n\n", Parallel, Total);
+}
+
+} // namespace
+
+int main() {
+  const char *Source = R"(
+do i = 2, 100
+  s(i) = s(i-1) + w(i)
+  x(i) = w(i)*2
+  y(i) = x(i) + 1
+end do
+)";
+  ParseResult Parsed = parseProgram(Source, "restructure");
+  if (!Parsed.succeeded())
+    return 1;
+  Program P = std::move(*Parsed.Prog);
+  report("original (serial: the s recurrence chains everything)", P);
+
+  // Distribute: the recurrence lands in its own loop.
+  DependenceGraph G = DependenceGraph::build(P, SymbolRangeMap());
+  DistributionStats DStats;
+  Program Distributed = distributeLoops(P, G, &DStats);
+  std::printf("distributed into %u pieces\n", DStats.PiecesEmitted);
+  report("after distribution", Distributed);
+  std::printf("semantics preserved: %s\n\n",
+              sameBehavior(P, Distributed) ? "yes" : "NO");
+
+  // Fuse adjacent pieces back where legal. Note fusion reverses
+  // distribution completely here: both directions are legal; choosing
+  // between them is a profitability decision the dependence
+  // information enables but does not make.
+  FusionStats FStats;
+  Program Fused = fuseLoops(Distributed, SymbolRangeMap(), &FStats);
+  std::printf("fused %u adjacent pair(s), %u blocked by dependences\n",
+              FStats.Fused, FStats.BlockedByDependence);
+  report("after re-fusion", Fused);
+  std::printf("semantics preserved: %s\n",
+              sameBehavior(P, Fused) ? "yes" : "NO");
+  return 0;
+}

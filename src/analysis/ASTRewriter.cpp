@@ -1,0 +1,76 @@
+//===- analysis/ASTRewriter.cpp - Clone/substitute AST fragments ----------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ASTRewriter.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace pdt;
+
+const Expr *pdt::cloneExpr(ASTContext &Ctx, const Expr *E,
+                           const VarSubstitution &Subst) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLiteral:
+    return Ctx.getInt(cast<IntLiteral>(E)->getValue());
+  case Expr::Kind::VarRef: {
+    const std::string &Name = cast<VarRef>(E)->getName();
+    auto It = Subst.find(Name);
+    if (It != Subst.end())
+      return It->second;
+    return Ctx.getVar(Name);
+  }
+  case Expr::Kind::Unary:
+    return Ctx.getNeg(cloneExpr(Ctx, cast<UnaryExpr>(E)->getOperand(), Subst));
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return Ctx.getBinary(B->getOpcode(), cloneExpr(Ctx, B->getLHS(), Subst),
+                         cloneExpr(Ctx, B->getRHS(), Subst));
+  }
+  case Expr::Kind::ArrayElement: {
+    const auto *A = cast<ArrayElement>(E);
+    std::vector<const Expr *> Subs;
+    Subs.reserve(A->getNumDims());
+    for (const Expr *Sub : A->getSubscripts())
+      Subs.push_back(cloneExpr(Ctx, Sub, Subst));
+    return Ctx.getArrayElement(A->getArrayName(), std::move(Subs));
+  }
+  }
+  pdt_unreachable("covered switch");
+}
+
+const Stmt *pdt::cloneStmt(ASTContext &Ctx, const Stmt *S,
+                           const VarSubstitution &Subst) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    const Expr *Value = cloneExpr(Ctx, A->getValue(), Subst);
+    if (A->isArrayAssign()) {
+      const auto *Target =
+          cast<ArrayElement>(cloneExpr(Ctx, A->getArrayTarget(), Subst));
+      return Ctx.createArrayAssign(Target, Value);
+    }
+    return Ctx.createScalarAssign(A->getScalarTarget(), Value);
+  }
+  case Stmt::Kind::DoLoop: {
+    const auto *L = cast<DoLoop>(S);
+    // Bounds are evaluated outside the binding; the body shadows it.
+    const Expr *Lower = cloneExpr(Ctx, L->getLower(), Subst);
+    const Expr *Upper = cloneExpr(Ctx, L->getUpper(), Subst);
+    const Expr *Step = cloneExpr(Ctx, L->getStep(), Subst);
+    VarSubstitution BodySubst = Subst;
+    BodySubst.erase(L->getIndexName());
+    std::vector<const Stmt *> Body;
+    Body.reserve(L->getBody().size());
+    for (const Stmt *Child : L->getBody())
+      Body.push_back(cloneStmt(Ctx, Child, BodySubst));
+    return Ctx.createDoLoop(L->getIndexName(), Lower, Upper, Step,
+                            std::move(Body));
+  }
+  }
+  pdt_unreachable("covered switch");
+}

@@ -1,0 +1,43 @@
+//===- analysis/ASTRewriter.h - Clone/substitute AST fragments --*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cloning of AST fragments into an ASTContext with capture-aware
+/// variable substitution. The normalization and induction-variable
+/// passes are source-to-source: they build a rewritten program rather
+/// than mutating the (immutable) input AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_ANALYSIS_ASTREWRITER_H
+#define PDT_ANALYSIS_ASTREWRITER_H
+
+#include "ir/AST.h"
+
+#include <map>
+#include <string>
+
+namespace pdt {
+
+/// Variable-name -> replacement-expression map. Replacement
+/// expressions must already live in the destination context.
+using VarSubstitution = std::map<std::string, const Expr *>;
+
+/// Deep-copies \p E into \p Ctx, replacing any VarRef whose name
+/// appears in \p Subst by the mapped expression.
+const Expr *cloneExpr(ASTContext &Ctx, const Expr *E,
+                      const VarSubstitution &Subst);
+
+/// Deep-copies \p S into \p Ctx with substitution. A DoLoop whose
+/// index name appears in \p Subst shadows that entry within its body
+/// and bounds-after-the-index (standard binding semantics).
+const Stmt *cloneStmt(ASTContext &Ctx, const Stmt *S,
+                      const VarSubstitution &Subst);
+
+} // namespace pdt
+
+#endif // PDT_ANALYSIS_ASTREWRITER_H

@@ -1,0 +1,256 @@
+//===- analysis/InductionSubstitution.cpp - Auxiliary IVs -----------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InductionSubstitution.h"
+
+#include "analysis/ASTRewriter.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <set>
+
+using namespace pdt;
+
+namespace {
+
+/// Collects every variable name assigned (as a scalar) anywhere in S.
+void collectScalarDefs(const Stmt *S, std::set<std::string> &Defs) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    if (!A->isArrayAssign())
+      Defs.insert(A->getScalarTarget());
+    return;
+  }
+  case Stmt::Kind::DoLoop:
+    for (const Stmt *Child : cast<DoLoop>(S)->getBody())
+      collectScalarDefs(Child, Defs);
+    return;
+  }
+  pdt_unreachable("covered switch");
+}
+
+/// True when \p E mentions variable \p Name.
+bool mentionsVar(const Expr *E, const std::string &Name) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLiteral:
+    return false;
+  case Expr::Kind::VarRef:
+    return cast<VarRef>(E)->getName() == Name;
+  case Expr::Kind::Unary:
+    return mentionsVar(cast<UnaryExpr>(E)->getOperand(), Name);
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return mentionsVar(B->getLHS(), Name) || mentionsVar(B->getRHS(), Name);
+  }
+  case Expr::Kind::ArrayElement:
+    for (const Expr *Sub : cast<ArrayElement>(E)->getSubscripts())
+      if (mentionsVar(Sub, Name))
+        return true;
+    return false;
+  }
+  pdt_unreachable("covered switch");
+}
+
+/// Matches `K = K + Delta` / `K = Delta + K` / `K = K - Delta` and
+/// returns Delta (negated for the minus form) when Delta does not
+/// mention K; null otherwise.
+const Expr *matchSelfIncrement(ASTContext &Ctx, const AssignStmt *A,
+                               const std::string &K) {
+  const auto *B = dyn_cast<BinaryExpr>(A->getValue());
+  if (!B)
+    return nullptr;
+  auto IsK = [&K](const Expr *E) {
+    const auto *V = dyn_cast<VarRef>(E);
+    return V && V->getName() == K;
+  };
+  if (B->getOpcode() == BinaryExpr::Opcode::Add) {
+    if (IsK(B->getLHS()) && !mentionsVar(B->getRHS(), K))
+      return B->getRHS();
+    if (IsK(B->getRHS()) && !mentionsVar(B->getLHS(), K))
+      return B->getLHS();
+    return nullptr;
+  }
+  if (B->getOpcode() == BinaryExpr::Opcode::Sub) {
+    if (IsK(B->getLHS()) && !mentionsVar(B->getRHS(), K))
+      return Ctx.getNeg(B->getRHS());
+    return nullptr;
+  }
+  return nullptr;
+}
+
+class Substituter {
+public:
+  explicit Substituter(ASTContext &Ctx) : Ctx(Ctx) {}
+
+  /// Rewrites a statement list, performing the init/update pattern
+  /// match across adjacent statements.
+  std::vector<const Stmt *> visitList(const std::vector<const Stmt *> &Stmts,
+                                      const VarSubstitution &Subst) {
+    std::vector<const Stmt *> Out;
+    for (size_t I = 0; I != Stmts.size(); ++I) {
+      const Stmt *S = Stmts[I];
+      // Try: scalar init immediately followed by a loop that updates
+      // the same scalar with a loop-invariant increment.
+      if (I + 1 < Stmts.size()) {
+        if (const auto *Init = dyn_cast<AssignStmt>(S)) {
+          if (!Init->isArrayAssign()) {
+            if (const auto *Loop = dyn_cast<DoLoop>(Stmts[I + 1])) {
+              if (const Stmt *Rewritten =
+                      tryRewriteLoop(Init, Loop, Subst, Out)) {
+                Out.push_back(Rewritten);
+                if (const Stmt *Final = takePending())
+                  Out.push_back(Final);
+                ++I; // Consumed the loop too.
+                continue;
+              }
+            }
+          }
+        }
+      }
+      Out.push_back(visit(S, Subst));
+    }
+    return Out;
+  }
+
+private:
+  ASTContext &Ctx;
+
+  const Stmt *visit(const Stmt *S, const VarSubstitution &Subst) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign:
+      return cloneStmt(Ctx, S, Subst);
+    case Stmt::Kind::DoLoop: {
+      const auto *L = cast<DoLoop>(S);
+      VarSubstitution BodySubst = Subst;
+      BodySubst.erase(L->getIndexName());
+      std::vector<const Stmt *> Body = visitList(L->getBody(), BodySubst);
+      return Ctx.createDoLoop(L->getIndexName(),
+                              cloneExpr(Ctx, L->getLower(), Subst),
+                              cloneExpr(Ctx, L->getUpper(), Subst),
+                              cloneExpr(Ctx, L->getStep(), Subst),
+                              std::move(Body));
+    }
+    }
+    pdt_unreachable("covered switch");
+  }
+
+  /// Attempts the auxiliary-IV rewrite for `Init; Loop`. On success
+  /// pushes the (cloned) init statement into \p Out and returns the
+  /// rewritten loop followed by emitting the final-value assignment;
+  /// returns null when the pattern does not apply.
+  const Stmt *tryRewriteLoop(const AssignStmt *Init, const DoLoop *Loop,
+                             const VarSubstitution &Subst,
+                             std::vector<const Stmt *> &Out) {
+    const std::string &K = Init->getScalarTarget();
+    // Unit-step loops only (run after normalization).
+    const auto *StepLit = dyn_cast<IntLiteral>(Loop->getStep());
+    if (!StepLit || StepLit->getValue() != 1)
+      return nullptr;
+    if (K == Loop->getIndexName())
+      return nullptr;
+    // The init value must not depend on K itself and must not be
+    // recomputed from the loop index.
+    if (mentionsVar(Init->getValue(), K) ||
+        mentionsVar(Init->getValue(), Loop->getIndexName()))
+      return nullptr;
+
+    // Find exactly one top-level self-increment of K in the body; K
+    // must not be assigned anywhere else (including nested loops).
+    const Expr *Delta = nullptr;
+    size_t UpdatePos = static_cast<size_t>(-1);
+    const std::vector<const Stmt *> &Body = Loop->getBody();
+    for (size_t I = 0; I != Body.size(); ++I) {
+      std::set<std::string> Defs;
+      collectScalarDefs(Body[I], Defs);
+      if (!Defs.count(K))
+        continue;
+      const auto *A = dyn_cast<AssignStmt>(Body[I]);
+      if (!A || A->isArrayAssign() || A->getScalarTarget() != K || Delta)
+        return nullptr;
+      Delta = matchSelfIncrement(Ctx, A, K);
+      if (!Delta)
+        return nullptr;
+      UpdatePos = I;
+    }
+    if (!Delta)
+      return nullptr;
+    // The increment must be loop-invariant with respect to this loop.
+    if (mentionsVar(Delta, Loop->getIndexName()) || mentionsVar(Delta, K))
+      return nullptr;
+
+    // Emit the init statement unchanged, then the rewritten loop, then
+    // the final value. Closed forms (I = loop index, L = lower bound):
+    //   before the update: K = init + (I - L) * delta
+    //   after the update:  K = init + (I - L + 1) * delta
+    const Stmt *ClonedInit = cloneStmt(Ctx, Init, Subst);
+    Out.push_back(ClonedInit);
+
+    const Expr *InitVal = cloneExpr(Ctx, Init->getValue(), Subst);
+    const Expr *DeltaClone = cloneExpr(Ctx, Delta, Subst);
+    const Expr *IndexVar = Ctx.getVar(Loop->getIndexName());
+    const Expr *LowerClone = cloneExpr(Ctx, Loop->getLower(), Subst);
+    const Expr *TripsBefore = Ctx.getSub(IndexVar, LowerClone);
+    const Expr *TripsAfter = Ctx.getAdd(TripsBefore, Ctx.getInt(1));
+    const Expr *KBefore =
+        Ctx.getAdd(InitVal, Ctx.getMul(TripsBefore, DeltaClone));
+    const Expr *KAfter =
+        Ctx.getAdd(InitVal, Ctx.getMul(TripsAfter, DeltaClone));
+
+    VarSubstitution BodySubst = Subst;
+    BodySubst.erase(Loop->getIndexName());
+
+    std::vector<const Stmt *> NewBody;
+    for (size_t I = 0; I != Body.size(); ++I) {
+      if (I == UpdatePos)
+        continue; // The update disappears.
+      VarSubstitution StmtSubst = BodySubst;
+      StmtSubst[K] = I < UpdatePos ? KBefore : KAfter;
+      NewBody.push_back(visit(Body[I], StmtSubst));
+    }
+    const Stmt *NewLoop = Ctx.createDoLoop(
+        Loop->getIndexName(), cloneExpr(Ctx, Loop->getLower(), Subst),
+        cloneExpr(Ctx, Loop->getUpper(), Subst),
+        cloneExpr(Ctx, Loop->getStep(), Subst), std::move(NewBody));
+
+    // Final live-out value: K = init + (U - L + 1) * delta. (If the
+    // loop runs zero times this over-writes K, which is acceptable for
+    // dependence analysis; we document the pass as analysis-oriented.)
+    const Expr *Trips = Ctx.getAdd(
+        Ctx.getSub(cloneExpr(Ctx, Loop->getUpper(), Subst),
+                   cloneExpr(Ctx, Loop->getLower(), Subst)),
+        Ctx.getInt(1));
+    Pending = Ctx.createScalarAssign(
+        K, Ctx.getAdd(InitVal, Ctx.getMul(Trips, DeltaClone)));
+    PendingValid = true;
+    return NewLoop;
+  }
+
+public:
+  /// After tryRewriteLoop succeeds, the caller must append the pending
+  /// final-value assignment.
+  const Stmt *takePending() {
+    if (!PendingValid)
+      return nullptr;
+    PendingValid = false;
+    return Pending;
+  }
+
+private:
+  const Stmt *Pending = nullptr;
+  bool PendingValid = false;
+};
+
+} // namespace
+
+Program pdt::substituteInductionVariables(const Program &P) {
+  Program Result;
+  Result.Name = P.Name;
+  Substituter S(*Result.Context);
+  Result.TopLevel = S.visitList(P.TopLevel, VarSubstitution());
+  return Result;
+}

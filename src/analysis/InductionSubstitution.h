@@ -1,0 +1,45 @@
+//===- analysis/InductionSubstitution.h - Auxiliary IVs ---------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Auxiliary induction-variable substitution. The paper assumes "all
+/// auxiliary induction variables have been detected and replaced by
+/// linear functions of the loop indices" (section 1.5, citing
+/// [2, 3, 5, 52]); this pass is that substrate.
+///
+/// Recognized pattern (the classical one):
+///
+///   k = init            ! affine in outer indices/symbols
+///   do i = 1, n
+///     ... uses of k ...       ! k here is init + (i-1)*c
+///     k = k + c               ! single update, c loop-invariant
+///     ... uses of k ...       ! k here is init + i*c
+///   end do
+///                              ! afterwards k = init + n*c
+///
+/// Uses of k inside the loop are replaced by the closed form, the
+/// update statement is removed, and a final assignment after the loop
+/// preserves the live-out value. Loops must be normalized (step 1)
+/// first; unrecognized patterns are left untouched, which only costs
+/// precision (subscripts stay nonlinear/symbolic), never soundness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_ANALYSIS_INDUCTIONSUBSTITUTION_H
+#define PDT_ANALYSIS_INDUCTIONSUBSTITUTION_H
+
+#include "ir/AST.h"
+
+namespace pdt {
+
+/// Returns a copy of \p P with recognized auxiliary induction
+/// variables replaced by linear functions of the loop indices.
+Program substituteInductionVariables(const Program &P);
+
+} // namespace pdt
+
+#endif // PDT_ANALYSIS_INDUCTIONSUBSTITUTION_H

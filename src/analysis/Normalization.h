@@ -1,0 +1,38 @@
+//===- analysis/Normalization.h - Loop normalization ------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop normalization: rewrites DO loops to run from 1 with step 1,
+/// substituting the original induction expression into the body. The
+/// dependence tests (like the paper's) assume unit-step loops; skewed
+/// upper-triangular nests produced by normalizing are exactly the
+/// coupled-subscript cases the Delta test handles (paper section 5.3).
+///
+/// Two normalization cases are performed:
+///  * unit-step loops with a non-unit lower bound are shifted:
+///    do i = L, U  =>  do i = 1, U-L+1 with i := i + (L-1) in the body;
+///  * loops with fully constant bounds and any non-zero constant step
+///    are renumbered: do i = L, U, S  =>  do i = 1, count.
+/// Loops with symbolic bounds and non-unit steps are left alone (their
+/// trip count is not expressible in the source language); the analyzer
+/// then treats them conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_ANALYSIS_NORMALIZATION_H
+#define PDT_ANALYSIS_NORMALIZATION_H
+
+#include "ir/AST.h"
+
+namespace pdt {
+
+/// Returns a normalized copy of \p P (the input is not modified).
+Program normalizeLoops(const Program &P);
+
+} // namespace pdt
+
+#endif // PDT_ANALYSIS_NORMALIZATION_H

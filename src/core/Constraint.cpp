@@ -1,0 +1,230 @@
+//===- core/Constraint.cpp - Delta test constraint lattice ----------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Constraint.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace pdt;
+
+Constraint Constraint::empty() {
+  Constraint R;
+  R.TheKind = Kind::Empty;
+  return R;
+}
+
+Constraint Constraint::distance(int64_t D) {
+  Constraint R;
+  R.TheKind = Kind::Distance;
+  R.A = D;
+  return R;
+}
+
+Constraint Constraint::point(int64_t X, int64_t Y) {
+  Constraint R;
+  R.TheKind = Kind::Point;
+  R.A = X;
+  R.B = Y;
+  return R;
+}
+
+Constraint Constraint::line(int64_t LA, int64_t LB, int64_t LC) {
+  if (LA == 0 && LB == 0)
+    return LC == 0 ? any() : empty();
+  // Normalize: divide by gcd, make the first non-zero coefficient
+  // positive.
+  int64_t G = gcd64(gcd64(LA, LB), LC);
+  if (G > 1) {
+    LA /= G;
+    LB /= G;
+    LC /= G;
+  }
+  int64_t Lead = LA != 0 ? LA : LB;
+  if (Lead < 0) {
+    LA = -LA;
+    LB = -LB;
+    LC = -LC;
+  }
+  // The distance form i' - i = d normalizes to i - i' = -d.
+  if (LA == 1 && LB == -1)
+    return distance(-LC);
+  Constraint R;
+  R.TheKind = Kind::Line;
+  R.A = LA;
+  R.B = LB;
+  R.C = LC;
+  return R;
+}
+
+int64_t Constraint::getDistance() const {
+  assert(TheKind == Kind::Distance && "not a distance constraint");
+  return A;
+}
+
+int64_t Constraint::lineA() const {
+  int64_t LA, LB, LC;
+  asLine(LA, LB, LC);
+  return LA;
+}
+
+int64_t Constraint::lineB() const {
+  int64_t LA, LB, LC;
+  asLine(LA, LB, LC);
+  return LB;
+}
+
+int64_t Constraint::lineC() const {
+  int64_t LA, LB, LC;
+  asLine(LA, LB, LC);
+  return LC;
+}
+
+int64_t Constraint::pointX() const {
+  assert(TheKind == Kind::Point && "not a point constraint");
+  return A;
+}
+
+int64_t Constraint::pointY() const {
+  assert(TheKind == Kind::Point && "not a point constraint");
+  return B;
+}
+
+void Constraint::asLine(int64_t &LA, int64_t &LB, int64_t &LC) const {
+  switch (TheKind) {
+  case Kind::Distance:
+    // i' = i + d  <=>  -i + i' = d.
+    LA = -1;
+    LB = 1;
+    LC = A;
+    return;
+  case Kind::Line:
+    LA = A;
+    LB = B;
+    LC = C;
+    return;
+  case Kind::Any:
+  case Kind::Point:
+  case Kind::Empty:
+    break;
+  }
+  pdt_unreachable("constraint has no line form");
+}
+
+bool Constraint::contains(int64_t X, int64_t Y) const {
+  switch (TheKind) {
+  case Kind::Any:
+    return true;
+  case Kind::Empty:
+    return false;
+  case Kind::Point:
+    return X == A && Y == B;
+  case Kind::Distance:
+    return Y - X == A;
+  case Kind::Line: {
+    std::optional<int64_t> AX = checkedMul(A, X);
+    std::optional<int64_t> BY = checkedMul(B, Y);
+    if (!AX || !BY)
+      return false;
+    std::optional<int64_t> Sum = checkedAdd(*AX, *BY);
+    return Sum && *Sum == C;
+  }
+  }
+  pdt_unreachable("covered switch");
+}
+
+Constraint Constraint::intersect(const Constraint &RHS) const {
+  if (isAny())
+    return RHS;
+  if (RHS.isAny())
+    return *this;
+  if (isEmpty() || RHS.isEmpty())
+    return empty();
+
+  // Point against anything: membership test.
+  if (TheKind == Kind::Point)
+    return RHS.contains(A, B) ? *this : empty();
+  if (RHS.TheKind == Kind::Point)
+    return contains(RHS.A, RHS.B) ? RHS : empty();
+
+  // Two lines (Distance is a line).
+  int64_t A1, B1, C1, A2, B2, C2;
+  asLine(A1, B1, C1);
+  RHS.asLine(A2, B2, C2);
+
+  // 128-bit products: normalized coefficients are small, but the
+  // constant terms come from user subscripts and may be large.
+  __int128 Det = static_cast<__int128>(A1) * B2 -
+                 static_cast<__int128>(A2) * B1;
+
+  if (Det == 0) {
+    // Parallel lines: identical iff the full triples are proportional.
+    auto Prop = [](int64_t X1, int64_t Y1, int64_t X2, int64_t Y2) {
+      return static_cast<__int128>(X1) * Y2 ==
+             static_cast<__int128>(X2) * Y1;
+    };
+    if (Prop(A1, C1, A2, C2) && Prop(B1, C1, B2, C2))
+      return *this;
+    return empty();
+  }
+
+  // Unique rational intersection; integral => Point, else Empty.
+  __int128 NumX = static_cast<__int128>(C1) * B2 -
+                  static_cast<__int128>(C2) * B1;
+  __int128 NumY = static_cast<__int128>(A1) * C2 -
+                  static_cast<__int128>(A2) * C1;
+  if (NumX % Det != 0 || NumY % Det != 0)
+    return empty();
+  __int128 X = NumX / Det;
+  __int128 Y = NumY / Det;
+  // An intersection point outside the int64 range cannot be a real
+  // iteration pair; treat it as no intersection.
+  if (X < INT64_MIN || X > INT64_MAX || Y < INT64_MIN || Y > INT64_MAX)
+    return empty();
+  return point(static_cast<int64_t>(X), static_cast<int64_t>(Y));
+}
+
+bool Constraint::operator==(const Constraint &RHS) const {
+  return TheKind == RHS.TheKind && A == RHS.A && B == RHS.B && C == RHS.C;
+}
+
+std::string Constraint::str() const {
+  switch (TheKind) {
+  case Kind::Any:
+    return "any";
+  case Kind::Empty:
+    return "empty";
+  case Kind::Distance:
+    return "dist " + std::to_string(A);
+  case Kind::Point:
+    return "point (" + std::to_string(A) + ", " + std::to_string(B) + ")";
+  case Kind::Line: {
+    auto Term = [](int64_t Coeff, const char *Var, bool First) {
+      std::string S;
+      if (Coeff == 0)
+        return S;
+      if (!First)
+        S += Coeff < 0 ? " - " : " + ";
+      else if (Coeff < 0)
+        S += "-";
+      int64_t Abs = Coeff < 0 ? -Coeff : Coeff;
+      if (Abs != 1)
+        S += std::to_string(Abs) + "*";
+      S += Var;
+      return S;
+    };
+    std::string S = "line ";
+    S += Term(A, "i", true);
+    S += Term(B, "i'", A == 0);
+    S += " = " + std::to_string(C);
+    return S;
+  }
+  }
+  pdt_unreachable("covered switch");
+}

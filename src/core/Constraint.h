@@ -1,0 +1,96 @@
+//===- core/Constraint.h - Delta test constraint lattice --------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constraints derived by exact SIV tests on coupled subscripts and
+/// intersected by the Delta test (paper section 5.2). A constraint
+/// describes the set of (i, i') source/sink iteration pairs of one
+/// loop index that can participate in a dependence:
+///
+///   Any           every pair (no information yet)
+///   Distance(d)   i' = i + d                 (from strong SIV)
+///   Line(a,b,c)   a*i + b*i' = c             (from general SIV forms)
+///   Point(x,y)    i = x and i' = y           (from weak SIV forms)
+///   Empty         no pair: independence proven
+///
+/// Intersection follows the geometry: line/line intersection solves a
+/// 2x2 integer system; a rational (non-integral) intersection point
+/// proves independence, which is precisely how the Delta test refines
+/// what single-subscript tests alone cannot (section 5.2's example).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_CONSTRAINT_H
+#define PDT_CORE_CONSTRAINT_H
+
+#include <cstdint>
+#include <string>
+
+namespace pdt {
+
+/// A per-index constraint on (source iteration, sink iteration) pairs.
+/// Lines are kept normalized (gcd 1, leading coefficient positive), so
+/// structural equality is semantic equality.
+class Constraint {
+public:
+  enum class Kind { Any, Distance, Line, Point, Empty };
+
+  /// Default-constructed constraint is Any (top of the lattice).
+  Constraint() = default;
+
+  static Constraint any() { return Constraint(); }
+  static Constraint empty();
+  static Constraint distance(int64_t D);
+  /// a*i + b*i' = c. Degenerate inputs (a == b == 0) collapse to Any
+  /// (c == 0) or Empty (c != 0); a distance-shaped line collapses to
+  /// Distance.
+  static Constraint line(int64_t A, int64_t B, int64_t C);
+  static Constraint point(int64_t X, int64_t Y);
+
+  Kind kind() const { return TheKind; }
+  bool isAny() const { return TheKind == Kind::Any; }
+  bool isEmpty() const { return TheKind == Kind::Empty; }
+
+  /// Distance d for Distance constraints.
+  int64_t getDistance() const;
+  /// Line coefficients; Distance and Point also present themselves as
+  /// lines (Point as the unnormalized pair of its coordinates is not a
+  /// line, so lineA/B/C assert on Point and Empty).
+  int64_t lineA() const;
+  int64_t lineB() const;
+  int64_t lineC() const;
+  int64_t pointX() const;
+  int64_t pointY() const;
+
+  /// Lattice meet. Never returns a strictly larger set; intersecting
+  /// anything with Empty yields Empty.
+  Constraint intersect(const Constraint &RHS) const;
+
+  /// True when the integer pair (X, Y) satisfies the constraint.
+  bool contains(int64_t X, int64_t Y) const;
+
+  bool operator==(const Constraint &RHS) const;
+  bool operator!=(const Constraint &RHS) const { return !(*this == RHS); }
+
+  /// Renders e.g. "any", "dist 2", "line i + i' = 10", "point (3, 5)".
+  std::string str() const;
+
+private:
+  Kind TheKind = Kind::Any;
+  // Distance: D in A (unused B, C). Line: A*i + B*i' = C.
+  // Point: (A, B) = (x, y).
+  int64_t A = 0;
+  int64_t B = 0;
+  int64_t C = 0;
+
+  /// The line form of Distance and Line constraints.
+  void asLine(int64_t &LA, int64_t &LB, int64_t &LC) const;
+};
+
+} // namespace pdt
+
+#endif // PDT_CORE_CONSTRAINT_H

@@ -1,0 +1,195 @@
+//===- core/DependenceGraph.cpp - Program-level dependences ---------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DependenceGraph.h"
+
+#include "ir/PrettyPrinter.h"
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace pdt;
+
+std::vector<OrientedVector> pdt::orientVectors(const DependenceVector &V) {
+  std::vector<OrientedVector> Result;
+  unsigned Depth = V.depth();
+
+  // Walk an all-'=' prefix; at each level emit the '<' and '>'
+  // components, and continue only while '=' remains possible.
+  for (unsigned L = 0; L != Depth; ++L) {
+    DirectionSet S = V.Directions[L];
+    if (S & DirLT) {
+      OrientedVector O;
+      O.Vector = V;
+      for (unsigned P = 0; P != L; ++P) {
+        O.Vector.Directions[P] = DirEQ;
+        O.Vector.Distances[P] = 0;
+      }
+      O.Vector.Directions[L] = DirLT;
+      if (O.Vector.Distances[L] && *O.Vector.Distances[L] <= 0)
+        O.Vector.Distances[L].reset();
+      O.CarriedLevel = L;
+      Result.push_back(std::move(O));
+    }
+    if (S & DirGT) {
+      // A '>' leading direction is the mirrored dependence from the
+      // textual sink to the textual source.
+      OrientedVector O;
+      O.Reversed = true;
+      O.Vector.Directions.assign(Depth, DirAll);
+      O.Vector.Distances.assign(Depth, std::nullopt);
+      for (unsigned P = 0; P != L; ++P) {
+        O.Vector.Directions[P] = DirEQ;
+        O.Vector.Distances[P] = 0;
+      }
+      O.Vector.Directions[L] = DirLT;
+      // Mirror the tail: swap < and >, negate distances.
+      for (unsigned P = L + 1; P != Depth; ++P) {
+        DirectionSet T = V.Directions[P];
+        DirectionSet M = T & DirEQ;
+        if (T & DirLT)
+          M |= DirGT;
+        if (T & DirGT)
+          M |= DirLT;
+        O.Vector.Directions[P] = M;
+        if (V.Distances[P])
+          O.Vector.Distances[P] = -*V.Distances[P];
+      }
+      if (V.Distances[L] && *V.Distances[L] < 0)
+        O.Vector.Distances[L] = -*V.Distances[L];
+      O.CarriedLevel = L;
+      Result.push_back(std::move(O));
+    }
+    if (!(S & DirEQ))
+      return Result;
+    // Distances contradict a continued '=' prefix when non-zero.
+    if (V.Distances[L] && *V.Distances[L] != 0)
+      return Result;
+  }
+
+  // All levels admit '=': the loop-independent component.
+  OrientedVector O;
+  O.Vector = V;
+  for (unsigned P = 0; P != Depth; ++P) {
+    O.Vector.Directions[P] = DirEQ;
+    O.Vector.Distances[P] = 0;
+  }
+  Result.push_back(std::move(O));
+  return Result;
+}
+
+DependenceGraph DependenceGraph::build(const Program &P,
+                                       const SymbolRangeMap &Symbols,
+                                       TestStats *Stats, bool IncludeInput) {
+  DependenceGraph G;
+  G.Prog = &P;
+  G.Accesses = collectAccesses(P);
+
+  std::set<std::string> VaryingScalars = collectVaryingScalars(P);
+
+  for (unsigned I = 0, E = G.Accesses.size(); I != E; ++I) {
+    for (unsigned J = I, E2 = E; J != E2; ++J) {
+      const ArrayAccess &A = G.Accesses[I];
+      const ArrayAccess &B = G.Accesses[J];
+      bool SelfPair = I == J;
+      // A reference against itself can only produce an output
+      // self-dependence (distinct iterations writing one element,
+      // e.g. a(5) or a(i/2-free dims)); reads need no self edge.
+      if (SelfPair && !A.IsWrite)
+        continue;
+      if (A.Ref->getArrayName() != B.Ref->getArrayName())
+        continue;
+      if (!IncludeInput && !A.IsWrite && !B.IsWrite)
+        continue;
+
+      DependenceTestResult R =
+          testAccessPair(A, B, Symbols, Stats, &VaryingScalars);
+      if (R.isIndependent())
+        continue;
+
+      std::vector<const DoLoop *> Common = commonLoops(A, B);
+      for (const DependenceVector &V : R.Vectors) {
+        for (const OrientedVector &O : orientVectors(V)) {
+          Dependence D;
+          D.Source = O.Reversed ? J : I;
+          D.Sink = O.Reversed ? I : J;
+          // Loop-independent dependences flow with textual order; the
+          // collection order (reads before the write of the same
+          // statement, statements in program order) encodes it.
+          if (!O.CarriedLevel && O.Reversed)
+            continue; // Covered by the forward all-'=' component.
+          // For a self pair, the same instance is not a dependence and
+          // the reversed carried component mirrors the forward one.
+          if (SelfPair && (!O.CarriedLevel || O.Reversed))
+            continue;
+          D.Vector = O.Vector;
+          D.CarriedLevel = O.CarriedLevel;
+          D.Carrier = O.CarriedLevel ? Common[*O.CarriedLevel] : nullptr;
+          D.Exact = R.Exact;
+          const ArrayAccess &Src = G.Accesses[D.Source];
+          const ArrayAccess &Snk = G.Accesses[D.Sink];
+          if (Src.IsWrite && Snk.IsWrite)
+            D.Kind = DependenceKind::Output;
+          else if (Src.IsWrite)
+            D.Kind = DependenceKind::Flow;
+          else if (Snk.IsWrite)
+            D.Kind = DependenceKind::Anti;
+          else
+            D.Kind = DependenceKind::Input;
+          G.Edges.push_back(std::move(D));
+        }
+      }
+    }
+  }
+  return G;
+}
+
+bool DependenceGraph::isLoopParallel(const DoLoop *Loop) const {
+  for (const Dependence &D : Edges)
+    if (D.Carrier == Loop)
+      return false;
+  return true;
+}
+
+std::vector<const DoLoop *> DependenceGraph::allLoops() const {
+  std::vector<const DoLoop *> Loops;
+  auto Walk = [&Loops](auto &&Self, const Stmt *S) -> void {
+    if (const auto *L = dyn_cast<DoLoop>(S)) {
+      Loops.push_back(L);
+      for (const Stmt *Child : L->getBody())
+        Self(Self, Child);
+    }
+  };
+  for (const Stmt *S : Prog->TopLevel)
+    Walk(Walk, S);
+  return Loops;
+}
+
+std::string DependenceGraph::str() const {
+  std::string Out;
+  for (const Dependence &D : Edges) {
+    const ArrayAccess &Src = Accesses[D.Source];
+    const ArrayAccess &Snk = Accesses[D.Sink];
+    Out += dependenceKindName(D.Kind);
+    Out += " dependence: ";
+    Out += exprToString(Src.Ref);
+    Out += " -> ";
+    Out += exprToString(Snk.Ref);
+    Out += "  vector ";
+    Out += D.Vector.str();
+    if (D.Carrier) {
+      Out += "  carried by loop ";
+      Out += D.Carrier->getIndexName();
+    } else {
+      Out += "  loop-independent";
+    }
+    if (!D.Exact)
+      Out += "  (assumed)";
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,97 @@
+//===- core/DependenceGraph.h - Program-level dependences -------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the dependence graph of a whole program: enumerates array
+/// reference pairs, runs the partition-based tester on each, and
+/// normalizes the surviving vectors into directed dependences (flow /
+/// anti / output / input) with their carrier loops. This is the layer
+/// loop transformations query (which loops are parallel, is
+/// interchange legal, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_DEPENDENCEGRAPH_H
+#define PDT_CORE_DEPENDENCEGRAPH_H
+
+#include "core/DependenceTester.h"
+#include "core/DependenceTypes.h"
+#include "core/TestStats.h"
+#include "ir/AST.h"
+#include "ir/AccessCollector.h"
+
+#include <optional>
+#include <vector>
+
+namespace pdt {
+
+/// One directed dependence edge.
+struct Dependence {
+  /// Indices into the graph's access list.
+  unsigned Source = 0;
+  unsigned Sink = 0;
+  DependenceKind Kind = DependenceKind::Flow;
+  /// Normalized vector: the leading non-'=' direction (if any) is '<'.
+  DependenceVector Vector;
+  /// Loop carrying the dependence; null for loop-independent ones.
+  const DoLoop *Carrier = nullptr;
+  /// Level of the carrier in the common nest (0 = outermost).
+  std::optional<unsigned> CarriedLevel;
+  /// The verdict was exact (a dependence certainly exists).
+  bool Exact = false;
+
+  bool isLoopIndependent() const { return Carrier == nullptr; }
+};
+
+/// The dependence graph of one program.
+class DependenceGraph {
+public:
+  /// Runs dependence analysis over \p P. Read-read (input) dependences
+  /// are skipped unless \p IncludeInput. \p Symbols provides assumed
+  /// ranges for symbolic constants (e.g. {"n", [1, inf)}). Scalars
+  /// assigned anywhere in \p P are detected and excluded from symbolic
+  /// treatment automatically.
+  static DependenceGraph build(const Program &P, const SymbolRangeMap &Symbols,
+                               TestStats *Stats = nullptr,
+                               bool IncludeInput = false);
+
+  const std::vector<ArrayAccess> &accesses() const { return Accesses; }
+  const std::vector<Dependence> &dependences() const { return Edges; }
+
+  /// True when no dependence is carried by \p Loop, i.e. its
+  /// iterations may execute in parallel (ignoring scalar dependences,
+  /// which our input language's analyses have already substituted
+  /// away where possible).
+  bool isLoopParallel(const DoLoop *Loop) const;
+
+  /// All loops of the program, outermost first per nest.
+  std::vector<const DoLoop *> allLoops() const;
+
+  /// Human-readable report of every edge.
+  std::string str() const;
+
+private:
+  const Program *Prog = nullptr;
+  std::vector<ArrayAccess> Accesses;
+  std::vector<Dependence> Edges;
+};
+
+/// Splits one (possibly multi-direction) dependence vector into
+/// carrier-normalized components: for each level at which the vector
+/// admits a '<' (forward) or '>' (backward, reported as a reversed
+/// forward dependence) after an all-'=' prefix, plus the all-'='
+/// component when admitted. Exposed for unit testing.
+struct OrientedVector {
+  DependenceVector Vector; ///< Source-to-sink, leading direction '<'.
+  bool Reversed = false;   ///< True: the sink is the textual source.
+  std::optional<unsigned> CarriedLevel;
+};
+std::vector<OrientedVector> orientVectors(const DependenceVector &V);
+
+} // namespace pdt
+
+#endif // PDT_CORE_DEPENDENCEGRAPH_H

@@ -1,0 +1,128 @@
+//===- core/DependenceTester.h - Partition-based testing --------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's top-level dependence testing algorithm (section 3):
+///
+///  1. partition the subscripts of a reference pair into separable
+///     subscripts and minimal coupled groups;
+///  2. classify each separable subscript as ZIV / SIV / MIV;
+///  3. apply the matching exact single-subscript test to each
+///     separable subscript;
+///  4. apply the Delta test to each coupled group;
+///  5. any test proving independence ends the algorithm;
+///  6. otherwise merge the per-partition direction vector sets (the
+///     partitions' index sets are disjoint, so the merge is a
+///     per-level composition).
+///
+/// The tester also classifies nonlinear subscripts (which contribute
+/// no information but keep the result conservative), records the
+/// paper's Table 1-3 statistics, and collects loop peeling / splitting
+/// hints from the weak SIV tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_DEPENDENCETESTER_H
+#define PDT_CORE_DEPENDENCETESTER_H
+
+#include "analysis/LoopNest.h"
+#include "core/DeltaTest.h"
+#include "core/DependenceTypes.h"
+#include "core/Subscript.h"
+#include "core/TestStats.h"
+#include "ir/AccessCollector.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace pdt {
+
+/// A transformation opportunity discovered while testing (sections
+/// 4.2.2 and 4.2.3).
+struct TransformHint {
+  enum class Kind { PeelFirst, PeelLast, Split };
+  Kind TheKind;
+  /// Loop index the transformation applies to.
+  std::string Index;
+  /// For Split: the crossing iteration (possibly half-integral).
+  std::optional<Rational> CrossingPoint;
+  /// For Split with a symbolic bound: the iteration sum i + i'
+  /// (crossing point = sum/2), e.g. n + 1.
+  std::optional<LinearExpr> SymbolicCrossingSum;
+};
+
+/// Result of testing one ordered reference pair (source candidate
+/// first).
+struct DependenceTestResult {
+  Verdict TheVerdict = Verdict::Maybe;
+  /// The test that proved independence, when TheVerdict is
+  /// Independent.
+  TestKind DecidedBy = TestKind::Delta;
+  /// True when the verdict and vectors are exact, not conservative.
+  bool Exact = false;
+  /// Surviving dependence vectors over the common loop nest. A vector
+  /// whose leading non-'=' direction is '>' denotes the reversed
+  /// dependence (sink to source); the dependence-graph layer
+  /// normalizes these.
+  std::vector<DependenceVector> Vectors;
+  /// Some subscript pair was nonlinear (untestable).
+  bool HasNonlinear = false;
+  /// Loop transformation opportunities found by the weak SIV tests.
+  std::vector<TransformHint> Hints;
+
+  bool isIndependent() const { return TheVerdict == Verdict::Independent; }
+};
+
+/// Tests a pair of already-affine subscript vectors against a loop
+/// nest. This is the paper's algorithm proper, exposed for unit tests,
+/// the oracle comparison, and the synthetic workload benches.
+DependenceTestResult
+testDependence(const std::vector<SubscriptPair> &Subscripts,
+               const LoopNestContext &Ctx, TestStats *Stats = nullptr);
+
+/// An access pair lowered to testable form: affine subscripts over the
+/// common nest plus the analyzed nest context. Shared by the practical
+/// tester and the baseline testers so comparisons see identical input.
+struct PreparedPair {
+  std::vector<SubscriptPair> Subscripts;
+  LoopNestContext Ctx;
+  /// Some dimension was nonlinear and is missing from Subscripts.
+  bool HasNonlinear = false;
+  /// True when the subscripts form at least one coupled group.
+  bool HasCoupledGroup = false;
+};
+
+/// Lowers an access pair (see testAccessPair for the conversion
+/// rules). Returns std::nullopt when the references have different
+/// dimensionality.
+std::optional<PreparedPair>
+prepareAccessPair(const ArrayAccess &A, const ArrayAccess &B,
+                  const SymbolRangeMap &Symbols,
+                  const std::set<std::string> *VaryingScalars = nullptr);
+
+/// Names of scalars that cannot be treated as loop-invariant symbols:
+/// assigned inside some loop, or assigned more than once.
+std::set<std::string> collectVaryingScalars(const Program &P);
+
+/// Tests two program accesses to the same array: builds the common
+/// nest context under \p Symbols, converts subscripts to affine form
+/// (indices of non-common loops become free symbols ranging over their
+/// loops), runs the algorithm, and updates the structural statistics.
+/// \p A is the dependence source candidate. \p VaryingScalars names
+/// scalars assigned somewhere in the program: a subscript mentioning
+/// one is NOT loop-invariant and is treated as nonlinear
+/// (conservative), since pretending it is a symbol could prove false
+/// independence.
+DependenceTestResult testAccessPair(
+    const ArrayAccess &A, const ArrayAccess &B, const SymbolRangeMap &Symbols,
+    TestStats *Stats = nullptr,
+    const std::set<std::string> *VaryingScalars = nullptr);
+
+} // namespace pdt
+
+#endif // PDT_CORE_DEPENDENCETESTER_H

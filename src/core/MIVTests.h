@@ -1,0 +1,72 @@
+//===- core/MIVTests.h - GCD and Banerjee MIV tests -------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MIV tests of paper section 4.4: the GCD test (unconstrained
+/// integer solutions) and Banerjee's inequalities evaluated over a
+/// direction-vector hierarchy (Burke-Cytron refinement). The Banerjee
+/// bounds are computed from the maximal index ranges of the
+/// index-range analysis, which is how the paper handles triangular and
+/// trapezoidal nests ("triangular Banerjee", sections 4.3/4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_MIVTESTS_H
+#define PDT_CORE_MIVTESTS_H
+
+#include "analysis/LoopNest.h"
+#include "core/DependenceTypes.h"
+#include "core/TestStats.h"
+
+#include <vector>
+
+namespace pdt {
+
+class LinearExpr;
+
+/// Result of an MIV test on one tagged dependence equation.
+struct MIVResult {
+  Verdict TheVerdict = Verdict::Maybe;
+  TestKind Test = TestKind::Banerjee;
+  /// Direction vectors (over the full nest depth) under which a
+  /// dependence remains possible. Levels whose index does not occur in
+  /// the equation stay '*'. Populated by the Banerjee hierarchy;
+  /// meaningful only when the verdict is not Independent.
+  std::vector<DependenceVector> Vectors;
+};
+
+/// GCD test: the gcd of all index coefficients must divide the
+/// constant term. Handles symbolic additive constants whose symbol
+/// coefficients are all divisible by the gcd. Never proves dependence
+/// (solutions may lie outside the loop bounds): verdict is Independent
+/// or Maybe.
+MIVResult testGCD(const LinearExpr &Eq, const LoopNestContext &Ctx,
+                  TestStats *Stats = nullptr);
+
+/// Banerjee's inequalities with hierarchical direction refinement:
+/// bounds the equation's value under each direction-vector hypothesis
+/// and prunes hypotheses that cannot reach zero. Returns Independent
+/// when no direction vector survives.
+MIVResult testBanerjee(const LinearExpr &Eq, const LoopNestContext &Ctx,
+                       TestStats *Stats = nullptr);
+
+/// The paper's MIV strategy: GCD first (cheap), then the Banerjee
+/// hierarchy for direction vectors.
+MIVResult testMIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
+                  TestStats *Stats = nullptr);
+
+/// Value bounds of the equation under one direction-vector hypothesis
+/// (exposed for unit tests and the geometric figure bench). \p Dirs
+/// must have one entry per nest level (DirAll for unconstrained).
+/// Returns the empty interval when the hypothesis itself is infeasible
+/// (e.g. '<' in a single-iteration loop).
+Interval banerjeeBounds(const LinearExpr &Eq, const LoopNestContext &Ctx,
+                        const std::vector<DirectionSet> &Dirs);
+
+} // namespace pdt
+
+#endif // PDT_CORE_MIVTESTS_H

@@ -1,0 +1,65 @@
+//===- core/MultidimGCD.h - Multidimensional GCD test -----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Banerjee's multidimensional GCD test (paper section 7.3): checks
+/// whether the *system* of subscript equations has a simultaneous
+/// unconstrained integer solution, via integer matrix diagonalization
+/// (Smith-normal-form style row and column operations). Stronger than
+/// running the GCD test per subscript; ignores loop bounds, so it can
+/// prove independence but never dependence-within-bounds. This is the
+/// pretest underlying the Power test (listed as related work).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_MULTIDIMGCD_H
+#define PDT_CORE_MULTIDIMGCD_H
+
+#include "analysis/LoopNest.h"
+#include "core/DependenceTypes.h"
+#include "core/Subscript.h"
+#include "core/TestStats.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pdt {
+
+/// Parametric description of all integer solutions of A*x = B:
+/// x = X0 + Basis * t for integer parameter vectors t. Basis columns
+/// are linearly independent generators of the solution lattice's
+/// direction space.
+struct ParametricSolution {
+  std::vector<int64_t> X0;
+  /// Basis[k] is one generator (length = number of variables).
+  std::vector<std::vector<int64_t>> Basis;
+};
+
+/// Solves the integer system A*x = B completely (no bound
+/// constraints): returns the particular solution and a lattice basis,
+/// or std::nullopt when no integer solution exists. This is the dense
+/// elimination underlying both the multidimensional GCD test and the
+/// Power test.
+std::optional<ParametricSolution>
+solveIntegerSystem(std::vector<std::vector<int64_t>> A,
+                   std::vector<int64_t> B);
+
+/// True when the integer system A*x = B has a solution (no bound
+/// constraints). \p A is row-major. Exposed for unit tests.
+bool integerSystemSolvable(std::vector<std::vector<int64_t>> A,
+                           std::vector<int64_t> B);
+
+/// Multidimensional GCD test over all (symbol-free) subscript
+/// equations of a pair. Returns Independent or Maybe.
+Verdict multidimensionalGCDTest(const std::vector<SubscriptPair> &Subscripts,
+                                const LoopNestContext &Ctx,
+                                TestStats *Stats = nullptr);
+
+} // namespace pdt
+
+#endif // PDT_CORE_MULTIDIMGCD_H

@@ -1,0 +1,62 @@
+//===- core/Oracle.h - Brute-force dependence ground truth ------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive enumeration of the iteration space: the ground truth the
+/// exactness experiments (X2) and the property tests compare against.
+/// Only applicable to nests with fully constant (possibly triangular)
+/// bounds and subscripts without free symbols; the enumeration cost is
+/// capped to keep tests fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_ORACLE_H
+#define PDT_CORE_ORACLE_H
+
+#include "analysis/LoopNest.h"
+#include "core/DependenceTypes.h"
+#include "core/Subscript.h"
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace pdt {
+
+/// Ground-truth result from enumerating every (source, sink) iteration
+/// pair.
+struct OracleResult {
+  /// Some pair of iterations accesses the same element.
+  bool Dependent = false;
+  /// Distinct per-level sign tuples (-1 for '<', 0 for '=', +1 for
+  /// '>') observed among the dependent pairs.
+  std::set<std::vector<int>> DirectionTuples;
+  /// Distinct distance vectors (sink - source per level).
+  std::set<std::vector<int64_t>> DistanceVectors;
+  /// Number of dependent iteration pairs.
+  uint64_t PairCount = 0;
+};
+
+/// Enumerates the nest described by \p Ctx (using its per-loop affine
+/// bounds, so triangular nests enumerate exactly) and records every
+/// pair where all \p Subscripts agree. Returns std::nullopt when the
+/// nest has non-constant/symbolic bounds, a subscript has symbol
+/// terms, or the pair count would exceed \p MaxPairs.
+std::optional<OracleResult>
+enumerateDependences(const std::vector<SubscriptPair> &Subscripts,
+                     const LoopNestContext &Ctx,
+                     uint64_t MaxPairs = 50'000'000);
+
+/// True when the vector set \p Vectors admits the oracle sign tuple
+/// \p Tuple (every sound tester must admit every observed tuple).
+bool vectorsAdmitTuple(const std::vector<DependenceVector> &Vectors,
+                       const std::vector<int> &Tuple);
+
+} // namespace pdt
+
+#endif // PDT_CORE_ORACLE_H

@@ -1,0 +1,74 @@
+//===- core/Partition.cpp - Separability partitioning ---------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Partition.h"
+
+#include <map>
+#include <numeric>
+
+using namespace pdt;
+
+namespace {
+
+/// Minimal union-find over subscript positions.
+class UnionFind {
+public:
+  explicit UnionFind(unsigned N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0u);
+  }
+
+  unsigned find(unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  void merge(unsigned A, unsigned B) {
+    unsigned RA = find(A), RB = find(B);
+    if (RA != RB)
+      Parent[std::max(RA, RB)] = std::min(RA, RB);
+  }
+
+private:
+  std::vector<unsigned> Parent;
+};
+
+} // namespace
+
+std::vector<SubscriptPartition>
+pdt::partitionSubscripts(const std::vector<SubscriptPair> &Subscripts) {
+  unsigned N = Subscripts.size();
+  UnionFind UF(N);
+
+  // Any two subscripts that mention the same index belong to the same
+  // partition; track the first position seen per index.
+  std::map<std::string, unsigned> FirstUse;
+  for (unsigned I = 0; I != N; ++I) {
+    for (const std::string &Index : Subscripts[I].indices()) {
+      auto [It, Inserted] = FirstUse.try_emplace(Index, I);
+      if (!Inserted)
+        UF.merge(It->second, I);
+    }
+  }
+
+  // Gather partitions keyed by representative, in first-position order.
+  std::map<unsigned, SubscriptPartition> ByRep;
+  for (unsigned I = 0; I != N; ++I) {
+    SubscriptPartition &P = ByRep[UF.find(I)];
+    P.Positions.push_back(I);
+    for (const std::string &Index : Subscripts[I].indices())
+      P.Indices.insert(Index);
+  }
+
+  std::vector<SubscriptPartition> Result;
+  Result.reserve(ByRep.size());
+  for (auto &[Rep, P] : ByRep)
+    Result.push_back(std::move(P));
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===- core/PowerTest.h - Wolfe-Tseng Power test core -----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core of Wolfe & Tseng's Power test (paper section 7.3): first
+/// solve the full system of subscript equations over the integers with
+/// the multidimensional GCD elimination, producing a parametric
+/// lattice of solutions; then apply the loop bounds to that lattice
+/// with Fourier-Motzkin elimination over the parameters. The
+/// combination catches both integer-only disproofs (which rational FM
+/// misses) and bound-only disproofs (which the unconstrained GCD
+/// system misses), at the "expensive but flexible" cost point the
+/// paper assigns it. Implemented here as the existence test; direction
+/// vector refinement is future work (as is most of the Power test's
+/// bells and whistles in the paper's own presentation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_POWERTEST_H
+#define PDT_CORE_POWERTEST_H
+
+#include "analysis/LoopNest.h"
+#include "core/DependenceTypes.h"
+#include "core/Subscript.h"
+#include "core/TestStats.h"
+
+#include <vector>
+
+namespace pdt {
+
+/// Power test existence check over all (symbol-free) subscript
+/// equations of a reference pair. Returns Independent or Maybe.
+Verdict powerTest(const std::vector<SubscriptPair> &Subscripts,
+                  const LoopNestContext &Ctx, TestStats *Stats = nullptr);
+
+} // namespace pdt
+
+#endif // PDT_CORE_POWERTEST_H

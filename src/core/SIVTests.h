@@ -1,0 +1,118 @@
+//===- core/SIVTests.h - ZIV and exact SIV/RDIV tests -----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exact single-subscript tests of paper section 4: ZIV (with the
+/// symbolic extension), strong SIV, weak-zero SIV, weak-crossing SIV,
+/// the general exact SIV test, and the RDIV test. All operate on the
+/// *tagged dependence equation* of a subscript pair (see Subscript.h),
+/// so the Delta test can re-run them on propagated/reduced equations.
+///
+/// Every result carries: a three-valued verdict, which test fired (for
+/// the Table 2/3 counters), the direction set and (when exact) the
+/// distance for the tested index, the Delta-test constraint the
+/// subscript induces, and transformation hints (loop peeling for
+/// weak-zero at a bound iteration, loop splitting with the crossing
+/// point for weak-crossing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_SIVTESTS_H
+#define PDT_CORE_SIVTESTS_H
+
+#include "analysis/LoopNest.h"
+#include "core/Constraint.h"
+#include "core/DependenceTypes.h"
+#include "core/Subscript.h"
+#include "core/TestStats.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <string>
+
+namespace pdt {
+
+/// Result of a single-subscript test.
+struct SIVResult {
+  Verdict TheVerdict = Verdict::Maybe;
+  /// Which member of the suite produced the verdict.
+  TestKind Test = TestKind::ExactSIV;
+  /// True when the verdict is exact: Independent means proven, and
+  /// Dependent means a dependence certainly exists with exactly the
+  /// reported directions/distance.
+  bool Exact = false;
+
+  /// The (untagged) index the subscript constrains; empty for ZIV.
+  std::string Index;
+  /// Legal directions for that index's loop level.
+  DirectionSet Directions = DirAll;
+  /// Exact dependence distance for that level, when known.
+  std::optional<int64_t> Distance;
+  /// Constraint contributed to the Delta test's per-index lattice.
+  Constraint IndexConstraint = Constraint::any();
+
+  /// Weak-zero: the dependence touches only the first/last iteration,
+  /// so loop peeling removes it (section 4.2.2).
+  bool PeelFirst = false;
+  bool PeelLast = false;
+  /// Weak-crossing: all dependences cross this iteration, so loop
+  /// splitting removes them (section 4.2.3).
+  std::optional<Rational> CrossingPoint;
+  /// Weak-crossing with a symbolic constant part: the iteration *sum*
+  /// i + i' as an affine expression (the crossing point is half of
+  /// it), e.g. n + 1 for the a(i) = a(n-i+1) reversal.
+  std::optional<LinearExpr> SymbolicCrossingSum;
+
+  static SIVResult independent(TestKind Test) {
+    SIVResult R;
+    R.TheVerdict = Verdict::Independent;
+    R.Test = Test;
+    R.Exact = true;
+    return R;
+  }
+};
+
+/// ZIV test (section 4.1), including the symbolic extension: the
+/// difference of two loop-invariant subscripts that is provably
+/// non-zero disproves dependence. \p Eq must have no index terms.
+SIVResult testZIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
+                  TestStats *Stats = nullptr);
+
+/// Dispatches the appropriate exact SIV test (strong, weak-zero,
+/// weak-crossing, or general) for an equation over a single loop index
+/// (section 4.2). Also handles the symbolic additive-constant forms
+/// (section 4.5).
+SIVResult testSIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
+                  TestStats *Stats = nullptr);
+
+/// RDIV test (section 4.4): an equation over exactly two variables
+/// belonging to *different* loop indices, tested exactly against both
+/// index ranges. Yields no per-level direction information (the two
+/// sides bind different levels); its value is the exact
+/// independence/existence verdict.
+SIVResult testRDIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
+                   TestStats *Stats = nullptr);
+
+/// Applies the matching test for the equation's shape (ZIV, any SIV
+/// form, or RDIV). Equations with three or more variables are not
+/// single-subscript testable; the verdict is Maybe and no test is
+/// counted.
+SIVResult testSingleSubscript(const LinearExpr &Eq,
+                              const LoopNestContext &Ctx,
+                              TestStats *Stats = nullptr);
+
+/// Exact existence check for a two-variable linear Diophantine
+/// equation A*x + B*y + C = 0 with x in \p XRange and y in \p YRange
+/// (the engine under the exact SIV and RDIV tests). Returns
+/// Independent, Dependent (solution certainly exists), or Maybe (only
+/// possible when a range is unbounded).
+Verdict solveTwoVariableEquation(int64_t A, const Interval &XRange, int64_t B,
+                                 const Interval &YRange, int64_t C);
+
+} // namespace pdt
+
+#endif // PDT_CORE_SIVTESTS_H

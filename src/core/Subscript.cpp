@@ -1,0 +1,123 @@
+//===- core/Subscript.cpp - Subscript pairs and classification ------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Subscript.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace pdt;
+
+const char *pdt::subscriptClassName(SubscriptClass C) {
+  switch (C) {
+  case SubscriptClass::ZIV:
+    return "ZIV";
+  case SubscriptClass::SIV:
+    return "SIV";
+  case SubscriptClass::MIV:
+    return "MIV";
+  }
+  pdt_unreachable("covered switch");
+}
+
+const char *pdt::subscriptShapeName(SubscriptShape S) {
+  switch (S) {
+  case SubscriptShape::ZIV:
+    return "ZIV";
+  case SubscriptShape::StrongSIV:
+    return "strong SIV";
+  case SubscriptShape::WeakZeroSIV:
+    return "weak-zero SIV";
+  case SubscriptShape::WeakCrossingSIV:
+    return "weak-crossing SIV";
+  case SubscriptShape::GeneralSIV:
+    return "general SIV";
+  case SubscriptShape::RDIV:
+    return "RDIV";
+  case SubscriptShape::GeneralMIV:
+    return "MIV";
+  }
+  pdt_unreachable("covered switch");
+}
+
+std::set<std::string> SubscriptPair::indices() const {
+  std::set<std::string> Names = Src.indexNames();
+  for (const std::string &N : Dst.indexNames())
+    Names.insert(N);
+  return Names;
+}
+
+LinearExpr SubscriptPair::equation() const {
+  // Src(i) - Dst(i') with sink indices tagged.
+  LinearExpr TaggedDst(Dst.getConstant());
+  for (const auto &[Name, Coeff] : Dst.symbolTerms())
+    TaggedDst = TaggedDst + LinearExpr::symbol(Name, Coeff);
+  for (const auto &[Name, Coeff] : Dst.indexTerms())
+    TaggedDst = TaggedDst + LinearExpr::index(sinkName(Name), Coeff);
+  return Src - TaggedDst;
+}
+
+SubscriptClass SubscriptPair::classify() const {
+  return classifyEquation(equation());
+}
+
+SubscriptShape SubscriptPair::shape() const {
+  return shapeOfEquation(equation());
+}
+
+std::set<std::string> pdt::equationIndices(const LinearExpr &Eq) {
+  std::set<std::string> Names;
+  for (const auto &[Name, Coeff] : Eq.indexTerms())
+    Names.insert(baseName(Name));
+  return Names;
+}
+
+SubscriptClass pdt::classifyEquation(const LinearExpr &Eq) {
+  size_t N = equationIndices(Eq).size();
+  if (N == 0)
+    return SubscriptClass::ZIV;
+  if (N == 1)
+    return SubscriptClass::SIV;
+  return SubscriptClass::MIV;
+}
+
+SubscriptShape pdt::shapeOfEquation(const LinearExpr &Eq) {
+  const auto &Terms = Eq.indexTerms();
+  switch (Terms.size()) {
+  case 0:
+    return SubscriptShape::ZIV;
+  case 1:
+    // A single occurrence of a single index: the other side's
+    // coefficient is zero, which is exactly the weak-zero situation.
+    return SubscriptShape::WeakZeroSIV;
+  case 2: {
+    auto It = Terms.begin();
+    const auto &[NameA, CoeffA] = *It;
+    ++It;
+    const auto &[NameB, CoeffB] = *It;
+    if (baseName(NameA) != baseName(NameB))
+      return SubscriptShape::RDIV;
+    // Same index on both sides: the equation is
+    // a1*i - a2*i' + c = 0, i.e. CoeffA = a1 and CoeffB = -a2 (the map
+    // is ordered, so NameA = i and NameB = i').
+    int64_t A1 = CoeffA;
+    int64_t A2 = -CoeffB;
+    if (A1 == A2)
+      return SubscriptShape::StrongSIV;
+    if (A1 == -A2)
+      return SubscriptShape::WeakCrossingSIV;
+    return SubscriptShape::GeneralSIV;
+  }
+  default: {
+    if (equationIndices(Eq).size() == 1) {
+      // Cannot happen with <= 2 terms handled above: a single base
+      // index yields at most the pair {i, i'}.
+      return SubscriptShape::GeneralSIV;
+    }
+    return SubscriptShape::GeneralMIV;
+  }
+  }
+}

@@ -1,0 +1,41 @@
+//===- core/SubscriptBySubscript.h - PFC-style baseline ---------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline strategy the paper improves upon: test every subscript
+/// position independently with the Banerjee-GCD machinery and
+/// intersect the per-subscript direction vector sets (paper sections
+/// 2.2 and 8: the first version of PFC, and the approach whose
+/// imprecision on coupled subscripts motivates the Delta test). Table
+/// 3's Delta-vs-baseline comparison uses this tester.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_SUBSCRIPTBYSUBSCRIPT_H
+#define PDT_CORE_SUBSCRIPTBYSUBSCRIPT_H
+
+#include "analysis/LoopNest.h"
+#include "core/DependenceTester.h"
+#include "core/Subscript.h"
+#include "core/TestStats.h"
+
+#include <vector>
+
+namespace pdt {
+
+/// Tests each subscript separately (ZIV or Banerjee-GCD) and
+/// intersects the resulting direction vectors. Sound but conservative
+/// on coupled subscripts: it may report direction vectors that cannot
+/// occur, and misses independence proofs requiring simultaneity.
+DependenceTestResult
+subscriptBySubscriptTest(const std::vector<SubscriptPair> &Subscripts,
+                         const LoopNestContext &Ctx,
+                         TestStats *Stats = nullptr);
+
+} // namespace pdt
+
+#endif // PDT_CORE_SUBSCRIPTBYSUBSCRIPT_H

@@ -1,0 +1,88 @@
+//===- core/TestStats.h - Test application counters -------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters the empirical study needs (paper Tables 1-3): how often
+/// each test is applied, how often each test proves independence, and
+/// structural statistics about subscript pairs. Every tester takes an
+/// optional TestStats sink.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_TESTSTATS_H
+#define PDT_CORE_TESTSTATS_H
+
+#include "core/DependenceTypes.h"
+
+#include <array>
+#include <cstdint>
+
+namespace pdt {
+
+/// Aggregated counters for one analysis run.
+struct TestStats {
+  /// Applications of each test.
+  std::array<uint64_t, NumTestKinds> Applications{};
+  /// Independence proofs credited to each test.
+  std::array<uint64_t, NumTestKinds> Independences{};
+
+  // Structural statistics over tested reference pairs.
+  uint64_t ReferencePairs = 0;
+  uint64_t IndependentPairs = 0;
+  /// Histogram of array dimensionality of tested pairs (index 0 = 1-D,
+  /// 1 = 2-D, 2 = 3-D; 3 = higher).
+  std::array<uint64_t, 4> DimensionHistogram{};
+  uint64_t SeparableSubscripts = 0;
+  uint64_t CoupledSubscripts = 0;
+  uint64_t NonlinearSubscripts = 0;
+  /// Subscript pairs by complexity class.
+  uint64_t ZIVSubscripts = 0;
+  uint64_t SIVSubscripts = 0;
+  uint64_t MIVSubscripts = 0;
+  /// Coupled groups processed by the Delta test, and how many still
+  /// contained untested MIV subscripts when Delta finished.
+  uint64_t CoupledGroups = 0;
+  uint64_t GroupsWithResidualMIV = 0;
+
+  void noteApplication(TestKind K) {
+    ++Applications[static_cast<unsigned>(K)];
+  }
+  void noteIndependence(TestKind K) {
+    ++Independences[static_cast<unsigned>(K)];
+  }
+
+  uint64_t applications(TestKind K) const {
+    return Applications[static_cast<unsigned>(K)];
+  }
+  uint64_t independences(TestKind K) const {
+    return Independences[static_cast<unsigned>(K)];
+  }
+
+  TestStats &operator+=(const TestStats &RHS) {
+    for (unsigned I = 0; I != NumTestKinds; ++I) {
+      Applications[I] += RHS.Applications[I];
+      Independences[I] += RHS.Independences[I];
+    }
+    ReferencePairs += RHS.ReferencePairs;
+    IndependentPairs += RHS.IndependentPairs;
+    for (unsigned I = 0; I != 4; ++I)
+      DimensionHistogram[I] += RHS.DimensionHistogram[I];
+    SeparableSubscripts += RHS.SeparableSubscripts;
+    CoupledSubscripts += RHS.CoupledSubscripts;
+    NonlinearSubscripts += RHS.NonlinearSubscripts;
+    ZIVSubscripts += RHS.ZIVSubscripts;
+    SIVSubscripts += RHS.SIVSubscripts;
+    MIVSubscripts += RHS.MIVSubscripts;
+    CoupledGroups += RHS.CoupledGroups;
+    GroupsWithResidualMIV += RHS.GroupsWithResidualMIV;
+    return *this;
+  }
+};
+
+} // namespace pdt
+
+#endif // PDT_CORE_TESTSTATS_H

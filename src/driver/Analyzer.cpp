@@ -1,0 +1,97 @@
+//===- driver/Analyzer.cpp - End-to-end analysis pipeline -----------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Analyzer.h"
+
+#include "analysis/InductionSubstitution.h"
+#include "analysis/Normalization.h"
+#include "support/Casting.h"
+
+using namespace pdt;
+
+namespace {
+
+/// Collects every variable name that is not bound as a loop index
+/// anywhere, i.e. the symbolic constants of the program.
+void collectSymbols(const Stmt *S, std::set<std::string> &LoopIndices,
+                    std::set<std::string> &Names) {
+  auto WalkExpr = [&Names](auto &&Self, const Expr *E) -> void {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+      return;
+    case Expr::Kind::VarRef:
+      Names.insert(cast<VarRef>(E)->getName());
+      return;
+    case Expr::Kind::Unary:
+      Self(Self, cast<UnaryExpr>(E)->getOperand());
+      return;
+    case Expr::Kind::Binary:
+      Self(Self, cast<BinaryExpr>(E)->getLHS());
+      Self(Self, cast<BinaryExpr>(E)->getRHS());
+      return;
+    case Expr::Kind::ArrayElement:
+      for (const Expr *Sub : cast<ArrayElement>(E)->getSubscripts())
+        Self(Self, Sub);
+      return;
+    }
+  };
+  if (const auto *A = dyn_cast<AssignStmt>(S)) {
+    if (A->isArrayAssign())
+      WalkExpr(WalkExpr, A->getArrayTarget());
+    WalkExpr(WalkExpr, A->getValue());
+    return;
+  }
+  const auto *L = cast<DoLoop>(S);
+  LoopIndices.insert(L->getIndexName());
+  WalkExpr(WalkExpr, L->getLower());
+  WalkExpr(WalkExpr, L->getUpper());
+  WalkExpr(WalkExpr, L->getStep());
+  for (const Stmt *Child : L->getBody())
+    collectSymbols(Child, LoopIndices, Names);
+}
+
+} // namespace
+
+AnalysisResult pdt::analyzeProgram(Program P, const AnalyzerOptions &Options) {
+  AnalysisResult Result;
+  Result.Parsed = true;
+
+  Program Current = std::move(P);
+  if (Options.Normalize)
+    Current = normalizeLoops(Current);
+  if (Options.SubstituteIVs)
+    Current = substituteInductionVariables(Current);
+  Result.Prog = std::make_unique<Program>(std::move(Current));
+
+  // Assemble symbol ranges: explicit assumptions win; every other
+  // non-index name gets the default range.
+  SymbolRangeMap Symbols = Options.Symbols;
+  std::set<std::string> LoopIndices, Names;
+  for (const Stmt *S : Result.Prog->TopLevel)
+    collectSymbols(S, LoopIndices, Names);
+  for (const std::string &Name : Names) {
+    if (LoopIndices.count(Name))
+      continue;
+    Symbols.try_emplace(Name, Options.DefaultSymbolRange);
+  }
+
+  Result.Graph = DependenceGraph::build(*Result.Prog, Symbols, &Result.Stats,
+                                        Options.IncludeInputDeps);
+  return Result;
+}
+
+AnalysisResult pdt::analyzeSource(const std::string &Source,
+                                  const std::string &Name,
+                                  const AnalyzerOptions &Options) {
+  ParseResult Parsed = parseProgram(Source, Name);
+  if (!Parsed.succeeded()) {
+    AnalysisResult Result;
+    Result.Diagnostics = std::move(Parsed.Diagnostics);
+    return Result;
+  }
+  return analyzeProgram(std::move(*Parsed.Prog), Options);
+}

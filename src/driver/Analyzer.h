@@ -1,0 +1,73 @@
+//===- driver/Analyzer.h - End-to-end analysis pipeline ---------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end pipeline a compiler front end would run: parse ->
+/// loop normalization -> auxiliary induction-variable substitution ->
+/// dependence graph construction, with the paper's statistics
+/// collected along the way. This is the API the examples and benches
+/// use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_DRIVER_ANALYZER_H
+#define PDT_DRIVER_ANALYZER_H
+
+#include "analysis/LoopNest.h"
+#include "core/DependenceGraph.h"
+#include "core/TestStats.h"
+#include "parser/Parser.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// Pipeline configuration.
+struct AnalyzerOptions {
+  /// Run loop normalization first.
+  bool Normalize = true;
+  /// Run auxiliary induction-variable substitution.
+  bool SubstituteIVs = true;
+  /// Range assumed for symbolic constants without an explicit entry
+  /// (array extents in scientific code are at least 1). Set to
+  /// Interval::full() to assume nothing.
+  Interval DefaultSymbolRange = Interval(1, std::nullopt);
+  /// Explicit per-symbol assumptions, overriding the default.
+  SymbolRangeMap Symbols;
+  /// Also report read-read dependences.
+  bool IncludeInputDeps = false;
+};
+
+/// Everything one analysis run produces. Move-only: the graph holds
+/// pointers into the program.
+struct AnalysisResult {
+  AnalysisResult() = default;
+  AnalysisResult(AnalysisResult &&) = default;
+  AnalysisResult &operator=(AnalysisResult &&) = default;
+
+  /// False when parsing failed; see Diagnostics.
+  bool Parsed = false;
+  std::vector<Diagnostic> Diagnostics;
+  /// The analyzed (normalized, substituted) program.
+  std::unique_ptr<Program> Prog;
+  DependenceGraph Graph;
+  TestStats Stats;
+};
+
+/// Parses and analyzes \p Source. \p Name labels the program.
+AnalysisResult analyzeSource(const std::string &Source,
+                             const std::string &Name,
+                             const AnalyzerOptions &Options = {});
+
+/// Analyzes an already-built program (takes ownership).
+AnalysisResult analyzeProgram(Program P, const AnalyzerOptions &Options = {});
+
+} // namespace pdt
+
+#endif // PDT_DRIVER_ANALYZER_H

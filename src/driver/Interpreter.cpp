@@ -1,0 +1,242 @@
+//===- driver/Interpreter.cpp - Reference interpreter ---------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Interpreter.h"
+
+#include "ir/AccessCollector.h"
+#include "ir/PrettyPrinter.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace pdt;
+
+std::vector<std::tuple<std::string, std::vector<int64_t>, int64_t>>
+ExecutionTrace::writeSequence() const {
+  std::vector<std::tuple<std::string, std::vector<int64_t>, int64_t>> Out;
+  for (const RecordedAccess &A : Accesses)
+    if (A.IsWrite)
+      Out.emplace_back(A.Array, A.Indices, A.Value);
+  return Out;
+}
+
+namespace {
+
+class Interpreter {
+public:
+  Interpreter(const Program &P, const InterpreterOptions &Options)
+      : Options(Options) {
+    // Associate each assignment with its access indices, in
+    // AccessCollector order.
+    std::vector<ArrayAccess> All = collectAccesses(P);
+    for (unsigned I = 0; I != All.size(); ++I)
+      PerStmt[All[I].Statement].push_back(I);
+    AllAccesses = std::move(All);
+  }
+
+  ExecutionTrace run(const Program &P) {
+    for (const auto &[Name, Value] : Options.Symbols)
+      Scalars[Name] = Value;
+    for (const Stmt *S : P.TopLevel) {
+      if (!execStmt(S))
+        return std::move(Result);
+    }
+    Result.OK = true;
+    Result.Scalars = Scalars;
+    return std::move(Result);
+  }
+
+private:
+  const InterpreterOptions &Options;
+  ExecutionTrace Result;
+  std::map<const AssignStmt *, std::vector<unsigned>> PerStmt;
+  std::vector<ArrayAccess> AllAccesses;
+
+  std::map<std::string, int64_t> Scalars;
+  std::vector<std::pair<std::string, int64_t>> LoopStack; // index, value
+
+  // Per-statement cursor into the statement's access-index list.
+  const std::vector<unsigned> *CurrentList = nullptr;
+  size_t Cursor = 0;
+
+  bool fail(const std::string &Message) {
+    if (Result.Error.empty())
+      Result.Error = Message;
+    return false;
+  }
+
+  int64_t lookup(const std::string &Name) {
+    for (auto It = LoopStack.rbegin(); It != LoopStack.rend(); ++It)
+      if (It->first == Name)
+        return It->second;
+    auto It = Scalars.find(Name);
+    return It == Scalars.end() ? 0 : It->second;
+  }
+
+  /// Records one access; returns false when identities drift or the
+  /// budget is exhausted.
+  bool record(const ArrayElement *Ref, std::vector<int64_t> Indices,
+              bool IsWrite, int64_t Value) {
+    if (Result.Accesses.size() >= Options.MaxAccesses)
+      return fail("access budget exhausted");
+    // Accesses inside loop bounds are not part of any assignment and
+    // are not in the collector's list; compute without recording.
+    if (!CurrentList)
+      return true;
+    assert(Cursor < CurrentList->size() &&
+           "access order drifted from AccessCollector");
+    unsigned Index = (*CurrentList)[Cursor++];
+    assert(AllAccesses[Index].Ref == Ref &&
+           AllAccesses[Index].IsWrite == IsWrite &&
+           "access identity drifted from AccessCollector");
+    RecordedAccess R;
+    R.AccessIndex = Index;
+    R.Array = Ref->getArrayName();
+    R.Indices = std::move(Indices);
+    R.IsWrite = IsWrite;
+    R.Value = Value;
+    R.Iteration.reserve(AllAccesses[Index].LoopStack.size());
+    for (const std::pair<std::string, int64_t> &L : LoopStack)
+      R.Iteration.push_back(L.second);
+    Result.Accesses.push_back(std::move(R));
+    return true;
+  }
+
+  bool evalExpr(const Expr *E, int64_t &Out) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+      Out = cast<IntLiteral>(E)->getValue();
+      return true;
+    case Expr::Kind::VarRef:
+      Out = lookup(cast<VarRef>(E)->getName());
+      return true;
+    case Expr::Kind::Unary: {
+      int64_t V;
+      if (!evalExpr(cast<UnaryExpr>(E)->getOperand(), V))
+        return false;
+      Out = -V;
+      return true;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int64_t L, R;
+      if (!evalExpr(B->getLHS(), L) || !evalExpr(B->getRHS(), R))
+        return false;
+      switch (B->getOpcode()) {
+      case BinaryExpr::Opcode::Add:
+        Out = L + R;
+        return true;
+      case BinaryExpr::Opcode::Sub:
+        Out = L - R;
+        return true;
+      case BinaryExpr::Opcode::Mul:
+        Out = L * R;
+        return true;
+      case BinaryExpr::Opcode::Div:
+        if (R == 0)
+          return fail("division by zero");
+        Out = L / R;
+        return true;
+      }
+      pdt_unreachable("covered switch");
+    }
+    case Expr::Kind::ArrayElement: {
+      const auto *A = cast<ArrayElement>(E);
+      std::vector<int64_t> Indices;
+      if (!evalSubscripts(A, Indices))
+        return false;
+      // The element read is recorded after its subscripts, matching
+      // AccessCollector.
+      auto &Cell = Result.Memory[A->getArrayName()];
+      auto It = Cell.find(Indices);
+      Out = It == Cell.end() ? 0 : It->second;
+      return record(A, std::move(Indices), /*IsWrite=*/false, Out);
+    }
+    }
+    pdt_unreachable("covered switch");
+  }
+
+  bool evalSubscripts(const ArrayElement *A, std::vector<int64_t> &Indices) {
+    Indices.reserve(A->getNumDims());
+    for (const Expr *Sub : A->getSubscripts()) {
+      int64_t V;
+      if (!evalExpr(Sub, V))
+        return false;
+      Indices.push_back(V);
+    }
+    return true;
+  }
+
+  bool execStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      const std::vector<unsigned> *SavedList = CurrentList;
+      size_t SavedCursor = Cursor;
+      auto It = PerStmt.find(A);
+      CurrentList = It == PerStmt.end() ? nullptr : &It->second;
+      Cursor = 0;
+
+      bool OK = [&] {
+        int64_t Value;
+        if (!evalExpr(A->getValue(), Value))
+          return false;
+        if (!A->isArrayAssign()) {
+          Scalars[A->getScalarTarget()] = Value;
+          return true;
+        }
+        const ArrayElement *Target = A->getArrayTarget();
+        std::vector<int64_t> Indices;
+        if (!evalSubscripts(Target, Indices))
+          return false;
+        if (!record(Target, Indices, /*IsWrite=*/true, Value))
+          return false;
+        Result.Memory[Target->getArrayName()][std::move(Indices)] = Value;
+        return true;
+      }();
+      CurrentList = SavedList;
+      Cursor = SavedCursor;
+      return OK;
+    }
+    case Stmt::Kind::DoLoop: {
+      const auto *L = cast<DoLoop>(S);
+      int64_t Lower, Upper, Step;
+      if (!evalExpr(L->getLower(), Lower) ||
+          !evalExpr(L->getUpper(), Upper) || !evalExpr(L->getStep(), Step))
+        return false;
+      if (Step == 0)
+        return fail("loop with zero step");
+      LoopStack.emplace_back(L->getIndexName(), Lower);
+      bool OK = true;
+      for (int64_t I = Lower; Step > 0 ? I <= Upper : I >= Upper;
+           I += Step) {
+        LoopStack.back().second = I;
+        for (const Stmt *Child : L->getBody()) {
+          if (!execStmt(Child)) {
+            OK = false;
+            break;
+          }
+        }
+        if (!OK)
+          break;
+      }
+      LoopStack.pop_back();
+      return OK;
+    }
+    }
+    pdt_unreachable("covered switch");
+  }
+};
+
+} // namespace
+
+ExecutionTrace pdt::interpret(const Program &P,
+                              const InterpreterOptions &Options) {
+  Interpreter I(P, Options);
+  return I.run(P);
+}

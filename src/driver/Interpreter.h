@@ -1,0 +1,88 @@
+//===- driver/Interpreter.h - Reference interpreter -------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for the input language. It exists to close
+/// the loop on two guarantees no static test can give:
+///
+///  * semantic preservation: loop normalization, induction-variable
+///    substitution, peeling, and splitting must leave the sequence of
+///    array writes (and the final memory) unchanged;
+///  * end-to-end dependence soundness: every pair of dynamic accesses
+///    that actually touch the same element (with at least one write)
+///    must be covered by an edge of the dependence graph, with the
+///    observed per-level direction admitted by the edge's vector.
+///
+/// Semantics: integers are int64; uninitialized scalars take their
+/// symbol value (if provided) or 0; uninitialized array elements read
+/// 0; loops evaluate bounds and step once on entry, Fortran-style.
+/// Every array access is recorded in an execution trace whose per-
+/// statement order matches AccessCollector's order exactly, so trace
+/// entries carry the same access indices the dependence graph uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_DRIVER_INTERPRETER_H
+#define PDT_DRIVER_INTERPRETER_H
+
+#include "ir/AST.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// Interpreter configuration.
+struct InterpreterOptions {
+  /// Values for symbolic constants (e.g. {"n", 10}).
+  std::map<std::string, int64_t> Symbols;
+  /// Abort after this many recorded accesses (runaway guard).
+  uint64_t MaxAccesses = 1'000'000;
+};
+
+/// One dynamic array access.
+struct RecordedAccess {
+  /// Index into collectAccesses(program) — the same identity the
+  /// dependence graph's edges use.
+  unsigned AccessIndex = 0;
+  /// Array accessed.
+  std::string Array;
+  /// Concrete subscript values.
+  std::vector<int64_t> Indices;
+  /// Values of the access's enclosing loop indices, outermost first.
+  std::vector<int64_t> Iteration;
+  bool IsWrite = false;
+  /// Value written (writes only).
+  int64_t Value = 0;
+};
+
+/// Result of one execution.
+struct ExecutionTrace {
+  bool OK = false;
+  std::string Error;
+  /// Every array access in execution order.
+  std::vector<RecordedAccess> Accesses;
+  /// Final array memory.
+  std::map<std::string, std::map<std::vector<int64_t>, int64_t>> Memory;
+  /// Final scalar values (loop indices excluded).
+  std::map<std::string, int64_t> Scalars;
+
+  /// The subsequence of array writes as (array, indices, value) —
+  /// the transform-invariant observable.
+  std::vector<std::tuple<std::string, std::vector<int64_t>, int64_t>>
+  writeSequence() const;
+};
+
+/// Executes \p P under \p Options.
+ExecutionTrace interpret(const Program &P,
+                         const InterpreterOptions &Options = {});
+
+} // namespace pdt
+
+#endif // PDT_DRIVER_INTERPRETER_H

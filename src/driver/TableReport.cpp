@@ -1,0 +1,279 @@
+//===- driver/TableReport.cpp - Paper table regeneration ------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/TableReport.h"
+
+#include "core/DependenceTester.h"
+#include "core/FourierMotzkin.h"
+#include "core/SubscriptBySubscript.h"
+#include "driver/Analyzer.h"
+#include "driver/Corpus.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+
+using namespace pdt;
+
+namespace {
+
+/// Counts non-blank, non-comment lines of a kernel source.
+unsigned countLines(const std::string &Source) {
+  unsigned Lines = 0;
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    size_t First = Source.find_first_not_of(" \t\r", Pos);
+    if (First != std::string::npos && First < End && Source[First] != '!')
+      ++Lines;
+    if (End == Source.size())
+      break;
+    Pos = End + 1;
+  }
+  return Lines;
+}
+
+unsigned countLoops(const Stmt *S) {
+  if (const auto *L = dyn_cast<DoLoop>(S)) {
+    unsigned N = 1;
+    for (const Stmt *Child : L->getBody())
+      N += countLoops(Child);
+    return N;
+  }
+  return 0;
+}
+
+/// Runs practical vs baselines over every reference pair of one
+/// analyzed program.
+void comparePairs(const Program &P, const SymbolRangeMap &Symbols,
+                  SuiteReport &Report) {
+  std::vector<ArrayAccess> Accesses = collectAccesses(P);
+  std::set<std::string> VaryingScalars = collectVaryingScalars(P);
+  for (unsigned I = 0, E = Accesses.size(); I != E; ++I) {
+    for (unsigned J = I + 1; J != E; ++J) {
+      const ArrayAccess &A = Accesses[I];
+      const ArrayAccess &B = Accesses[J];
+      if (A.Ref->getArrayName() != B.Ref->getArrayName())
+        continue;
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      std::optional<PreparedPair> Prepared =
+          prepareAccessPair(A, B, Symbols, &VaryingScalars);
+      if (!Prepared)
+        continue;
+
+      DependenceTestResult Practical =
+          testDependence(Prepared->Subscripts, Prepared->Ctx, nullptr);
+      bool PracticalIndep =
+          Practical.isIndependent() && !Prepared->HasNonlinear;
+      DependenceTestResult Baseline = subscriptBySubscriptTest(
+          Prepared->Subscripts, Prepared->Ctx, nullptr);
+      bool BaselineIndep =
+          Baseline.isIndependent() && !Prepared->HasNonlinear;
+      bool FMIndep =
+          !Prepared->HasNonlinear &&
+          fourierMotzkinTest(Prepared->Subscripts, Prepared->Ctx, nullptr) ==
+              Verdict::Independent;
+
+      Report.PairsIndependentPractical += PracticalIndep;
+      Report.PairsIndependentBaseline += BaselineIndep;
+      Report.PairsIndependentFM += FMIndep;
+      if (Prepared->HasCoupledGroup) {
+        ++Report.CoupledPairs;
+        Report.CoupledIndependentPractical += PracticalIndep;
+        Report.CoupledIndependentBaseline += BaselineIndep;
+      }
+    }
+  }
+}
+
+/// Collects symbol assumptions the same way the analyzer does (every
+/// symbol at least 1), for the comparison pass.
+SymbolRangeMap analyzerSymbols(const Program &P) {
+  AnalyzerOptions Options;
+  SymbolRangeMap Symbols;
+  // Reuse the analyzer by running it without stats; cheaper to just
+  // assume the default range for everything on demand: the range map
+  // consulted by LoopNestContext treats missing entries as full, so we
+  // need explicit entries. Walk the AST for names.
+  std::set<std::string> Indices, Names;
+  auto WalkExpr = [&Names](auto &&Self, const Expr *E) -> void {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+      return;
+    case Expr::Kind::VarRef:
+      Names.insert(cast<VarRef>(E)->getName());
+      return;
+    case Expr::Kind::Unary:
+      Self(Self, cast<UnaryExpr>(E)->getOperand());
+      return;
+    case Expr::Kind::Binary:
+      Self(Self, cast<BinaryExpr>(E)->getLHS());
+      Self(Self, cast<BinaryExpr>(E)->getRHS());
+      return;
+    case Expr::Kind::ArrayElement:
+      for (const Expr *Sub : cast<ArrayElement>(E)->getSubscripts())
+        Self(Self, Sub);
+      return;
+    }
+  };
+  auto WalkStmt = [&](auto &&Self, const Stmt *S) -> void {
+    if (const auto *A = dyn_cast<AssignStmt>(S)) {
+      if (A->isArrayAssign())
+        WalkExpr(WalkExpr, A->getArrayTarget());
+      WalkExpr(WalkExpr, A->getValue());
+      return;
+    }
+    const auto *L = cast<DoLoop>(S);
+    Indices.insert(L->getIndexName());
+    WalkExpr(WalkExpr, L->getLower());
+    WalkExpr(WalkExpr, L->getUpper());
+    WalkExpr(WalkExpr, L->getStep());
+    for (const Stmt *Child : L->getBody())
+      Self(Self, Child);
+  };
+  for (const Stmt *S : P.TopLevel)
+    WalkStmt(WalkStmt, S);
+  for (const std::string &N : Names)
+    if (!Indices.count(N))
+      Symbols.try_emplace(N, Options.DefaultSymbolRange);
+  return Symbols;
+}
+
+} // namespace
+
+std::vector<SuiteReport> pdt::analyzeCorpusSuites(bool IncludePaperSuite) {
+  std::vector<SuiteReport> Reports;
+  for (const std::string &Suite : suiteNames()) {
+    if (!IncludePaperSuite && Suite == "paper")
+      continue;
+    SuiteReport Report;
+    Report.Suite = Suite;
+    for (const CorpusKernel *K : kernelsInSuite(Suite)) {
+      AnalysisResult R = analyzeSource(K->Source, K->Name);
+      if (!R.Parsed)
+        reportFatalError("corpus kernel failed to parse");
+      ++Report.Kernels;
+      Report.Lines += countLines(K->Source);
+      for (const Stmt *S : R.Prog->TopLevel)
+        Report.Loops += countLoops(S);
+      Report.Stats += R.Stats;
+      comparePairs(*R.Prog, analyzerSymbols(*R.Prog), Report);
+    }
+    Reports.push_back(std::move(Report));
+  }
+  return Reports;
+}
+
+//===----------------------------------------------------------------------===//
+// Formatting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string pad(const std::string &S, unsigned Width, bool Right = true) {
+  if (S.size() >= Width)
+    return S;
+  std::string Pad(Width - S.size(), ' ');
+  return Right ? Pad + S : S + Pad;
+}
+
+std::string num(uint64_t V) { return std::to_string(V); }
+
+} // namespace
+
+std::string pdt::formatTable1(const std::vector<SuiteReport> &Reports) {
+  std::string Out;
+  Out += "Table 1: program characteristics and subscript complexity\n";
+  Out += pad("suite", 10, false) + pad("kern", 6) + pad("lines", 7) +
+         pad("loops", 7) + pad("pairs", 7) + pad("1-dim", 7) +
+         pad("2-dim", 7) + pad("3+dim", 7) + pad("separ", 7) +
+         pad("coupl", 7) + pad("nonlin", 8) + "\n";
+  for (const SuiteReport &R : Reports) {
+    const TestStats &S = R.Stats;
+    Out += pad(R.Suite, 10, false) + pad(num(R.Kernels), 6) +
+           pad(num(R.Lines), 7) + pad(num(R.Loops), 7) +
+           pad(num(S.ReferencePairs), 7) +
+           pad(num(S.DimensionHistogram[0]), 7) +
+           pad(num(S.DimensionHistogram[1]), 7) +
+           pad(num(S.DimensionHistogram[2] + S.DimensionHistogram[3]), 7) +
+           pad(num(S.SeparableSubscripts), 7) +
+           pad(num(S.CoupledSubscripts), 7) +
+           pad(num(S.NonlinearSubscripts), 8) + "\n";
+  }
+  return Out;
+}
+
+std::string pdt::formatTable2(const std::vector<SuiteReport> &Reports) {
+  static const TestKind Columns[] = {
+      TestKind::ZIV,          TestKind::SymbolicZIV,
+      TestKind::StrongSIV,    TestKind::WeakZeroSIV,
+      TestKind::WeakCrossingSIV, TestKind::ExactSIV,
+      TestKind::SymbolicSIV,  TestKind::RDIV,
+      TestKind::GCD,          TestKind::Banerjee,
+      TestKind::Delta,
+  };
+  static const char *Headers[] = {"ZIV",   "symZIV", "strong", "wzero",
+                                  "wcross", "exact",  "symSIV", "RDIV",
+                                  "GCD",   "Banrj",  "Delta"};
+  std::string Out;
+  Out += "Table 2: number of applications of each dependence test\n";
+  Out += pad("suite", 10, false);
+  for (const char *H : Headers)
+    Out += pad(H, 8);
+  Out += "\n";
+  for (const SuiteReport &R : Reports) {
+    Out += pad(R.Suite, 10, false);
+    for (TestKind K : Columns)
+      Out += pad(num(R.Stats.applications(K)), 8);
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string pdt::formatTable3(const std::vector<SuiteReport> &Reports) {
+  static const TestKind Columns[] = {
+      TestKind::ZIV,          TestKind::SymbolicZIV,
+      TestKind::StrongSIV,    TestKind::WeakZeroSIV,
+      TestKind::WeakCrossingSIV, TestKind::ExactSIV,
+      TestKind::SymbolicSIV,  TestKind::RDIV,
+      TestKind::GCD,          TestKind::Banerjee,
+      TestKind::Delta,
+  };
+  static const char *Headers[] = {"ZIV",   "symZIV", "strong", "wzero",
+                                  "wcross", "exact",  "symSIV", "RDIV",
+                                  "GCD",   "Banrj",  "Delta"};
+  std::string Out;
+  Out += "Table 3a: independence proofs credited to each test\n";
+  Out += pad("suite", 10, false);
+  for (const char *H : Headers)
+    Out += pad(H, 8);
+  Out += pad("total", 8) + "\n";
+  for (const SuiteReport &R : Reports) {
+    Out += pad(R.Suite, 10, false);
+    for (TestKind K : Columns)
+      Out += pad(num(R.Stats.independences(K)), 8);
+    Out += pad(num(R.Stats.IndependentPairs), 8) + "\n";
+  }
+
+  Out += "\nTable 3b: pairs proven independent, practical suite vs "
+         "baselines\n";
+  Out += pad("suite", 10, false) + pad("pairs", 7) + pad("pract", 8) +
+         pad("s-by-s", 8) + pad("FM", 8) + pad("coupled", 9) +
+         pad("practC", 8) + pad("s-by-sC", 9) + "\n";
+  for (const SuiteReport &R : Reports) {
+    Out += pad(R.Suite, 10, false) + pad(num(R.Stats.ReferencePairs), 7) +
+           pad(num(R.PairsIndependentPractical), 8) +
+           pad(num(R.PairsIndependentBaseline), 8) +
+           pad(num(R.PairsIndependentFM), 8) + pad(num(R.CoupledPairs), 9) +
+           pad(num(R.CoupledIndependentPractical), 8) +
+           pad(num(R.CoupledIndependentBaseline), 9) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- driver/TableReport.h - Paper table regeneration ----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the rows of the paper's evaluation tables from the
+/// corpus: Table 1 (program characteristics and subscript complexity),
+/// Table 2 (number of applications of each test), Table 3
+/// (independence proofs per test, plus the Delta vs
+/// subscript-by-subscript comparison on coupled subscripts). The bench
+/// binaries print these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_DRIVER_TABLEREPORT_H
+#define PDT_DRIVER_TABLEREPORT_H
+
+#include "core/TestStats.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// Aggregated analysis results for one suite of the corpus.
+struct SuiteReport {
+  std::string Suite;
+  unsigned Kernels = 0;
+  unsigned Lines = 0; ///< Non-blank, non-comment source lines.
+  unsigned Loops = 0;
+  TestStats Stats;
+  /// Baseline comparison over the same reference pairs.
+  uint64_t PairsIndependentPractical = 0;
+  uint64_t PairsIndependentBaseline = 0; ///< Subscript-by-subscript.
+  uint64_t PairsIndependentFM = 0;       ///< Fourier-Motzkin.
+  uint64_t CoupledPairs = 0;             ///< Pairs with a coupled group.
+  uint64_t CoupledIndependentPractical = 0;
+  uint64_t CoupledIndependentBaseline = 0;
+};
+
+/// Analyzes every kernel of every suite (paper suites only; the
+/// "paper" example suite is included when \p IncludePaperSuite).
+std::vector<SuiteReport> analyzeCorpusSuites(bool IncludePaperSuite = false);
+
+/// Table 1: program characteristics — kernels, lines, loops, reference
+/// pairs, dimension histogram, separable/coupled/nonlinear subscripts.
+std::string formatTable1(const std::vector<SuiteReport> &Reports);
+
+/// Table 2: applications of each dependence test per suite.
+std::string formatTable2(const std::vector<SuiteReport> &Reports);
+
+/// Table 3: independence proofs per test per suite, and the practical
+/// suite vs baselines on all pairs and on coupled pairs.
+std::string formatTable3(const std::vector<SuiteReport> &Reports);
+
+} // namespace pdt
+
+#endif // PDT_DRIVER_TABLEREPORT_H

@@ -1,0 +1,118 @@
+//===- ir/AccessCollector.cpp - Enumerate array accesses ------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AccessCollector.h"
+
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace pdt;
+
+namespace {
+
+/// Preorder walker that accumulates accesses. Reads inside an
+/// assignment's RHS are visited left to right; the write target is
+/// recorded after the reads of the same statement, matching Fortran
+/// semantics (RHS evaluated before the store).
+class Collector {
+public:
+  std::vector<ArrayAccess> Accesses;
+
+  void walkStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto *Assign = cast<AssignStmt>(S);
+      unsigned Position = NextPosition++;
+      walkExpr(Assign->getValue(), Assign, Position);
+      if (Assign->isArrayAssign()) {
+        // Subscripts of the target are reads (think a(idx(i)) = ...).
+        for (const Expr *Sub : Assign->getArrayTarget()->getSubscripts())
+          walkExpr(Sub, Assign, Position);
+        record(Assign->getArrayTarget(), Assign, /*IsWrite=*/true, Position);
+      }
+      return;
+    }
+    case Stmt::Kind::DoLoop: {
+      const auto *Loop = cast<DoLoop>(S);
+      LoopStack.push_back(Loop);
+      for (const Stmt *Child : Loop->getBody())
+        walkStmt(Child);
+      LoopStack.pop_back();
+      return;
+    }
+    }
+    pdt_unreachable("covered switch");
+  }
+
+private:
+  std::vector<const DoLoop *> LoopStack;
+  unsigned NextPosition = 0;
+
+  void walkExpr(const Expr *E, const AssignStmt *Statement,
+                unsigned Position) {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::VarRef:
+      return;
+    case Expr::Kind::Unary:
+      walkExpr(cast<UnaryExpr>(E)->getOperand(), Statement, Position);
+      return;
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      walkExpr(B->getLHS(), Statement, Position);
+      walkExpr(B->getRHS(), Statement, Position);
+      return;
+    }
+    case Expr::Kind::ArrayElement:
+      // Subscripts of a read may themselves contain reads (rare, and
+      // nonlinear for testing purposes); record them too.
+      for (const Expr *Sub : cast<ArrayElement>(E)->getSubscripts())
+        walkExpr(Sub, Statement, Position);
+      record(cast<ArrayElement>(E), Statement, /*IsWrite=*/false, Position);
+      return;
+    }
+    pdt_unreachable("covered switch");
+  }
+
+  void record(const ArrayElement *Ref, const AssignStmt *Statement,
+              bool IsWrite, unsigned Position) {
+    ArrayAccess Access;
+    Access.Ref = Ref;
+    Access.Statement = Statement;
+    Access.LoopStack = LoopStack;
+    Access.IsWrite = IsWrite;
+    Access.StmtPosition = Position;
+    Accesses.push_back(std::move(Access));
+  }
+};
+
+} // namespace
+
+std::vector<ArrayAccess> pdt::collectAccesses(const Program &P) {
+  Collector C;
+  for (const Stmt *S : P.TopLevel)
+    C.walkStmt(S);
+  return std::move(C.Accesses);
+}
+
+std::vector<ArrayAccess> pdt::collectAccesses(const Stmt *S) {
+  Collector C;
+  C.walkStmt(S);
+  return std::move(C.Accesses);
+}
+
+std::vector<const DoLoop *> pdt::commonLoops(const ArrayAccess &A,
+                                             const ArrayAccess &B) {
+  std::vector<const DoLoop *> Result;
+  unsigned N = std::min(A.LoopStack.size(), B.LoopStack.size());
+  for (unsigned I = 0; I != N; ++I) {
+    if (A.LoopStack[I] != B.LoopStack[I])
+      break;
+    Result.push_back(A.LoopStack[I]);
+  }
+  return Result;
+}

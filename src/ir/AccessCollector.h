@@ -1,0 +1,52 @@
+//===- ir/AccessCollector.h - Enumerate array accesses ----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks a program and enumerates every subscripted array access with
+/// its surrounding loop stack and textual position. Dependence testing
+/// operates on pairs of these accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_IR_ACCESSCOLLECTOR_H
+#define PDT_IR_ACCESSCOLLECTOR_H
+
+#include "ir/AST.h"
+
+#include <vector>
+
+namespace pdt {
+
+/// One subscripted array access in context.
+struct ArrayAccess {
+  const ArrayElement *Ref = nullptr;
+  /// The assignment containing the access.
+  const AssignStmt *Statement = nullptr;
+  /// Enclosing DO loops, outermost first.
+  std::vector<const DoLoop *> LoopStack;
+  /// True for the target of an assignment.
+  bool IsWrite = false;
+  /// Preorder position of the statement in the program; used to decide
+  /// textual order (and thus dependence direction) for accesses in the
+  /// same loop body.
+  unsigned StmtPosition = 0;
+};
+
+/// All accesses of a program in textual order.
+std::vector<ArrayAccess> collectAccesses(const Program &P);
+
+/// All accesses under one statement (loop or assignment).
+std::vector<ArrayAccess> collectAccesses(const Stmt *S);
+
+/// The loops of \p Stack that both accesses share, outermost first.
+/// Only these loops can carry a dependence between the two.
+std::vector<const DoLoop *> commonLoops(const ArrayAccess &A,
+                                        const ArrayAccess &B);
+
+} // namespace pdt
+
+#endif // PDT_IR_ACCESSCOLLECTOR_H

@@ -1,0 +1,281 @@
+//===- ir/LinearExpr.cpp - Canonical affine subscript form ----------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LinearExpr.h"
+
+#include "ir/AST.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace pdt;
+
+void LinearExpr::addIndexTerm(const std::string &Name, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  int64_t &Slot = IndexCoeffs[Name];
+  std::optional<int64_t> Sum = checkedAdd(Slot, Coeff);
+  if (!Sum)
+    reportFatalError("linear expression coefficient overflow");
+  Slot = *Sum;
+  if (Slot == 0)
+    IndexCoeffs.erase(Name);
+}
+
+void LinearExpr::addSymbolTerm(const std::string &Name, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  int64_t &Slot = SymbolCoeffs[Name];
+  std::optional<int64_t> Sum = checkedAdd(Slot, Coeff);
+  if (!Sum)
+    reportFatalError("linear expression coefficient overflow");
+  Slot = *Sum;
+  if (Slot == 0)
+    SymbolCoeffs.erase(Name);
+}
+
+LinearExpr LinearExpr::index(const std::string &Name, int64_t Coeff) {
+  LinearExpr E;
+  E.addIndexTerm(Name, Coeff);
+  return E;
+}
+
+LinearExpr LinearExpr::symbol(const std::string &Name, int64_t Coeff) {
+  LinearExpr E;
+  E.addSymbolTerm(Name, Coeff);
+  return E;
+}
+
+int64_t LinearExpr::indexCoeff(const std::string &Name) const {
+  auto It = IndexCoeffs.find(Name);
+  return It == IndexCoeffs.end() ? 0 : It->second;
+}
+
+int64_t LinearExpr::symbolCoeff(const std::string &Name) const {
+  auto It = SymbolCoeffs.find(Name);
+  return It == SymbolCoeffs.end() ? 0 : It->second;
+}
+
+const std::string &LinearExpr::singleIndex() const {
+  assert(IndexCoeffs.size() == 1 && "expression does not have one index");
+  return IndexCoeffs.begin()->first;
+}
+
+std::set<std::string> LinearExpr::indexNames() const {
+  std::set<std::string> Names;
+  for (const auto &[Name, Coeff] : IndexCoeffs)
+    Names.insert(Name);
+  return Names;
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr &RHS) const {
+  LinearExpr Result = *this;
+  for (const auto &[Name, Coeff] : RHS.IndexCoeffs)
+    Result.addIndexTerm(Name, Coeff);
+  for (const auto &[Name, Coeff] : RHS.SymbolCoeffs)
+    Result.addSymbolTerm(Name, Coeff);
+  std::optional<int64_t> Sum = checkedAdd(Result.Constant, RHS.Constant);
+  if (!Sum)
+    reportFatalError("linear expression constant overflow");
+  Result.Constant = *Sum;
+  return Result;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr &RHS) const {
+  return *this + (-RHS);
+}
+
+LinearExpr LinearExpr::operator-() const { return scale(-1); }
+
+LinearExpr LinearExpr::scale(int64_t Factor) const {
+  LinearExpr Result;
+  if (Factor == 0)
+    return Result;
+  for (const auto &[Name, Coeff] : IndexCoeffs) {
+    std::optional<int64_t> P = checkedMul(Coeff, Factor);
+    if (!P)
+      reportFatalError("linear expression coefficient overflow");
+    Result.IndexCoeffs[Name] = *P;
+  }
+  for (const auto &[Name, Coeff] : SymbolCoeffs) {
+    std::optional<int64_t> P = checkedMul(Coeff, Factor);
+    if (!P)
+      reportFatalError("linear expression coefficient overflow");
+    Result.SymbolCoeffs[Name] = *P;
+  }
+  std::optional<int64_t> P = checkedMul(Constant, Factor);
+  if (!P)
+    reportFatalError("linear expression constant overflow");
+  Result.Constant = *P;
+  return Result;
+}
+
+std::optional<LinearExpr> LinearExpr::divideExactly(int64_t Divisor) const {
+  assert(Divisor != 0 && "division by zero");
+  LinearExpr Result;
+  for (const auto &[Name, Coeff] : IndexCoeffs) {
+    if (!dividesExactly(Coeff, Divisor))
+      return std::nullopt;
+    Result.IndexCoeffs[Name] = Coeff / Divisor;
+  }
+  for (const auto &[Name, Coeff] : SymbolCoeffs) {
+    if (!dividesExactly(Coeff, Divisor))
+      return std::nullopt;
+    Result.SymbolCoeffs[Name] = Coeff / Divisor;
+  }
+  if (!dividesExactly(Constant, Divisor))
+    return std::nullopt;
+  Result.Constant = Constant / Divisor;
+  return Result;
+}
+
+LinearExpr LinearExpr::substituteIndex(const std::string &Name,
+                                       const LinearExpr &Replacement) const {
+  int64_t Coeff = indexCoeff(Name);
+  if (Coeff == 0)
+    return *this;
+  LinearExpr Result = withoutIndex(Name);
+  return Result + Replacement.scale(Coeff);
+}
+
+LinearExpr LinearExpr::withoutIndex(const std::string &Name) const {
+  LinearExpr Result = *this;
+  Result.IndexCoeffs.erase(Name);
+  return Result;
+}
+
+bool LinearExpr::operator<(const LinearExpr &RHS) const {
+  if (Constant != RHS.Constant)
+    return Constant < RHS.Constant;
+  if (IndexCoeffs != RHS.IndexCoeffs)
+    return IndexCoeffs < RHS.IndexCoeffs;
+  return SymbolCoeffs < RHS.SymbolCoeffs;
+}
+
+std::string LinearExpr::str() const {
+  std::string S;
+  auto AppendTerm = [&S](int64_t Coeff, const std::string &Name) {
+    if (S.empty()) {
+      if (Coeff == -1)
+        S += "-";
+      else if (Coeff != 1)
+        S += std::to_string(Coeff) + "*";
+    } else {
+      S += Coeff < 0 ? " - " : " + ";
+      int64_t Abs = Coeff < 0 ? -Coeff : Coeff;
+      if (Abs != 1)
+        S += std::to_string(Abs) + "*";
+    }
+    S += Name;
+  };
+  for (const auto &[Name, Coeff] : IndexCoeffs)
+    AppendTerm(Coeff, Name);
+  for (const auto &[Name, Coeff] : SymbolCoeffs)
+    AppendTerm(Coeff, Name);
+  if (Constant != 0 || S.empty()) {
+    if (S.empty())
+      S += std::to_string(Constant);
+    else {
+      S += Constant < 0 ? " - " : " + ";
+      S += std::to_string(Constant < 0 ? -Constant : Constant);
+    }
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// AST -> LinearExpr conversion
+//===----------------------------------------------------------------------===//
+
+std::optional<LinearExpr>
+pdt::buildLinearExpr(const Expr *E, const std::set<std::string> &IndexNames) {
+  assert(E && "null expression");
+  switch (E->getKind()) {
+  case Expr::Kind::IntLiteral:
+    return LinearExpr::constant(cast<IntLiteral>(E)->getValue());
+  case Expr::Kind::VarRef: {
+    const std::string &Name = cast<VarRef>(E)->getName();
+    if (IndexNames.count(Name))
+      return LinearExpr::index(Name);
+    return LinearExpr::symbol(Name);
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    std::optional<LinearExpr> Inner = buildLinearExpr(U->getOperand(),
+                                                      IndexNames);
+    if (!Inner)
+      return std::nullopt;
+    return -*Inner;
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    std::optional<LinearExpr> L = buildLinearExpr(B->getLHS(), IndexNames);
+    std::optional<LinearExpr> R = buildLinearExpr(B->getRHS(), IndexNames);
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->getOpcode()) {
+    case BinaryExpr::Opcode::Add:
+      return *L + *R;
+    case BinaryExpr::Opcode::Sub:
+      return *L - *R;
+    case BinaryExpr::Opcode::Mul:
+      // Affine closure requires one side to be a literal constant.
+      if (L->isPureConstant())
+        return R->scale(L->getConstant());
+      if (R->isPureConstant())
+        return L->scale(R->getConstant());
+      return std::nullopt;
+    case BinaryExpr::Opcode::Div:
+      if (R->isPureConstant() && R->getConstant() != 0) {
+        // A fully constant quotient truncates like the language's
+        // runtime division; affine numerators need exact division to
+        // stay affine.
+        if (L->isPureConstant())
+          return LinearExpr::constant(L->getConstant() / R->getConstant());
+        return L->divideExactly(R->getConstant());
+      }
+      return std::nullopt;
+    }
+    pdt_unreachable("covered switch");
+  }
+  case Expr::Kind::ArrayElement:
+    // A subscripted reference inside a subscript is nonlinear for our
+    // purposes (index arrays defeat static dependence testing).
+    return std::nullopt;
+  }
+  pdt_unreachable("covered switch");
+}
+
+const Expr *pdt::linearToExpr(ASTContext &Ctx, const LinearExpr &E) {
+  const Expr *Out = nullptr;
+  auto Append = [&Ctx, &Out](const std::string &Name, int64_t Coeff) {
+    const Expr *Term = Ctx.getVar(Name);
+    int64_t Abs = Coeff < 0 ? -Coeff : Coeff;
+    if (Abs != 1)
+      Term = Ctx.getMul(Ctx.getInt(Abs), Term);
+    if (!Out)
+      Out = Coeff < 0 ? Ctx.getNeg(Term) : Term;
+    else if (Coeff < 0)
+      Out = Ctx.getSub(Out, Term);
+    else
+      Out = Ctx.getAdd(Out, Term);
+  };
+  for (const auto &[Name, Coeff] : E.indexTerms())
+    Append(Name, Coeff);
+  for (const auto &[Name, Coeff] : E.symbolTerms())
+    Append(Name, Coeff);
+  int64_t C = E.getConstant();
+  if (!Out)
+    return Ctx.getInt(C);
+  if (C > 0)
+    return Ctx.getAdd(Out, Ctx.getInt(C));
+  if (C < 0)
+    return Ctx.getSub(Out, Ctx.getInt(-C));
+  return Out;
+}

@@ -1,0 +1,154 @@
+//===- ir/LinearExpr.h - Canonical affine subscript form --------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical affine form every dependence test consumes:
+///
+///   a1*i1 + a2*i2 + ... + b1*N1 + b2*N2 + ... + c
+///
+/// where the i's are loop index variables, the N's are loop-invariant
+/// symbolic constants (the paper's "symbolic additive constants"), and
+/// all coefficients are integers. Subscript expressions that do not fit
+/// this form (index*index, index*symbol, non-exact division) are
+/// *nonlinear*; building a LinearExpr from them fails and the driver
+/// classifies the subscript pair as untestable, exactly as PFC did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_IR_LINEAREXPR_H
+#define PDT_IR_LINEAREXPR_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+class Expr;
+
+/// An affine expression over loop indices and symbolic constants.
+/// Terms with zero coefficients are never stored, so structural
+/// equality is semantic equality. Maps are ordered by name to keep
+/// every downstream iteration deterministic.
+class LinearExpr {
+public:
+  /// The zero expression.
+  LinearExpr() = default;
+
+  /// The constant expression \p C.
+  explicit LinearExpr(int64_t C) : Constant(C) {}
+
+  /// Builds c + sum(coeff * name) term by term.
+  static LinearExpr constant(int64_t C) { return LinearExpr(C); }
+  static LinearExpr index(const std::string &Name, int64_t Coeff = 1);
+  static LinearExpr symbol(const std::string &Name, int64_t Coeff = 1);
+
+  int64_t getConstant() const { return Constant; }
+
+  /// Coefficient of loop index \p Name (0 if absent).
+  int64_t indexCoeff(const std::string &Name) const;
+
+  /// Coefficient of symbolic constant \p Name (0 if absent).
+  int64_t symbolCoeff(const std::string &Name) const;
+
+  const std::map<std::string, int64_t> &indexTerms() const {
+    return IndexCoeffs;
+  }
+  const std::map<std::string, int64_t> &symbolTerms() const {
+    return SymbolCoeffs;
+  }
+
+  /// Number of distinct loop indices appearing (with non-zero
+  /// coefficient). This is the paper's ZIV/SIV/MIV discriminator when
+  /// applied to the union of the two subscripts of a pair.
+  unsigned numIndices() const { return IndexCoeffs.size(); }
+
+  /// True iff no loop index appears (symbols are still allowed; the
+  /// result is loop-invariant).
+  bool isLoopInvariant() const { return IndexCoeffs.empty(); }
+
+  /// True iff the expression is a literal integer constant (no indices
+  /// and no symbols).
+  bool isPureConstant() const {
+    return IndexCoeffs.empty() && SymbolCoeffs.empty();
+  }
+
+  /// True iff the expression is identically zero.
+  bool isZero() const { return isPureConstant() && Constant == 0; }
+
+  /// The single index name when exactly one index appears.
+  const std::string &singleIndex() const;
+
+  /// All index names appearing in the expression.
+  std::set<std::string> indexNames() const;
+
+  /// Mentions of a particular index?
+  bool usesIndex(const std::string &Name) const {
+    return IndexCoeffs.count(Name) != 0;
+  }
+
+  LinearExpr operator+(const LinearExpr &RHS) const;
+  LinearExpr operator-(const LinearExpr &RHS) const;
+  LinearExpr operator-() const;
+
+  /// Multiplication by an integer constant.
+  LinearExpr scale(int64_t Factor) const;
+
+  /// Exact division by an integer constant: succeeds only when every
+  /// coefficient (and the constant) is divisible by \p Divisor.
+  std::optional<LinearExpr> divideExactly(int64_t Divisor) const;
+
+  /// Replaces index \p Name with the affine expression \p Replacement.
+  /// This is how Delta-test constraint propagation rewrites i' as i+d
+  /// inside coupled MIV subscripts.
+  LinearExpr substituteIndex(const std::string &Name,
+                             const LinearExpr &Replacement) const;
+
+  /// Drops the index term for \p Name (used when a point constraint
+  /// fixes an index to a constant: substitute then erase).
+  LinearExpr withoutIndex(const std::string &Name) const;
+
+  bool operator==(const LinearExpr &RHS) const {
+    return Constant == RHS.Constant && IndexCoeffs == RHS.IndexCoeffs &&
+           SymbolCoeffs == RHS.SymbolCoeffs;
+  }
+  bool operator!=(const LinearExpr &RHS) const { return !(*this == RHS); }
+
+  /// Deterministic ordering (for use as a map key).
+  bool operator<(const LinearExpr &RHS) const;
+
+  /// Renders e.g. "2*i - j + N + 3".
+  std::string str() const;
+
+private:
+  std::map<std::string, int64_t> IndexCoeffs;
+  std::map<std::string, int64_t> SymbolCoeffs;
+  int64_t Constant = 0;
+
+  void addIndexTerm(const std::string &Name, int64_t Coeff);
+  void addSymbolTerm(const std::string &Name, int64_t Coeff);
+};
+
+/// Converts AST expression \p E into affine form. Names in
+/// \p IndexNames become index terms; any other variable becomes a
+/// symbolic constant. Returns std::nullopt for nonlinear expressions.
+std::optional<LinearExpr>
+buildLinearExpr(const Expr *E, const std::set<std::string> &IndexNames);
+
+class ASTContext;
+
+/// Builds an AST expression computing \p E (indices and symbols both
+/// become variable references). Inverse of buildLinearExpr up to
+/// normalization.
+const Expr *linearToExpr(ASTContext &Ctx, const LinearExpr &E);
+
+} // namespace pdt
+
+#endif // PDT_IR_LINEAREXPR_H

@@ -1,0 +1,146 @@
+//===- ir/PrettyPrinter.cpp - Render the IR back to source ----------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PrettyPrinter.h"
+
+#include "ir/AST.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace pdt;
+
+namespace {
+
+/// Binding strength used to decide parenthesization.
+enum Precedence { PrecAdd = 1, PrecMul = 2, PrecUnary = 3, PrecAtom = 4 };
+
+Precedence precedenceOf(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLiteral:
+  case Expr::Kind::VarRef:
+  case Expr::Kind::ArrayElement:
+    return PrecAtom;
+  case Expr::Kind::Unary:
+    return PrecUnary;
+  case Expr::Kind::Binary:
+    switch (cast<BinaryExpr>(E)->getOpcode()) {
+    case BinaryExpr::Opcode::Add:
+    case BinaryExpr::Opcode::Sub:
+      return PrecAdd;
+    case BinaryExpr::Opcode::Mul:
+    case BinaryExpr::Opcode::Div:
+      return PrecMul;
+    }
+    pdt_unreachable("covered switch");
+  }
+  pdt_unreachable("covered switch");
+}
+
+std::string renderExpr(const Expr *E, Precedence Parent) {
+  std::string S;
+  switch (E->getKind()) {
+  case Expr::Kind::IntLiteral:
+    S = std::to_string(cast<IntLiteral>(E)->getValue());
+    break;
+  case Expr::Kind::VarRef:
+    S = cast<VarRef>(E)->getName();
+    break;
+  case Expr::Kind::Unary:
+    S = "-" + renderExpr(cast<UnaryExpr>(E)->getOperand(), PrecUnary);
+    break;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    const char *Op = nullptr;
+    switch (B->getOpcode()) {
+    case BinaryExpr::Opcode::Add:
+      Op = " + ";
+      break;
+    case BinaryExpr::Opcode::Sub:
+      Op = " - ";
+      break;
+    case BinaryExpr::Opcode::Mul:
+      Op = "*";
+      break;
+    case BinaryExpr::Opcode::Div:
+      Op = "/";
+      break;
+    }
+    Precedence MyPrec = precedenceOf(E);
+    // Right operand of - and / needs parens at equal precedence.
+    S = renderExpr(B->getLHS(), MyPrec) + Op +
+        renderExpr(B->getRHS(), static_cast<Precedence>(MyPrec + 1));
+    break;
+  }
+  case Expr::Kind::ArrayElement: {
+    const auto *A = cast<ArrayElement>(E);
+    S = A->getArrayName() + "(";
+    bool First = true;
+    for (const Expr *Sub : A->getSubscripts()) {
+      if (!First)
+        S += ", ";
+      First = false;
+      S += renderExpr(Sub, PrecAdd);
+    }
+    S += ")";
+    break;
+  }
+  }
+  if (precedenceOf(E) < Parent)
+    return "(" + S + ")";
+  return S;
+}
+
+void renderStmt(const Stmt *S, unsigned Indent, std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  switch (S->getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    Out += Pad;
+    if (A->isArrayAssign())
+      Out += renderExpr(A->getArrayTarget(), PrecAdd);
+    else
+      Out += A->getScalarTarget();
+    Out += " = ";
+    Out += renderExpr(A->getValue(), PrecAdd);
+    Out += "\n";
+    return;
+  }
+  case Stmt::Kind::DoLoop: {
+    const auto *L = cast<DoLoop>(S);
+    Out += Pad + "do " + L->getIndexName() + " = " +
+           renderExpr(L->getLower(), PrecAdd) + ", " +
+           renderExpr(L->getUpper(), PrecAdd);
+    // Suppress the default unit step for readability.
+    const auto *StepLit = dyn_cast<IntLiteral>(L->getStep());
+    if (!StepLit || StepLit->getValue() != 1)
+      Out += ", " + renderExpr(L->getStep(), PrecAdd);
+    Out += "\n";
+    for (const Stmt *Child : L->getBody())
+      renderStmt(Child, Indent + 1, Out);
+    Out += Pad + "end do\n";
+    return;
+  }
+  }
+  pdt_unreachable("covered switch");
+}
+
+} // namespace
+
+std::string pdt::exprToString(const Expr *E) { return renderExpr(E, PrecAdd); }
+
+std::string pdt::stmtToString(const Stmt *S, unsigned Indent) {
+  std::string Out;
+  renderStmt(S, Indent, Out);
+  return Out;
+}
+
+std::string pdt::programToString(const Program &P) {
+  std::string Out;
+  for (const Stmt *S : P.TopLevel)
+    renderStmt(S, 0, Out);
+  return Out;
+}

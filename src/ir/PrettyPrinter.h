@@ -1,0 +1,38 @@
+//===- ir/PrettyPrinter.h - Render the IR back to source --------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions, statements, and programs back to the input
+/// language's concrete syntax, for diagnostics, examples, and golden
+/// tests (parse-print round trips).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_IR_PRETTYPRINTER_H
+#define PDT_IR_PRETTYPRINTER_H
+
+#include <string>
+
+namespace pdt {
+
+class Expr;
+class Stmt;
+struct Program;
+
+/// Renders \p E with minimal parenthesization.
+std::string exprToString(const Expr *E);
+
+/// Renders \p S (and, for loops, its whole body) indented by
+/// \p Indent levels of two spaces.
+std::string stmtToString(const Stmt *S, unsigned Indent = 0);
+
+/// Renders the whole program.
+std::string programToString(const Program &P);
+
+} // namespace pdt
+
+#endif // PDT_IR_PRETTYPRINTER_H

@@ -1,0 +1,163 @@
+//===- parser/Lexer.cpp - Lexer for the input language --------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+
+using namespace pdt;
+
+const char *pdt::tokenKindName(Token::Kind K) {
+  switch (K) {
+  case Token::Kind::EndOfFile:
+    return "end of file";
+  case Token::Kind::Newline:
+    return "end of line";
+  case Token::Kind::Identifier:
+    return "identifier";
+  case Token::Kind::Number:
+    return "number";
+  case Token::Kind::Plus:
+    return "'+'";
+  case Token::Kind::Minus:
+    return "'-'";
+  case Token::Kind::Star:
+    return "'*'";
+  case Token::Kind::Slash:
+    return "'/'";
+  case Token::Kind::LParen:
+    return "'('";
+  case Token::Kind::RParen:
+    return "')'";
+  case Token::Kind::Comma:
+    return "','";
+  case Token::Kind::Equal:
+    return "'='";
+  case Token::Kind::Unknown:
+    return "unknown character";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string Source) : Source(std::move(Source)) {}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    bool Done = T.is(Token::Kind::EndOfFile);
+    // Collapse runs of newlines and drop a leading newline; the parser
+    // only cares that statements are separated.
+    if (T.is(Token::Kind::Newline) &&
+        (Tokens.empty() || Tokens.back().is(Token::Kind::Newline))) {
+      if (Done)
+        break;
+      continue;
+    }
+    Tokens.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}
+
+Token Lexer::lexToken() {
+  // Skip horizontal whitespace and comments.
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r') {
+      advance();
+      continue;
+    }
+    if (C == '!') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+
+  Token T;
+  T.Loc = here();
+  if (Pos >= Source.size()) {
+    T.TheKind = Token::Kind::EndOfFile;
+    return T;
+  }
+
+  char C = advance();
+  switch (C) {
+  case '\n':
+    T.TheKind = Token::Kind::Newline;
+    return T;
+  case '+':
+    T.TheKind = Token::Kind::Plus;
+    return T;
+  case '-':
+    T.TheKind = Token::Kind::Minus;
+    return T;
+  case '*':
+    T.TheKind = Token::Kind::Star;
+    return T;
+  case '/':
+    T.TheKind = Token::Kind::Slash;
+    return T;
+  case '(':
+    T.TheKind = Token::Kind::LParen;
+    return T;
+  case ')':
+    T.TheKind = Token::Kind::RParen;
+    return T;
+  case ',':
+    T.TheKind = Token::Kind::Comma;
+    return T;
+  case '=':
+    T.TheKind = Token::Kind::Equal;
+    return T;
+  default:
+    break;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    T.TheKind = Token::Kind::Number;
+    T.Spelling.push_back(C);
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(peek())))
+      T.Spelling.push_back(advance());
+    T.Value = std::stoll(T.Spelling);
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    T.TheKind = Token::Kind::Identifier;
+    T.Spelling.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(C))));
+    while (Pos < Source.size()) {
+      char N = peek();
+      if (!std::isalnum(static_cast<unsigned char>(N)) && N != '_')
+        break;
+      T.Spelling.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(N))));
+      advance();
+    }
+    return T;
+  }
+
+  T.TheKind = Token::Kind::Unknown;
+  T.Spelling.push_back(C);
+  return T;
+}

@@ -1,0 +1,49 @@
+//===- parser/Lexer.h - Lexer for the input language ------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer. Identifiers are case-insensitive (lowercased on
+/// the way in, as in Fortran); `!` starts a comment running to end of
+/// line; newlines are significant statement separators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_PARSER_LEXER_H
+#define PDT_PARSER_LEXER_H
+
+#include "parser/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// Tokenizes an entire buffer up front. The grammar is tiny, so there
+/// is no need for on-demand lexing.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the whole buffer, including a final EndOfFile token.
+  /// Unknown characters become Unknown tokens for the parser to report.
+  std::vector<Token> lexAll();
+
+private:
+  std::string Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+
+  char peek() const { return Pos < Source.size() ? Source[Pos] : '\0'; }
+  char advance();
+  SourceLocation here() const { return {Line, Column}; }
+  Token lexToken();
+};
+
+} // namespace pdt
+
+#endif // PDT_PARSER_LEXER_H

@@ -1,0 +1,299 @@
+//===- parser/Parser.cpp - Recursive-descent parser -----------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "parser/Lexer.h"
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace pdt;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::string Name)
+      : Tokens(std::move(Tokens)) {
+    Result.Prog.emplace();
+    Result.Prog->Name = std::move(Name);
+  }
+
+  ParseResult run() {
+    std::vector<const Stmt *> TopLevel = parseStmtList(/*InLoop=*/false);
+    if (!Result.Diagnostics.empty())
+      Result.Prog.reset();
+    else
+      Result.Prog->TopLevel = std::move(TopLevel);
+    return std::move(Result);
+  }
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  ParseResult Result;
+
+  ASTContext &ctx() { return *Result.Prog->Context; }
+
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &advance() {
+    const Token &T = Tokens[Pos];
+    if (!T.is(Token::Kind::EndOfFile))
+      ++Pos;
+    return T;
+  }
+
+  bool check(Token::Kind K) const { return peek().is(K); }
+
+  bool consumeIf(Token::Kind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  void error(const std::string &Message) {
+    Result.Diagnostics.push_back({peek().Loc, Message});
+  }
+
+  /// Skips to the next statement boundary after an error.
+  void recover() {
+    while (!check(Token::Kind::EndOfFile) && !check(Token::Kind::Newline))
+      advance();
+    consumeIf(Token::Kind::Newline);
+  }
+
+  bool expect(Token::Kind K, const char *What) {
+    if (consumeIf(K))
+      return true;
+    error(std::string("expected ") + What + ", found " +
+          tokenKindName(peek().TheKind));
+    return false;
+  }
+
+  /// Consumes the end of a statement (newline or EOF).
+  void expectStmtEnd() {
+    if (check(Token::Kind::EndOfFile))
+      return;
+    if (!expect(Token::Kind::Newline, "end of line"))
+      recover();
+  }
+
+  /// True when the upcoming tokens are `end do` / `enddo`.
+  bool atLoopEnd() const {
+    if (peek().isKeyword("enddo"))
+      return true;
+    if (!peek().isKeyword("end"))
+      return false;
+    return Pos + 1 < Tokens.size() && Tokens[Pos + 1].isKeyword("do");
+  }
+
+  std::vector<const Stmt *> parseStmtList(bool InLoop) {
+    std::vector<const Stmt *> Stmts;
+    while (true) {
+      if (consumeIf(Token::Kind::Newline))
+        continue;
+      if (check(Token::Kind::EndOfFile)) {
+        if (InLoop)
+          error("missing 'end do'");
+        return Stmts;
+      }
+      if (InLoop && atLoopEnd())
+        return Stmts;
+      if (const Stmt *S = parseStmt())
+        Stmts.push_back(S);
+    }
+  }
+
+  const Stmt *parseStmt() {
+    if (peek().isKeyword("do"))
+      return parseDoLoop();
+    if (peek().isKeyword("end") || peek().isKeyword("enddo")) {
+      error("'end do' without matching 'do'");
+      recover();
+      return nullptr;
+    }
+    return parseAssign();
+  }
+
+  const Stmt *parseDoLoop() {
+    assert(peek().isKeyword("do"));
+    advance();
+    Token IndexTok = peek();
+    if (!expect(Token::Kind::Identifier, "loop index variable")) {
+      recover();
+      return nullptr;
+    }
+    if (!expect(Token::Kind::Equal, "'='")) {
+      recover();
+      return nullptr;
+    }
+    const Expr *Lower = parseExpr();
+    if (!Lower || !expect(Token::Kind::Comma, "','")) {
+      recover();
+      return nullptr;
+    }
+    const Expr *Upper = parseExpr();
+    if (!Upper) {
+      recover();
+      return nullptr;
+    }
+    const Expr *Step = nullptr;
+    if (consumeIf(Token::Kind::Comma)) {
+      Step = parseExpr();
+      if (!Step) {
+        recover();
+        return nullptr;
+      }
+    } else {
+      Step = ctx().getInt(1);
+    }
+    expectStmtEnd();
+
+    std::vector<const Stmt *> Body = parseStmtList(/*InLoop=*/true);
+
+    // Consume `end do` or `enddo`.
+    if (peek().isKeyword("enddo")) {
+      advance();
+    } else if (peek().isKeyword("end")) {
+      advance();
+      expect(Token::Kind::Identifier, "'do' after 'end'");
+    }
+    expectStmtEnd();
+
+    return ctx().createDoLoop(IndexTok.Spelling, Lower, Upper, Step,
+                              std::move(Body));
+  }
+
+  const Stmt *parseAssign() {
+    Token NameTok = peek();
+    if (!expect(Token::Kind::Identifier, "statement")) {
+      recover();
+      return nullptr;
+    }
+    const ArrayElement *Target = nullptr;
+    if (check(Token::Kind::LParen)) {
+      std::optional<std::vector<const Expr *>> Subs = parseSubscripts();
+      if (!Subs) {
+        recover();
+        return nullptr;
+      }
+      Target = ctx().getArrayElement(NameTok.Spelling, std::move(*Subs));
+    }
+    if (!expect(Token::Kind::Equal, "'='")) {
+      recover();
+      return nullptr;
+    }
+    const Expr *Value = parseExpr();
+    if (!Value) {
+      recover();
+      return nullptr;
+    }
+    expectStmtEnd();
+    if (Target)
+      return ctx().createArrayAssign(Target, Value);
+    return ctx().createScalarAssign(NameTok.Spelling, Value);
+  }
+
+  std::optional<std::vector<const Expr *>> parseSubscripts() {
+    assert(check(Token::Kind::LParen));
+    advance();
+    std::vector<const Expr *> Subs;
+    do {
+      const Expr *E = parseExpr();
+      if (!E)
+        return std::nullopt;
+      Subs.push_back(E);
+    } while (consumeIf(Token::Kind::Comma));
+    if (!expect(Token::Kind::RParen, "')'"))
+      return std::nullopt;
+    return Subs;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  const Expr *parseExpr() {
+    const Expr *LHS = parseTerm();
+    if (!LHS)
+      return nullptr;
+    while (check(Token::Kind::Plus) || check(Token::Kind::Minus)) {
+      BinaryExpr::Opcode Op = check(Token::Kind::Plus)
+                                  ? BinaryExpr::Opcode::Add
+                                  : BinaryExpr::Opcode::Sub;
+      advance();
+      const Expr *RHS = parseTerm();
+      if (!RHS)
+        return nullptr;
+      LHS = ctx().getBinary(Op, LHS, RHS);
+    }
+    return LHS;
+  }
+
+  const Expr *parseTerm() {
+    const Expr *LHS = parseFactor();
+    if (!LHS)
+      return nullptr;
+    while (check(Token::Kind::Star) || check(Token::Kind::Slash)) {
+      BinaryExpr::Opcode Op = check(Token::Kind::Star)
+                                  ? BinaryExpr::Opcode::Mul
+                                  : BinaryExpr::Opcode::Div;
+      advance();
+      const Expr *RHS = parseFactor();
+      if (!RHS)
+        return nullptr;
+      LHS = ctx().getBinary(Op, LHS, RHS);
+    }
+    return LHS;
+  }
+
+  const Expr *parseFactor() {
+    if (consumeIf(Token::Kind::Minus)) {
+      const Expr *Operand = parseFactor();
+      if (!Operand)
+        return nullptr;
+      return ctx().getNeg(Operand);
+    }
+    if (consumeIf(Token::Kind::Plus))
+      return parseFactor();
+    if (check(Token::Kind::Number)) {
+      int64_t Value = advance().Value;
+      return ctx().getInt(Value);
+    }
+    if (check(Token::Kind::LParen)) {
+      advance();
+      const Expr *Inner = parseExpr();
+      if (!Inner || !expect(Token::Kind::RParen, "')'"))
+        return nullptr;
+      return Inner;
+    }
+    if (check(Token::Kind::Identifier)) {
+      Token NameTok = advance();
+      if (check(Token::Kind::LParen)) {
+        std::optional<std::vector<const Expr *>> Subs = parseSubscripts();
+        if (!Subs)
+          return nullptr;
+        return ctx().getArrayElement(NameTok.Spelling, std::move(*Subs));
+      }
+      return ctx().getVar(NameTok.Spelling);
+    }
+    error(std::string("expected expression, found ") +
+          tokenKindName(peek().TheKind));
+    return nullptr;
+  }
+};
+
+} // namespace
+
+ParseResult pdt::parseProgram(const std::string &Source,
+                              const std::string &Name) {
+  Lexer L(Source);
+  Parser P(L.lexAll(), Name);
+  return P.run();
+}

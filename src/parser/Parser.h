@@ -1,0 +1,57 @@
+//===- parser/Parser.h - Recursive-descent parser ---------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Fortran-like loop language:
+///
+///   program := stmt*
+///   stmt    := 'do' IDENT '=' expr ',' expr (',' expr)? NL stmt* 'end' 'do'
+///            | lvalue '=' expr NL
+///   lvalue  := IDENT ('(' expr (',' expr)* ')')?
+///   expr    := the usual +, -, *, / with unary minus and parens
+///
+/// Errors are collected as diagnostics; parsing recovers at statement
+/// boundaries so a single bad line does not hide later errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_PARSER_PARSER_H
+#define PDT_PARSER_PARSER_H
+
+#include "ir/AST.h"
+#include "parser/Token.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// One parse diagnostic (always an error; the grammar has no warnings).
+struct Diagnostic {
+  SourceLocation Loc;
+  std::string Message;
+
+  std::string str() const { return Loc.str() + ": error: " + Message; }
+};
+
+/// Result of a parse: the program is present iff there were no errors.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::vector<Diagnostic> Diagnostics;
+
+  bool succeeded() const { return Prog.has_value(); }
+};
+
+/// Parses \p Source into a Program. \p Name labels the program in
+/// reports (typically the file or kernel name).
+ParseResult parseProgram(const std::string &Source,
+                         const std::string &Name = "<program>");
+
+} // namespace pdt
+
+#endif // PDT_PARSER_PARSER_H

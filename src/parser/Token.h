@@ -1,0 +1,70 @@
+//===- parser/Token.h - Lexical tokens --------------------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for the Fortran-like input language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_PARSER_TOKEN_H
+#define PDT_PARSER_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace pdt {
+
+/// A source position (1-based line and column).
+struct SourceLocation {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// One lexical token.
+struct Token {
+  enum class Kind {
+    EndOfFile,
+    Newline,
+    Identifier, ///< Also carries keywords; the parser distinguishes.
+    Number,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Equal,
+    Unknown,
+  };
+
+  Kind TheKind = Kind::EndOfFile;
+  /// Lowercased spelling for identifiers, digits for numbers.
+  std::string Spelling;
+  /// Value for Number tokens.
+  int64_t Value = 0;
+  SourceLocation Loc;
+
+  bool is(Kind K) const { return TheKind == K; }
+
+  /// True for an Identifier token spelled \p Keyword (already
+  /// lowercased by the lexer).
+  bool isKeyword(const char *Keyword) const {
+    return TheKind == Kind::Identifier && Spelling == Keyword;
+  }
+};
+
+/// Human-readable token kind name for diagnostics.
+const char *tokenKindName(Token::Kind K);
+
+} // namespace pdt
+
+#endif // PDT_PARSER_TOKEN_H

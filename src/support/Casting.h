@@ -1,0 +1,65 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style opt-in RTTI. The project is built without language RTTI;
+/// class hierarchies (Expr, Stmt) carry an explicit Kind discriminator
+/// and a static classof, and these templates provide the familiar
+/// isa<> / cast<> / dyn_cast<> interface over it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_CASTING_H
+#define PDT_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace pdt {
+
+/// True iff \p Val is an instance of type To. \p Val must be non-null.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that the cast is valid.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const overload).
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Downcast that returns null when \p Val is not a To (const overload).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates a null input.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates a null input (const overload).
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_CASTING_H

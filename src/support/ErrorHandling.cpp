@@ -1,0 +1,23 @@
+//===- support/ErrorHandling.cpp - Fatal error utilities ------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void pdt::reportFatalError(const char *Reason) {
+  std::fprintf(stderr, "pdt fatal error: %s\n", Reason);
+  std::abort();
+}
+
+void pdt::unreachableInternal(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "pdt unreachable executed at %s:%u: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::abort();
+}

@@ -1,0 +1,37 @@
+//===- support/ErrorHandling.h - Fatal error utilities ----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license. Reproduction of Goff, Kennedy & Tseng, "Practical
+// Dependence Testing", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting and an llvm_unreachable-style marker for code
+/// paths that must never execute. The library uses no exceptions; an
+/// unrecoverable internal error aborts with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_ERRORHANDLING_H
+#define PDT_SUPPORT_ERRORHANDLING_H
+
+namespace pdt {
+
+/// Prints \p Reason to stderr and aborts. Used for unrecoverable
+/// internal errors (never for bad user input, which is reported through
+/// parser diagnostics instead).
+[[noreturn]] void reportFatalError(const char *Reason);
+
+/// Implementation hook for pdt_unreachable; prints location info.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace pdt
+
+/// Marks a point in code that should never be reached. Mirrors
+/// llvm_unreachable: in all builds it aborts with the message and the
+/// source location so misclassified switch cases fail loudly.
+#define pdt_unreachable(msg) ::pdt::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // PDT_SUPPORT_ERRORHANDLING_H

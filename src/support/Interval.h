@@ -1,0 +1,102 @@
+//===- support/Interval.h - Possibly-unbounded integer intervals -*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed integer intervals with optional infinite endpoints. The index
+/// range analysis (paper section 4.3) evaluates trapezoidal loop bounds
+/// into intervals; Banerjee's inequalities sum interval contributions;
+/// unknown symbolic bounds become infinite endpoints, which makes every
+/// downstream test conservative rather than wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_INTERVAL_H
+#define PDT_SUPPORT_INTERVAL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pdt {
+
+/// A bound that is either a finite integer or infinite (the sign of the
+/// infinity is implied by which end of the interval holds it).
+using Bound = std::optional<int64_t>;
+
+/// A closed interval [Lo, Hi] over the integers; a std::nullopt
+/// endpoint means -inf (for Lo) or +inf (for Hi). An interval may be
+/// empty (Lo > Hi with both finite).
+class Interval {
+public:
+  /// The full line (-inf, +inf).
+  Interval() = default;
+
+  Interval(Bound Lo, Bound Hi) : Lo(Lo), Hi(Hi) {}
+
+  /// The single point [V, V].
+  static Interval point(int64_t V) { return Interval(V, V); }
+
+  /// The canonical empty interval.
+  static Interval empty() { return Interval(1, 0); }
+
+  /// The full line.
+  static Interval full() { return Interval(); }
+
+  Bound lower() const { return Lo; }
+  Bound upper() const { return Hi; }
+
+  bool isEmpty() const { return Lo && Hi && *Lo > *Hi; }
+  bool isFinite() const { return Lo.has_value() && Hi.has_value(); }
+  bool isPoint() const { return Lo && Hi && *Lo == *Hi; }
+
+  bool contains(int64_t V) const {
+    if (Lo && V < *Lo)
+      return false;
+    if (Hi && V > *Hi)
+      return false;
+    return true;
+  }
+
+  /// Number of integers in the interval when finite and non-empty.
+  std::optional<int64_t> size() const;
+
+  /// Pointwise sum: [a,b] + [c,d] = [a+c, b+d], with infinities
+  /// absorbing. Saturates rather than wrapping on overflow.
+  Interval operator+(const Interval &RHS) const;
+
+  /// Pointwise difference: this + (-RHS).
+  Interval operator-(const Interval &RHS) const;
+
+  /// Negation: -[a,b] = [-b,-a].
+  Interval negate() const;
+
+  /// Scaling by an integer constant (may flip the endpoints).
+  Interval scale(int64_t Factor) const;
+
+  /// Set intersection.
+  Interval intersect(const Interval &RHS) const;
+
+  /// Smallest interval containing both (convex hull of the union).
+  Interval hull(const Interval &RHS) const;
+
+  bool operator==(const Interval &RHS) const {
+    if (isEmpty() && RHS.isEmpty())
+      return true;
+    return Lo == RHS.Lo && Hi == RHS.Hi;
+  }
+
+  /// Renders as "[lo, hi]" with "-inf"/"+inf" for missing bounds.
+  std::string str() const;
+
+private:
+  Bound Lo; ///< nullopt means -inf.
+  Bound Hi; ///< nullopt means +inf.
+};
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_INTERVAL_H

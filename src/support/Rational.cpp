@@ -1,0 +1,114 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include "support/ErrorHandling.h"
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace pdt;
+
+static int64_t mulOrDie(int64_t A, int64_t B) {
+  std::optional<int64_t> R = checkedMul(A, B);
+  if (!R)
+    reportFatalError("rational arithmetic overflow (multiplication)");
+  return *R;
+}
+
+static int64_t addOrDie(int64_t A, int64_t B) {
+  std::optional<int64_t> R = checkedAdd(A, B);
+  if (!R)
+    reportFatalError("rational arithmetic overflow (addition)");
+  return *R;
+}
+
+Rational::Rational(int64_t N, int64_t D) : Num(N), Den(D) {
+  assert(D != 0 && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  int64_t G = gcd64(Num, Den);
+  if (G > 1) {
+    Num /= G;
+    Den /= G;
+  }
+  if (Num == 0)
+    Den = 1;
+}
+
+std::optional<int64_t> Rational::asInteger() const {
+  if (Den == 1)
+    return Num;
+  return std::nullopt;
+}
+
+int64_t Rational::floor() const { return floorDiv(Num, Den); }
+
+int64_t Rational::ceil() const { return ceilDiv(Num, Den); }
+
+Rational Rational::operator-() const {
+  Rational R;
+  R.Num = -Num;
+  R.Den = Den;
+  return R;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  // Reduce before cross-multiplying to delay overflow.
+  int64_t G = gcd64(Den, RHS.Den);
+  int64_t LhsScale = RHS.Den / G;
+  int64_t RhsScale = Den / G;
+  int64_t N =
+      addOrDie(mulOrDie(Num, LhsScale), mulOrDie(RHS.Num, RhsScale));
+  int64_t D = mulOrDie(Den, LhsScale);
+  return Rational(N, D);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return *this + (-RHS);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  // Cross-reduce first.
+  int64_t G1 = gcd64(Num, RHS.Den);
+  int64_t G2 = gcd64(RHS.Num, Den);
+  int64_t N = mulOrDie(G1 ? Num / G1 : Num, G2 ? RHS.Num / G2 : RHS.Num);
+  int64_t D = mulOrDie(G2 ? Den / G2 : Den, G1 ? RHS.Den / G1 : RHS.Den);
+  return Rational(N, D);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "rational division by zero");
+  return *this * Rational(RHS.Den, RHS.Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  // Denominators are positive, so the comparison reduces to
+  // Num*RHS.Den < RHS.Num*Den; use 128-bit products to avoid overflow.
+  __int128 Lhs = static_cast<__int128>(Num) * RHS.Den;
+  __int128 Rhs = static_cast<__int128>(RHS.Num) * Den;
+  return Lhs < Rhs;
+}
+
+bool Rational::operator<=(const Rational &RHS) const {
+  __int128 Lhs = static_cast<__int128>(Num) * RHS.Den;
+  __int128 Rhs = static_cast<__int128>(RHS.Num) * Den;
+  return Lhs <= Rhs;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

@@ -1,0 +1,100 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over int64. The weak-crossing SIV test needs
+/// to represent half-integral crossing iterations exactly, Banerjee's
+/// inequalities need exact bound comparison, and constraint-line
+/// intersection in the Delta test needs exact 2x2 solving; floating
+/// point would silently produce wrong dependence verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_RATIONAL_H
+#define PDT_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pdt {
+
+/// An exact rational number Num/Den with Den > 0, always stored in
+/// lowest terms. Arithmetic asserts on overflow (dependence-test
+/// operands are small; overflow indicates a driver bug, not bad input).
+class Rational {
+public:
+  /// Zero.
+  Rational() : Num(0), Den(1) {}
+
+  /// The integer \p Value.
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+
+  /// The fraction \p Num / \p Den; \p Den must be non-zero.
+  Rational(int64_t Num, int64_t Den);
+
+  int64_t numerator() const { return Num; }
+  int64_t denominator() const { return Den; }
+
+  bool isInteger() const { return Den == 1; }
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+  bool isPositive() const { return Num > 0; }
+
+  /// True iff the value is of the form k + 1/2 for integral k. The
+  /// weak-crossing SIV test admits crossing points at half iterations.
+  bool isHalfIntegral() const { return Den == 2; }
+
+  /// The integral value when isInteger(), otherwise nullopt.
+  std::optional<int64_t> asInteger() const;
+
+  /// Largest integer <= value.
+  int64_t floor() const;
+
+  /// Smallest integer >= value.
+  int64_t ceil() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+
+  /// Division; RHS must be non-zero.
+  Rational operator/(const Rational &RHS) const;
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator<=(const Rational &RHS) const;
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator>=(const Rational &RHS) const { return RHS <= *this; }
+
+  /// Renders as "n" or "n/d".
+  std::string str() const;
+
+private:
+  int64_t Num;
+  int64_t Den;
+
+  void normalize();
+};
+
+/// min of two rationals.
+inline const Rational &min(const Rational &A, const Rational &B) {
+  return B < A ? B : A;
+}
+
+/// max of two rationals.
+inline const Rational &max(const Rational &A, const Rational &B) {
+  return A < B ? B : A;
+}
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_RATIONAL_H

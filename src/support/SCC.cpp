@@ -1,0 +1,72 @@
+//===- support/SCC.cpp - Strongly connected components --------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SCC.h"
+
+#include <algorithm>
+
+using namespace pdt;
+
+std::vector<std::vector<unsigned>> pdt::stronglyConnectedComponents(
+    unsigned N, const std::vector<std::vector<unsigned>> &Adj,
+    const std::vector<unsigned> &Nodes) {
+  std::vector<int> Index(N, -1);
+  std::vector<unsigned> Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<unsigned> Stack;
+  int NextIndex = 0;
+  std::vector<std::vector<unsigned>> Components;
+
+  struct Frame {
+    unsigned V;
+    size_t EdgeIdx;
+  };
+  std::vector<Frame> DFS;
+
+  auto Push = [&](unsigned U) {
+    Index[U] = NextIndex;
+    Low[U] = NextIndex;
+    ++NextIndex;
+    Stack.push_back(U);
+    OnStack[U] = true;
+    DFS.push_back({U, 0});
+  };
+
+  for (unsigned Root : Nodes) {
+    if (Index[Root] >= 0)
+      continue;
+    Push(Root);
+    while (!DFS.empty()) {
+      Frame &F = DFS.back();
+      if (F.EdgeIdx < Adj[F.V].size()) {
+        unsigned W = Adj[F.V][F.EdgeIdx++];
+        if (Index[W] < 0)
+          Push(W);
+        else if (OnStack[W])
+          Low[F.V] = std::min(Low[F.V], static_cast<unsigned>(Index[W]));
+        continue;
+      }
+      unsigned Done = F.V;
+      DFS.pop_back();
+      if (!DFS.empty())
+        Low[DFS.back().V] = std::min(Low[DFS.back().V], Low[Done]);
+      if (Low[Done] == static_cast<unsigned>(Index[Done])) {
+        std::vector<unsigned> Component;
+        while (true) {
+          unsigned W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Component.push_back(W);
+          if (W == Done)
+            break;
+        }
+        Components.push_back(std::move(Component));
+      }
+    }
+  }
+  return Components;
+}

@@ -1,0 +1,34 @@
+//===- support/SCC.h - Strongly connected components ------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative Tarjan SCC over small integer-indexed graphs, shared by
+/// the vectorization planner and loop distribution (both need the
+/// pi-blocks of a statement dependence graph in topological order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_SCC_H
+#define PDT_SUPPORT_SCC_H
+
+#include <vector>
+
+namespace pdt {
+
+/// Computes the strongly connected components of the subgraph of
+/// 0..N-1 induced by \p Nodes, with adjacency \p Adj (edges to nodes
+/// outside the induced set must already be filtered out by the
+/// caller). Components are returned in *reverse* topological order —
+/// Tarjan's natural emission order; reverse for execution order.
+std::vector<std::vector<unsigned>>
+stronglyConnectedComponents(unsigned N,
+                            const std::vector<std::vector<unsigned>> &Adj,
+                            const std::vector<unsigned> &Nodes);
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_SCC_H

@@ -1,0 +1,124 @@
+//===- transforms/Interchange.cpp - Loop interchange legality -------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Interchange.h"
+
+#include "analysis/ASTRewriter.h"
+#include "ir/LinearExpr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pdt;
+
+bool pdt::vectorLegalUnderPermutation(const DependenceVector &V,
+                                      const std::vector<unsigned> &Perm) {
+  // Apply the permutation to the direction sets, then check that no
+  // instantiation has an all-'=' prefix followed by '>': walk levels,
+  // stopping once a level forces '<'.
+  unsigned Depth = V.depth();
+  for (unsigned NewLevel = 0; NewLevel != Depth; ++NewLevel) {
+    unsigned OldLevel =
+        NewLevel < Perm.size() ? Perm[NewLevel] : NewLevel;
+    assert(OldLevel < Depth && "permutation index out of range");
+    DirectionSet S = V.Directions[OldLevel];
+    if (S & DirGT)
+      return false; // A lexicographically negative instance exists.
+    if (!(S & DirEQ))
+      return true; // This level must be '<': all instances positive.
+  }
+  return true; // All-'=' instances are loop-independent: legal.
+}
+
+bool pdt::isInterchangeLegal(const DependenceGraph &G, const DoLoop *OuterLoop,
+                             const DoLoop *InnerLoop) {
+  for (const Dependence &D : G.dependences()) {
+    const ArrayAccess &Src = G.accesses()[D.Source];
+    const ArrayAccess &Snk = G.accesses()[D.Sink];
+    std::vector<const DoLoop *> Common = commonLoops(Src, Snk);
+    auto OuterIt = std::find(Common.begin(), Common.end(), OuterLoop);
+    auto InnerIt = std::find(Common.begin(), Common.end(), InnerLoop);
+    if (OuterIt == Common.end() || InnerIt == Common.end())
+      continue;
+    unsigned OuterLevel = OuterIt - Common.begin();
+    unsigned InnerLevel = InnerIt - Common.begin();
+    std::vector<unsigned> Perm(Common.size());
+    for (unsigned I = 0; I != Perm.size(); ++I)
+      Perm[I] = I;
+    std::swap(Perm[OuterLevel], Perm[InnerLevel]);
+    if (!vectorLegalUnderPermutation(D.Vector, Perm))
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Rewrites statements, swapping the target loop pair when found.
+const pdt::Stmt *interchangeVisit(pdt::ASTContext &Ctx, const pdt::Stmt *S,
+                                  const pdt::DoLoop *Target, bool &Done) {
+  using namespace pdt;
+  const auto *L = dyn_cast<DoLoop>(S);
+  if (!L)
+    return cloneStmt(Ctx, S, {});
+  if (L == Target) {
+    // Structure check: a perfect rectangular pair.
+    if (L->getBody().size() != 1)
+      return nullptr;
+    const auto *Inner = dyn_cast<DoLoop>(L->getBody().front());
+    if (!Inner)
+      return nullptr;
+    std::set<std::string> OuterIndex{L->getIndexName()};
+    for (const Expr *E : {Inner->getLower(), Inner->getUpper(),
+                          Inner->getStep()}) {
+      std::optional<LinearExpr> B = buildLinearExpr(E, OuterIndex);
+      if (!B || B->usesIndex(L->getIndexName()))
+        return nullptr; // Triangular: a swap would change the space.
+    }
+    std::vector<const Stmt *> Body;
+    for (const Stmt *Child : Inner->getBody())
+      Body.push_back(cloneStmt(Ctx, Child, {}));
+    const Stmt *NewInner = Ctx.createDoLoop(
+        L->getIndexName(), cloneExpr(Ctx, L->getLower(), {}),
+        cloneExpr(Ctx, L->getUpper(), {}), cloneExpr(Ctx, L->getStep(), {}),
+        std::move(Body));
+    Done = true;
+    return Ctx.createDoLoop(Inner->getIndexName(),
+                            cloneExpr(Ctx, Inner->getLower(), {}),
+                            cloneExpr(Ctx, Inner->getUpper(), {}),
+                            cloneExpr(Ctx, Inner->getStep(), {}),
+                            {NewInner});
+  }
+  std::vector<const Stmt *> Body;
+  for (const Stmt *Child : L->getBody()) {
+    const Stmt *NewChild = interchangeVisit(Ctx, Child, Target, Done);
+    if (!NewChild)
+      return nullptr;
+    Body.push_back(NewChild);
+  }
+  return Ctx.createDoLoop(L->getIndexName(), cloneExpr(Ctx, L->getLower(), {}),
+                          cloneExpr(Ctx, L->getUpper(), {}),
+                          cloneExpr(Ctx, L->getStep(), {}), std::move(Body));
+}
+
+} // namespace
+
+std::optional<pdt::Program>
+pdt::applyInterchange(const Program &P, const DoLoop *OuterLoop) {
+  Program Result;
+  Result.Name = P.Name;
+  bool Done = false;
+  for (const Stmt *S : P.TopLevel) {
+    const Stmt *NewS = interchangeVisit(*Result.Context, S, OuterLoop, Done);
+    if (!NewS)
+      return std::nullopt;
+    Result.TopLevel.push_back(NewS);
+  }
+  if (!Done)
+    return std::nullopt;
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- transforms/Interchange.h - Loop interchange legality -----*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direction-vector-based loop interchange legality (paper section 2.1
+/// cites this as a primary use of direction vectors): a permutation of
+/// the nest is legal iff no dependence vector becomes lexicographically
+/// negative, i.e. its leading non-'=' direction stays '<'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TRANSFORMS_INTERCHANGE_H
+#define PDT_TRANSFORMS_INTERCHANGE_H
+
+#include "core/DependenceGraph.h"
+
+#include <optional>
+#include <vector>
+
+namespace pdt {
+
+/// True when permuting the top \p Perm.size() levels of the common
+/// nest by \p Perm (Perm[new] = old) keeps \p V lexicographically
+/// non-negative. Levels beyond the permutation keep their order.
+bool vectorLegalUnderPermutation(const DependenceVector &V,
+                                 const std::vector<unsigned> &Perm);
+
+/// True when interchanging adjacent levels \p Outer and \p Outer+1 is
+/// legal for every dependence of \p G whose common nest includes both.
+bool isInterchangeLegal(const DependenceGraph &G, const DoLoop *OuterLoop,
+                        const DoLoop *InnerLoop);
+
+/// Applies the interchange: rewrites the program with \p OuterLoop and
+/// its directly-nested \p InnerLoop swapped. Requirements: InnerLoop
+/// is the sole statement of OuterLoop's body (a perfect pair) and the
+/// inner bounds do not reference the outer index (rectangular).
+/// Returns std::nullopt when the structure does not permit the swap.
+/// Legality must be checked separately with isInterchangeLegal; this
+/// function only performs the rewrite.
+std::optional<Program> applyInterchange(const Program &P,
+                                        const DoLoop *OuterLoop);
+
+} // namespace pdt
+
+#endif // PDT_TRANSFORMS_INTERCHANGE_H

@@ -1,0 +1,173 @@
+//===- transforms/LocalityAdvisor.cpp - Loop order for locality -----------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LocalityAdvisor.h"
+
+#include "ir/LinearExpr.h"
+#include "transforms/Interchange.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace pdt;
+
+namespace {
+
+/// The maximal perfect nest rooted at \p Root: Root, then each
+/// singleton loop child, and so on.
+std::vector<const DoLoop *> perfectNest(const DoLoop *Root) {
+  std::vector<const DoLoop *> Nest{Root};
+  const DoLoop *L = Root;
+  while (L->getBody().size() == 1) {
+    const auto *Inner = dyn_cast<DoLoop>(L->getBody().front());
+    if (!Inner)
+      break;
+    Nest.push_back(Inner);
+    L = Inner;
+  }
+  return Nest;
+}
+
+/// Scores one reference against one loop index.
+void scoreReference(const ArrayElement *Ref,
+                    const std::set<std::string> &IndexNames,
+                    const std::string &Index, LoopLocalityScore &Score) {
+  // Fortran is column-major: the first subscript is the
+  // fastest-varying in memory. Consecutive touches need stride 1 in
+  // the leading dimension and stride 0 everywhere else; any stride in
+  // a trailing dimension jumps by at least a whole column.
+  bool Invariant = true;
+  bool FirstDim = true;
+  bool LeadingUnit = false;
+  bool TrailingStrided = false;
+  for (const Expr *Sub : Ref->getSubscripts()) {
+    std::optional<LinearExpr> L = buildLinearExpr(Sub, IndexNames);
+    int64_t Stride = L ? L->indexCoeff(Index) : 1; // Unknown: punish.
+    if (!L)
+      Invariant = false;
+    if (Stride != 0)
+      Invariant = false;
+    if (FirstDim) {
+      LeadingUnit = L.has_value() && Stride == 1;
+      FirstDim = false;
+    } else if (Stride != 0 || !L) {
+      TrailingStrided = true;
+    }
+  }
+  if (Invariant) {
+    ++Score.TemporalHits;
+    return;
+  }
+  if (LeadingUnit && !TrailingStrided)
+    ++Score.SpatialHits;
+  else
+    ++Score.StridedMisses;
+}
+
+} // namespace
+
+std::vector<LocalityAdvice> pdt::adviseLocality(const DependenceGraph &G) {
+  std::vector<LocalityAdvice> Result;
+
+  // Outermost loops of the program.
+  std::vector<const DoLoop *> All = G.allLoops();
+  std::set<const DoLoop *> Inner;
+  for (const DoLoop *L : All)
+    for (const Stmt *Child : L->getBody())
+      if (const auto *CL = dyn_cast<DoLoop>(Child))
+        Inner.insert(CL);
+
+  for (const DoLoop *Root : All) {
+    if (Inner.count(Root))
+      continue;
+    LocalityAdvice Advice;
+    Advice.Nest = perfectNest(Root);
+    if (Advice.Nest.size() < 2)
+      continue; // Nothing to reorder.
+
+    std::set<std::string> IndexNames;
+    for (const DoLoop *L : Advice.Nest)
+      IndexNames.insert(L->getIndexName());
+
+    // Collect the references of the innermost body.
+    std::vector<const ArrayElement *> Refs;
+    for (const ArrayAccess &A : G.accesses()) {
+      if (A.LoopStack.size() >= Advice.Nest.size() &&
+          !A.LoopStack.empty() && A.LoopStack.front() == Root)
+        Refs.push_back(A.Ref);
+    }
+
+    for (const DoLoop *L : Advice.Nest) {
+      LoopLocalityScore Score;
+      Score.Loop = L;
+      for (const ArrayElement *Ref : Refs)
+        scoreReference(Ref, IndexNames, L->getIndexName(), Score);
+      Advice.Scores.push_back(Score);
+    }
+
+    // Pick the best legal innermost loop: try candidates in descending
+    // score; moving candidate C innermost is legal iff interchanging C
+    // past every loop below it is legal (pairwise adjacent checks
+    // compose for a simple sink-to-innermost rotation).
+    std::vector<unsigned> Order(Advice.Nest.size());
+    for (unsigned I = 0; I != Order.size(); ++I)
+      Order[I] = I;
+    std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+      return Advice.Scores[A].score() > Advice.Scores[B].score();
+    });
+
+    const DoLoop *CurrentInner = Advice.Nest.back();
+    for (unsigned Candidate : Order) {
+      const DoLoop *L = Advice.Nest[Candidate];
+      if (L == CurrentInner) {
+        Advice.RecommendedInner = L;
+        break;
+      }
+      bool Legal = true;
+      for (unsigned Below = Candidate + 1;
+           Below != Advice.Nest.size() && Legal; ++Below)
+        Legal = isInterchangeLegal(G, L, Advice.Nest[Below]);
+      if (Legal) {
+        Advice.RecommendedInner = L;
+        Advice.InterchangeSuggested = true;
+        break;
+      }
+      Advice.BlockedByDependence = true;
+    }
+    if (!Advice.RecommendedInner)
+      Advice.RecommendedInner = CurrentInner;
+    Result.push_back(std::move(Advice));
+  }
+  return Result;
+}
+
+std::string pdt::localityReport(const std::vector<LocalityAdvice> &Advice) {
+  std::string Out;
+  for (const LocalityAdvice &A : Advice) {
+    Out += "nest";
+    for (const DoLoop *L : A.Nest) {
+      Out += " ";
+      Out += L->getIndexName();
+    }
+    Out += ":\n";
+    for (const LoopLocalityScore &S : A.Scores) {
+      Out += "  loop " + S.Loop->getIndexName() + ": spatial " +
+             std::to_string(S.SpatialHits) + ", temporal " +
+             std::to_string(S.TemporalHits) + ", strided " +
+             std::to_string(S.StridedMisses) + " (score " +
+             std::to_string(S.score()) + ")\n";
+    }
+    Out += "  recommended innermost: " +
+           A.RecommendedInner->getIndexName();
+    if (A.InterchangeSuggested)
+      Out += "  (interchange suggested)";
+    else if (A.BlockedByDependence)
+      Out += "  (better order blocked by a dependence)";
+    Out += "\n";
+  }
+  return Out;
+}

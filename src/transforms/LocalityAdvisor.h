@@ -1,0 +1,81 @@
+//===- transforms/LocalityAdvisor.h - Loop order for locality ---*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependence-driven loop-order advice for the memory hierarchy — the
+/// second use the paper's introduction claims for dependence
+/// information (citing Callahan-Carr-Kennedy, Gannon et al., and
+/// Porterfield). For each candidate innermost loop of a nest the
+/// advisor scores:
+///
+///  * spatial locality: references whose last (fastest-varying in
+///    column-major Fortran: the *first*) subscript strides by 0 or 1
+///    in that loop;
+///  * temporal reuse: loop-invariant references (stride 0 in every
+///    subscript) and small-distance dependences carried by the loop
+///    (the scalar-replacement opportunities).
+///
+/// It then recommends the best-scoring loop as innermost, checking
+/// with the direction vectors that the interchange moving it there is
+/// legal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TRANSFORMS_LOCALITYADVISOR_H
+#define PDT_TRANSFORMS_LOCALITYADVISOR_H
+
+#include "core/DependenceGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// Locality score of one loop as the innermost of its nest.
+struct LoopLocalityScore {
+  const DoLoop *Loop = nullptr;
+  /// References with unit or zero stride in the fastest-varying
+  /// dimension under this loop.
+  unsigned SpatialHits = 0;
+  /// References invariant in this loop (candidate for registers).
+  unsigned TemporalHits = 0;
+  /// References with a non-unit stride (cache-hostile) in this loop.
+  unsigned StridedMisses = 0;
+
+  /// Combined score: spatial + 2*temporal - misses (temporal reuse is
+  /// worth more than spatial).
+  int score() const {
+    return static_cast<int>(SpatialHits) + 2 * static_cast<int>(TemporalHits)
+           - static_cast<int>(StridedMisses);
+  }
+};
+
+/// Advice for one (perfect prefix of a) loop nest.
+struct LocalityAdvice {
+  /// Loops of the nest, outermost first.
+  std::vector<const DoLoop *> Nest;
+  /// Scores per loop, same order as Nest.
+  std::vector<LoopLocalityScore> Scores;
+  /// The loop recommended as innermost (the best legal choice).
+  const DoLoop *RecommendedInner = nullptr;
+  /// True when the recommendation differs from the current innermost
+  /// loop and the interchange is legal.
+  bool InterchangeSuggested = false;
+  /// True when the best-scoring loop could not be moved inner because
+  /// a dependence forbids the interchange.
+  bool BlockedByDependence = false;
+};
+
+/// Analyzes every maximal perfect nest of the program.
+std::vector<LocalityAdvice> adviseLocality(const DependenceGraph &G);
+
+/// Renders the advice.
+std::string localityReport(const std::vector<LocalityAdvice> &Advice);
+
+} // namespace pdt
+
+#endif // PDT_TRANSFORMS_LOCALITYADVISOR_H

@@ -1,0 +1,129 @@
+//===- transforms/LoopDistribution.cpp - Materialize distribution ---------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LoopDistribution.h"
+
+#include "analysis/ASTRewriter.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+#include "support/SCC.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace pdt;
+
+namespace {
+
+class Distributor {
+public:
+  Distributor(ASTContext &Ctx, const DependenceGraph &G,
+              DistributionStats *Stats)
+      : Ctx(Ctx), G(G), Stats(Stats) {}
+
+  const Stmt *visit(const Stmt *S, std::vector<const Stmt *> &Siblings) {
+    if (const auto *A = dyn_cast<AssignStmt>(S)) {
+      (void)A;
+      return cloneStmt(Ctx, S, {});
+    }
+    const auto *L = cast<DoLoop>(S);
+
+    // Flat body of assignments only?
+    bool Flat = true;
+    for (const Stmt *Child : L->getBody())
+      Flat &= isa<AssignStmt>(Child);
+    if (!Flat || L->getBody().size() < 2) {
+      std::vector<const Stmt *> Body;
+      for (const Stmt *Child : L->getBody())
+        if (const Stmt *NewChild = visit(Child, Body))
+          Body.push_back(NewChild);
+      return Ctx.createDoLoop(L->getIndexName(),
+                              cloneExpr(Ctx, L->getLower(), {}),
+                              cloneExpr(Ctx, L->getUpper(), {}),
+                              cloneExpr(Ctx, L->getStep(), {}), std::move(Body));
+    }
+
+    if (Stats)
+      ++Stats->LoopsConsidered;
+
+    // Statement ids local to this loop.
+    std::vector<const AssignStmt *> Stmts;
+    std::map<const AssignStmt *, unsigned> Id;
+    for (const Stmt *Child : L->getBody()) {
+      const auto *A = cast<AssignStmt>(Child);
+      Id[A] = Stmts.size();
+      Stmts.push_back(A);
+    }
+
+    // Scalar assignments create dependences this analysis does not
+    // track; keep such loops intact.
+    for (const AssignStmt *A : Stmts)
+      if (!A->isArrayAssign())
+        return cloneStmt(Ctx, L, {});
+
+    // Statement-level edges from the dependence graph. All edges among
+    // these statements matter for the piece ordering: loop-independent
+    // edges order pieces, carried edges additionally glue cycles.
+    std::vector<std::vector<unsigned>> Adj(Stmts.size());
+    for (const Dependence &D : G.dependences()) {
+      const AssignStmt *Src = G.accesses()[D.Source].Statement;
+      const AssignStmt *Snk = G.accesses()[D.Sink].Statement;
+      auto FromIt = Id.find(Src);
+      auto ToIt = Id.find(Snk);
+      if (FromIt == Id.end() || ToIt == Id.end())
+        continue;
+      if (FromIt->second == ToIt->second)
+        continue; // Self edges do not affect distribution.
+      Adj[FromIt->second].push_back(ToIt->second);
+    }
+
+    std::vector<unsigned> Nodes(Stmts.size());
+    for (unsigned I = 0; I != Nodes.size(); ++I)
+      Nodes[I] = I;
+    std::vector<std::vector<unsigned>> Components =
+        stronglyConnectedComponents(Stmts.size(), Adj, Nodes);
+    std::reverse(Components.begin(), Components.end()); // Topological.
+
+    if (Components.size() < 2)
+      return cloneStmt(Ctx, L, {});
+
+    // One loop per pi-block, in topological order.
+    if (Stats) {
+      ++Stats->LoopsDistributed;
+      Stats->PiecesEmitted += Components.size();
+    }
+    for (std::vector<unsigned> &Component : Components) {
+      std::sort(Component.begin(), Component.end());
+      std::vector<const Stmt *> Body;
+      for (unsigned N : Component)
+        Body.push_back(cloneStmt(Ctx, Stmts[N], {}));
+      Siblings.push_back(Ctx.createDoLoop(
+          L->getIndexName(), cloneExpr(Ctx, L->getLower(), {}),
+          cloneExpr(Ctx, L->getUpper(), {}),
+          cloneExpr(Ctx, L->getStep(), {}), std::move(Body)));
+    }
+    return nullptr; // Already appended to Siblings.
+  }
+
+private:
+  ASTContext &Ctx;
+  const DependenceGraph &G;
+  DistributionStats *Stats;
+};
+
+} // namespace
+
+Program pdt::distributeLoops(const Program &P, const DependenceGraph &G,
+                             DistributionStats *Stats) {
+  Program Result;
+  Result.Name = P.Name;
+  Distributor D(*Result.Context, G, Stats);
+  for (const Stmt *S : P.TopLevel)
+    if (const Stmt *NewS = D.visit(S, Result.TopLevel))
+      Result.TopLevel.push_back(NewS);
+  return Result;
+}

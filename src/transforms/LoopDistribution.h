@@ -1,0 +1,46 @@
+//===- transforms/LoopDistribution.h - Materialize distribution -*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop distribution (loop fission): materializes the Allen-Kennedy
+/// plan as a source-to-source transform. A single-level loop whose
+/// statement dependence graph partitions into multiple pi-blocks is
+/// split into one loop per block, in topological order; each block
+/// then carries only its own recurrences. Distribution is what turns
+/// the vectorization *plan* into *code*, and since the transform is
+/// semantics-preserving exactly when the dependence information is
+/// right, the interpreter-backed tests double as a dynamic check of
+/// the SCC/topological machinery.
+///
+/// Scope: loops whose body is a flat statement list (no nested loops)
+/// are distributed; anything else is copied unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TRANSFORMS_LOOPDISTRIBUTION_H
+#define PDT_TRANSFORMS_LOOPDISTRIBUTION_H
+
+#include "core/DependenceGraph.h"
+#include "ir/AST.h"
+
+namespace pdt {
+
+/// Statistics from one distribution run.
+struct DistributionStats {
+  unsigned LoopsConsidered = 0;
+  unsigned LoopsDistributed = 0;
+  unsigned PiecesEmitted = 0;
+};
+
+/// Distributes every eligible loop of \p P using \p G's dependences.
+/// The returned program is semantically equivalent to \p P.
+Program distributeLoops(const Program &P, const DependenceGraph &G,
+                        DistributionStats *Stats = nullptr);
+
+} // namespace pdt
+
+#endif // PDT_TRANSFORMS_LOOPDISTRIBUTION_H

@@ -1,0 +1,154 @@
+//===- transforms/LoopFusion.cpp - Dependence-legal loop fusion -----------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LoopFusion.h"
+
+#include "analysis/ASTRewriter.h"
+#include "core/DependenceGraph.h"
+#include "ir/PrettyPrinter.h"
+#include "support/Casting.h"
+
+#include <map>
+
+using namespace pdt;
+
+namespace {
+
+/// Structural equality of bound expressions (after cloning, pointer
+/// identity is useless; rendered text is a faithful structural key).
+bool sameExpr(const Expr *A, const Expr *B) {
+  return exprToString(A) == exprToString(B);
+}
+
+bool conformable(const DoLoop *A, const DoLoop *B) {
+  return A->getIndexName() == B->getIndexName() &&
+         sameExpr(A->getLower(), B->getLower()) &&
+         sameExpr(A->getUpper(), B->getUpper()) &&
+         sameExpr(A->getStep(), B->getStep());
+}
+
+class Fuser {
+public:
+  Fuser(ASTContext &Ctx, const SymbolRangeMap &Symbols, FusionStats *Stats)
+      : Ctx(Ctx), Symbols(Symbols), Stats(Stats) {}
+
+  std::vector<const Stmt *> visitList(const std::vector<const Stmt *> &In) {
+    // First rebuild each statement (fusing inside loop bodies).
+    std::vector<const Stmt *> Out;
+    for (const Stmt *S : In)
+      Out.push_back(visit(S));
+
+    // Then greedily fuse adjacent conformable loop siblings.
+    std::vector<const Stmt *> Fused;
+    for (const Stmt *S : Out) {
+      if (!Fused.empty()) {
+        const auto *Prev = dyn_cast<DoLoop>(Fused.back());
+        const auto *Cur = dyn_cast<DoLoop>(S);
+        if (Prev && Cur && conformable(Prev, Cur)) {
+          if (Stats)
+            ++Stats->CandidatesConsidered;
+          if (const DoLoop *Merged = tryFuse(Prev, Cur)) {
+            Fused.back() = Merged;
+            if (Stats)
+              ++Stats->Fused;
+            continue;
+          }
+          if (Stats)
+            ++Stats->BlockedByDependence;
+        }
+      }
+      Fused.push_back(S);
+    }
+    return Fused;
+  }
+
+private:
+  ASTContext &Ctx;
+  const SymbolRangeMap &Symbols;
+  FusionStats *Stats;
+
+  const Stmt *visit(const Stmt *S) {
+    if (isa<AssignStmt>(S))
+      return cloneStmt(Ctx, S, {});
+    const auto *L = cast<DoLoop>(S);
+    std::vector<const Stmt *> Body = visitList(L->getBody());
+    return Ctx.createDoLoop(L->getIndexName(),
+                            cloneExpr(Ctx, L->getLower(), {}),
+                            cloneExpr(Ctx, L->getUpper(), {}),
+                            cloneExpr(Ctx, L->getStep(), {}),
+                            std::move(Body));
+  }
+
+  /// Builds the fused candidate, analyzes it in isolation, and
+  /// returns the merged loop when no fusion-preventing dependence
+  /// (source in the second piece, sink in the first) exists.
+  const DoLoop *tryFuse(const DoLoop *First, const DoLoop *Second) {
+    // Candidate in its own program so statement identity is local.
+    Program Candidate;
+    ASTContext &CCtx = *Candidate.Context;
+    std::vector<const Stmt *> Body;
+    std::map<const Stmt *, bool> FromSecond; // Candidate stmt -> origin.
+    auto Add = [&](const std::vector<const Stmt *> &Stmts, bool Second) {
+      for (const Stmt *S : Stmts) {
+        const Stmt *Clone = cloneStmt(CCtx, S, {});
+        markOrigin(Clone, Second, FromSecond);
+        Body.push_back(Clone);
+      }
+    };
+    Add(First->getBody(), false);
+    Add(Second->getBody(), true);
+    const DoLoop *CandidateLoop = CCtx.createDoLoop(
+        First->getIndexName(), cloneExpr(CCtx, First->getLower(), {}),
+        cloneExpr(CCtx, First->getUpper(), {}),
+        cloneExpr(CCtx, First->getStep(), {}), std::move(Body));
+    Candidate.TopLevel.push_back(CandidateLoop);
+
+    DependenceGraph G = DependenceGraph::build(Candidate, Symbols);
+    for (const Dependence &D : G.dependences()) {
+      const Stmt *Src = G.accesses()[D.Source].Statement;
+      const Stmt *Snk = G.accesses()[D.Sink].Statement;
+      auto SrcIt = FromSecond.find(Src);
+      auto SnkIt = FromSecond.find(Snk);
+      if (SrcIt == FromSecond.end() || SnkIt == FromSecond.end())
+        continue;
+      if (SrcIt->second && !SnkIt->second)
+        return nullptr; // Fusion-preventing back edge.
+    }
+
+    // Legal: build the merged loop in the *result* context.
+    std::vector<const Stmt *> Merged;
+    for (const Stmt *S : First->getBody())
+      Merged.push_back(cloneStmt(Ctx, S, {}));
+    for (const Stmt *S : Second->getBody())
+      Merged.push_back(cloneStmt(Ctx, S, {}));
+    return Ctx.createDoLoop(First->getIndexName(),
+                            cloneExpr(Ctx, First->getLower(), {}),
+                            cloneExpr(Ctx, First->getUpper(), {}),
+                            cloneExpr(Ctx, First->getStep(), {}),
+                            std::move(Merged));
+  }
+
+  /// Records the origin of \p S and every statement below it.
+  static void markOrigin(const Stmt *S, bool Second,
+                         std::map<const Stmt *, bool> &FromSecond) {
+    FromSecond[S] = Second;
+    if (const auto *L = dyn_cast<DoLoop>(S))
+      for (const Stmt *Child : L->getBody())
+        markOrigin(Child, Second, FromSecond);
+  }
+};
+
+} // namespace
+
+Program pdt::fuseLoops(const Program &P, const SymbolRangeMap &Symbols,
+                       FusionStats *Stats) {
+  Program Result;
+  Result.Name = P.Name;
+  Fuser F(*Result.Context, Symbols, Stats);
+  Result.TopLevel = F.visitList(P.TopLevel);
+  return Result;
+}

@@ -1,0 +1,47 @@
+//===- transforms/LoopFusion.h - Dependence-legal loop fusion ---*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop fusion: merges adjacent conformable loops (same index, same
+/// bounds, same step) when dependence information proves it legal.
+/// Fusion changes the interleaving: originally every instance of the
+/// first loop ran before any instance of the second; afterwards they
+/// alternate per iteration. The merge is illegal exactly when the
+/// *fused* body has a dependence whose source statement came from the
+/// second loop and whose sink came from the first (such an edge means
+/// some instance of the second loop must now run before an instance of
+/// the first that originally preceded it — a fusion-preventing
+/// dependence). The legality check therefore analyzes the fused
+/// candidate and looks for cross-piece back edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TRANSFORMS_LOOPFUSION_H
+#define PDT_TRANSFORMS_LOOPFUSION_H
+
+#include "analysis/LoopNest.h"
+#include "ir/AST.h"
+
+namespace pdt {
+
+/// Statistics from one fusion run.
+struct FusionStats {
+  unsigned CandidatesConsidered = 0;
+  unsigned Fused = 0;
+  unsigned BlockedByDependence = 0;
+};
+
+/// Greedily fuses adjacent conformable loops throughout \p P (inner
+/// bodies first, then siblings, chaining across multiple loops).
+/// \p Symbols carries the analysis assumptions for the legality
+/// checks. The result is semantically equivalent to \p P.
+Program fuseLoops(const Program &P, const SymbolRangeMap &Symbols,
+                  FusionStats *Stats = nullptr);
+
+} // namespace pdt
+
+#endif // PDT_TRANSFORMS_LOOPFUSION_H

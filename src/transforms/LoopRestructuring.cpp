@@ -1,0 +1,190 @@
+//===- transforms/LoopRestructuring.cpp - Peeling and splitting -----------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LoopRestructuring.h"
+
+#include "analysis/ASTRewriter.h"
+#include "support/Casting.h"
+#include "support/ErrorHandling.h"
+
+using namespace pdt;
+
+namespace {
+
+/// Rewriter shared by peeling and splitting: applies a per-loop
+/// transformation to every DoLoop with the target index name.
+class Restructurer {
+public:
+  Restructurer(ASTContext &Ctx, std::string Index)
+      : Ctx(Ctx), Index(std::move(Index)) {}
+
+  virtual ~Restructurer() = default;
+
+  bool transformedAny() const { return Transformed; }
+
+  void visitInto(const Stmt *S, std::vector<const Stmt *> &Out) {
+    if (const auto *L = dyn_cast<DoLoop>(S)) {
+      std::vector<const Stmt *> Body;
+      for (const Stmt *Child : L->getBody())
+        visitInto(Child, Body);
+      if (L->getIndexName() == Index) {
+        transformLoop(L, std::move(Body), Out);
+        Transformed = true;
+        return;
+      }
+      Out.push_back(Ctx.createDoLoop(L->getIndexName(),
+                                     cloneExpr(Ctx, L->getLower(), {}),
+                                     cloneExpr(Ctx, L->getUpper(), {}),
+                                     cloneExpr(Ctx, L->getStep(), {}),
+                                     std::move(Body)));
+      return;
+    }
+    Out.push_back(cloneStmt(Ctx, S, {}));
+  }
+
+protected:
+  ASTContext &Ctx;
+  std::string Index;
+  bool Transformed = false;
+
+  /// Emits the transformed version of \p L (whose body has already
+  /// been rewritten into \p Body) into \p Out.
+  virtual void transformLoop(const DoLoop *L, std::vector<const Stmt *> Body,
+                             std::vector<const Stmt *> &Out) = 0;
+
+  /// Clones \p Body with the loop index substituted by \p Value.
+  std::vector<const Stmt *> instantiateBody(
+      const std::vector<const Stmt *> &Body, const Expr *Value) {
+    VarSubstitution Subst;
+    Subst[Index] = Value;
+    std::vector<const Stmt *> Result;
+    Result.reserve(Body.size());
+    for (const Stmt *S : Body)
+      Result.push_back(cloneStmt(Ctx, S, Subst));
+    return Result;
+  }
+};
+
+class Peeler final : public Restructurer {
+public:
+  Peeler(ASTContext &Ctx, std::string Index, bool First)
+      : Restructurer(Ctx, std::move(Index)), First(First) {}
+
+private:
+  bool First;
+
+  void transformLoop(const DoLoop *L, std::vector<const Stmt *> Body,
+                     std::vector<const Stmt *> &Out) override {
+    const Expr *Lower = cloneExpr(Ctx, L->getLower(), {});
+    const Expr *Upper = cloneExpr(Ctx, L->getUpper(), {});
+    const Expr *Step = cloneExpr(Ctx, L->getStep(), {});
+    if (First) {
+      // Peeled first iteration, then do i = L+1, U.
+      for (const Stmt *S : instantiateBody(Body, Lower))
+        Out.push_back(S);
+      Out.push_back(Ctx.createDoLoop(Index,
+                                     Ctx.getAdd(Lower, Ctx.getInt(1)), Upper,
+                                     Step, std::move(Body)));
+      return;
+    }
+    // do i = L, U-1, then the peeled last iteration.
+    std::vector<const Stmt *> LastIteration = instantiateBody(Body, Upper);
+    Out.push_back(Ctx.createDoLoop(Index, Lower,
+                                   Ctx.getSub(Upper, Ctx.getInt(1)), Step,
+                                   std::move(Body)));
+    for (const Stmt *S : LastIteration)
+      Out.push_back(S);
+  }
+};
+
+class Splitter final : public Restructurer {
+public:
+  /// Numeric split: \p Crossing is the crossing iteration.
+  Splitter(ASTContext &Ctx, std::string Index, const Rational &Crossing)
+      : Restructurer(Ctx, std::move(Index)), SplitAt(Crossing.floor()) {}
+
+  /// Symbolic split: the crossing is \p CrossingSum / 2.
+  Splitter(ASTContext &Ctx, std::string Index, const LinearExpr &CrossingSum)
+      : Restructurer(Ctx, std::move(Index)), Sum(CrossingSum) {}
+
+private:
+  int64_t SplitAt = 0;
+  std::optional<LinearExpr> Sum;
+
+  void transformLoop(const DoLoop *L, std::vector<const Stmt *> Body,
+                     std::vector<const Stmt *> &Out) override {
+    const Expr *Lower = cloneExpr(Ctx, L->getLower(), {});
+    const Expr *Upper = cloneExpr(Ctx, L->getUpper(), {});
+    const Expr *Step = cloneExpr(Ctx, L->getStep(), {});
+    const Expr *FirstUpper;
+    const Expr *SecondLower;
+    if (Sum) {
+      FirstUpper = Ctx.getBinary(BinaryExpr::Opcode::Div,
+                                 linearToExpr(Ctx, *Sum), Ctx.getInt(2));
+      SecondLower = Ctx.getAdd(FirstUpper, Ctx.getInt(1));
+    } else {
+      FirstUpper = Ctx.getInt(SplitAt);
+      SecondLower = Ctx.getInt(SplitAt + 1);
+    }
+    // do i = L, floor(c)  /  do i = floor(c)+1, U.
+    std::vector<const Stmt *> BodyCopy;
+    BodyCopy.reserve(Body.size());
+    for (const Stmt *S : Body)
+      BodyCopy.push_back(cloneStmt(Ctx, S, {}));
+    Out.push_back(Ctx.createDoLoop(Index, Lower, FirstUpper, Step,
+                                   std::move(Body)));
+    Out.push_back(Ctx.createDoLoop(Index, SecondLower, Upper,
+                                   cloneExpr(Ctx, L->getStep(), {}),
+                                   std::move(BodyCopy)));
+  }
+};
+
+} // namespace
+
+std::optional<Program> pdt::peelLoop(const Program &P,
+                                     const std::string &Index, bool First) {
+  Program Result;
+  Result.Name = P.Name;
+  Peeler Peel(*Result.Context, Index, First);
+  std::vector<const Stmt *> Top;
+  for (const Stmt *S : P.TopLevel)
+    Peel.visitInto(S, Top);
+  if (!Peel.transformedAny())
+    return std::nullopt;
+  Result.TopLevel = std::move(Top);
+  return Result;
+}
+
+std::optional<Program> pdt::splitLoop(const Program &P,
+                                      const std::string &Index,
+                                      const Rational &Crossing) {
+  Program Result;
+  Result.Name = P.Name;
+  Splitter Split(*Result.Context, Index, Crossing);
+  std::vector<const Stmt *> Top;
+  for (const Stmt *S : P.TopLevel)
+    Split.visitInto(S, Top);
+  if (!Split.transformedAny())
+    return std::nullopt;
+  Result.TopLevel = std::move(Top);
+  return Result;
+}
+
+std::optional<Program> pdt::splitLoopSymbolic(const Program &P,
+                                              const std::string &Index,
+                                              const LinearExpr &CrossingSum) {
+  Program Result;
+  Result.Name = P.Name;
+  Splitter Split(*Result.Context, Index, CrossingSum);
+  std::vector<const Stmt *> Top;
+  for (const Stmt *S : P.TopLevel)
+    Split.visitInto(S, Top);
+  if (!Split.transformedAny())
+    return std::nullopt;
+  Result.TopLevel = std::move(Top);
+  return Result;
+}

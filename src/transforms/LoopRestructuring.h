@@ -1,0 +1,60 @@
+//===- transforms/LoopRestructuring.h - Peeling and splitting ---*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two loop restructurings the weak SIV tests enable:
+///
+///  * loop peeling (paper section 4.2.2): a weak-zero dependence whose
+///    fixed iteration is the first or last can be removed by peeling
+///    that iteration out of the loop;
+///  * loop splitting (section 4.2.3): weak-crossing dependences all
+///    cross one iteration, so splitting the index range there leaves
+///    two dependence-free halves.
+///
+/// Both are source-to-source: they return a rewritten Program built in
+/// a fresh context, leaving the input untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TRANSFORMS_LOOPRESTRUCTURING_H
+#define PDT_TRANSFORMS_LOOPRESTRUCTURING_H
+
+#include "ir/AST.h"
+#include "ir/LinearExpr.h"
+#include "support/Rational.h"
+
+#include <optional>
+#include <string>
+
+namespace pdt {
+
+/// Peels the first (or last, when \p First is false) iteration of
+/// every loop named \p Index: the iteration's body is materialized
+/// before (after) a loop over the remaining range. Returns nullopt
+/// when no loop with that index exists.
+std::optional<Program> peelLoop(const Program &P, const std::string &Index,
+                                bool First);
+
+/// Splits every loop named \p Index at the crossing point \p Crossing:
+/// `do i = L, U` becomes `do i = L, floor(Crossing)` followed by
+/// `do i = floor(Crossing) + 1, U`. Returns nullopt when no such loop
+/// exists.
+std::optional<Program> splitLoop(const Program &P, const std::string &Index,
+                                 const Rational &Crossing);
+
+/// Splits at a *symbolic* crossing: the weak-crossing test reports the
+/// iteration sum i + i' (e.g. n + 1); the split bound is Sum/2
+/// (integer division — exact floor for the non-negative sums loop
+/// bounds produce). `do i = L, U` becomes `do i = L, Sum/2` followed
+/// by `do i = Sum/2 + 1, U`.
+std::optional<Program> splitLoopSymbolic(const Program &P,
+                                         const std::string &Index,
+                                         const LinearExpr &CrossingSum);
+
+} // namespace pdt
+
+#endif // PDT_TRANSFORMS_LOOPRESTRUCTURING_H

@@ -1,0 +1,52 @@
+//===- transforms/Parallelizer.cpp - Parallel loop detection --------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Parallelizer.h"
+
+#include "ir/PrettyPrinter.h"
+
+using namespace pdt;
+
+std::vector<LoopParallelism>
+pdt::findParallelLoops(const DependenceGraph &G) {
+  std::vector<LoopParallelism> Report;
+  for (const DoLoop *L : G.allLoops()) {
+    LoopParallelism P;
+    P.Loop = L;
+    const std::vector<Dependence> &Deps = G.dependences();
+    for (unsigned I = 0, E = Deps.size(); I != E; ++I)
+      if (Deps[I].Carrier == L)
+        P.SerializingDeps.push_back(I);
+    P.Parallel = P.SerializingDeps.empty();
+    Report.push_back(std::move(P));
+  }
+  return Report;
+}
+
+std::string
+pdt::parallelismReport(const DependenceGraph &G,
+                       const std::vector<LoopParallelism> &Report) {
+  std::string Out;
+  for (const LoopParallelism &P : Report) {
+    Out += "loop ";
+    Out += P.Loop->getIndexName();
+    Out += P.Parallel ? ": parallel\n" : ": serial\n";
+    for (unsigned I : P.SerializingDeps) {
+      const Dependence &D = G.dependences()[I];
+      Out += "    blocked by ";
+      Out += dependenceKindName(D.Kind);
+      Out += " dependence ";
+      Out += exprToString(G.accesses()[D.Source].Ref);
+      Out += " -> ";
+      Out += exprToString(G.accesses()[D.Sink].Ref);
+      Out += " ";
+      Out += D.Vector.str();
+      Out += "\n";
+    }
+  }
+  return Out;
+}

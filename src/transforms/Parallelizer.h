@@ -1,0 +1,44 @@
+//===- transforms/Parallelizer.h - Parallel loop detection ------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical consumer of dependence information (paper section 2):
+/// a loop whose iterations carry no dependence may execute in
+/// parallel. Reports, per loop, whether it is parallel and which
+/// dependences serialize it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TRANSFORMS_PARALLELIZER_H
+#define PDT_TRANSFORMS_PARALLELIZER_H
+
+#include "core/DependenceGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// Parallelizability report for one loop.
+struct LoopParallelism {
+  const DoLoop *Loop = nullptr;
+  bool Parallel = false;
+  /// Indices into the graph's dependence list that are carried by this
+  /// loop (empty when parallel).
+  std::vector<unsigned> SerializingDeps;
+};
+
+/// Classifies every loop of the analyzed program.
+std::vector<LoopParallelism> findParallelLoops(const DependenceGraph &G);
+
+/// Renders the report (loop index name, verdict, blocking dependences).
+std::string parallelismReport(const DependenceGraph &G,
+                              const std::vector<LoopParallelism> &Report);
+
+} // namespace pdt
+
+#endif // PDT_TRANSFORMS_PARALLELIZER_H

@@ -1,0 +1,90 @@
+//===- transforms/ScalarReplacement.cpp - Register reuse ------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/ScalarReplacement.h"
+
+#include "ir/PrettyPrinter.h"
+
+using namespace pdt;
+
+std::vector<ScalarReplacementCandidate>
+pdt::findScalarReplacementCandidates(const DependenceGraph &G,
+                                     int64_t MaxDistance,
+                                     bool IncludeInputReuse) {
+  std::vector<ScalarReplacementCandidate> Result;
+  const std::vector<Dependence> &Deps = G.dependences();
+  for (unsigned I = 0, E = Deps.size(); I != E; ++I) {
+    const Dependence &D = Deps[I];
+    if (D.Kind != DependenceKind::Flow &&
+        (!IncludeInputReuse || D.Kind != DependenceKind::Input))
+      continue;
+    // Reuse requires the dependence be exact (a value certainly
+    // arrives) with a known constant distance.
+    if (!D.Exact)
+      continue;
+
+    if (D.isLoopIndependent()) {
+      // Same-iteration reuse: always one register.
+      ScalarReplacementCandidate C;
+      C.Array = G.accesses()[D.Source].Ref->getArrayName();
+      C.DependenceIndex = I;
+      C.Distance = 0;
+      C.RegistersNeeded = 1;
+      Result.push_back(std::move(C));
+      continue;
+    }
+
+    // Carried reuse: the carrier level must have a small exact
+    // distance and every deeper level must be '=' (otherwise the value
+    // returns at a different inner iteration and a register cannot
+    // hold it).
+    unsigned Level = *D.CarriedLevel;
+    const DependenceVector &V = D.Vector;
+    if (!V.Distances[Level])
+      continue;
+    int64_t Dist = *V.Distances[Level];
+    if (Dist <= 0 || Dist > MaxDistance)
+      continue;
+    bool InnerEqual = true;
+    for (unsigned L = Level + 1; L != V.depth(); ++L)
+      InnerEqual &= V.Directions[L] == DirEQ;
+    if (!InnerEqual)
+      continue;
+    // Only innermost-loop carriers are profitable without unroll-and-
+    // jam; report the carrier and let the consumer decide.
+    ScalarReplacementCandidate C;
+    C.Array = G.accesses()[D.Source].Ref->getArrayName();
+    C.DependenceIndex = I;
+    C.Distance = Dist;
+    C.RegistersNeeded = static_cast<unsigned>(Dist);
+    C.Carrier = D.Carrier;
+    Result.push_back(std::move(C));
+  }
+  return Result;
+}
+
+std::string pdt::scalarReplacementReport(
+    const DependenceGraph &G,
+    const std::vector<ScalarReplacementCandidate> &Candidates) {
+  std::string Out;
+  for (const ScalarReplacementCandidate &C : Candidates) {
+    const Dependence &D = G.dependences()[C.DependenceIndex];
+    Out += "replace ";
+    Out += exprToString(G.accesses()[D.Sink].Ref);
+    Out += " with the value of ";
+    Out += exprToString(G.accesses()[D.Source].Ref);
+    if (C.Carrier) {
+      Out += " from " + std::to_string(C.Distance) +
+             " iteration(s) ago in loop " + C.Carrier->getIndexName();
+      Out += " (" + std::to_string(C.RegistersNeeded) + " register(s))";
+    } else {
+      Out += " computed this iteration (1 register)";
+    }
+    Out += "\n";
+  }
+  return Out;
+}

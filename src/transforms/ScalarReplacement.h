@@ -1,0 +1,64 @@
+//===- transforms/ScalarReplacement.h - Register reuse ----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar replacement candidates (Callahan, Carr & Kennedy — the
+/// paper's introduction cites this use: "optimizations utilizing
+/// dependence information can result in integer factor speedups" for
+/// scalar machines). A flow dependence with a small *exact constant*
+/// distance carried by the innermost loop means the value written in
+/// iteration i is read again in iteration i + d: the reference can be
+/// kept in a register rotated across d iterations instead of being
+/// reloaded from memory. This analysis reports the candidates and the
+/// number of registers each needs; the rewrite itself (into our
+/// scalar-assignment form) is mechanical and left to a code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TRANSFORMS_SCALARREPLACEMENT_H
+#define PDT_TRANSFORMS_SCALARREPLACEMENT_H
+
+#include "core/DependenceGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// One register-reuse opportunity.
+struct ScalarReplacementCandidate {
+  /// Array whose element can live in a register.
+  std::string Array;
+  /// The generating flow (or input) dependence edge index.
+  unsigned DependenceIndex = 0;
+  /// Exact reuse distance in iterations of the carrier loop (0 for
+  /// loop-independent reuse within one iteration).
+  int64_t Distance = 0;
+  /// Registers needed to rotate the value (Distance, or 1 when 0).
+  unsigned RegistersNeeded = 1;
+  /// The innermost common loop carrying the reuse (null when
+  /// loop-independent).
+  const DoLoop *Carrier = nullptr;
+};
+
+/// Finds scalar replacement candidates: flow (and optionally input)
+/// dependences with an exact constant distance at their carrier level
+/// of at most \p MaxDistance, all deeper levels '='. Loop-independent
+/// write-read pairs within a statement body also qualify.
+std::vector<ScalarReplacementCandidate>
+findScalarReplacementCandidates(const DependenceGraph &G,
+                                int64_t MaxDistance = 4,
+                                bool IncludeInputReuse = false);
+
+/// Renders the candidate list.
+std::string
+scalarReplacementReport(const DependenceGraph &G,
+                        const std::vector<ScalarReplacementCandidate> &C);
+
+} // namespace pdt
+
+#endif // PDT_TRANSFORMS_SCALARREPLACEMENT_H

@@ -1,0 +1,223 @@
+//===- transforms/Vectorizer.cpp - Allen-Kennedy codegen ------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Vectorizer.h"
+
+#include "ir/PrettyPrinter.h"
+#include "support/Casting.h"
+#include "support/SCC.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace pdt;
+
+namespace {
+
+/// A statement of the nest with its enclosing loop stack.
+struct StmtInfo {
+  const AssignStmt *S = nullptr;
+  std::vector<const DoLoop *> Stack;
+  bool ScalarAssign = false;
+};
+
+void collectStmts(const Stmt *S, std::vector<const DoLoop *> &Stack,
+                  std::vector<StmtInfo> &Out) {
+  if (const auto *A = dyn_cast<AssignStmt>(S)) {
+    Out.push_back({A, Stack, !A->isArrayAssign()});
+    return;
+  }
+  const auto *L = cast<DoLoop>(S);
+  Stack.push_back(L);
+  for (const Stmt *Child : L->getBody())
+    collectStmts(Child, Stack, Out);
+  Stack.pop_back();
+}
+
+/// Statement-level dependence edges of one nest, annotated with the
+/// carried level (nullopt = loop-independent).
+struct StmtEdge {
+  unsigned From;
+  unsigned To;
+  std::optional<unsigned> Level;
+};
+
+class Planner {
+public:
+  Planner(const DependenceGraph &G, const DoLoop *Root) : Root(Root) {
+    std::vector<const DoLoop *> Stack;
+    collectStmts(Root, Stack, Stmts);
+    for (unsigned I = 0; I != Stmts.size(); ++I)
+      StmtId[Stmts[I].S] = I;
+
+    // Project access-level dependences to statement-level edges.
+    for (const Dependence &D : G.dependences()) {
+      const ArrayAccess &Src = G.accesses()[D.Source];
+      const ArrayAccess &Snk = G.accesses()[D.Sink];
+      auto FromIt = StmtId.find(Src.Statement);
+      auto ToIt = StmtId.find(Snk.Statement);
+      if (FromIt == StmtId.end() || ToIt == StmtId.end())
+        continue;
+      Edges.push_back({FromIt->second, ToIt->second, D.CarriedLevel});
+    }
+  }
+
+  VectorizationPlan plan() {
+    VectorizationPlan Result;
+    Result.Root = Root;
+    std::vector<unsigned> All(Stmts.size());
+    for (unsigned I = 0; I != All.size(); ++I)
+      All[I] = I;
+    codegen(0, All, Result.Pieces, Result);
+    return Result;
+  }
+
+private:
+  const DoLoop *Root;
+  std::vector<StmtInfo> Stmts;
+  std::map<const AssignStmt *, unsigned> StmtId;
+  std::vector<StmtEdge> Edges;
+
+  /// The Allen-Kennedy recursion.
+  void codegen(unsigned Level, const std::vector<unsigned> &Nodes,
+               std::vector<VectorPlanNode> &Out, VectorizationPlan &Plan) {
+    std::vector<bool> InSet(Stmts.size(), false);
+    for (unsigned N : Nodes)
+      InSet[N] = true;
+
+    // Adjacency restricted to the node set and edges at >= Level
+    // (deeper-carried or loop-independent).
+    std::vector<std::vector<unsigned>> Adj(Stmts.size());
+    std::vector<bool> SelfEdge(Stmts.size(), false);
+    for (const StmtEdge &E : Edges) {
+      if (!InSet[E.From] || !InSet[E.To])
+        continue;
+      if (E.Level && *E.Level < Level)
+        continue;
+      if (E.From == E.To) {
+        // A loop-independent self edge is the statement's own
+        // read-before-write in one instance; vector semantics fetch
+        // operands before storing, so only *carried* self edges form
+        // recurrences.
+        if (E.Level)
+          SelfEdge[E.From] = true;
+        continue;
+      }
+      Adj[E.From].push_back(E.To);
+    }
+
+    std::vector<std::vector<unsigned>> Components =
+        stronglyConnectedComponents(Stmts.size(), Adj, Nodes);
+    // Tarjan emits reverse topological order; execute in topological
+    // order.
+    std::reverse(Components.begin(), Components.end());
+
+    for (std::vector<unsigned> &Component : Components) {
+      // Keep statement order textual within a component.
+      std::sort(Component.begin(), Component.end());
+      const StmtInfo &First = Stmts[Component.front()];
+      bool Cyclic = Component.size() > 1 || SelfEdge[Component.front()] ||
+                    First.ScalarAssign;
+      if (!Cyclic) {
+        VectorPlanNode Node;
+        Node.TheKind = VectorPlanNode::Kind::VectorStatement;
+        Node.Level = Level;
+        Node.Statement = First.S;
+        Out.push_back(std::move(Node));
+        if (Level == 0)
+          ++Plan.FullyVectorized;
+        continue;
+      }
+
+      // A recurrence at this level: wrap in a serial loop and recurse
+      // one level deeper while the statements still have deeper loops.
+      unsigned MaxDepth = 0;
+      for (unsigned N : Component)
+        MaxDepth = std::max(MaxDepth,
+                            static_cast<unsigned>(Stmts[N].Stack.size()));
+      VectorPlanNode Node;
+      Node.TheKind = VectorPlanNode::Kind::SerialLoop;
+      Node.Level = Level;
+      if (Level < First.Stack.size())
+        Node.LoopIndex = First.Stack[Level]->getIndexName();
+      if (Level + 1 < MaxDepth) {
+        codegen(Level + 1, Component, Node.Children, Plan);
+      } else {
+        for (unsigned N : Component) {
+          VectorPlanNode Leaf;
+          Leaf.TheKind = VectorPlanNode::Kind::VectorStatement;
+          Leaf.Level = Level + 1;
+          Leaf.Statement = Stmts[N].S;
+          Node.Children.push_back(std::move(Leaf));
+          ++Plan.Sequentialized;
+        }
+      }
+      Out.push_back(std::move(Node));
+    }
+  }
+};
+
+void renderNode(const VectorPlanNode &Node, unsigned Indent,
+                std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  if (Node.TheKind == VectorPlanNode::Kind::VectorStatement) {
+    std::string Text = stmtToString(Node.Statement);
+    if (!Text.empty() && Text.back() == '\n')
+      Text.pop_back();
+    Out += Pad + "vectorize[level " + std::to_string(Node.Level) + "] " +
+           Text + "\n";
+    return;
+  }
+  Out += Pad + "serial loop " + Node.LoopIndex + ":\n";
+  for (const VectorPlanNode &Child : Node.Children)
+    renderNode(Child, Indent + 1, Out);
+}
+
+} // namespace
+
+std::vector<VectorizationPlan>
+pdt::planVectorization(const DependenceGraph &G) {
+  std::vector<VectorizationPlan> Plans;
+  // Outermost loops only: allLoops() is preorder, so an outermost loop
+  // is one not contained in a previously seen loop's subtree; easier:
+  // walk the accesses' stacks... simplest: recompute from allLoops by
+  // nesting. A loop is outermost iff it appears at depth 0 of some
+  // access stack or has no parent among the others. Use the graph's
+  // program walk: every loop whose body contains another loop "owns"
+  // it; collect roots.
+  std::vector<const DoLoop *> All = G.allLoops();
+  std::set<const DoLoop *> Inner;
+  auto MarkInner = [&Inner](auto &&Self, const DoLoop *L) -> void {
+    for (const Stmt *Child : L->getBody())
+      if (const auto *CL = dyn_cast<DoLoop>(Child)) {
+        Inner.insert(CL);
+        Self(Self, CL);
+      }
+  };
+  for (const DoLoop *L : All)
+    MarkInner(MarkInner, L);
+  for (const DoLoop *L : All) {
+    if (Inner.count(L))
+      continue;
+    Planner P(G, L);
+    Plans.push_back(P.plan());
+  }
+  return Plans;
+}
+
+std::string pdt::planToString(const VectorizationPlan &Plan) {
+  std::string Out;
+  Out += "nest " + Plan.Root->getIndexName() + ":\n";
+  for (const VectorPlanNode &Node : Plan.Pieces)
+    renderNode(Node, 1, Out);
+  Out += "  (" + std::to_string(Plan.FullyVectorized) +
+         " fully vectorized, " + std::to_string(Plan.Sequentialized) +
+         " sequentialized)\n";
+  return Out;
+}

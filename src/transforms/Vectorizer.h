@@ -1,0 +1,75 @@
+//===- transforms/Vectorizer.h - Allen-Kennedy codegen ----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Allen-Kennedy layered vectorization algorithm — the consumer
+/// PFC built on exactly the dependence information this library
+/// computes (the paper's section 8 recounts how the Banerjee-GCD and
+/// strong SIV tests drove "PFC's layered vectorization algorithm").
+///
+/// codegen(level, stmts): build the dependence graph among \p stmts
+/// restricted to edges at nesting >= level, find strongly connected
+/// components, and process them in topological order: a trivial SCC
+/// (single statement, no self edge) is vectorizable at this and all
+/// inner levels; a cycle must run as a serial loop at this level, and
+/// codegen recurses into it at level+1. The result is a distribution
+/// plan: an ordered list of pieces, each either a vector statement or
+/// a serial loop wrapping further pieces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TRANSFORMS_VECTORIZER_H
+#define PDT_TRANSFORMS_VECTORIZER_H
+
+#include "core/DependenceGraph.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// One node of the vectorization plan.
+struct VectorPlanNode {
+  enum class Kind {
+    VectorStatement, ///< Executable as a vector operation at Level.
+    SerialLoop,      ///< Must iterate sequentially at Level.
+  };
+  Kind TheKind = Kind::VectorStatement;
+  /// Loop level (0-based from the nest root); for VectorStatement the
+  /// statement vectorizes across levels [Level, depth).
+  unsigned Level = 0;
+  /// The statement (for VectorStatement).
+  const AssignStmt *Statement = nullptr;
+  /// Serialized loop's index name (for SerialLoop).
+  std::string LoopIndex;
+  /// Children of a SerialLoop, in execution order.
+  std::vector<VectorPlanNode> Children;
+};
+
+/// The plan for one outermost loop nest.
+struct VectorizationPlan {
+  const DoLoop *Root = nullptr;
+  std::vector<VectorPlanNode> Pieces;
+  /// Number of statements fully vectorized at the outermost level.
+  unsigned FullyVectorized = 0;
+  /// Number of statements that remained inside some serial loop at the
+  /// innermost level (true recurrences).
+  unsigned Sequentialized = 0;
+};
+
+/// Plans vectorization for every outermost loop of the analyzed
+/// program, using the dependence graph's edges.
+std::vector<VectorizationPlan> planVectorization(const DependenceGraph &G);
+
+/// Renders a plan as indented text ("vectorize S3: a(i) = ..." /
+/// "serial loop i: ...").
+std::string planToString(const VectorizationPlan &Plan);
+
+} // namespace pdt
+
+#endif // PDT_TRANSFORMS_VECTORIZER_H

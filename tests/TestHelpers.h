@@ -1,0 +1,91 @@
+//===- tests/TestHelpers.h - Shared test utilities --------------*- C++ -*-===//
+//
+// Helpers shared across the test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_TESTS_TESTHELPERS_H
+#define PDT_TESTS_TESTHELPERS_H
+
+#include "analysis/LoopNest.h"
+#include "ir/AST.h"
+#include "parser/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+namespace pdt {
+namespace test {
+
+/// Parses or fails the test.
+inline Program parseOrDie(const std::string &Source) {
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.succeeded()) << (R.Diagnostics.empty()
+                                     ? std::string("parse failed")
+                                     : R.Diagnostics[0].str());
+  if (!R.succeeded())
+    return Program();
+  return std::move(*R.Prog);
+}
+
+/// The stack of loops along the first (leftmost, depth-first) path of
+/// the program.
+inline std::vector<const DoLoop *> firstLoopPath(const Program &P) {
+  std::vector<const DoLoop *> Stack;
+  const Stmt *S = P.TopLevel.empty() ? nullptr : P.TopLevel.front();
+  while (S) {
+    const auto *L = dyn_cast<DoLoop>(S);
+    if (!L)
+      break;
+    Stack.push_back(L);
+    S = nullptr;
+    for (const Stmt *Child : L->getBody())
+      if (isa<DoLoop>(Child)) {
+        S = Child;
+        break;
+      }
+  }
+  return Stack;
+}
+
+/// Builds a simple one-loop context: `Index` in [Lower, Upper].
+inline LoopNestContext singleLoop(const std::string &Index, int64_t Lower,
+                                  int64_t Upper) {
+  LoopBounds B;
+  B.Index = Index;
+  B.Lower = LinearExpr(Lower);
+  B.Upper = LinearExpr(Upper);
+  return LoopNestContext({B}, SymbolRangeMap());
+}
+
+/// Builds a two-loop rectangular context.
+inline LoopNestContext doubleLoop(const std::string &I, int64_t L1,
+                                  int64_t U1, const std::string &J,
+                                  int64_t L2, int64_t U2) {
+  LoopBounds A, B;
+  A.Index = I;
+  A.Lower = LinearExpr(L1);
+  A.Upper = LinearExpr(U1);
+  B.Index = J;
+  B.Lower = LinearExpr(L2);
+  B.Upper = LinearExpr(U2);
+  return LoopNestContext({A, B}, SymbolRangeMap());
+}
+
+/// Builds a one-loop context with a symbolic upper bound in
+/// [1, +inf): `Index` in [1, n].
+inline LoopNestContext symbolicLoop(const std::string &Index,
+                                    const std::string &Symbol = "n") {
+  LoopBounds B;
+  B.Index = Index;
+  B.Lower = LinearExpr(1);
+  B.Upper = LinearExpr::symbol(Symbol);
+  SymbolRangeMap Symbols;
+  Symbols[Symbol] = Interval(1, std::nullopt);
+  return LoopNestContext({B}, std::move(Symbols));
+}
+
+} // namespace test
+} // namespace pdt
+
+#endif // PDT_TESTS_TESTHELPERS_H

@@ -1,0 +1,70 @@
+//===- tests/analysis/ASTRewriterTest.cpp --------------------------------------===//
+//
+// Unit tests for AST cloning and capture-aware substitution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ASTRewriter.h"
+
+#include "../TestHelpers.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+TEST(ASTRewriter, SimpleSubstitution) {
+  ASTContext Src, Dst;
+  const Expr *E = Src.getAdd(Src.getVar("i"), Src.getInt(1));
+  VarSubstitution Subst;
+  Subst["i"] = Dst.getMul(Dst.getInt(2), Dst.getVar("k"));
+  const Expr *Out = cloneExpr(Dst, E, Subst);
+  EXPECT_EQ(exprToString(Out), "2*k + 1");
+}
+
+TEST(ASTRewriter, SubstitutionInsideArraySubscript) {
+  ASTContext Src, Dst;
+  const Expr *E =
+      Src.getArrayElement("a", {Src.getVar("i"), Src.getVar("j")});
+  VarSubstitution Subst;
+  Subst["i"] = Dst.getInt(5);
+  EXPECT_EQ(exprToString(cloneExpr(Dst, E, Subst)), "a(5, j)");
+}
+
+TEST(ASTRewriter, LoopIndexShadowsSubstitution) {
+  // Substituting i must not rewrite occurrences bound by an inner
+  // loop over i, but must rewrite the loop's own bounds.
+  Program P = parseOrDie(R"(
+do i = i, n
+  a(i) = 0
+end do
+)");
+  Program Out;
+  VarSubstitution Subst;
+  Subst["i"] = Out.Context->getInt(7);
+  const Stmt *S = cloneStmt(*Out.Context, P.TopLevel[0], Subst);
+  EXPECT_EQ(stmtToString(S), "do i = 7, n\n  a(i) = 0\nend do\n");
+}
+
+TEST(ASTRewriter, DeepCloneIsIndependent) {
+  Program P = parseOrDie(R"(
+do i = 1, n
+  do j = 1, i
+    a(i, j) = a(j, i) + b(2*i-1)
+  end do
+end do
+)");
+  Program Out;
+  const Stmt *S = cloneStmt(*Out.Context, P.TopLevel[0], {});
+  EXPECT_EQ(stmtToString(S), stmtToString(P.TopLevel[0]));
+  EXPECT_NE(S, P.TopLevel[0]);
+}
+
+TEST(ASTRewriter, EmptySubstitutionClones) {
+  ASTContext Src, Dst;
+  const Expr *E = Src.getNeg(Src.getVar("x"));
+  const Expr *Out = cloneExpr(Dst, E, {});
+  EXPECT_EQ(exprToString(Out), "-x");
+  EXPECT_NE(Out, E);
+}

@@ -1,0 +1,124 @@
+//===- tests/analysis/LoopNestTest.cpp -------------------------------------===//
+//
+// Unit tests for the analyzed loop nest and the index range analysis
+// (paper section 4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopNest.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+TEST(LoopNest, RectangularRanges) {
+  Program P = parseOrDie(R"(
+do i = 1, 10
+  do j = 2, 20
+    a(i, j) = 0
+  end do
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  EXPECT_EQ(Ctx.depth(), 2u);
+  EXPECT_EQ(Ctx.indexRange("i"), Interval(1, 10));
+  EXPECT_EQ(Ctx.indexRange("j"), Interval(2, 20));
+  EXPECT_EQ(Ctx.distanceRange("i"), Interval(0, 9));
+}
+
+TEST(LoopNest, TriangularRanges) {
+  // Paper section 4.3: the inner bound references the outer index; the
+  // maximal range substitutes the outer range.
+  Program P = parseOrDie(R"(
+do i = 1, 10
+  do j = 1, i
+    a(i, j) = 0
+  end do
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  EXPECT_EQ(Ctx.indexRange("j"), Interval(1, 10));
+}
+
+TEST(LoopNest, TrapezoidalRanges) {
+  Program P = parseOrDie(R"(
+do i = 3, 8
+  do j = i-2, 2*i+1
+    a(i, j) = 0
+  end do
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  // j's lower bound ranges over [1, 6], upper over [7, 17].
+  EXPECT_EQ(Ctx.indexRange("j"), Interval(1, 17));
+}
+
+TEST(LoopNest, SymbolicBounds) {
+  Program P = parseOrDie(R"(
+do i = 1, n
+  a(i) = 0
+end do
+)");
+  SymbolRangeMap Symbols;
+  Symbols["n"] = Interval(1, std::nullopt);
+  LoopNestContext Ctx(firstLoopPath(P), Symbols);
+  EXPECT_EQ(Ctx.indexRange("i"), Interval(1, std::nullopt));
+  EXPECT_EQ(Ctx.distanceRange("i"), Interval(0, std::nullopt));
+}
+
+TEST(LoopNest, UnknownSymbolIsUnbounded) {
+  Program P = parseOrDie("do i = m, n\n  a(i) = 0\nend do\n");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  EXPECT_EQ(Ctx.indexRange("i"), Interval::full());
+}
+
+TEST(LoopNest, LevelsAndNames) {
+  Program P = parseOrDie(R"(
+do i = 1, 4
+  do j = 1, 4
+    a(i, j) = 0
+  end do
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  EXPECT_EQ(Ctx.levelOf("i"), std::optional<unsigned>(0));
+  EXPECT_EQ(Ctx.levelOf("j"), std::optional<unsigned>(1));
+  EXPECT_EQ(Ctx.levelOf("k"), std::nullopt);
+  EXPECT_TRUE(Ctx.isIndex("i"));
+  EXPECT_FALSE(Ctx.isIndex("n"));
+  EXPECT_EQ(Ctx.indexNameSet(), (std::set<std::string>{"i", "j"}));
+}
+
+TEST(LoopNest, EvaluateAffine) {
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 5);
+  // 2*i - j + 3 over i in [1,10], j in [1,5]: [2-5+3, 20-1+3].
+  LinearExpr E = LinearExpr::index("i", 2) - LinearExpr::index("j") +
+                 LinearExpr(3);
+  EXPECT_EQ(Ctx.evaluate(E), Interval(0, 22));
+}
+
+TEST(LoopNest, NonAffineBoundIsConservative) {
+  Program P = parseOrDie(R"(
+do i = 1, n*n
+  a(i) = 0
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  EXPECT_FALSE(Ctx.loop(0).Affine);
+  EXPECT_EQ(Ctx.indexRange("i"), Interval::full());
+}
+
+TEST(LoopNest, DownwardLoopRange) {
+  Program P = parseOrDie("do i = 10, 1, -1\n  a(i) = 0\nend do\n");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  EXPECT_EQ(Ctx.indexRange("i"), Interval(1, 10));
+}
+
+TEST(LoopNest, EmptyRangeDetected) {
+  LoopNestContext Ctx = singleLoop("i", 5, 2);
+  EXPECT_TRUE(Ctx.indexRange("i").isEmpty());
+  EXPECT_TRUE(Ctx.distanceRange("i").isEmpty());
+}

@@ -1,0 +1,84 @@
+//===- tests/analysis/NormalizationTest.cpp ---------------------------------===//
+//
+// Unit tests for loop normalization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Normalization.h"
+
+#include "../TestHelpers.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+TEST(Normalization, UnitStepShift) {
+  Program P = parseOrDie("do i = 3, n\n  a(i) = a(i-1)\nend do\n");
+  Program N = normalizeLoops(P);
+  // do i = 1, n-3+1 with body using i + 2.
+  EXPECT_EQ(programToString(N),
+            "do i = 1, n - 3 + 1\n"
+            "  a(i + 2) = a(i + 2 - 1)\n"
+            "end do\n");
+}
+
+TEST(Normalization, AlreadyNormalIsUnchanged) {
+  Program P = parseOrDie("do i = 1, n\n  a(i) = a(i-1)\nend do\n");
+  Program N = normalizeLoops(P);
+  EXPECT_EQ(programToString(N), programToString(P));
+}
+
+TEST(Normalization, ConstantStride) {
+  Program P = parseOrDie("do i = 1, 9, 2\n  a(i) = 0\nend do\n");
+  Program N = normalizeLoops(P);
+  // 5 iterations; i becomes 1 + (i-1)*2.
+  const auto *Loop = cast<DoLoop>(N.TopLevel[0]);
+  EXPECT_EQ(cast<IntLiteral>(Loop->getUpper())->getValue(), 5);
+  EXPECT_EQ(cast<IntLiteral>(Loop->getStep())->getValue(), 1);
+  EXPECT_EQ(stmtToString(Loop->getBody()[0], 0),
+            "a(1 + (i - 1)*2) = 0\n");
+}
+
+TEST(Normalization, NegativeStride) {
+  Program P = parseOrDie("do i = 10, 1, -1\n  a(i) = 0\nend do\n");
+  Program N = normalizeLoops(P);
+  const auto *Loop = cast<DoLoop>(N.TopLevel[0]);
+  EXPECT_EQ(cast<IntLiteral>(Loop->getUpper())->getValue(), 10);
+  EXPECT_EQ(stmtToString(Loop->getBody()[0], 0),
+            "a(10 + (i - 1)*-1) = 0\n");
+}
+
+TEST(Normalization, ZeroTripCount) {
+  Program P = parseOrDie("do i = 5, 1\n  a(i) = 0\nend do\n");
+  Program N = normalizeLoops(P);
+  const auto *Loop = cast<DoLoop>(N.TopLevel[0]);
+  // The shifted range stays empty (upper bound below the new lower 1).
+  EXPECT_EQ(cast<IntLiteral>(Loop->getLower())->getValue(), 1);
+  EXPECT_LT(cast<IntLiteral>(Loop->getUpper())->getValue(), 1);
+}
+
+TEST(Normalization, SymbolicNonUnitStepLeftAlone) {
+  Program P = parseOrDie("do i = 1, n, 2\n  a(i) = 0\nend do\n");
+  Program N = normalizeLoops(P);
+  const auto *Loop = cast<DoLoop>(N.TopLevel[0]);
+  EXPECT_EQ(cast<IntLiteral>(Loop->getStep())->getValue(), 2);
+}
+
+TEST(Normalization, NestedLoopsBothNormalized) {
+  Program P = parseOrDie(R"(
+do i = 2, n
+  do j = i, n
+    a(i, j) = 0
+  end do
+end do
+)");
+  Program N = normalizeLoops(P);
+  const auto *Outer = cast<DoLoop>(N.TopLevel[0]);
+  EXPECT_EQ(cast<IntLiteral>(Outer->getLower())->getValue(), 1);
+  const auto *Inner = cast<DoLoop>(Outer->getBody()[0]);
+  EXPECT_EQ(cast<IntLiteral>(Inner->getLower())->getValue(), 1);
+  // The inner loop's upper bound references the *shifted* outer index.
+  EXPECT_EQ(exprToString(Inner->getUpper()), "n - (i + 1) + 1");
+}

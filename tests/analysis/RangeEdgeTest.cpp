@@ -1,0 +1,117 @@
+//===- tests/analysis/RangeEdgeTest.cpp ---------------------------------------===//
+//
+// Edge cases for the index-range analysis: mixed symbolic/triangular
+// bounds, negative coefficients, downward inner loops, and agreement
+// with exhaustive enumeration of the real iteration space.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopNest.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+TEST(RangeEdge, SymbolicTriangularMix) {
+  // do i = 1, n / do j = i, n + 2 with n in [4, 10]:
+  // i in [1, 10]; j in [1, 12].
+  Program P = parseOrDie(R"(
+do i = 1, n
+  do j = i, n + 2
+    a(i, j) = 0
+  end do
+end do
+)");
+  SymbolRangeMap Symbols;
+  Symbols["n"] = Interval(4, 10);
+  LoopNestContext Ctx(firstLoopPath(P), Symbols);
+  EXPECT_EQ(Ctx.indexRange("i"), Interval(1, 10));
+  EXPECT_EQ(Ctx.indexRange("j"), Interval(1, 12));
+}
+
+TEST(RangeEdge, NegativeOuterCoefficient) {
+  // do i = 1, 10 / do j = 11 - i, 12: j's lower ranges [1, 10].
+  Program P = parseOrDie(R"(
+do i = 1, 10
+  do j = 11 - i, 12
+    a(i, j) = 0
+  end do
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  EXPECT_EQ(Ctx.indexRange("j"), Interval(1, 12));
+}
+
+TEST(RangeEdge, RangeAgreesWithEnumeration) {
+  // The maximal range must cover exactly the values the nest actually
+  // produces (it may be a superset only when bounds are symbolic; for
+  // constant trapezoids it is tight at both ends).
+  Program P = parseOrDie(R"(
+do i = 2, 6
+  do j = i - 1, 2*i
+    a(i, j) = 0
+  end do
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  Interval JR = Ctx.indexRange("j");
+  int64_t Lo = INT64_MAX, Hi = INT64_MIN;
+  for (int64_t I = 2; I <= 6; ++I)
+    for (int64_t J = I - 1; J <= 2 * I; ++J) {
+      Lo = std::min(Lo, J);
+      Hi = std::max(Hi, J);
+    }
+  ASSERT_TRUE(JR.isFinite());
+  EXPECT_EQ(*JR.lower(), Lo);
+  EXPECT_EQ(*JR.upper(), Hi);
+}
+
+TEST(RangeEdge, InnerDownwardLoop) {
+  Program P = parseOrDie(R"(
+do i = 1, 5
+  do j = i + 3, i, -1
+    a(i, j) = 0
+  end do
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  // Downward: values run from i+3 down to i, i in [1,5]: j in [1, 8].
+  EXPECT_EQ(Ctx.indexRange("j"), Interval(1, 8));
+}
+
+TEST(RangeEdge, DistanceRangeOfSinglePointLoop) {
+  LoopNestContext Ctx = singleLoop("i", 4, 4);
+  EXPECT_EQ(Ctx.distanceRange("i"), Interval(0, 0));
+}
+
+TEST(RangeEdge, EvaluateMixedExpression) {
+  Program P = parseOrDie(R"(
+do i = 1, 4
+  do j = 1, i
+    a(i, j) = 0
+  end do
+end do
+)");
+  SymbolRangeMap Symbols;
+  Symbols["m"] = Interval(10, 20);
+  LoopNestContext Ctx(firstLoopPath(P), Symbols);
+  // 2*j - i + m over j in [1,4] (maximal), i in [1,4], m in [10,20]:
+  // [2 - 4 + 10, 8 - 1 + 20] = [8, 27].
+  LinearExpr E = LinearExpr::index("j", 2) - LinearExpr::index("i") +
+                 LinearExpr::symbol("m");
+  EXPECT_EQ(Ctx.evaluate(E), Interval(8, 27));
+}
+
+TEST(RangeEdge, UnknownStepDisablesAffine) {
+  Program P = parseOrDie(R"(
+do i = 1, 20, k
+  a(i) = 0
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  EXPECT_FALSE(Ctx.loop(0).Affine);
+  EXPECT_EQ(Ctx.indexRange("i"), Interval::full());
+}

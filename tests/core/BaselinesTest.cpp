@@ -1,0 +1,261 @@
+//===- tests/core/BaselinesTest.cpp -------------------------------------------===//
+//
+// Unit tests for the baseline testers: subscript-by-subscript
+// (original PFC), Fourier-Motzkin elimination, and the
+// multidimensional GCD test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FourierMotzkin.h"
+#include "core/MultidimGCD.h"
+#include "core/SubscriptBySubscript.h"
+#include "core/DependenceTester.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+LinearExpr idx(const char *N, int64_t C = 1) {
+  return LinearExpr::index(N, C);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Subscript-by-subscript
+//===----------------------------------------------------------------------===//
+
+TEST(SubscriptBySubscript, SimpleIndependence) {
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(20), idx("i"), 0)};
+  DependenceTestResult R = subscriptBySubscriptTest(Subs, Ctx);
+  EXPECT_TRUE(R.isIndependent());
+}
+
+TEST(SubscriptBySubscript, MissesEqualDirectionCoupling) {
+  // The classic baseline miss: distances 1 and 3 on the same index.
+  // Both dimensions say '<', so the per-level direction intersection
+  // keeps a spurious dependence; only constraint intersection (the
+  // Delta test) sees the contradiction. This pair drives the Table 3b
+  // comparison.
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i") + LinearExpr(3), idx("i"), 1)};
+  DependenceTestResult Baseline = subscriptBySubscriptTest(Subs, Ctx);
+  EXPECT_FALSE(Baseline.isIndependent());
+  DependenceTestResult Practical = testDependence(Subs, Ctx);
+  EXPECT_TRUE(Practical.isIndependent());
+}
+
+TEST(SubscriptBySubscript, DirectionIntersectionCatchesOpposition) {
+  // A(i+1, i) vs A(i, i+1): dim 1 forces '<', dim 2 forces '>'. The
+  // per-level direction intersection is empty, so even the baseline
+  // soundly disproves this particular coupling.
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i"), idx("i") + LinearExpr(1), 1)};
+  DependenceTestResult R = subscriptBySubscriptTest(Subs, Ctx);
+  EXPECT_TRUE(R.isIndependent());
+}
+
+TEST(SubscriptBySubscript, ZIVStillExact) {
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(LinearExpr(1), LinearExpr(2), 0)};
+  DependenceTestResult R = subscriptBySubscriptTest(Subs, Ctx);
+  EXPECT_TRUE(R.isIndependent());
+}
+
+//===----------------------------------------------------------------------===//
+// Fourier-Motzkin
+//===----------------------------------------------------------------------===//
+
+TEST(FourierMotzkin, SystemFeasibility) {
+  // x >= 1, x <= 5, x >= 3: feasible.
+  FMSystem S(1);
+  S.addInequality({Rational(1)}, Rational(-1));
+  S.addInequality({Rational(-1)}, Rational(5));
+  S.addInequality({Rational(1)}, Rational(-3));
+  EXPECT_TRUE(S.isRationallyFeasible());
+}
+
+TEST(FourierMotzkin, SystemInfeasibility) {
+  // x >= 6, x <= 5.
+  FMSystem S(1);
+  S.addInequality({Rational(1)}, Rational(-6));
+  S.addInequality({Rational(-1)}, Rational(5));
+  EXPECT_FALSE(S.isRationallyFeasible());
+}
+
+TEST(FourierMotzkin, TwoVariableChain) {
+  // x <= y - 1, y <= x - 1: contradictory.
+  FMSystem S(2);
+  S.addInequality({Rational(-1), Rational(1)}, Rational(-1));
+  S.addInequality({Rational(1), Rational(-1)}, Rational(-1));
+  EXPECT_FALSE(S.isRationallyFeasible());
+}
+
+TEST(FourierMotzkin, EqualityHandling) {
+  // x + y = 4, x >= 3, y >= 3: infeasible.
+  FMSystem S(2);
+  S.addEquality({Rational(1), Rational(1)}, Rational(-4));
+  S.addInequality({Rational(1), Rational(0)}, Rational(-3));
+  S.addInequality({Rational(0), Rational(1)}, Rational(-3));
+  EXPECT_FALSE(S.isRationallyFeasible());
+}
+
+TEST(FourierMotzkin, DisjointRangesIndependent) {
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(20), idx("i"), 0)};
+  EXPECT_EQ(fourierMotzkinTest(Subs, Ctx), Verdict::Independent);
+}
+
+TEST(FourierMotzkin, CoupledSimultaneityDetected) {
+  // FM sees the whole system: A(i+1, i) vs A(i, i+1) is rationally
+  // infeasible (i' = i+1 and i' = i-1).
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i"), idx("i") + LinearExpr(1), 1)};
+  EXPECT_EQ(fourierMotzkinTest(Subs, Ctx), Verdict::Independent);
+}
+
+TEST(FourierMotzkin, RationalRelaxationMissesParity) {
+  // 2i = 2i' + 1 is rationally feasible (i = i' + 1/2): FM cannot
+  // disprove what the GCD reasoning can.
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i", 2), idx("i", 2) + LinearExpr(1), 0)};
+  EXPECT_EQ(fourierMotzkinTest(Subs, Ctx), Verdict::Maybe);
+}
+
+TEST(FourierMotzkin, TriangularBoundsRespected) {
+  // do i = 1, 10 / do j = 1, i with the pair <i, j + 10>: the sink
+  // needs i = j' + 10 >= 11 while i <= 10. FM models the per-side
+  // triangular bound rows directly, so it disproves this.
+  LoopBounds I, J;
+  I.Index = "i";
+  I.Lower = LinearExpr(1);
+  I.Upper = LinearExpr(10);
+  J.Index = "j";
+  J.Lower = LinearExpr(1);
+  J.Upper = LinearExpr::index("i");
+  LoopNestContext Ctx({I, J}, SymbolRangeMap());
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i"), idx("j") + LinearExpr(10), 0)};
+  EXPECT_EQ(fourierMotzkinTest(Subs, Ctx), Verdict::Independent);
+}
+
+TEST(FourierMotzkin, SymbolicBoundsShared) {
+  // a(i) = a(i + n) with n >= 1 in a loop 1..10: FM places n as a
+  // shared variable with its range; i' = i + n <= 10 and i >= 1 is
+  // feasible (e.g. n = 1), so Maybe.
+  LoopBounds B;
+  B.Index = "i";
+  B.Lower = LinearExpr(1);
+  B.Upper = LinearExpr(10);
+  SymbolRangeMap Symbols;
+  Symbols["n"] = Interval(1, std::nullopt);
+  LoopNestContext Ctx({B}, Symbols);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr::symbol("n"), idx("i"), 0)};
+  EXPECT_EQ(fourierMotzkinTest(Subs, Ctx), Verdict::Maybe);
+
+  // With n >= 100 the offset exceeds the span: independent.
+  Symbols["n"] = Interval(100, std::nullopt);
+  LoopNestContext Ctx2({B}, Symbols);
+  EXPECT_EQ(fourierMotzkinTest(Subs, Ctx2), Verdict::Independent);
+}
+
+TEST(FourierMotzkin, RowBlowupGivesUpConservatively) {
+  // A dense all-pairs system whose elimination exceeds the row cap
+  // must return "feasible" (conservative), never crash or disprove.
+  const unsigned Vars = 12;
+  FMSystem S(Vars);
+  for (unsigned I = 0; I != Vars; ++I) {
+    for (unsigned J = I + 1; J != Vars; ++J) {
+      std::vector<Rational> Coeffs(Vars, Rational(0));
+      Coeffs[I] = Rational(1);
+      Coeffs[J] = Rational(I % 2 ? 1 : -1);
+      S.addInequality(Coeffs, Rational(static_cast<int64_t>(J)));
+      for (Rational &K : Coeffs)
+        K = -K;
+      S.addInequality(Coeffs, Rational(static_cast<int64_t>(I + 3)));
+    }
+  }
+  EXPECT_TRUE(S.isRationallyFeasible(/*MaxRows=*/64));
+}
+
+TEST(FourierMotzkin, UnconstrainedVariableVanishes) {
+  // y unconstrained: feasibility is decided by the x rows alone.
+  FMSystem S(2);
+  S.addInequality({Rational(1), Rational(0)}, Rational(-4)); // x >= 4
+  S.addInequality({Rational(-1), Rational(0)}, Rational(3)); // x <= 3
+  EXPECT_FALSE(S.isRationallyFeasible());
+}
+
+TEST(FourierMotzkin, RationalCoefficients) {
+  // x/2 >= 1 and x <= 1: infeasible; exercises non-integer scaling.
+  FMSystem S(1);
+  S.addInequality({Rational(1, 2)}, Rational(-1));
+  S.addInequality({Rational(-1)}, Rational(1));
+  EXPECT_FALSE(S.isRationallyFeasible());
+}
+
+//===----------------------------------------------------------------------===//
+// Multidimensional GCD
+//===----------------------------------------------------------------------===//
+
+TEST(MultidimGCD, SingleEquationMatchesGCD) {
+  EXPECT_TRUE(integerSystemSolvable({{2, -2}}, {4}));
+  EXPECT_FALSE(integerSystemSolvable({{2, -2}}, {5}));
+}
+
+TEST(MultidimGCD, SystemCoupling) {
+  // x - y = 0 and x + y = 1: rationally x = y = 1/2; no integer
+  // solution. Row elimination: y... 2y = 1 fails divisibility.
+  EXPECT_FALSE(integerSystemSolvable({{1, -1}, {1, 1}}, {0, 1}));
+  EXPECT_TRUE(integerSystemSolvable({{1, -1}, {1, 1}}, {0, 2}));
+}
+
+TEST(MultidimGCD, ZeroRows) {
+  EXPECT_TRUE(integerSystemSolvable({{0, 0}}, {0}));
+  EXPECT_FALSE(integerSystemSolvable({{0, 0}}, {3}));
+}
+
+TEST(MultidimGCD, RedundantRows) {
+  EXPECT_TRUE(integerSystemSolvable({{1, 2}, {2, 4}}, {3, 6}));
+  EXPECT_FALSE(integerSystemSolvable({{1, 2}, {2, 4}}, {3, 7}));
+}
+
+TEST(MultidimGCD, WiderSystem) {
+  // 6x + 10y + 15z = 1: gcd(6,10,15) = 1, solvable.
+  EXPECT_TRUE(integerSystemSolvable({{6, 10, 15}}, {1}));
+  // 6x + 10y = 3: gcd 2 does not divide 3.
+  EXPECT_FALSE(integerSystemSolvable({{6, 10}}, {3}));
+}
+
+TEST(MultidimGCD, DependenceFrontEnd) {
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  // A(i+1, i) vs A(i, i+1): i' = i + 1 and i' = i - 1: the integer
+  // system is inconsistent even without bounds.
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i"), idx("i") + LinearExpr(1), 1)};
+  EXPECT_EQ(multidimensionalGCDTest(Subs, Ctx), Verdict::Independent);
+
+  // Consistent system: Maybe.
+  std::vector<SubscriptPair> OK = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i") + LinearExpr(2), idx("i") + LinearExpr(1), 1)};
+  EXPECT_EQ(multidimensionalGCDTest(OK, Ctx), Verdict::Maybe);
+}

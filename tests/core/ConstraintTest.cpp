@@ -1,0 +1,173 @@
+//===- tests/core/ConstraintTest.cpp ----------------------------------------===//
+//
+// Unit tests for the Delta test constraint lattice.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Constraint.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace pdt;
+
+TEST(Constraint, Factories) {
+  EXPECT_TRUE(Constraint::any().isAny());
+  EXPECT_TRUE(Constraint::empty().isEmpty());
+  EXPECT_EQ(Constraint::distance(3).getDistance(), 3);
+  EXPECT_EQ(Constraint::point(1, 2).pointX(), 1);
+  EXPECT_EQ(Constraint::point(1, 2).pointY(), 2);
+}
+
+TEST(Constraint, LineNormalization) {
+  // 2i + 2i' = 4 normalizes to i + i' = 2.
+  Constraint C = Constraint::line(2, 2, 4);
+  EXPECT_EQ(C, Constraint::line(1, 1, 2));
+  // Leading coefficient positive: -i - i' = -2 is the same line.
+  EXPECT_EQ(Constraint::line(-1, -1, -2), C);
+}
+
+TEST(Constraint, DegenerateLines) {
+  EXPECT_TRUE(Constraint::line(0, 0, 0).isAny());
+  EXPECT_TRUE(Constraint::line(0, 0, 5).isEmpty());
+  // -i + i' = d is recognized as a distance constraint.
+  Constraint D = Constraint::line(-1, 1, 7);
+  EXPECT_EQ(D.kind(), Constraint::Kind::Distance);
+  EXPECT_EQ(D.getDistance(), 7);
+  // Scaled form too: -2i + 2i' = 14.
+  EXPECT_EQ(Constraint::line(-2, 2, 14), D);
+}
+
+TEST(Constraint, Contains) {
+  EXPECT_TRUE(Constraint::any().contains(9, -4));
+  EXPECT_FALSE(Constraint::empty().contains(0, 0));
+  EXPECT_TRUE(Constraint::distance(2).contains(3, 5));
+  EXPECT_FALSE(Constraint::distance(2).contains(3, 4));
+  EXPECT_TRUE(Constraint::point(3, 5).contains(3, 5));
+  EXPECT_TRUE(Constraint::line(1, 1, 10).contains(4, 6));
+  EXPECT_FALSE(Constraint::line(1, 1, 10).contains(4, 7));
+}
+
+TEST(Constraint, IntersectWithAnyAndEmpty) {
+  Constraint D = Constraint::distance(1);
+  EXPECT_EQ(Constraint::any().intersect(D), D);
+  EXPECT_EQ(D.intersect(Constraint::any()), D);
+  EXPECT_TRUE(D.intersect(Constraint::empty()).isEmpty());
+  EXPECT_TRUE(Constraint::empty().intersect(D).isEmpty());
+}
+
+TEST(Constraint, DistanceIntersection) {
+  EXPECT_EQ(Constraint::distance(2).intersect(Constraint::distance(2)),
+            Constraint::distance(2));
+  EXPECT_TRUE(
+      Constraint::distance(2).intersect(Constraint::distance(3)).isEmpty());
+}
+
+TEST(Constraint, PointIntersections) {
+  Constraint P = Constraint::point(2, 3);
+  EXPECT_EQ(P.intersect(Constraint::point(2, 3)), P);
+  EXPECT_TRUE(P.intersect(Constraint::point(2, 4)).isEmpty());
+  EXPECT_EQ(P.intersect(Constraint::distance(1)), P);
+  EXPECT_TRUE(P.intersect(Constraint::distance(2)).isEmpty());
+  EXPECT_EQ(Constraint::line(1, 1, 5).intersect(P), P);
+}
+
+TEST(Constraint, LineLineIntersectionToPoint) {
+  // The paper's key refinement: i' = i + 1 and i + i' = 5 meet at the
+  // point (2, 3).
+  Constraint C =
+      Constraint::distance(1).intersect(Constraint::line(1, 1, 5));
+  EXPECT_EQ(C, Constraint::point(2, 3));
+}
+
+TEST(Constraint, LineLineNonIntegralIsEmpty) {
+  // i' = i and i + i' = 5 would need i = 5/2: independence.
+  Constraint C =
+      Constraint::distance(0).intersect(Constraint::line(1, 1, 5));
+  EXPECT_TRUE(C.isEmpty());
+}
+
+TEST(Constraint, ParallelDistinctLinesAreEmpty) {
+  EXPECT_TRUE(Constraint::distance(1).intersect(Constraint::distance(2))
+                  .isEmpty());
+  EXPECT_TRUE(Constraint::line(1, 1, 4).intersect(Constraint::line(1, 1, 6))
+                  .isEmpty());
+}
+
+TEST(Constraint, IdenticalLinesKept) {
+  Constraint L = Constraint::line(1, 2, 3);
+  EXPECT_EQ(L.intersect(Constraint::line(2, 4, 6)), L);
+}
+
+TEST(Constraint, AxisLines) {
+  // i = 4 and i' = 9 intersect at point (4, 9).
+  Constraint C =
+      Constraint::line(1, 0, 4).intersect(Constraint::line(0, 1, 9));
+  EXPECT_EQ(C, Constraint::point(4, 9));
+}
+
+TEST(Constraint, Str) {
+  EXPECT_EQ(Constraint::any().str(), "any");
+  EXPECT_EQ(Constraint::empty().str(), "empty");
+  EXPECT_EQ(Constraint::distance(-2).str(), "dist -2");
+  EXPECT_EQ(Constraint::point(1, 2).str(), "point (1, 2)");
+  EXPECT_EQ(Constraint::line(1, 1, 10).str(), "line i + i' = 10");
+  EXPECT_EQ(Constraint::line(2, -3, 1).str(), "line 2*i - 3*i' = 1");
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice properties (parameterized sweep)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<Constraint> sampleConstraints() {
+  return {Constraint::any(),
+          Constraint::empty(),
+          Constraint::distance(0),
+          Constraint::distance(1),
+          Constraint::distance(-3),
+          Constraint::point(2, 3),
+          Constraint::point(0, 0),
+          Constraint::line(1, 1, 5),
+          Constraint::line(1, 1, 4),
+          Constraint::line(2, -1, 0),
+          Constraint::line(1, 0, 2),
+          Constraint::line(0, 1, 3)};
+}
+
+} // namespace
+
+class ConstraintLatticeTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConstraintLatticeTest, IntersectionCommutes) {
+  std::vector<Constraint> CS = sampleConstraints();
+  const Constraint &A = CS[std::get<0>(GetParam())];
+  const Constraint &B = CS[std::get<1>(GetParam())];
+  EXPECT_EQ(A.intersect(B), B.intersect(A)) << A.str() << " ^ " << B.str();
+}
+
+TEST_P(ConstraintLatticeTest, IntersectionSound) {
+  // Every integer point in [-6, 6]^2 contained in both inputs must be
+  // contained in the meet, and vice versa.
+  std::vector<Constraint> CS = sampleConstraints();
+  const Constraint &A = CS[std::get<0>(GetParam())];
+  const Constraint &B = CS[std::get<1>(GetParam())];
+  Constraint M = A.intersect(B);
+  for (int64_t X = -6; X <= 6; ++X)
+    for (int64_t Y = -6; Y <= 6; ++Y)
+      EXPECT_EQ(M.contains(X, Y), A.contains(X, Y) && B.contains(X, Y))
+          << A.str() << " ^ " << B.str() << " at (" << X << ", " << Y << ")";
+}
+
+TEST_P(ConstraintLatticeTest, Idempotent) {
+  std::vector<Constraint> CS = sampleConstraints();
+  const Constraint &A = CS[std::get<0>(GetParam())];
+  EXPECT_EQ(A.intersect(A), A);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ConstraintLatticeTest,
+    ::testing::Combine(::testing::Range(0, 12), ::testing::Range(0, 12)));

@@ -1,0 +1,186 @@
+//===- tests/core/DeltaAdvancedTest.cpp --------------------------------------===//
+//
+// Advanced Delta test scenarios: larger coupled groups, longer
+// propagation chains, mixed constraint kinds, and a coupled-only
+// randomized exactness sweep against the oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DeltaTest.h"
+
+#include "../TestHelpers.h"
+#include "core/Oracle.h"
+#include "driver/WorkloadGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+LinearExpr idx(const char *N, int64_t C = 1) {
+  return LinearExpr::index(N, C);
+}
+
+} // namespace
+
+TEST(DeltaAdvanced, ThreeSubscriptGroupAllConsistent) {
+  // A(i+1, i+2, i+3) vs A(i, i+1, i+2): distance 1 in each dimension.
+  LoopNestContext Ctx = singleLoop("i", 1, 20);
+  std::vector<SubscriptPair> Group = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i") + LinearExpr(2), idx("i") + LinearExpr(1), 1),
+      SubscriptPair(idx("i") + LinearExpr(3), idx("i") + LinearExpr(2), 2)};
+  DeltaResult R = runDeltaTest(Group, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Dependent);
+  EXPECT_TRUE(R.Exact);
+  ASSERT_EQ(R.Vectors.size(), 1u);
+  EXPECT_EQ(R.Vectors[0].Distances[0], std::optional<int64_t>(1));
+}
+
+TEST(DeltaAdvanced, ThirdSubscriptContradicts) {
+  // Distances 1, 1, then 2: empty intersection on the last member.
+  LoopNestContext Ctx = singleLoop("i", 1, 20);
+  std::vector<SubscriptPair> Group = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i") + LinearExpr(2), idx("i") + LinearExpr(1), 1),
+      SubscriptPair(idx("i") + LinearExpr(2), idx("i"), 2)};
+  DeltaResult R = runDeltaTest(Group, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::Delta);
+}
+
+TEST(DeltaAdvanced, TwoStagePropagationChain) {
+  // dim1 pins d_i = 1; substituting into dim2 (i,j coupled) pins
+  // d_j = 2; substituting into dim3 (j,k coupled) pins d_k = -2.
+  LoopNestContext Ctx = LoopNestContext(
+      {[] {
+         LoopBounds B;
+         B.Index = "i";
+         B.Lower = LinearExpr(1);
+         B.Upper = LinearExpr(30);
+         return B;
+       }(),
+       [] {
+         LoopBounds B;
+         B.Index = "j";
+         B.Lower = LinearExpr(1);
+         B.Upper = LinearExpr(30);
+         return B;
+       }(),
+       [] {
+         LoopBounds B;
+         B.Index = "k";
+         B.Lower = LinearExpr(1);
+         B.Upper = LinearExpr(30);
+         return B;
+       }()},
+      SymbolRangeMap());
+  std::vector<SubscriptPair> Group = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      // i + j + 3 = i' + j'  =>  with i' = i+1: j' = j + 2.
+      SubscriptPair(idx("i") + idx("j") + LinearExpr(3),
+                    idx("i") + idx("j"), 1),
+      // j + k = j' + k'  =>  with j' = j+2: k' = k - 2.
+      SubscriptPair(idx("j") + idx("k"), idx("j") + idx("k"), 2)};
+  DeltaResult R = runDeltaTest(Group, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Dependent);
+  EXPECT_TRUE(R.Exact);
+  ASSERT_EQ(R.Vectors.size(), 1u);
+  EXPECT_EQ(R.Vectors[0].Distances[0], std::optional<int64_t>(1));
+  EXPECT_EQ(R.Vectors[0].Distances[1], std::optional<int64_t>(2));
+  EXPECT_EQ(R.Vectors[0].Distances[2], std::optional<int64_t>(-2));
+  EXPECT_GE(R.Passes, 3u);
+}
+
+TEST(DeltaAdvanced, PropagationChainHitsRangeLimit) {
+  // Same chain, but the loop only spans 2 iterations: the d_j = 2
+  // distance exceeds U - L = 1 during the retest.
+  LoopNestContext Ctx = doubleLoop("i", 1, 30, "j", 1, 2);
+  std::vector<SubscriptPair> Group = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i") + idx("j") + LinearExpr(3),
+                    idx("i") + idx("j"), 1)};
+  DeltaResult R = runDeltaTest(Group, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+}
+
+TEST(DeltaAdvanced, WeakZeroPointThenLineConsistent) {
+  // dim1 pins the source at i = 4 (weak-zero); dim2's crossing line
+  // i + i' = 9 then pins the sink at 5: point (4, 5), in range.
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Group = {
+      SubscriptPair(idx("i"), LinearExpr(4), 0),
+      SubscriptPair(idx("i"), idx("i", -1) + LinearExpr(9), 1)};
+  DeltaResult R = runDeltaTest(Group, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Dependent);
+  ASSERT_TRUE(R.Constraints.count("i"));
+  EXPECT_EQ(R.Constraints.at("i"), Constraint::point(4, 5));
+  ASSERT_EQ(R.Vectors.size(), 1u);
+  EXPECT_EQ(R.Vectors[0].Distances[0], std::optional<int64_t>(1));
+}
+
+TEST(DeltaAdvanced, WeakZeroBothSidesContradict) {
+  // dim1 pins source i = 3 (line i = 3); dim2 pins sink i' = 3
+  // (line i' = 3) => point (3, 3); dim3 requires d = 1: contradiction.
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  std::vector<SubscriptPair> Group = {
+      SubscriptPair(idx("i"), LinearExpr(3), 0),
+      SubscriptPair(LinearExpr(3), idx("i"), 1),
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 2)};
+  DeltaResult R = runDeltaTest(Group, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+}
+
+TEST(DeltaAdvanced, ResidualVectorsIntersect) {
+  // One exact member (d_i = 1) plus one residual MIV member whose
+  // Banerjee vectors must be intersected with the distance filter.
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  std::vector<SubscriptPair> Group = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i", 2) + idx("j"), idx("i") + idx("j", 2), 1)};
+  DeltaResult R = runDeltaTest(Group, Ctx);
+  EXPECT_NE(R.TheVerdict, Verdict::Independent);
+  for (const DependenceVector &V : R.Vectors) {
+    EXPECT_EQ(V.Distances[0], std::optional<int64_t>(1));
+    EXPECT_EQ(V.Directions[0], DirLT);
+  }
+}
+
+TEST(DeltaAdvanced, RandomCoupledExactness) {
+  // Coupled-only populations: the Delta verdicts must match the
+  // oracle whenever the result claims exactness, and never contradict
+  // it otherwise.
+  std::mt19937_64 Rng(424242);
+  WorkloadConfig Config;
+  Config.Depth = 1;
+  Config.NumDims = 3;
+  Config.IndexUseProb = 0.95;
+  Config.MaxBound = 7;
+  unsigned Groups = 0;
+  for (unsigned N = 0; N != 600; ++N) {
+    RandomCase Case = generateRandomCase(Rng, Config);
+    // Keep only genuinely coupled groups.
+    bool AllUseIndex = true;
+    for (const SubscriptPair &P : Case.Subscripts)
+      AllUseIndex &= !P.indices().empty();
+    if (!AllUseIndex)
+      continue;
+    ++Groups;
+    std::optional<OracleResult> Truth =
+        enumerateDependences(Case.Subscripts, Case.Ctx);
+    ASSERT_TRUE(Truth.has_value());
+    DeltaResult R = runDeltaTest(Case.Subscripts, Case.Ctx);
+    if (R.TheVerdict == Verdict::Independent) {
+      EXPECT_FALSE(Truth->Dependent);
+    } else if (R.TheVerdict == Verdict::Dependent && R.Exact) {
+      EXPECT_TRUE(Truth->Dependent);
+    }
+    if (R.TheVerdict != Verdict::Independent) {
+      for (const std::vector<int> &Tuple : Truth->DirectionTuples)
+        EXPECT_TRUE(vectorsAdmitTuple(R.Vectors, Tuple));
+    }
+  }
+  EXPECT_GT(Groups, 200u);
+}

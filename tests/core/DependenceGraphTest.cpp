@@ -1,0 +1,237 @@
+//===- tests/core/DependenceGraphTest.cpp -------------------------------------===//
+//
+// End-to-end dependence graph tests over parsed programs, including
+// orientation (forward/reversed vectors), dependence kinds, carriers,
+// and loop-independent dependences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DependenceGraph.h"
+
+#include "../TestHelpers.h"
+#include "driver/Analyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+/// Analyzes with default options (normalization, IV substitution,
+/// symbols at least 1).
+AnalysisResult analyze(const std::string &Source) {
+  AnalysisResult R = analyzeSource(Source, "test");
+  EXPECT_TRUE(R.Parsed);
+  return R;
+}
+
+unsigned countKind(const DependenceGraph &G, DependenceKind K) {
+  unsigned N = 0;
+  for (const Dependence &D : G.dependences())
+    N += D.Kind == K;
+  return N;
+}
+
+} // namespace
+
+TEST(DependenceGraph, FlowRecurrence) {
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  a(i) = a(i-1) + 1
+end do
+)");
+  ASSERT_EQ(R.Graph.dependences().size(), 1u);
+  const Dependence &D = R.Graph.dependences()[0];
+  EXPECT_EQ(D.Kind, DependenceKind::Flow);
+  ASSERT_TRUE(D.CarriedLevel.has_value());
+  EXPECT_EQ(*D.CarriedLevel, 0u);
+  EXPECT_EQ(D.Vector.Distances[0], std::optional<int64_t>(1));
+  // The write is the source even though the read appears first
+  // textually (reversed orientation).
+  EXPECT_TRUE(R.Graph.accesses()[D.Source].IsWrite);
+}
+
+TEST(DependenceGraph, AntiDependence) {
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  a(i) = a(i+1) + 1
+end do
+)");
+  ASSERT_EQ(R.Graph.dependences().size(), 1u);
+  const Dependence &D = R.Graph.dependences()[0];
+  EXPECT_EQ(D.Kind, DependenceKind::Anti);
+  EXPECT_EQ(D.Vector.Distances[0], std::optional<int64_t>(1));
+  EXPECT_FALSE(R.Graph.accesses()[D.Source].IsWrite);
+}
+
+TEST(DependenceGraph, LoopIndependentFlow) {
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  a(i) = 1
+  b(i) = a(i)
+end do
+)");
+  ASSERT_EQ(R.Graph.dependences().size(), 1u);
+  const Dependence &D = R.Graph.dependences()[0];
+  EXPECT_EQ(D.Kind, DependenceKind::Flow);
+  EXPECT_TRUE(D.isLoopIndependent());
+  EXPECT_TRUE(R.Graph.accesses()[D.Source].IsWrite);
+}
+
+TEST(DependenceGraph, OutputDependence) {
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  a(i) = 1
+  a(i) = 2
+end do
+)");
+  ASSERT_EQ(countKind(R.Graph, DependenceKind::Output), 1u);
+  const Dependence &D = R.Graph.dependences()[0];
+  EXPECT_TRUE(D.isLoopIndependent());
+}
+
+TEST(DependenceGraph, IndependentColumns) {
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  a(2*i) = a(2*i+1) + 1
+end do
+)");
+  EXPECT_TRUE(R.Graph.dependences().empty());
+  EXPECT_EQ(R.Stats.IndependentPairs, 1u);
+}
+
+TEST(DependenceGraph, ParallelInnerSerialOuter) {
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  do j = 1, 100
+    a(i, j) = a(i-1, j) + 1
+  end do
+end do
+)");
+  std::vector<const DoLoop *> Loops = R.Graph.allLoops();
+  ASSERT_EQ(Loops.size(), 2u);
+  EXPECT_FALSE(R.Graph.isLoopParallel(Loops[0]));
+  EXPECT_TRUE(R.Graph.isLoopParallel(Loops[1]));
+}
+
+TEST(DependenceGraph, CrossingDependencesBothWays) {
+  // a(i) = a(n-i+1): anti and flow components cross the middle.
+  AnalysisResult R = analyze(R"(
+do i = 1, 9
+  a(i) = a(10-i) + 1
+end do
+)");
+  // i + i' = 10: crossing point 5; both '<' (flow from write to later
+  // read? check kinds exist) and '>' components.
+  EXPECT_FALSE(R.Graph.dependences().empty());
+  bool SawFlow = false, SawAnti = false;
+  for (const Dependence &D : R.Graph.dependences()) {
+    SawFlow |= D.Kind == DependenceKind::Flow;
+    SawAnti |= D.Kind == DependenceKind::Anti;
+  }
+  EXPECT_TRUE(SawFlow);
+  EXPECT_TRUE(SawAnti);
+}
+
+TEST(DependenceGraph, InputDependencesOptIn) {
+  const char *Source = R"(
+do i = 1, 100
+  b(i) = a(i) + a(i)
+end do
+)";
+  AnalyzerOptions Options;
+  AnalysisResult Without = analyzeSource(Source, "t", Options);
+  EXPECT_EQ(countKind(Without.Graph, DependenceKind::Input), 0u);
+  Options.IncludeInputDeps = true;
+  AnalysisResult With = analyzeSource(Source, "t", Options);
+  EXPECT_GE(countKind(With.Graph, DependenceKind::Input), 1u);
+}
+
+TEST(DependenceGraph, SkewedNestDistances) {
+  // The paper's simplified Livermore kernel: distances (1,0) and (0,1).
+  AnalysisResult R = analyze(R"(
+do j = 1, 50
+  do i = 1, 50
+    a(i, j) = a(i-1, j) + a(i, j-1)
+  end do
+end do
+)");
+  std::set<std::pair<int64_t, int64_t>> Dists;
+  for (const Dependence &D : R.Graph.dependences()) {
+    if (D.Kind != DependenceKind::Flow)
+      continue;
+    ASSERT_EQ(D.Vector.depth(), 2u);
+    ASSERT_TRUE(D.Vector.Distances[0].has_value());
+    ASSERT_TRUE(D.Vector.Distances[1].has_value());
+    Dists.insert({*D.Vector.Distances[0], *D.Vector.Distances[1]});
+  }
+  EXPECT_TRUE(Dists.count({0, 1}));
+  EXPECT_TRUE(Dists.count({1, 0}));
+}
+
+TEST(DependenceGraph, ReportMentionsEverything) {
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  a(i) = a(i-1) + 1
+end do
+)");
+  std::string S = R.Graph.str();
+  EXPECT_NE(S.find("flow dependence"), std::string::npos);
+  EXPECT_NE(S.find("carried by loop i"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// orientVectors
+//===----------------------------------------------------------------------===//
+
+TEST(OrientVectors, PureForward) {
+  DependenceVector V(2);
+  V.Directions = {DirLT, DirEQ};
+  std::vector<OrientedVector> O = orientVectors(V);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_FALSE(O[0].Reversed);
+  EXPECT_EQ(O[0].CarriedLevel, std::optional<unsigned>(0));
+}
+
+TEST(OrientVectors, PureBackwardMirrors) {
+  DependenceVector V(2);
+  V.Directions = {DirGT, DirLT};
+  V.Distances[0] = -2;
+  V.Distances[1] = 3;
+  std::vector<OrientedVector> O = orientVectors(V);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_TRUE(O[0].Reversed);
+  EXPECT_EQ(O[0].Vector.Directions[0], DirLT);
+  EXPECT_EQ(O[0].Vector.Distances[0], std::optional<int64_t>(2));
+  EXPECT_EQ(O[0].Vector.Directions[1], DirGT);
+  EXPECT_EQ(O[0].Vector.Distances[1], std::optional<int64_t>(-3));
+}
+
+TEST(OrientVectors, StarSplitsThreeWays) {
+  DependenceVector V(1);
+  V.Directions = {DirAll};
+  std::vector<OrientedVector> O = orientVectors(V);
+  // '<' component, '>' component, and the all-'=' component.
+  ASSERT_EQ(O.size(), 3u);
+  EXPECT_EQ(O[0].CarriedLevel, std::optional<unsigned>(0));
+  EXPECT_FALSE(O[0].Reversed);
+  EXPECT_TRUE(O[1].Reversed);
+  EXPECT_FALSE(O[2].CarriedLevel.has_value());
+}
+
+TEST(OrientVectors, NonZeroDistanceStopsEqualPrefix) {
+  DependenceVector V(2);
+  V.Directions = {DirEQ, DirLT};
+  V.Distances[0] = 1; // Contradicts '=': nothing beyond level 0.
+  std::vector<OrientedVector> O = orientVectors(V);
+  EXPECT_TRUE(O.empty());
+}
+
+TEST(OrientVectors, SecondLevelCarrier) {
+  DependenceVector V(2);
+  V.Directions = {DirEQ, DirLT};
+  std::vector<OrientedVector> O = orientVectors(V);
+  ASSERT_EQ(O.size(), 1u);
+  EXPECT_EQ(O[0].CarriedLevel, std::optional<unsigned>(1));
+}

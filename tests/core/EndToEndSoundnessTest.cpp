@@ -1,0 +1,143 @@
+//===- tests/core/EndToEndSoundnessTest.cpp -------------------------------===//
+//
+// The strongest property in the suite: run real programs through the
+// whole static pipeline AND through the reference interpreter, then
+// check that every *dynamic* conflict (two accesses touching the same
+// element, at least one write) is covered by a dependence-graph edge
+// whose vector admits the observed per-level direction. A single
+// uncovered conflict would mean the analysis could license an illegal
+// transformation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DependenceGraph.h"
+#include "driver/Corpus.h"
+#include "driver/Interpreter.h"
+#include "driver/WorkloadGenerator.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace pdt;
+
+namespace {
+
+/// Checks trace-vs-graph coverage for one program. \p Symbols provides
+/// both the interpreter's symbol values and (as point ranges) the
+/// analysis assumptions, so both sides see the same world.
+void checkCoverage(const Program &P,
+                   const std::map<std::string, int64_t> &Symbols,
+                   const std::string &Label) {
+  InterpreterOptions Exec;
+  Exec.Symbols = Symbols;
+  Exec.MaxAccesses = 200'000;
+  ExecutionTrace Trace = interpret(P, Exec);
+  if (!Trace.OK)
+    return; // Budget or arithmetic trouble: nothing to check.
+
+  SymbolRangeMap Ranges;
+  for (const auto &[Name, Value] : Symbols)
+    Ranges[Name] = Interval::point(Value);
+  DependenceGraph G =
+      DependenceGraph::build(P, Ranges, nullptr, /*IncludeInput=*/false);
+
+  // Group dynamic accesses by touched element.
+  std::map<std::pair<std::string, std::vector<int64_t>>,
+           std::vector<const RecordedAccess *>>
+      ByCell;
+  for (const RecordedAccess &A : Trace.Accesses)
+    ByCell[{A.Array, A.Indices}].push_back(&A);
+
+  auto Covered = [&G](unsigned Src, unsigned Snk,
+                      const std::vector<int> &Tuple) {
+    for (const Dependence &D : G.dependences()) {
+      if (D.Source != Src || D.Sink != Snk)
+        continue;
+      if (D.Vector.depth() != Tuple.size())
+        continue;
+      bool OK = true;
+      for (unsigned L = 0; L != Tuple.size() && OK; ++L) {
+        DirectionSet Need = Tuple[L] < 0   ? DirLT
+                            : Tuple[L] > 0 ? DirGT
+                                           : DirEQ;
+        if (!(D.Vector.Directions[L] & Need))
+          OK = false;
+      }
+      if (OK)
+        return true;
+    }
+    return false;
+  };
+
+  unsigned Checked = 0;
+  for (const auto &[Cell, List] : ByCell) {
+    for (unsigned I = 0; I != List.size(); ++I) {
+      for (unsigned J = I + 1; J != List.size(); ++J) {
+        const RecordedAccess &A = *List[I]; // Earlier in time.
+        const RecordedAccess &B = *List[J];
+        if (!A.IsWrite && !B.IsWrite)
+          continue;
+        // Direction tuple over the common loop prefix.
+        const ArrayAccess &SA = G.accesses()[A.AccessIndex];
+        const ArrayAccess &SB = G.accesses()[B.AccessIndex];
+        unsigned Common = commonLoops(SA, SB).size();
+        std::vector<int> Tuple;
+        bool SamePoint = A.AccessIndex == B.AccessIndex;
+        for (unsigned L = 0; L != Common; ++L) {
+          int64_t D = B.Iteration[L] - A.Iteration[L];
+          Tuple.push_back(D > 0 ? -1 : (D < 0 ? 1 : 0));
+          SamePoint &= D == 0;
+        }
+        if (SamePoint)
+          continue; // The same dynamic instance, not a dependence.
+        ++Checked;
+        EXPECT_TRUE(Covered(A.AccessIndex, B.AccessIndex, Tuple))
+            << Label << ": uncovered conflict on " << A.Array
+            << " between access " << A.AccessIndex << " and "
+            << B.AccessIndex;
+        if (::testing::Test::HasFailure())
+          return; // One report is enough.
+      }
+    }
+  }
+  (void)Checked;
+}
+
+} // namespace
+
+TEST(EndToEndSoundness, CorpusKernels) {
+  std::map<std::string, int64_t> Symbols;
+  // Small, distinct values keep traces small and expose aliasing.
+  const char *Names[] = {"n",  "m",  "k",  "l",  "jl", "il", "kn",
+                         "jn", "ns", "nw", "da", "q",  "r",  "t"};
+  int64_t V = 5;
+  for (const char *N : Names)
+    Symbols[N] = V++ % 7 + 3;
+  for (const CorpusKernel &K : corpus()) {
+    ParseResult R = parseProgram(K.Source, K.Name);
+    ASSERT_TRUE(R.succeeded()) << K.Name;
+    checkCoverage(*R.Prog, Symbols, K.Name);
+    if (::testing::Test::HasFailure())
+      return;
+  }
+}
+
+class RandomProgramSoundness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomProgramSoundness, DynamicConflictsCovered) {
+  std::mt19937_64 Rng(GetParam() * 7541 + 77);
+  std::map<std::string, int64_t> Symbols{{"n", 5}};
+  for (unsigned N = 0; N != 20; ++N) {
+    std::string Source = generateRandomProgramSource(Rng, 2, 3, 3);
+    ParseResult R = parseProgram(Source, "random");
+    ASSERT_TRUE(R.succeeded()) << Source;
+    checkCoverage(*R.Prog, Symbols, "random program:\n" + Source);
+    if (::testing::Test::HasFailure())
+      return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramSoundness,
+                         ::testing::Range(0u, 6u));

@@ -1,0 +1,190 @@
+//===- tests/core/GraphAdvancedTest.cpp --------------------------------------===//
+//
+// Advanced dependence-graph scenarios: imperfect nests, self output
+// dependences, cross-nest dependences, and interaction with the
+// analyses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DependenceGraph.h"
+
+#include "../TestHelpers.h"
+#include "driver/Analyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+AnalysisResult analyze(const char *Source) {
+  AnalysisResult R = analyzeSource(Source, "t");
+  EXPECT_TRUE(R.Parsed);
+  return R;
+}
+
+} // namespace
+
+TEST(GraphAdvanced, ConstantSubscriptSelfOutputDependence) {
+  // Every iteration writes a(5): the loop must not be parallel.
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  a(5) = b(i)
+end do
+)");
+  std::vector<const DoLoop *> Loops = R.Graph.allLoops();
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_FALSE(R.Graph.isLoopParallel(Loops[0]));
+  bool SawOutput = false;
+  for (const Dependence &D : R.Graph.dependences())
+    SawOutput |= D.Kind == DependenceKind::Output && D.Source == D.Sink;
+  EXPECT_TRUE(SawOutput);
+}
+
+TEST(GraphAdvanced, PartialSelfOutputInOuterLoop) {
+  // a(j) written for every i: the i loop carries a self output
+  // dependence, the j loop does not.
+  AnalysisResult R = analyze(R"(
+do i = 1, 100
+  do j = 1, 100
+    a(j) = a(j) + b(i, j)
+  end do
+end do
+)");
+  std::vector<const DoLoop *> Loops = R.Graph.allLoops();
+  ASSERT_EQ(Loops.size(), 2u);
+  EXPECT_FALSE(R.Graph.isLoopParallel(Loops[0])); // i carries.
+  EXPECT_TRUE(R.Graph.isLoopParallel(Loops[1]));  // j independent.
+}
+
+TEST(GraphAdvanced, ImperfectNestStatementLevels) {
+  // The outer statement only shares the i loop with the inner one.
+  AnalysisResult R = analyze(R"(
+do i = 2, 100
+  s(i) = s(i-1) + 1
+  do j = 1, 50
+    t(i, j) = s(i) + j
+  end do
+end do
+)");
+  bool SawDepthOne = false, SawLoopIndependent = false;
+  for (const Dependence &D : R.Graph.dependences()) {
+    if (D.Vector.depth() == 1 && D.CarriedLevel)
+      SawDepthOne = true;
+    // s(i) write -> s(i) read inside the j loop: common nest depth 1,
+    // loop-independent at the i level.
+    if (D.Vector.depth() == 1 && !D.CarriedLevel)
+      SawLoopIndependent = true;
+  }
+  EXPECT_TRUE(SawDepthOne);
+  EXPECT_TRUE(SawLoopIndependent);
+}
+
+TEST(GraphAdvanced, CrossNestDependence) {
+  // Producer nest then consumer nest: no common loops, so the
+  // dependence is loop-independent with an empty vector.
+  AnalysisResult R = analyze(R"(
+do i = 1, 50
+  a(i) = i
+end do
+do j = 1, 50
+  b(j) = a(j)
+end do
+)");
+  ASSERT_EQ(R.Graph.dependences().size(), 1u);
+  const Dependence &D = R.Graph.dependences()[0];
+  EXPECT_EQ(D.Kind, DependenceKind::Flow);
+  EXPECT_TRUE(D.isLoopIndependent());
+  EXPECT_EQ(D.Vector.depth(), 0u);
+  // Both loops remain parallel: the dependence crosses them.
+  for (const DoLoop *L : R.Graph.allLoops())
+    EXPECT_TRUE(R.Graph.isLoopParallel(L));
+}
+
+TEST(GraphAdvanced, ReversedCrossNestOrderHasNoBackwardEdge) {
+  // Consumer before producer textually: the "flow" can only be the
+  // (absent) previous execution; analysis must not invent a backward
+  // loop-independent edge. It reports the anti edge read->write.
+  AnalysisResult R = analyze(R"(
+do i = 1, 50
+  b(i) = a(i)
+end do
+do j = 1, 50
+  a(j) = j
+end do
+)");
+  ASSERT_EQ(R.Graph.dependences().size(), 1u);
+  const Dependence &D = R.Graph.dependences()[0];
+  EXPECT_EQ(D.Kind, DependenceKind::Anti);
+  EXPECT_FALSE(R.Graph.accesses()[D.Source].IsWrite);
+}
+
+TEST(GraphAdvanced, MultipleArraysIndependentGraphs) {
+  AnalysisResult R = analyze(R"(
+do i = 2, 100
+  a(i) = a(i-1) + 1
+  b(i) = c(i) + 1
+end do
+)");
+  // Only the a-recurrence produces an edge.
+  ASSERT_EQ(R.Graph.dependences().size(), 1u);
+  EXPECT_EQ(R.Graph.accesses()[R.Graph.dependences()[0].Source]
+                .Ref->getArrayName(),
+            "a");
+}
+
+TEST(GraphAdvanced, TriangularNestCarriedDependence) {
+  AnalysisResult R = analyze(R"(
+do i = 1, 50
+  do j = 1, i
+    a(i, j) = a(i-1, j) + 1
+  end do
+end do
+)");
+  ASSERT_FALSE(R.Graph.dependences().empty());
+  const Dependence &D = R.Graph.dependences()[0];
+  ASSERT_TRUE(D.CarriedLevel.has_value());
+  EXPECT_EQ(*D.CarriedLevel, 0u);
+  EXPECT_EQ(D.Vector.Distances[0], std::optional<int64_t>(1));
+}
+
+TEST(GraphAdvanced, StridedLoopAfterNormalization) {
+  // do i = 1, 99, 2: a(i) = a(i+2): distance 2 in original iterations
+  // = distance 1 in normalized iterations.
+  AnalysisResult R = analyze(R"(
+do i = 1, 99, 2
+  a(i) = a(i+2) + 1
+end do
+)");
+  ASSERT_EQ(R.Graph.dependences().size(), 1u);
+  const Dependence &D = R.Graph.dependences()[0];
+  EXPECT_EQ(D.Kind, DependenceKind::Anti);
+  EXPECT_EQ(D.Vector.Distances[0], std::optional<int64_t>(1));
+}
+
+TEST(GraphAdvanced, StridedLoopsDoNotAlias) {
+  // Odd writes vs even reads under stride 2.
+  AnalysisResult R = analyze(R"(
+do i = 1, 99, 2
+  a(i) = a(i+1) + 1
+end do
+)");
+  EXPECT_TRUE(R.Graph.dependences().empty());
+  EXPECT_EQ(R.Stats.IndependentPairs, 1u);
+}
+
+TEST(GraphAdvanced, InputDependencesHaveKind) {
+  AnalyzerOptions Options;
+  Options.IncludeInputDeps = true;
+  AnalysisResult R = analyzeSource(R"(
+do i = 2, 100
+  b(i) = a(i) + a(i-1)
+end do
+)", "t", Options);
+  ASSERT_TRUE(R.Parsed);
+  bool SawInput = false;
+  for (const Dependence &D : R.Graph.dependences())
+    SawInput |= D.Kind == DependenceKind::Input;
+  EXPECT_TRUE(SawInput);
+}

@@ -1,0 +1,203 @@
+//===- tests/core/MIVTestsTest.cpp ------------------------------------------===//
+//
+// Unit tests for the GCD test and Banerjee's inequalities with
+// direction-vector refinement (paper section 4.4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MIVTests.h"
+
+#include "../TestHelpers.h"
+#include "core/Subscript.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+LinearExpr idx(const char *N, int64_t C = 1) {
+  return LinearExpr::index(N, C);
+}
+
+LinearExpr eq(const LinearExpr &Src, const LinearExpr &Dst) {
+  return SubscriptPair(Src, Dst).equation();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// GCD
+//===----------------------------------------------------------------------===//
+
+TEST(GCDTest, PaperExample) {
+  // 2i - 2j' = 5: gcd 2 does not divide 5 (the section 5 example after
+  // propagation).
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  MIVResult R = testGCD(
+      eq(idx("i", 2) + idx("j", 2), idx("i", 2) + idx("j", 4) + LinearExpr(5)),
+      Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+}
+
+TEST(GCDTest, DivisibleIsMaybe) {
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  MIVResult R =
+      testGCD(eq(idx("i", 2) + idx("j", 4), idx("j", 2) + LinearExpr(6)), Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Maybe);
+}
+
+TEST(GCDTest, SymbolWithDivisibleCoefficientStillApplies) {
+  // 2i - 2j' + 2n + 1 = 0: residue 1 mod 2 regardless of n.
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  LinearExpr Eq = eq(idx("i", 2) + LinearExpr::symbol("n", 2),
+                     idx("j", 2) - LinearExpr(1));
+  MIVResult R = testGCD(Eq, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+}
+
+TEST(GCDTest, SymbolWithIndivisibleCoefficientInconclusive) {
+  // 2i - 2j' + n + 1 = 0: n can absorb any residue.
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  LinearExpr Eq = eq(idx("i", 2) + LinearExpr::symbol("n"),
+                     idx("j", 2) - LinearExpr(1));
+  MIVResult R = testGCD(Eq, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Maybe);
+}
+
+//===----------------------------------------------------------------------===//
+// Banerjee bounds
+//===----------------------------------------------------------------------===//
+
+TEST(BanerjeeBounds, UnconstrainedBox) {
+  // i - j' over i, j in [1, 10]: [-9, 9] under (*, *).
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  LinearExpr Eq = eq(idx("i"), idx("j"));
+  Interval B = banerjeeBounds(Eq, Ctx, {DirAll, DirAll});
+  EXPECT_EQ(B, Interval(-9, 9));
+}
+
+TEST(BanerjeeBounds, EqualDirectionCollapses) {
+  // i - i' under '=': exactly 0.
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  LinearExpr Eq = eq(idx("i"), idx("i"));
+  Interval B = banerjeeBounds(Eq, Ctx, {DirEQ});
+  EXPECT_EQ(B, Interval(0, 0));
+}
+
+TEST(BanerjeeBounds, LessDirectionTriangle) {
+  // h = i - i' with i < i': h in [-9, -1] over [1, 10].
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  LinearExpr Eq = eq(idx("i"), idx("i"));
+  Interval B = banerjeeBounds(Eq, Ctx, {DirLT});
+  EXPECT_EQ(B, Interval(-9, -1));
+}
+
+TEST(BanerjeeBounds, GreaterDirectionTriangle) {
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  LinearExpr Eq = eq(idx("i"), idx("i"));
+  Interval B = banerjeeBounds(Eq, Ctx, {DirGT});
+  EXPECT_EQ(B, Interval(1, 9));
+}
+
+TEST(BanerjeeBounds, SingleIterationLoopForbidsStrictDirections) {
+  LoopNestContext Ctx = singleLoop("i", 3, 3);
+  LinearExpr Eq = eq(idx("i"), idx("i"));
+  EXPECT_TRUE(banerjeeBounds(Eq, Ctx, {DirLT}).isEmpty());
+  EXPECT_TRUE(banerjeeBounds(Eq, Ctx, {DirGT}).isEmpty());
+  EXPECT_FALSE(banerjeeBounds(Eq, Ctx, {DirEQ}).isEmpty());
+}
+
+TEST(BanerjeeBounds, SymbolContribution) {
+  LoopBounds B;
+  B.Index = "i";
+  B.Lower = LinearExpr(1);
+  B.Upper = LinearExpr(10);
+  SymbolRangeMap Symbols;
+  Symbols["n"] = Interval(5, 7);
+  LoopNestContext Ctx({B}, Symbols);
+  // i - i' + n: under '=', [5, 7].
+  LinearExpr Eq = eq(idx("i") + LinearExpr::symbol("n"), idx("i"));
+  EXPECT_EQ(banerjeeBounds(Eq, Ctx, {DirEQ}), Interval(5, 7));
+}
+
+//===----------------------------------------------------------------------===//
+// Banerjee direction hierarchy
+//===----------------------------------------------------------------------===//
+
+TEST(Banerjee, IndependenceByBounds) {
+  // i + j' = 100 over [1,10]^2: max is 20 < 100... as an equation:
+  // Src = i, Dst = -j + 100: i + j' - 100 = 0.
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  MIVResult R = testBanerjee(
+      eq(idx("i"), idx("j", -1) + LinearExpr(100)), Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+}
+
+TEST(Banerjee, DirectionRefinement) {
+  // i - i' - 2j' + 2 = 0 over i in [1,10], j in [1,10]: feasible, but
+  // i' = i + 2 - 2j' <= i: the '<' direction on i is impossible
+  // (2 - 2j' <= 0), so only '=' (j'=1) and '>' survive.
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  MIVResult R = testBanerjee(
+      eq(idx("i") + LinearExpr(2), idx("i") + idx("j", 2)), Ctx);
+  ASSERT_EQ(R.TheVerdict, Verdict::Maybe);
+  ASSERT_FALSE(R.Vectors.empty());
+  DirectionSet SeenAtI = DirNone;
+  for (const DependenceVector &V : R.Vectors)
+    SeenAtI |= V.Directions[0];
+  EXPECT_FALSE(SeenAtI & DirLT);
+  EXPECT_TRUE(SeenAtI & (DirEQ | DirGT));
+}
+
+TEST(Banerjee, UntouchedLevelsStayStar) {
+  // Equation only involves j; the i level stays '*'.
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  MIVResult R = testBanerjee(
+      eq(idx("j") + idx("i") - idx("i"), idx("j", 2)), Ctx);
+  // Note: i cancels entirely, leaving j - 2j' = 0 (still "MIV" to
+  // Banerjee if called directly).
+  ASSERT_EQ(R.TheVerdict, Verdict::Maybe);
+  for (const DependenceVector &V : R.Vectors)
+    EXPECT_EQ(V.Directions[0], DirAll);
+}
+
+TEST(Banerjee, TriangularNestUsesMaximalRanges) {
+  // Triangular nest: do i = 1, 10 / do j = 1, i. The j range is
+  // [1, 10] maximal. Equation j - j' - 15 = 0 is infeasible.
+  Program P = parseOrDie(R"(
+do i = 1, 10
+  do j = 1, i
+    a(j) = a(j) + 1
+  end do
+end do
+)");
+  LoopNestContext Ctx(firstLoopPath(P), SymbolRangeMap());
+  MIVResult R = testBanerjee(
+      eq(idx("j") + LinearExpr(15), idx("j")), Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+
+  // j - j' - 5 = 0 is feasible in the maximal range.
+  R = testBanerjee(eq(idx("j") + LinearExpr(5), idx("j")), Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Maybe);
+}
+
+TEST(Banerjee, MIVStrategyGCDFirst) {
+  // testMIV runs GCD before Banerjee: parity disproof wins even though
+  // Banerjee bounds are feasible.
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  MIVResult R = testMIV(
+      eq(idx("i", 2) + idx("j", 2), idx("i", 2) + idx("j", 4) + LinearExpr(1)),
+      Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+  EXPECT_EQ(R.Test, TestKind::GCD);
+}
+
+TEST(Banerjee, StatsCounted) {
+  TestStats Stats;
+  LoopNestContext Ctx = doubleLoop("i", 1, 10, "j", 1, 10);
+  testMIV(eq(idx("i") + idx("j"), idx("i")), Ctx, &Stats);
+  EXPECT_EQ(Stats.applications(TestKind::GCD), 1u);
+  EXPECT_EQ(Stats.applications(TestKind::Banerjee), 1u);
+}

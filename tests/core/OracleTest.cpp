@@ -1,0 +1,119 @@
+//===- tests/core/OracleTest.cpp ---------------------------------------------===//
+//
+// Unit tests for the brute-force enumeration oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Oracle.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+LinearExpr idx(const char *N, int64_t C = 1) {
+  return LinearExpr::index(N, C);
+}
+
+} // namespace
+
+TEST(Oracle, SimpleRecurrence) {
+  // <i+1, i> over [1, 5]: pairs (i, i+1) for i in [1, 4].
+  LoopNestContext Ctx = singleLoop("i", 1, 5);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0)};
+  std::optional<OracleResult> R = enumerateDependences(Subs, Ctx);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Dependent);
+  EXPECT_EQ(R->PairCount, 4u);
+  EXPECT_EQ(R->DirectionTuples.size(), 1u);
+  EXPECT_TRUE(R->DirectionTuples.count({-1})); // '<'
+  EXPECT_TRUE(R->DistanceVectors.count({1}));
+}
+
+TEST(Oracle, IndependentParity) {
+  LoopNestContext Ctx = singleLoop("i", 1, 8);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i", 2), idx("i", 2) + LinearExpr(1), 0)};
+  std::optional<OracleResult> R = enumerateDependences(Subs, Ctx);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->Dependent);
+}
+
+TEST(Oracle, MultiDimSimultaneity) {
+  // A(i+1, i) vs A(i, i+1): each dimension alone has solutions, the
+  // conjunction has none. The oracle sees the simultaneity.
+  LoopNestContext Ctx = singleLoop("i", 1, 6);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr(1), idx("i"), 0),
+      SubscriptPair(idx("i"), idx("i") + LinearExpr(1), 1)};
+  std::optional<OracleResult> R = enumerateDependences(Subs, Ctx);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_FALSE(R->Dependent);
+}
+
+TEST(Oracle, TriangularNestEnumeratesExactly) {
+  // do i = 1, 4 / do j = 1, i: iteration count = 10, pairs = 100.
+  LoopBounds I, J;
+  I.Index = "i";
+  I.Lower = LinearExpr(1);
+  I.Upper = LinearExpr(4);
+  J.Index = "j";
+  J.Lower = LinearExpr(1);
+  J.Upper = LinearExpr::index("i");
+  LoopNestContext Ctx({I, J}, SymbolRangeMap());
+  // <j, j>: every iteration pair with equal j.
+  std::vector<SubscriptPair> Subs = {SubscriptPair(idx("j"), idx("j"), 0)};
+  std::optional<OracleResult> R = enumerateDependences(Subs, Ctx);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->Dependent);
+  // j ranges 1..i: pairs with j == j': sum over j of count(i >= j)^2 =
+  // 4^2 + 3^2 + 2^2 + 1^2 = 30.
+  EXPECT_EQ(R->PairCount, 30u);
+}
+
+TEST(Oracle, CrossingDirections) {
+  // <i, -i + 7> over [1, 6]: i + i' = 7, distances odd: directions
+  // both '<' and '>' but never '='.
+  LoopNestContext Ctx = singleLoop("i", 1, 6);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i"), idx("i", -1) + LinearExpr(7), 0)};
+  std::optional<OracleResult> R = enumerateDependences(Subs, Ctx);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->DirectionTuples.count({-1}));
+  EXPECT_TRUE(R->DirectionTuples.count({1}));
+  EXPECT_FALSE(R->DirectionTuples.count({0}));
+}
+
+TEST(Oracle, RejectsSymbolicCases) {
+  LoopNestContext Ctx = singleLoop("i", 1, 5);
+  std::vector<SubscriptPair> Subs = {
+      SubscriptPair(idx("i") + LinearExpr::symbol("n"), idx("i"), 0)};
+  EXPECT_FALSE(enumerateDependences(Subs, Ctx).has_value());
+}
+
+TEST(Oracle, RejectsUnboundedNests) {
+  LoopNestContext Ctx = symbolicLoop("i");
+  std::vector<SubscriptPair> Subs = {SubscriptPair(idx("i"), idx("i"), 0)};
+  EXPECT_FALSE(enumerateDependences(Subs, Ctx).has_value());
+}
+
+TEST(Oracle, BudgetCap) {
+  LoopNestContext Ctx = singleLoop("i", 1, 100);
+  std::vector<SubscriptPair> Subs = {SubscriptPair(idx("i"), idx("i"), 0)};
+  EXPECT_FALSE(enumerateDependences(Subs, Ctx, /*MaxPairs=*/50).has_value());
+}
+
+TEST(Oracle, VectorsAdmitTuple) {
+  DependenceVector V(2);
+  V.Directions = {DirLT, DirEQ | DirGT};
+  std::vector<DependenceVector> Set = {V};
+  EXPECT_TRUE(vectorsAdmitTuple(Set, {-1, 0}));
+  EXPECT_TRUE(vectorsAdmitTuple(Set, {-1, 1}));
+  EXPECT_FALSE(vectorsAdmitTuple(Set, {0, 0}));
+  EXPECT_FALSE(vectorsAdmitTuple(Set, {-1, -1}));
+}

@@ -1,0 +1,173 @@
+//===- tests/core/SIVGeometrySweepTest.cpp ------------------------------------===//
+//
+// Exhaustive geometric sweeps of the single-subscript tests: for every
+// coefficient/constant/box combination in a grid, the exact SIV suite
+// must agree with brute-force enumeration *bidirectionally* (its
+// Dependent/Independent verdicts are claims of exactness), and its
+// direction sets must match the enumerated sign sets precisely.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Oracle.h"
+#include "core/SIVTests.h"
+
+#include "../TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+LinearExpr idx(const char *N, int64_t C = 1) {
+  return LinearExpr::index(N, C);
+}
+
+/// Runs one subscript pair through testSingleSubscript and the oracle;
+/// checks verdict exactness and direction-set equality.
+void checkCase(int64_t A1, int64_t C1, int64_t A2, int64_t C2, int64_t L,
+               int64_t U) {
+  LoopNestContext Ctx = singleLoop("i", L, U);
+  SubscriptPair Pair(idx("i", A1) + LinearExpr(C1),
+                     idx("i", A2) + LinearExpr(C2));
+  LinearExpr Eq = Pair.equation();
+  if (shapeOfEquation(Eq) == SubscriptShape::GeneralMIV)
+    return; // Not single-subscript testable (cannot happen here).
+  SIVResult R = testSingleSubscript(Eq, Ctx);
+  std::optional<OracleResult> Truth = enumerateDependences({Pair}, Ctx);
+  ASSERT_TRUE(Truth.has_value());
+
+  std::string Label = Pair.str() + " over [" + std::to_string(L) + ", " +
+                      std::to_string(U) + "]";
+  if (R.TheVerdict == Verdict::Independent) {
+    EXPECT_FALSE(Truth->Dependent) << "false independence: " << Label;
+    return;
+  }
+  // Finite bounds: the SIV suite must be exact, so Maybe is only
+  // acceptable for ZIV-with-symbols (none here).
+  EXPECT_EQ(R.TheVerdict, Verdict::Dependent) << Label;
+  EXPECT_TRUE(Truth->Dependent) << "false dependence: " << Label;
+
+  if (R.Index.empty())
+    return; // ZIV: no direction claims.
+  DirectionSet Observed = DirNone;
+  for (const std::vector<int> &Tuple : Truth->DirectionTuples) {
+    if (Tuple[0] < 0)
+      Observed |= DirLT;
+    else if (Tuple[0] > 0)
+      Observed |= DirGT;
+    else
+      Observed |= DirEQ;
+  }
+  EXPECT_EQ(R.Directions, Observed)
+      << "direction set mismatch on " << Label << ": test "
+      << directionSetString(R.Directions) << " vs oracle "
+      << directionSetString(Observed);
+
+  if (R.Distance) {
+    // A pinned distance means every dependent pair has it.
+    for (const std::vector<int64_t> &D : Truth->DistanceVectors)
+      EXPECT_EQ(D[0], *R.Distance) << Label;
+  }
+}
+
+} // namespace
+
+/// The grid is partitioned by coefficient pair so failures name their
+/// family; each instance sweeps constants and boxes.
+class SIVGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(SIVGeometrySweep, MatchesOracleExactly) {
+  auto [A1, A2] = GetParam();
+  for (int64_t C1 : {-7, -2, 0, 1, 5, 12}) {
+    for (int64_t C2 : {-5, 0, 3, 9}) {
+      for (auto [L, U] : {std::pair<int64_t, int64_t>{1, 10},
+                          {1, 1},
+                          {-3, 4},
+                          {5, 9}}) {
+        checkCase(A1, C1, A2, C2, L, U);
+        if (::testing::Test::HasFatalFailure())
+          return;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoefficientFamilies, SIVGeometrySweep,
+    ::testing::Values(std::make_tuple(1, 1),   // strong
+                      std::make_tuple(2, 2),   // strong, scaled
+                      std::make_tuple(3, -3),  // weak-crossing
+                      std::make_tuple(1, -1),  // weak-crossing, unit
+                      std::make_tuple(1, 0),   // weak-zero (sink free)
+                      std::make_tuple(0, 2),   // weak-zero (source free)
+                      std::make_tuple(0, 0),   // ZIV
+                      std::make_tuple(2, 3),   // general exact SIV
+                      std::make_tuple(-2, 5),  // general, mixed signs
+                      std::make_tuple(4, 6))); // general, shared factor
+
+//===----------------------------------------------------------------------===//
+// Symbolic edges
+//===----------------------------------------------------------------------===//
+
+TEST(SIVSymbolicEdge, WeakCrossingSymbolicIndependence) {
+  // i + i' = 2n + 30 with n >= 1 in a loop [1, 10]: the sum is at
+  // least 32 > 2U = 20 — independent symbolically.
+  LoopBounds B;
+  B.Index = "i";
+  B.Lower = LinearExpr(1);
+  B.Upper = LinearExpr(10);
+  SymbolRangeMap Symbols;
+  Symbols["n"] = Interval(1, std::nullopt);
+  LoopNestContext Ctx({B}, Symbols);
+  LinearExpr Eq = SubscriptPair(idx("i"), idx("i", -1) +
+                                              LinearExpr::symbol("n", 2) +
+                                              LinearExpr(30))
+                      .equation();
+  SIVResult R = testSIV(Eq, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+  EXPECT_EQ(R.Test, TestKind::SymbolicSIV);
+}
+
+TEST(SIVSymbolicEdge, GeneralSIVSymbolicDisproof) {
+  // 2i = 3i' + n + 40 with i, i' in [1, 5] and n >= 1: LHS <= 10,
+  // RHS >= 44 — the interval check disproves.
+  LoopBounds B;
+  B.Index = "i";
+  B.Lower = LinearExpr(1);
+  B.Upper = LinearExpr(5);
+  SymbolRangeMap Symbols;
+  Symbols["n"] = Interval(1, std::nullopt);
+  LoopNestContext Ctx({B}, Symbols);
+  LinearExpr Eq = SubscriptPair(idx("i", 2),
+                                idx("i", 3) + LinearExpr::symbol("n") +
+                                    LinearExpr(40))
+                      .equation();
+  SIVResult R = testSIV(Eq, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+}
+
+TEST(SIVSymbolicEdge, WeakZeroNonDivisibleSymbolic) {
+  // 2i = n: not expressible as an affine fixed iteration; the test
+  // must stay conservative (Maybe), never claim independence (n may
+  // be even) nor exact dependence.
+  LoopNestContext Ctx = symbolicLoop("i", "n");
+  LinearExpr Eq =
+      SubscriptPair(idx("i", 2), LinearExpr::symbol("n")).equation();
+  SIVResult R = testSIV(Eq, Ctx);
+  EXPECT_EQ(R.TheVerdict, Verdict::Maybe);
+}
+
+TEST(SIVSymbolicEdge, StrongSIVSymbolCancellation) {
+  // <i + n, i + n>: the symbols cancel, distance 0, plain strong SIV.
+  LoopNestContext Ctx = singleLoop("i", 1, 10);
+  LinearExpr Eq = SubscriptPair(idx("i") + LinearExpr::symbol("n"),
+                                idx("i") + LinearExpr::symbol("n"))
+                      .equation();
+  SIVResult R = testSIV(Eq, Ctx);
+  EXPECT_EQ(R.Test, TestKind::StrongSIV);
+  EXPECT_EQ(R.Distance, std::optional<int64_t>(0));
+  EXPECT_TRUE(R.Exact);
+}

@@ -1,0 +1,230 @@
+//===- tests/driver/InterpreterTest.cpp ----------------------------------------===//
+//
+// Unit tests for the reference interpreter, plus the semantic
+// preservation property for every source-to-source transform: the
+// array write sequence and final memory must be unchanged.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Interpreter.h"
+
+#include "ir/AccessCollector.h"
+
+#include "../TestHelpers.h"
+#include "analysis/InductionSubstitution.h"
+#include "analysis/Normalization.h"
+#include "driver/WorkloadGenerator.h"
+#include "ir/PrettyPrinter.h"
+#include "transforms/LoopRestructuring.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+TEST(Interpreter, SimpleLoopWrites) {
+  Program P = parseOrDie(R"(
+do i = 1, 3
+  a(i) = 2*i
+end do
+)");
+  ExecutionTrace T = interpret(P);
+  ASSERT_TRUE(T.OK) << T.Error;
+  ASSERT_EQ(T.Accesses.size(), 3u);
+  EXPECT_EQ(T.Memory["a"][{1}], 2);
+  EXPECT_EQ(T.Memory["a"][{2}], 4);
+  EXPECT_EQ(T.Memory["a"][{3}], 6);
+  EXPECT_TRUE(T.Accesses[0].IsWrite);
+  EXPECT_EQ(T.Accesses[0].Iteration, (std::vector<int64_t>{1}));
+}
+
+TEST(Interpreter, RecurrenceSemantics) {
+  Program P = parseOrDie(R"(
+a(1) = 1
+do i = 2, 5
+  a(i) = a(i-1) + a(i-1)
+end do
+)");
+  ExecutionTrace T = interpret(P);
+  ASSERT_TRUE(T.OK) << T.Error;
+  EXPECT_EQ(T.Memory["a"][{5}], 16); // Doubling: 1,2,4,8,16.
+}
+
+TEST(Interpreter, SymbolValuesAndScalars) {
+  Program P = parseOrDie(R"(
+t = n + 1
+do i = 1, n
+  b(i) = t
+end do
+)");
+  InterpreterOptions Options;
+  Options.Symbols["n"] = 4;
+  ExecutionTrace T = interpret(P, Options);
+  ASSERT_TRUE(T.OK);
+  EXPECT_EQ(T.Scalars.at("t"), 5);
+  EXPECT_EQ(T.Memory["b"].size(), 4u);
+  EXPECT_EQ(T.Memory["b"][{4}], 5);
+}
+
+TEST(Interpreter, UninitializedReadsAreZero) {
+  Program P = parseOrDie("x(1) = y(9) + 3\n");
+  ExecutionTrace T = interpret(P);
+  ASSERT_TRUE(T.OK);
+  EXPECT_EQ(T.Memory["x"][{1}], 3);
+}
+
+TEST(Interpreter, NegativeStepLoop) {
+  Program P = parseOrDie(R"(
+do i = 5, 1, -2
+  a(i) = i
+end do
+)");
+  ExecutionTrace T = interpret(P);
+  ASSERT_TRUE(T.OK);
+  EXPECT_EQ(T.Memory["a"].size(), 3u); // i = 5, 3, 1.
+}
+
+TEST(Interpreter, IndirectSubscripts) {
+  Program P = parseOrDie(R"(
+idx(1) = 3
+idx(2) = 1
+do i = 1, 2
+  y(idx(i)) = i
+end do
+)");
+  ExecutionTrace T = interpret(P);
+  ASSERT_TRUE(T.OK);
+  EXPECT_EQ(T.Memory["y"][{3}], 1);
+  EXPECT_EQ(T.Memory["y"][{1}], 2);
+}
+
+TEST(Interpreter, AccessIndicesMatchCollector) {
+  Program P = parseOrDie(R"(
+do i = 1, 2
+  a(i) = b(i) + a(i)
+end do
+)");
+  std::vector<ArrayAccess> Static = collectAccesses(P);
+  ExecutionTrace T = interpret(P);
+  ASSERT_TRUE(T.OK);
+  ASSERT_EQ(T.Accesses.size(), 6u); // 3 accesses x 2 iterations.
+  for (const RecordedAccess &R : T.Accesses) {
+    ASSERT_LT(R.AccessIndex, Static.size());
+    EXPECT_EQ(Static[R.AccessIndex].IsWrite, R.IsWrite);
+    EXPECT_EQ(Static[R.AccessIndex].Ref->getArrayName(), R.Array);
+  }
+}
+
+TEST(Interpreter, BudgetGuard) {
+  Program P = parseOrDie("do i = 1, 1000\n  a(i) = 0\nend do\n");
+  InterpreterOptions Options;
+  Options.MaxAccesses = 10;
+  ExecutionTrace T = interpret(P, Options);
+  EXPECT_FALSE(T.OK);
+  EXPECT_NE(T.Error.find("budget"), std::string::npos);
+}
+
+TEST(Interpreter, DivisionByZeroFails) {
+  Program P = parseOrDie("a(1) = 4/m\n");
+  ExecutionTrace T = interpret(P); // m defaults to 0.
+  EXPECT_FALSE(T.OK);
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic preservation of the transforms
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectSameBehavior(const Program &Before, const Program &After,
+                        const InterpreterOptions &Options) {
+  ExecutionTrace A = interpret(Before, Options);
+  ExecutionTrace B = interpret(After, Options);
+  ASSERT_TRUE(A.OK) << A.Error;
+  ASSERT_TRUE(B.OK) << B.Error << "\n" << programToString(After);
+  EXPECT_EQ(A.writeSequence(), B.writeSequence())
+      << "before:\n" << programToString(Before) << "after:\n"
+      << programToString(After);
+  EXPECT_EQ(A.Memory, B.Memory);
+}
+
+} // namespace
+
+TEST(SemanticPreservation, Normalization) {
+  const char *Sources[] = {
+      "do i = 3, 17\n  a(i) = a(i-1) + 1\nend do\n",
+      "do i = 1, 20, 3\n  a(i) = i\nend do\n",
+      "do i = 20, 2, -2\n  a(i) = a(i+2) + 1\nend do\n",
+      "do i = 2, n\n  do j = i, n\n    a(i, j) = a(i, j-1) + 1\n"
+      "  end do\nend do\n",
+      "do i = 5, 1\n  a(i) = 1\nend do\na(9) = 9\n",
+  };
+  InterpreterOptions Options;
+  Options.Symbols["n"] = 9;
+  for (const char *Source : Sources) {
+    Program P = parseOrDie(Source);
+    Program N = normalizeLoops(P);
+    expectSameBehavior(P, N, Options);
+  }
+}
+
+TEST(SemanticPreservation, InductionSubstitution) {
+  const char *Sources[] = {
+      "k = 0\ndo i = 1, 10\n  k = k + 2\n  c(k) = c(k) + d(i)\nend do\n"
+      "b(1) = k\n",
+      "k = 5\ndo i = 1, 8\n  c(k) = d(i)\n  k = k + 1\nend do\nb(1) = k\n",
+      "k = n\ndo i = 1, 6\n  c(k) = d(i)\n  k = k - 1\nend do\n",
+  };
+  InterpreterOptions Options;
+  Options.Symbols["n"] = 7;
+  for (const char *Source : Sources) {
+    Program P = parseOrDie(Source);
+    Program S = substituteInductionVariables(P);
+    expectSameBehavior(P, S, Options);
+  }
+}
+
+TEST(SemanticPreservation, PipelineComposition) {
+  const char *Source = R"(
+k = 0
+do i = 2, 19, 2
+  k = k + 3
+  c(k) = c(k-3) + d(i)
+end do
+)";
+  Program P = parseOrDie(Source);
+  Program N = normalizeLoops(P);
+  Program S = substituteInductionVariables(N);
+  expectSameBehavior(P, S, {});
+}
+
+TEST(SemanticPreservation, Peeling) {
+  const char *Source = "do i = 1, 12\n  y(i) = y(1) + w(i)\nend do\n";
+  Program P = parseOrDie(Source);
+  std::optional<Program> First = peelLoop(P, "i", /*First=*/true);
+  ASSERT_TRUE(First.has_value());
+  expectSameBehavior(P, *First, {});
+  std::optional<Program> Last = peelLoop(P, "i", /*First=*/false);
+  ASSERT_TRUE(Last.has_value());
+  expectSameBehavior(P, *Last, {});
+}
+
+TEST(SemanticPreservation, Splitting) {
+  const char *Source = "do i = 1, 10\n  a(i) = a(11-i) + b(i)\nend do\n";
+  Program P = parseOrDie(Source);
+  std::optional<Program> Split = splitLoop(P, "i", Rational(11, 2));
+  ASSERT_TRUE(Split.has_value());
+  expectSameBehavior(P, *Split, {});
+}
+
+TEST(SemanticPreservation, RandomPrograms) {
+  std::mt19937_64 Rng(20260706);
+  InterpreterOptions Options;
+  Options.Symbols["n"] = 6;
+  for (unsigned N = 0; N != 40; ++N) {
+    std::string Source = generateRandomProgramSource(Rng, 2, 2, 2);
+    Program P = parseOrDie(Source);
+    Program T = substituteInductionVariables(normalizeLoops(P));
+    expectSameBehavior(P, T, Options);
+  }
+}

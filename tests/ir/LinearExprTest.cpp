@@ -1,0 +1,175 @@
+//===- tests/ir/LinearExprTest.cpp -----------------------------------------===//
+//
+// Unit tests for the canonical affine expression form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LinearExpr.h"
+
+#include "ir/AST.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+
+TEST(LinearExpr, Construction) {
+  LinearExpr Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_TRUE(Zero.isPureConstant());
+
+  LinearExpr C(5);
+  EXPECT_EQ(C.getConstant(), 5);
+  EXPECT_TRUE(C.isPureConstant());
+
+  LinearExpr I = LinearExpr::index("i", 2);
+  EXPECT_EQ(I.indexCoeff("i"), 2);
+  EXPECT_EQ(I.indexCoeff("j"), 0);
+  EXPECT_EQ(I.numIndices(), 1u);
+  EXPECT_FALSE(I.isLoopInvariant());
+
+  LinearExpr N = LinearExpr::symbol("n");
+  EXPECT_EQ(N.symbolCoeff("n"), 1);
+  EXPECT_TRUE(N.isLoopInvariant());
+  EXPECT_FALSE(N.isPureConstant());
+}
+
+TEST(LinearExpr, ZeroCoefficientsVanish) {
+  LinearExpr E = LinearExpr::index("i", 3) + LinearExpr::index("i", -3);
+  EXPECT_TRUE(E.isZero());
+  EXPECT_EQ(E.numIndices(), 0u);
+}
+
+TEST(LinearExpr, Arithmetic) {
+  LinearExpr E = LinearExpr::index("i", 2) + LinearExpr::symbol("n") +
+                 LinearExpr(3);
+  LinearExpr F = LinearExpr::index("i") - LinearExpr(1);
+  LinearExpr Sum = E + F;
+  EXPECT_EQ(Sum.indexCoeff("i"), 3);
+  EXPECT_EQ(Sum.symbolCoeff("n"), 1);
+  EXPECT_EQ(Sum.getConstant(), 2);
+
+  LinearExpr Diff = E - F;
+  EXPECT_EQ(Diff.indexCoeff("i"), 1);
+  EXPECT_EQ(Diff.getConstant(), 4);
+
+  LinearExpr Scaled = E.scale(-2);
+  EXPECT_EQ(Scaled.indexCoeff("i"), -4);
+  EXPECT_EQ(Scaled.symbolCoeff("n"), -2);
+  EXPECT_EQ(Scaled.getConstant(), -6);
+}
+
+TEST(LinearExpr, DivideExactly) {
+  LinearExpr E = LinearExpr::index("i", 4) + LinearExpr(6);
+  std::optional<LinearExpr> Half = E.divideExactly(2);
+  ASSERT_TRUE(Half.has_value());
+  EXPECT_EQ(Half->indexCoeff("i"), 2);
+  EXPECT_EQ(Half->getConstant(), 3);
+  EXPECT_FALSE(E.divideExactly(3).has_value());
+}
+
+TEST(LinearExpr, SubstituteIndex) {
+  // i + 2j with j := i + 1 becomes 3i + 2.
+  LinearExpr E = LinearExpr::index("i") + LinearExpr::index("j", 2);
+  LinearExpr Repl = LinearExpr::index("i") + LinearExpr(1);
+  LinearExpr S = E.substituteIndex("j", Repl);
+  EXPECT_EQ(S.indexCoeff("i"), 3);
+  EXPECT_EQ(S.indexCoeff("j"), 0);
+  EXPECT_EQ(S.getConstant(), 2);
+
+  // Substituting an absent index is the identity.
+  EXPECT_EQ(E.substituteIndex("k", Repl), E);
+}
+
+TEST(LinearExpr, SingleIndexAndNames) {
+  LinearExpr E = LinearExpr::index("j", -1) + LinearExpr(7);
+  EXPECT_EQ(E.singleIndex(), "j");
+  LinearExpr F = E + LinearExpr::index("i");
+  std::set<std::string> Names = F.indexNames();
+  EXPECT_EQ(Names, (std::set<std::string>{"i", "j"}));
+  EXPECT_TRUE(F.usesIndex("i"));
+  EXPECT_FALSE(F.usesIndex("k"));
+}
+
+TEST(LinearExpr, Str) {
+  LinearExpr E = LinearExpr::index("i", 2) - LinearExpr::index("j") +
+                 LinearExpr::symbol("n") + LinearExpr(3);
+  EXPECT_EQ(E.str(), "2*i - j + n + 3");
+  EXPECT_EQ(LinearExpr().str(), "0");
+  EXPECT_EQ(LinearExpr(-4).str(), "-4");
+  EXPECT_EQ(LinearExpr::index("i", -1).str(), "-i");
+}
+
+//===----------------------------------------------------------------------===//
+// AST conversion
+//===----------------------------------------------------------------------===//
+
+class BuildLinearTest : public ::testing::Test {
+protected:
+  ASTContext Ctx;
+  std::set<std::string> Indices{"i", "j"};
+};
+
+TEST_F(BuildLinearTest, SimpleAffine) {
+  // 2*i + n - 3
+  const Expr *E = Ctx.getSub(
+      Ctx.getAdd(Ctx.getMul(Ctx.getInt(2), Ctx.getVar("i")), Ctx.getVar("n")),
+      Ctx.getInt(3));
+  std::optional<LinearExpr> L = buildLinearExpr(E, Indices);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->indexCoeff("i"), 2);
+  EXPECT_EQ(L->symbolCoeff("n"), 1);
+  EXPECT_EQ(L->getConstant(), -3);
+}
+
+TEST_F(BuildLinearTest, Negation) {
+  const Expr *E = Ctx.getNeg(Ctx.getAdd(Ctx.getVar("i"), Ctx.getInt(1)));
+  std::optional<LinearExpr> L = buildLinearExpr(E, Indices);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->indexCoeff("i"), -1);
+  EXPECT_EQ(L->getConstant(), -1);
+}
+
+TEST_F(BuildLinearTest, IndexTimesIndexIsNonlinear) {
+  const Expr *E = Ctx.getMul(Ctx.getVar("i"), Ctx.getVar("j"));
+  EXPECT_FALSE(buildLinearExpr(E, Indices).has_value());
+}
+
+TEST_F(BuildLinearTest, SymbolTimesIndexIsNonlinear) {
+  // n*i is not affine with integer coefficients.
+  const Expr *E = Ctx.getMul(Ctx.getVar("n"), Ctx.getVar("i"));
+  EXPECT_FALSE(buildLinearExpr(E, Indices).has_value());
+}
+
+TEST_F(BuildLinearTest, ExactDivision) {
+  // (4*i + 2) / 2 = 2*i + 1.
+  const Expr *E = Ctx.getBinary(
+      BinaryExpr::Opcode::Div,
+      Ctx.getAdd(Ctx.getMul(Ctx.getInt(4), Ctx.getVar("i")), Ctx.getInt(2)),
+      Ctx.getInt(2));
+  std::optional<LinearExpr> L = buildLinearExpr(E, Indices);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->indexCoeff("i"), 2);
+  EXPECT_EQ(L->getConstant(), 1);
+}
+
+TEST_F(BuildLinearTest, InexactDivisionIsNonlinear) {
+  const Expr *E = Ctx.getBinary(
+      BinaryExpr::Opcode::Div,
+      Ctx.getAdd(Ctx.getMul(Ctx.getInt(4), Ctx.getVar("i")), Ctx.getInt(1)),
+      Ctx.getInt(2));
+  EXPECT_FALSE(buildLinearExpr(E, Indices).has_value());
+}
+
+TEST_F(BuildLinearTest, IndexArrayIsNonlinear) {
+  const Expr *E = Ctx.getArrayElement("idx", {Ctx.getVar("i")});
+  EXPECT_FALSE(buildLinearExpr(E, Indices).has_value());
+}
+
+TEST_F(BuildLinearTest, ConstantFolding) {
+  const Expr *E =
+      Ctx.getMul(Ctx.getInt(3), Ctx.getSub(Ctx.getInt(5), Ctx.getInt(2)));
+  std::optional<LinearExpr> L = buildLinearExpr(E, Indices);
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->getConstant(), 9);
+  EXPECT_TRUE(L->isPureConstant());
+}

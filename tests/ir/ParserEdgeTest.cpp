@@ -1,0 +1,150 @@
+//===- tests/ir/ParserEdgeTest.cpp -------------------------------------------===//
+//
+// Edge-case tests for the lexer and parser: odd whitespace, deep
+// nesting, unknown characters, recovery behavior, and boundary
+// literals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+#include "parser/Parser.h"
+
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+
+TEST(LexerEdge, TokenKindsAndLocations) {
+  Lexer L("do i = 1, n ! c\n  a(i) = -2*i\nend do\n");
+  std::vector<Token> Tokens = L.lexAll();
+  ASSERT_FALSE(Tokens.empty());
+  EXPECT_TRUE(Tokens.back().is(Token::Kind::EndOfFile));
+  EXPECT_EQ(Tokens[0].Spelling, "do");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  // The comment is skipped entirely.
+  for (const Token &T : Tokens)
+    EXPECT_NE(T.Spelling, "c");
+}
+
+TEST(LexerEdge, UnknownCharacterSurfaces) {
+  Lexer L("a = 1 @ 2\n");
+  std::vector<Token> Tokens = L.lexAll();
+  bool SawUnknown = false;
+  for (const Token &T : Tokens)
+    SawUnknown |= T.is(Token::Kind::Unknown);
+  EXPECT_TRUE(SawUnknown);
+  // And the parser reports it rather than crashing.
+  EXPECT_FALSE(parseProgram("a = 1 @ 2\n").succeeded());
+}
+
+TEST(LexerEdge, NewlineCollapsing) {
+  Lexer L("\n\n\na = 1\n\n\n\nb = 2\n\n");
+  std::vector<Token> Tokens = L.lexAll();
+  unsigned Newlines = 0;
+  for (const Token &T : Tokens)
+    Newlines += T.is(Token::Kind::Newline);
+  // One after each statement; runs collapse.
+  EXPECT_EQ(Newlines, 2u);
+}
+
+TEST(LexerEdge, CarriageReturnsTolerated) {
+  ParseResult R = parseProgram("do i = 1, 3\r\n  a(i) = 0\r\nend do\r\n");
+  EXPECT_TRUE(R.succeeded());
+}
+
+TEST(ParserEdge, DeepNesting) {
+  std::string Source;
+  const unsigned Depth = 40;
+  for (unsigned I = 0; I != Depth; ++I)
+    Source += "do i" + std::to_string(I) + " = 1, 2\n";
+  Source += "a(i0) = i" + std::to_string(Depth - 1) + "\n";
+  for (unsigned I = 0; I != Depth; ++I)
+    Source += "end do\n";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.succeeded());
+  // Round trip survives depth.
+  EXPECT_TRUE(parseProgram(programToString(*R.Prog)).succeeded());
+}
+
+TEST(ParserEdge, ManyStatements) {
+  std::string Source = "do i = 1, 10\n";
+  for (unsigned I = 0; I != 200; ++I)
+    Source += "  a" + std::to_string(I % 7) + "(i) = i + " +
+              std::to_string(I) + "\n";
+  Source += "end do\n";
+  EXPECT_TRUE(parseProgram(Source).succeeded());
+}
+
+TEST(ParserEdge, LargeLiterals) {
+  ParseResult R = parseProgram("a(1) = 9223372036854775807\n");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(stmtToString(R.Prog->TopLevel[0]),
+            "a(1) = 9223372036854775807\n");
+}
+
+TEST(ParserEdge, UnaryPlusAndChains) {
+  ParseResult R = parseProgram("x = +1 + -2 - -3\n");
+  ASSERT_TRUE(R.succeeded());
+}
+
+TEST(ParserEdge, KeywordsAsIdentifierPrefixes) {
+  // "dot" and "ender" start with keywords but are identifiers.
+  ParseResult R = parseProgram(R"(
+do dot = 1, 5
+  ender(dot) = dot
+end do
+)");
+  EXPECT_TRUE(R.succeeded());
+}
+
+TEST(ParserEdge, MissingCommaInBounds) {
+  EXPECT_FALSE(parseProgram("do i = 1 10\n  a(i) = 0\nend do\n")
+                   .succeeded());
+}
+
+TEST(ParserEdge, DanglingOperators) {
+  EXPECT_FALSE(parseProgram("x = 1 +\n").succeeded());
+  EXPECT_FALSE(parseProgram("x = *2\n").succeeded());
+}
+
+TEST(ParserEdge, EmptySubscriptListRejected) {
+  EXPECT_FALSE(parseProgram("a() = 1\n").succeeded());
+}
+
+TEST(ParserEdge, RecoveryKeepsNestingConsistent) {
+  // The bad statement inside the loop must not desync the 'end do'
+  // matching.
+  ParseResult R = parseProgram(R"(
+do i = 1, 10
+  a(i) = +
+  b(i) = 1
+end do
+)");
+  EXPECT_FALSE(R.succeeded());
+  ASSERT_FALSE(R.Diagnostics.empty());
+  EXPECT_EQ(R.Diagnostics.size(), 1u);
+}
+
+TEST(ParserEdge, EmptyProgram) {
+  ParseResult R = parseProgram("");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_TRUE(R.Prog->TopLevel.empty());
+  ParseResult R2 = parseProgram("! only a comment\n\n");
+  ASSERT_TRUE(R2.succeeded());
+  EXPECT_TRUE(R2.Prog->TopLevel.empty());
+}
+
+TEST(ParserEdge, EmptyLoopBody) {
+  ParseResult R = parseProgram("do i = 1, 10\nend do\n");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Loop = dyn_cast<DoLoop>(R.Prog->TopLevel[0]);
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_TRUE(Loop->getBody().empty());
+}
+
+TEST(ParserEdge, NoTrailingNewline) {
+  EXPECT_TRUE(parseProgram("x = 1").succeeded());
+  EXPECT_TRUE(parseProgram("do i = 1, 2\n  a(i) = 0\nend do").succeeded());
+}

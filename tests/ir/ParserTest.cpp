@@ -1,0 +1,241 @@
+//===- tests/ir/ParserTest.cpp ---------------------------------------------===//
+//
+// Unit tests for the lexer, parser, and pretty-printer round trips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "ir/AccessCollector.h"
+#include "ir/PrettyPrinter.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+
+TEST(Parser, SimpleLoop) {
+  ParseResult R = parseProgram(R"(
+do i = 1, n
+  a(i) = b(i) + 1
+end do
+)");
+  ASSERT_TRUE(R.succeeded()) << (R.Diagnostics.empty()
+                                     ? ""
+                                     : R.Diagnostics[0].str());
+  ASSERT_EQ(R.Prog->TopLevel.size(), 1u);
+  const auto *Loop = dyn_cast<DoLoop>(R.Prog->TopLevel[0]);
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Loop->getIndexName(), "i");
+  ASSERT_EQ(Loop->getBody().size(), 1u);
+  const auto *Assign = dyn_cast<AssignStmt>(Loop->getBody()[0]);
+  ASSERT_NE(Assign, nullptr);
+  EXPECT_TRUE(Assign->isArrayAssign());
+  EXPECT_EQ(Assign->getArrayTarget()->getArrayName(), "a");
+}
+
+TEST(Parser, CaseInsensitive) {
+  ParseResult R = parseProgram("DO I = 1, N\n  A(I) = B(I)\nEND DO\n");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Loop = cast<DoLoop>(R.Prog->TopLevel[0]);
+  EXPECT_EQ(Loop->getIndexName(), "i");
+}
+
+TEST(Parser, EndDoVariants) {
+  EXPECT_TRUE(parseProgram("do i = 1, 5\n a(i) = 0\nend do\n").succeeded());
+  EXPECT_TRUE(parseProgram("do i = 1, 5\n a(i) = 0\nenddo\n").succeeded());
+}
+
+TEST(Parser, ExplicitStep) {
+  ParseResult R = parseProgram("do i = 1, n, 2\n  a(i) = 0\nend do\n");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Loop = cast<DoLoop>(R.Prog->TopLevel[0]);
+  const auto *Step = dyn_cast<IntLiteral>(Loop->getStep());
+  ASSERT_NE(Step, nullptr);
+  EXPECT_EQ(Step->getValue(), 2);
+}
+
+TEST(Parser, DefaultStepIsOne) {
+  ParseResult R = parseProgram("do i = 1, n\n  a(i) = 0\nend do\n");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Loop = cast<DoLoop>(R.Prog->TopLevel[0]);
+  const auto *Step = dyn_cast<IntLiteral>(Loop->getStep());
+  ASSERT_NE(Step, nullptr);
+  EXPECT_EQ(Step->getValue(), 1);
+}
+
+TEST(Parser, MultiDimensionalSubscripts) {
+  ParseResult R =
+      parseProgram("do i = 1, n\n  a(i+1, 2*i, 3) = a(i, i, i)\nend do\n");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Loop = cast<DoLoop>(R.Prog->TopLevel[0]);
+  const auto *Assign = cast<AssignStmt>(Loop->getBody()[0]);
+  EXPECT_EQ(Assign->getArrayTarget()->getNumDims(), 3u);
+}
+
+TEST(Parser, ScalarAssignment) {
+  ParseResult R = parseProgram("t = 2*n + 1\n");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Assign = cast<AssignStmt>(R.Prog->TopLevel[0]);
+  EXPECT_FALSE(Assign->isArrayAssign());
+  EXPECT_EQ(Assign->getScalarTarget(), "t");
+}
+
+TEST(Parser, Comments) {
+  ParseResult R = parseProgram(R"(
+! leading comment
+do i = 1, n   ! trailing comment
+  a(i) = 0    ! another
+end do
+)");
+  EXPECT_TRUE(R.succeeded());
+}
+
+TEST(Parser, Precedence) {
+  ParseResult R = parseProgram("x = 1 + 2*3 - 4/2\n");
+  ASSERT_TRUE(R.succeeded());
+  // Rendered form preserves structure: 1 + 2*3 - 4/2.
+  EXPECT_EQ(stmtToString(R.Prog->TopLevel[0]), "x = 1 + 2*3 - 4/2\n");
+}
+
+TEST(Parser, UnaryMinus) {
+  ParseResult R = parseProgram("do i = 1, n\n a(-i + 3) = 0\nend do\n");
+  ASSERT_TRUE(R.succeeded());
+}
+
+TEST(Parser, NestedLoops) {
+  ParseResult R = parseProgram(R"(
+do i = 1, n
+  do j = 1, i
+    a(i, j) = 0
+  end do
+  b(i) = 1
+end do
+)");
+  ASSERT_TRUE(R.succeeded());
+  const auto *Outer = cast<DoLoop>(R.Prog->TopLevel[0]);
+  EXPECT_EQ(Outer->getBody().size(), 2u);
+  EXPECT_TRUE(isa<DoLoop>(Outer->getBody()[0]));
+  EXPECT_TRUE(isa<AssignStmt>(Outer->getBody()[1]));
+}
+
+//===----------------------------------------------------------------------===//
+// Errors
+//===----------------------------------------------------------------------===//
+
+TEST(ParserErrors, MissingEndDo) {
+  ParseResult R = parseProgram("do i = 1, n\n  a(i) = 0\n");
+  EXPECT_FALSE(R.succeeded());
+  ASSERT_FALSE(R.Diagnostics.empty());
+  EXPECT_NE(R.Diagnostics[0].Message.find("end do"), std::string::npos);
+}
+
+TEST(ParserErrors, StrayEndDo) {
+  ParseResult R = parseProgram("end do\n");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ParserErrors, MissingEquals) {
+  ParseResult R = parseProgram("a(i) 3\n");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ParserErrors, UnbalancedParens) {
+  ParseResult R = parseProgram("x = (1 + 2\n");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(ParserErrors, RecoversAndReportsMultiple) {
+  ParseResult R = parseProgram("x = \ny = \n");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_GE(R.Diagnostics.size(), 2u);
+}
+
+TEST(ParserErrors, LocationsAreTracked) {
+  ParseResult R = parseProgram("x = 1\ny = +\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_EQ(R.Diagnostics[0].Loc.Line, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+class RoundTripTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTripTest, ParsePrintParse) {
+  ParseResult First = parseProgram(GetParam());
+  ASSERT_TRUE(First.succeeded());
+  std::string Printed = programToString(*First.Prog);
+  ParseResult Second = parseProgram(Printed);
+  ASSERT_TRUE(Second.succeeded()) << Printed;
+  EXPECT_EQ(programToString(*Second.Prog), Printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sources, RoundTripTest,
+    ::testing::Values(
+        "do i = 1, n\n  a(i+1) = a(i)\nend do\n",
+        "do i = 1, n, 2\n  a(2*i) = a(2*i+1)\nend do\n",
+        "do i = 1, n\n  do j = 1, i\n    a(i, j) = a(j, i)\n  end do\n"
+        "end do\n",
+        "k = 0\ndo i = 1, n\n  k = k + 2\n  c(k) = d(i)\nend do\n",
+        "do i = 1, n\n  a(i) = a(n-i+1) + b(i)\nend do\n",
+        "x = -(1 + 2)*3\n"));
+
+//===----------------------------------------------------------------------===//
+// Access collection
+//===----------------------------------------------------------------------===//
+
+TEST(AccessCollector, OrderAndWrites) {
+  ParseResult R = parseProgram(R"(
+do i = 1, n
+  a(i+1) = a(i) + b(i)
+end do
+)");
+  ASSERT_TRUE(R.succeeded());
+  std::vector<ArrayAccess> Accesses = collectAccesses(*R.Prog);
+  ASSERT_EQ(Accesses.size(), 3u);
+  // Reads of the statement precede its write.
+  EXPECT_FALSE(Accesses[0].IsWrite);
+  EXPECT_EQ(Accesses[0].Ref->getArrayName(), "a");
+  EXPECT_FALSE(Accesses[1].IsWrite);
+  EXPECT_EQ(Accesses[1].Ref->getArrayName(), "b");
+  EXPECT_TRUE(Accesses[2].IsWrite);
+  EXPECT_EQ(Accesses[2].Ref->getArrayName(), "a");
+  // All under one loop.
+  for (const ArrayAccess &A : Accesses)
+    ASSERT_EQ(A.LoopStack.size(), 1u);
+}
+
+TEST(AccessCollector, CommonLoops) {
+  ParseResult R = parseProgram(R"(
+do i = 1, n
+  do j = 1, n
+    a(i, j) = 1
+  end do
+  do k = 1, n
+    a(i, k) = 2
+  end do
+end do
+)");
+  ASSERT_TRUE(R.succeeded());
+  std::vector<ArrayAccess> Accesses = collectAccesses(*R.Prog);
+  ASSERT_EQ(Accesses.size(), 2u);
+  std::vector<const DoLoop *> Common = commonLoops(Accesses[0], Accesses[1]);
+  ASSERT_EQ(Common.size(), 1u);
+  EXPECT_EQ(Common[0]->getIndexName(), "i");
+}
+
+TEST(AccessCollector, StmtPositionsIncrease) {
+  ParseResult R = parseProgram(R"(
+do i = 1, n
+  a(i) = 1
+  b(i) = a(i)
+end do
+)");
+  ASSERT_TRUE(R.succeeded());
+  std::vector<ArrayAccess> Accesses = collectAccesses(*R.Prog);
+  ASSERT_EQ(Accesses.size(), 3u);
+  EXPECT_LT(Accesses[0].StmtPosition, Accesses[1].StmtPosition);
+}

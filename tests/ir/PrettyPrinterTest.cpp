@@ -1,0 +1,111 @@
+//===- tests/ir/PrettyPrinterTest.cpp ------------------------------------------===//
+//
+// Unit tests for expression/statement rendering and the constant
+// expression evaluator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/PrettyPrinter.h"
+
+#include "ir/AST.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+
+class PrinterTest : public ::testing::Test {
+protected:
+  ASTContext Ctx;
+};
+
+TEST_F(PrinterTest, Atoms) {
+  EXPECT_EQ(exprToString(Ctx.getInt(42)), "42");
+  EXPECT_EQ(exprToString(Ctx.getInt(-3)), "-3");
+  EXPECT_EQ(exprToString(Ctx.getVar("n")), "n");
+}
+
+TEST_F(PrinterTest, PrecedenceParens) {
+  // (1 + 2) * 3 needs parens; 1 + 2*3 does not.
+  const Expr *Sum = Ctx.getAdd(Ctx.getInt(1), Ctx.getInt(2));
+  EXPECT_EQ(exprToString(Ctx.getMul(Sum, Ctx.getInt(3))), "(1 + 2)*3");
+  const Expr *Prod = Ctx.getMul(Ctx.getInt(2), Ctx.getInt(3));
+  EXPECT_EQ(exprToString(Ctx.getAdd(Ctx.getInt(1), Prod)), "1 + 2*3");
+}
+
+TEST_F(PrinterTest, RightAssociativeSubtraction) {
+  // 1 - (2 - 3) must keep its parens; (1 - 2) - 3 flattens.
+  const Expr *Inner = Ctx.getSub(Ctx.getInt(2), Ctx.getInt(3));
+  EXPECT_EQ(exprToString(Ctx.getSub(Ctx.getInt(1), Inner)), "1 - (2 - 3)");
+  const Expr *Left = Ctx.getSub(Ctx.getSub(Ctx.getInt(1), Ctx.getInt(2)),
+                                Ctx.getInt(3));
+  EXPECT_EQ(exprToString(Left), "1 - 2 - 3");
+}
+
+TEST_F(PrinterTest, UnaryMinus) {
+  EXPECT_EQ(exprToString(Ctx.getNeg(Ctx.getVar("i"))), "-i");
+  EXPECT_EQ(exprToString(Ctx.getNeg(Ctx.getAdd(Ctx.getVar("i"),
+                                               Ctx.getInt(1)))),
+            "-(i + 1)");
+}
+
+TEST_F(PrinterTest, ArrayElements) {
+  const Expr *E = Ctx.getArrayElement(
+      "a", {Ctx.getAdd(Ctx.getVar("i"), Ctx.getInt(1)), Ctx.getVar("j")});
+  EXPECT_EQ(exprToString(E), "a(i + 1, j)");
+}
+
+TEST_F(PrinterTest, StatementForms) {
+  const auto *Target = Ctx.getArrayElement("a", {Ctx.getVar("i")});
+  const Stmt *S = Ctx.createArrayAssign(Target, Ctx.getInt(0));
+  EXPECT_EQ(stmtToString(S), "a(i) = 0\n");
+  EXPECT_EQ(stmtToString(S, 2), "    a(i) = 0\n");
+  const Stmt *Scalar = Ctx.createScalarAssign("t", Ctx.getVar("n"));
+  EXPECT_EQ(stmtToString(Scalar), "t = n\n");
+}
+
+TEST_F(PrinterTest, LoopSuppressesUnitStep) {
+  const Stmt *Body = Ctx.createScalarAssign("t", Ctx.getInt(0));
+  const Stmt *Unit = Ctx.createDoLoop("i", Ctx.getInt(1), Ctx.getVar("n"),
+                                      Ctx.getInt(1), {Body});
+  EXPECT_EQ(stmtToString(Unit), "do i = 1, n\n  t = 0\nend do\n");
+  const Stmt *Strided = Ctx.createDoLoop("i", Ctx.getInt(1), Ctx.getVar("n"),
+                                         Ctx.getInt(2), {});
+  EXPECT_EQ(stmtToString(Strided), "do i = 1, n, 2\nend do\n");
+}
+
+//===----------------------------------------------------------------------===//
+// evaluateConstantExpr
+//===----------------------------------------------------------------------===//
+
+TEST_F(PrinterTest, ConstantEvaluation) {
+  EXPECT_EQ(evaluateConstantExpr(Ctx.getInt(7)), std::optional<int64_t>(7));
+  EXPECT_EQ(evaluateConstantExpr(Ctx.getNeg(Ctx.getInt(7))),
+            std::optional<int64_t>(-7));
+  EXPECT_EQ(evaluateConstantExpr(
+                Ctx.getMul(Ctx.getAdd(Ctx.getInt(1), Ctx.getInt(2)),
+                           Ctx.getInt(4))),
+            std::optional<int64_t>(12));
+  EXPECT_EQ(evaluateConstantExpr(Ctx.getVar("n")), std::nullopt);
+  EXPECT_EQ(evaluateConstantExpr(
+                Ctx.getAdd(Ctx.getVar("n"), Ctx.getInt(1))),
+            std::nullopt);
+}
+
+TEST_F(PrinterTest, ConstantDivision) {
+  EXPECT_EQ(evaluateConstantExpr(Ctx.getBinary(
+                BinaryExpr::Opcode::Div, Ctx.getInt(6), Ctx.getInt(3))),
+            std::optional<int64_t>(2));
+  // Division truncates toward zero, as at run time.
+  EXPECT_EQ(evaluateConstantExpr(Ctx.getBinary(
+                BinaryExpr::Opcode::Div, Ctx.getInt(7), Ctx.getInt(3))),
+            std::optional<int64_t>(2));
+  EXPECT_EQ(evaluateConstantExpr(Ctx.getBinary(
+                BinaryExpr::Opcode::Div, Ctx.getInt(7), Ctx.getInt(0))),
+            std::nullopt);
+}
+
+TEST_F(PrinterTest, ConstantOverflow) {
+  const Expr *Big = Ctx.getInt(INT64_MAX);
+  EXPECT_EQ(evaluateConstantExpr(Ctx.getAdd(Big, Ctx.getInt(1))),
+            std::nullopt);
+}

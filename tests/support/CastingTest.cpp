@@ -1,0 +1,60 @@
+//===- tests/support/CastingTest.cpp -------------------------------------------===//
+//
+// Unit tests for the LLVM-style isa/cast/dyn_cast templates over the
+// AST hierarchies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+
+#include "ir/AST.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+
+class CastingTest : public ::testing::Test {
+protected:
+  ASTContext Ctx;
+};
+
+TEST_F(CastingTest, IsaDispatch) {
+  const Expr *I = Ctx.getInt(1);
+  const Expr *V = Ctx.getVar("x");
+  const Expr *B = Ctx.getAdd(I, V);
+  EXPECT_TRUE(isa<IntLiteral>(I));
+  EXPECT_FALSE(isa<VarRef>(I));
+  EXPECT_TRUE(isa<VarRef>(V));
+  EXPECT_TRUE(isa<BinaryExpr>(B));
+  EXPECT_FALSE(isa<UnaryExpr>(B));
+}
+
+TEST_F(CastingTest, CastAccessesDerived) {
+  const Expr *B = Ctx.getMul(Ctx.getInt(2), Ctx.getVar("i"));
+  const auto *Bin = cast<BinaryExpr>(B);
+  EXPECT_EQ(Bin->getOpcode(), BinaryExpr::Opcode::Mul);
+  EXPECT_TRUE(isa<IntLiteral>(Bin->getLHS()));
+}
+
+TEST_F(CastingTest, DynCastReturnsNull) {
+  const Expr *V = Ctx.getVar("x");
+  EXPECT_EQ(dyn_cast<IntLiteral>(V), nullptr);
+  EXPECT_NE(dyn_cast<VarRef>(V), nullptr);
+}
+
+TEST_F(CastingTest, DynCastOrNull) {
+  const Expr *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<VarRef>(Null), nullptr);
+  const Expr *V = Ctx.getVar("x");
+  EXPECT_NE(dyn_cast_or_null<VarRef>(V), nullptr);
+}
+
+TEST_F(CastingTest, StmtHierarchy) {
+  const Stmt *A = Ctx.createScalarAssign("t", Ctx.getInt(0));
+  const Stmt *L = Ctx.createDoLoop("i", Ctx.getInt(1), Ctx.getInt(10),
+                                   Ctx.getInt(1), {A});
+  EXPECT_TRUE(isa<AssignStmt>(A));
+  EXPECT_FALSE(isa<DoLoop>(A));
+  EXPECT_TRUE(isa<DoLoop>(L));
+  EXPECT_EQ(cast<DoLoop>(L)->getBody().size(), 1u);
+}

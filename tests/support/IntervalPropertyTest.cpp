@@ -1,0 +1,114 @@
+//===- tests/support/IntervalPropertyTest.cpp -------------------------------===//
+//
+// Property sweep over intervals: intersect/hull/arithmetic checked
+// against pointwise membership on a sampled universe, including
+// half-open (unknown-endpoint) intervals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interval.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+std::vector<Interval> sampleIntervals() {
+  return {Interval::full(),
+          Interval::empty(),
+          Interval::point(0),
+          Interval::point(-3),
+          Interval(1, 5),
+          Interval(-4, -1),
+          Interval(-2, 3),
+          Interval(std::nullopt, 2),
+          Interval(-1, std::nullopt),
+          Interval(5, std::nullopt)};
+}
+
+constexpr int64_t UniverseLo = -8, UniverseHi = 8;
+
+} // namespace
+
+class IntervalPairTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+protected:
+  Interval A = sampleIntervals()[std::get<0>(GetParam())];
+  Interval B = sampleIntervals()[std::get<1>(GetParam())];
+};
+
+TEST_P(IntervalPairTest, IntersectIsPointwiseAnd) {
+  Interval M = A.intersect(B);
+  for (int64_t V = UniverseLo; V <= UniverseHi; ++V)
+    EXPECT_EQ(M.contains(V), A.contains(V) && B.contains(V))
+        << A.str() << " ^ " << B.str() << " at " << V;
+}
+
+TEST_P(IntervalPairTest, HullContainsBoth) {
+  Interval H = A.hull(B);
+  for (int64_t V = UniverseLo; V <= UniverseHi; ++V) {
+    if (A.contains(V) && !A.isEmpty()) {
+      EXPECT_TRUE(H.contains(V)) << A.str() << " hull " << B.str();
+    }
+    if (B.contains(V) && !B.isEmpty()) {
+      EXPECT_TRUE(H.contains(V)) << A.str() << " hull " << B.str();
+    }
+  }
+}
+
+TEST_P(IntervalPairTest, SumIsMinkowski) {
+  if (A.isEmpty() || B.isEmpty()) {
+    EXPECT_TRUE((A + B).isEmpty());
+    return;
+  }
+  Interval S = A + B;
+  // Every pairwise sum of contained sample points is contained.
+  for (int64_t X = UniverseLo; X <= UniverseHi; ++X) {
+    if (!A.contains(X))
+      continue;
+    for (int64_t Y = UniverseLo; Y <= UniverseHi; ++Y) {
+      if (!B.contains(Y))
+        continue;
+      EXPECT_TRUE(S.contains(X + Y))
+          << A.str() << " + " << B.str() << " misses " << X + Y;
+    }
+  }
+}
+
+TEST_P(IntervalPairTest, IntersectCommutes) {
+  EXPECT_EQ(A.intersect(B), B.intersect(A));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, IntervalPairTest,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 10)));
+
+class IntervalScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalScaleTest, ScaleIsPointwise) {
+  int64_t F = GetParam();
+  for (const Interval &I : sampleIntervals()) {
+    Interval S = I.scale(F);
+    if (I.isEmpty()) {
+      EXPECT_TRUE(S.isEmpty());
+      continue;
+    }
+    for (int64_t V = UniverseLo; V <= UniverseHi; ++V) {
+      if (I.contains(V)) {
+        EXPECT_TRUE(S.contains(V * F))
+            << I.str() << " * " << F << " misses " << V * F;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, IntervalScaleTest,
+                         ::testing::Values(-3, -1, 0, 1, 2, 5));
+
+TEST(IntervalNegate, MatchesScaleMinusOne) {
+  for (const Interval &I : sampleIntervals())
+    EXPECT_EQ(I.negate(), I.scale(-1)) << I.str();
+}

@@ -1,0 +1,101 @@
+//===- tests/support/MathExtrasTest.cpp -----------------------------------===//
+//
+// Unit tests for the integer math helpers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+
+TEST(MathExtras, GcdBasics) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(18, 12), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+TEST(MathExtras, GcdNegativeOperands) {
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(-12, -18), 6);
+  EXPECT_EQ(gcd64(INT64_MIN, 2), 2);
+}
+
+TEST(MathExtras, Lcm) {
+  EXPECT_EQ(lcm64(4, 6), std::optional<int64_t>(12));
+  EXPECT_EQ(lcm64(-4, 6), std::optional<int64_t>(12));
+  EXPECT_EQ(lcm64(0, 6), std::nullopt);
+  EXPECT_EQ(lcm64(INT64_MAX, INT64_MAX - 1), std::nullopt);
+}
+
+TEST(MathExtras, ExtendedGcdIdentity) {
+  for (int64_t A : {12, -12, 7, 0, 1, 100}) {
+    for (int64_t B : {18, -18, 13, 0, 1, 64}) {
+      ExtendedGCDResult R = extendedGCD(A, B);
+      EXPECT_EQ(R.Gcd, gcd64(A, B)) << A << ", " << B;
+      EXPECT_EQ(A * R.CoeffA + B * R.CoeffB, R.Gcd) << A << ", " << B;
+    }
+  }
+}
+
+TEST(MathExtras, FloorDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(-6, 3), -2);
+}
+
+TEST(MathExtras, CeilDiv) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_EQ(ceilDiv(-7, -2), 4);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+}
+
+TEST(MathExtras, FloorCeilConsistency) {
+  for (int64_t A = -12; A <= 12; ++A) {
+    for (int64_t B : {-5, -2, -1, 1, 2, 5}) {
+      int64_t F = floorDiv(A, B);
+      int64_t C = ceilDiv(A, B);
+      EXPECT_LE(F * B <= A ? F : C, C);
+      EXPECT_LE(F, C);
+      EXPECT_LE(C - F, 1);
+      if (A % B == 0) {
+        EXPECT_EQ(F, C);
+      }
+    }
+  }
+}
+
+TEST(MathExtras, DividesExactly) {
+  EXPECT_TRUE(dividesExactly(12, 3));
+  EXPECT_TRUE(dividesExactly(-12, 3));
+  EXPECT_TRUE(dividesExactly(0, 3));
+  EXPECT_FALSE(dividesExactly(13, 3));
+}
+
+TEST(MathExtras, CheckedOps) {
+  EXPECT_EQ(checkedAdd(2, 3), std::optional<int64_t>(5));
+  EXPECT_EQ(checkedAdd(INT64_MAX, 1), std::nullopt);
+  EXPECT_EQ(checkedSub(INT64_MIN, 1), std::nullopt);
+  EXPECT_EQ(checkedMul(4'000'000'000, 4'000'000'000), std::nullopt);
+  EXPECT_EQ(checkedMul(3, -4), std::optional<int64_t>(-12));
+}
+
+TEST(MathExtras, SignsAndParts) {
+  EXPECT_EQ(signOf(-3), -1);
+  EXPECT_EQ(signOf(0), 0);
+  EXPECT_EQ(signOf(9), 1);
+  EXPECT_EQ(positivePart(5), 5);
+  EXPECT_EQ(positivePart(-5), 0);
+  EXPECT_EQ(negativePart(5), 0);
+  EXPECT_EQ(negativePart(-5), 5);
+}

@@ -1,0 +1,84 @@
+//===- tests/support/RationalTest.cpp --------------------------------------===//
+//
+// Unit tests for exact rational arithmetic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+
+TEST(Rational, Normalization) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(1, -2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(6, 3), Rational(2));
+}
+
+TEST(Rational, DenominatorAlwaysPositive) {
+  EXPECT_GT(Rational(1, -2).denominator(), 0);
+  EXPECT_EQ(Rational(1, -2).numerator(), -1);
+}
+
+TEST(Rational, Predicates) {
+  EXPECT_TRUE(Rational(4, 2).isInteger());
+  EXPECT_FALSE(Rational(1, 2).isInteger());
+  EXPECT_TRUE(Rational(3, 2).isHalfIntegral());
+  EXPECT_TRUE(Rational(-1, 2).isHalfIntegral());
+  EXPECT_FALSE(Rational(1, 3).isHalfIntegral());
+  EXPECT_TRUE(Rational(0).isZero());
+  EXPECT_TRUE(Rational(-1, 3).isNegative());
+  EXPECT_TRUE(Rational(1, 3).isPositive());
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+  EXPECT_GT(Rational(3, 2), Rational(1));
+  EXPECT_GE(Rational(3, 2), Rational(3, 2));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, AsInteger) {
+  EXPECT_EQ(Rational(8, 2).asInteger(), std::optional<int64_t>(4));
+  EXPECT_EQ(Rational(7, 2).asInteger(), std::nullopt);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(7, 2).str(), "7/2");
+  EXPECT_EQ(Rational(-7, 2).str(), "-7/2");
+}
+
+TEST(Rational, MinMax) {
+  EXPECT_EQ(min(Rational(1, 2), Rational(1, 3)), Rational(1, 3));
+  EXPECT_EQ(max(Rational(1, 2), Rational(1, 3)), Rational(1, 2));
+}
+
+/// Cross-reduction delays overflow: (2^40/3) * (3/2^40) must work.
+TEST(Rational, CrossReduction) {
+  int64_t Big = int64_t(1) << 40;
+  Rational A(Big, 3);
+  Rational B(3, Big);
+  EXPECT_EQ(A * B, Rational(1));
+}

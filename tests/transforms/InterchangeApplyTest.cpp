@@ -1,0 +1,138 @@
+//===- tests/transforms/InterchangeApplyTest.cpp -----------------------------===//
+//
+// Tests for the interchange rewrite: structural swap, semantic
+// preservation when legal, and the observable semantic change when a
+// dependence made the swap illegal (demonstrating that the legality
+// check is load-bearing).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Interchange.h"
+
+#include "../TestHelpers.h"
+#include "core/DependenceGraph.h"
+#include "driver/Interpreter.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+const DoLoop *outerLoopOf(const Program &P) {
+  return dyn_cast<DoLoop>(P.TopLevel.front());
+}
+
+} // namespace
+
+TEST(InterchangeApply, StructuralSwap) {
+  Program P = parseOrDie(R"(
+do i = 1, 10
+  do j = 1, 20
+    a(i, j) = i + j
+  end do
+end do
+)");
+  std::optional<Program> Swapped = applyInterchange(P, outerLoopOf(P));
+  ASSERT_TRUE(Swapped.has_value());
+  EXPECT_EQ(programToString(*Swapped),
+            "do j = 1, 20\n"
+            "  do i = 1, 10\n"
+            "    a(i, j) = i + j\n"
+            "  end do\n"
+            "end do\n");
+}
+
+TEST(InterchangeApply, LegalSwapPreservesSemantics) {
+  Program P = parseOrDie(R"(
+do i = 2, 12
+  do j = 2, 12
+    a(i, j) = a(i-1, j-1) + i
+  end do
+end do
+)");
+  DependenceGraph G = DependenceGraph::build(P, SymbolRangeMap());
+  const DoLoop *Outer = outerLoopOf(P);
+  const auto *Inner = cast<DoLoop>(Outer->getBody().front());
+  ASSERT_TRUE(isInterchangeLegal(G, Outer, Inner));
+  std::optional<Program> Swapped = applyInterchange(P, Outer);
+  ASSERT_TRUE(Swapped.has_value());
+  ExecutionTrace Before = interpret(P);
+  ExecutionTrace After = interpret(*Swapped);
+  ASSERT_TRUE(Before.OK && After.OK);
+  EXPECT_EQ(Before.Memory, After.Memory);
+}
+
+TEST(InterchangeApply, IllegalSwapChangesSemantics) {
+  // Distance vector (1, -1): the legality check says no, and indeed
+  // the swapped program computes different values — evidence the
+  // direction-vector rule is exactly right.
+  Program P = parseOrDie(R"(
+b(3) = 100
+do i = 2, 6
+  do j = 1, 5
+    a(i, j) = a(i-1, j+1) + b(i)
+  end do
+end do
+)");
+  DependenceGraph G = DependenceGraph::build(P, SymbolRangeMap());
+  const DoLoop *Outer = dyn_cast<DoLoop>(P.TopLevel[1]);
+  ASSERT_NE(Outer, nullptr);
+  const auto *Inner = cast<DoLoop>(Outer->getBody().front());
+  EXPECT_FALSE(isInterchangeLegal(G, Outer, Inner));
+  std::optional<Program> Swapped = applyInterchange(P, Outer);
+  ASSERT_TRUE(Swapped.has_value()); // The rewrite itself works...
+  ExecutionTrace Before = interpret(P);
+  ExecutionTrace After = interpret(*Swapped);
+  ASSERT_TRUE(Before.OK && After.OK);
+  EXPECT_NE(Before.Memory, After.Memory); // ...but semantics change.
+}
+
+TEST(InterchangeApply, TriangularPairRejected) {
+  Program P = parseOrDie(R"(
+do i = 1, 10
+  do j = 1, i
+    a(i, j) = 0
+  end do
+end do
+)");
+  EXPECT_FALSE(applyInterchange(P, outerLoopOf(P)).has_value());
+}
+
+TEST(InterchangeApply, ImperfectPairRejected) {
+  Program P = parseOrDie(R"(
+do i = 1, 10
+  b(i) = i
+  do j = 1, 10
+    a(i, j) = 0
+  end do
+end do
+)");
+  EXPECT_FALSE(applyInterchange(P, outerLoopOf(P)).has_value());
+}
+
+TEST(InterchangeApply, InnerPairOfTripleNest) {
+  Program P = parseOrDie(R"(
+do i = 1, 4
+  do j = 1, 5
+    do k = 1, 6
+      a(i, j, k) = i + j + k
+    end do
+  end do
+end do
+)");
+  const DoLoop *Outer = outerLoopOf(P);
+  const auto *Mid = cast<DoLoop>(Outer->getBody().front());
+  std::optional<Program> Swapped = applyInterchange(P, Mid);
+  ASSERT_TRUE(Swapped.has_value());
+  // New order: i, k, j.
+  const auto *NewOuter = cast<DoLoop>(Swapped->TopLevel.front());
+  EXPECT_EQ(NewOuter->getIndexName(), "i");
+  const auto *NewMid = cast<DoLoop>(NewOuter->getBody().front());
+  EXPECT_EQ(NewMid->getIndexName(), "k");
+  ExecutionTrace Before = interpret(P);
+  ExecutionTrace After = interpret(*Swapped);
+  EXPECT_EQ(Before.Memory, After.Memory);
+}

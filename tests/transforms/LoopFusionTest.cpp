@@ -1,0 +1,246 @@
+//===- tests/transforms/LoopFusionTest.cpp -----------------------------------===//
+//
+// Loop fusion tests: legality by dependence analysis, chained fusion,
+// conformability requirements, and dynamic semantic preservation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LoopFusion.h"
+
+#include "../TestHelpers.h"
+#include "driver/Interpreter.h"
+#include "driver/WorkloadGenerator.h"
+#include "ir/PrettyPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+struct FusedResult {
+  Program Original;
+  Program Result;
+  FusionStats Stats;
+};
+
+FusedResult fuse(const char *Source,
+                 const std::map<std::string, int64_t> &Symbols = {}) {
+  FusedResult F;
+  F.Original = parseOrDie(Source);
+  SymbolRangeMap Ranges;
+  for (const auto &[Name, Value] : Symbols)
+    Ranges[Name] = Interval::point(Value);
+  F.Result = fuseLoops(F.Original, Ranges, &F.Stats);
+
+  InterpreterOptions Exec;
+  Exec.Symbols = Symbols;
+  ExecutionTrace Before = interpret(F.Original, Exec);
+  ExecutionTrace After = interpret(F.Result, Exec);
+  EXPECT_TRUE(Before.OK && After.OK);
+  EXPECT_EQ(Before.Memory, After.Memory)
+      << "fusion changed semantics:\n" << programToString(F.Result);
+  return F;
+}
+
+} // namespace
+
+TEST(LoopFusion, IndependentLoopsFuse) {
+  FusedResult F = fuse(R"(
+do i = 1, 20
+  a(i) = i
+end do
+do i = 1, 20
+  b(i) = 2*i
+end do
+)");
+  EXPECT_EQ(F.Stats.Fused, 1u);
+  ASSERT_EQ(F.Result.TopLevel.size(), 1u);
+  EXPECT_EQ(cast<DoLoop>(F.Result.TopLevel[0])->getBody().size(), 2u);
+}
+
+TEST(LoopFusion, ProducerConsumerSameIterationFuses) {
+  // b(i) = a(i): after fusion the read still follows the write of the
+  // same iteration. Legal.
+  FusedResult F = fuse(R"(
+do i = 1, 20
+  a(i) = i
+end do
+do i = 1, 20
+  b(i) = a(i) + 1
+end do
+)");
+  EXPECT_EQ(F.Stats.Fused, 1u);
+}
+
+TEST(LoopFusion, ForwardShiftFuses) {
+  // Consumer reads a(i-1): fused, the value was written one iteration
+  // earlier. Legal (the dependence stays forward).
+  FusedResult F = fuse(R"(
+do i = 2, 20
+  a(i) = i
+end do
+do i = 2, 20
+  b(i) = a(i-1)
+end do
+)");
+  EXPECT_EQ(F.Stats.Fused, 1u);
+}
+
+TEST(LoopFusion, FusionPreventingFlowBlocked) {
+  // The first loop reads a(i-1); the second writes a(i). In the
+  // original, every read sees the *old* a; fused, iteration i's read
+  // would see the value written at iteration i-1. The flow dependence
+  // from the second piece into the first must block the merge.
+  FusedResult F = fuse(R"(
+c(5) = 7
+do i = 2, 20
+  b(i) = a(i-1)
+end do
+do i = 2, 20
+  a(i) = c(i)
+end do
+)");
+  EXPECT_EQ(F.Stats.Fused, 0u);
+  EXPECT_EQ(F.Stats.BlockedByDependence, 1u);
+  EXPECT_EQ(F.Result.TopLevel.size(), 3u);
+}
+
+TEST(LoopFusion, ReadAheadStaysLegal) {
+  // The first loop reads a(i+1), the second writes a(i): fused, the
+  // write of a(i+1) still happens after the read (iteration i+1 vs
+  // i), so the anti ordering is preserved and fusion is legal.
+  FusedResult F = fuse(R"(
+c(5) = 7
+do i = 1, 19
+  b(i) = a(i+1)
+end do
+do i = 1, 19
+  a(i) = c(i)
+end do
+)");
+  EXPECT_EQ(F.Stats.Fused, 1u);
+}
+
+TEST(LoopFusion, WriteThenEarlierReadBlocked) {
+  // First loop reads a(i), second loop writes a(i-1): fused, the
+  // write a(i-1) at iteration i lands before the read a(i)... check
+  // the dependence machinery gets the direction right: iteration i
+  // writes a(i-1), iteration i-1 already read a(i-1) earlier in the
+  // original; fused order keeps read(i-1) before write(i): still the
+  // anti direction, so this one is actually LEGAL.
+  FusedResult F = fuse(R"(
+do i = 2, 20
+  b(i) = a(i)
+end do
+do i = 2, 20
+  a(i-1) = c(i)
+end do
+)");
+  // Anti dependence source (read) in the first piece: no back edge.
+  EXPECT_EQ(F.Stats.Fused, 1u);
+}
+
+TEST(LoopFusion, ChainsAcrossThreeLoops) {
+  FusedResult F = fuse(R"(
+do i = 1, 10
+  a(i) = i
+end do
+do i = 1, 10
+  b(i) = a(i)
+end do
+do i = 1, 10
+  c(i) = b(i)
+end do
+)");
+  EXPECT_EQ(F.Stats.Fused, 2u);
+  EXPECT_EQ(F.Result.TopLevel.size(), 1u);
+}
+
+TEST(LoopFusion, NonConformableBoundsStaySplit) {
+  FusedResult F = fuse(R"(
+do i = 1, 20
+  a(i) = i
+end do
+do i = 1, 21
+  b(i) = i
+end do
+)");
+  EXPECT_EQ(F.Stats.CandidatesConsidered, 0u);
+  EXPECT_EQ(F.Result.TopLevel.size(), 2u);
+}
+
+TEST(LoopFusion, DifferentIndexNamesStaySplit) {
+  FusedResult F = fuse(R"(
+do i = 1, 20
+  a(i) = i
+end do
+do j = 1, 20
+  b(j) = j
+end do
+)");
+  EXPECT_EQ(F.Stats.Fused, 0u);
+}
+
+TEST(LoopFusion, InnerLoopsOfNestFuse) {
+  FusedResult F = fuse(R"(
+do i = 1, 5
+  do j = 1, 5
+    a(i, j) = i + j
+  end do
+  do j = 1, 5
+    b(i, j) = a(i, j)
+  end do
+end do
+)");
+  EXPECT_EQ(F.Stats.Fused, 1u);
+  const auto *Outer = cast<DoLoop>(F.Result.TopLevel[0]);
+  ASSERT_EQ(Outer->getBody().size(), 1u);
+  EXPECT_EQ(cast<DoLoop>(Outer->getBody()[0])->getBody().size(), 2u);
+}
+
+TEST(LoopFusion, SymbolicBoundsFuseConservatively) {
+  // Same symbolic bounds are conformable; the candidate analysis runs
+  // with the provided assumptions.
+  FusedResult F = fuse(R"(
+do i = 1, n
+  a(i) = i
+end do
+do i = 1, n
+  b(i) = a(i)
+end do
+)", {{"n", 12}});
+  EXPECT_EQ(F.Stats.Fused, 1u);
+}
+
+TEST(LoopFusion, FusionUndoesDistribution) {
+  // Distribution-then-fusion round trip on an independent pair.
+  FusedResult F = fuse(R"(
+do i = 1, 15
+  a(i) = i
+end do
+do i = 1, 15
+  b(i) = 2*i
+end do
+)");
+  ASSERT_EQ(F.Result.TopLevel.size(), 1u);
+  std::string S = programToString(F.Result);
+  EXPECT_EQ(S,
+            "do i = 1, 15\n"
+            "  a(i) = i\n"
+            "  b(i) = 2*i\n"
+            "end do\n");
+}
+
+TEST(LoopFusion, RandomProgramsPreserveSemantics) {
+  std::mt19937_64 Rng(909090);
+  for (unsigned N = 0; N != 25; ++N) {
+    std::string Source = generateRandomProgramSource(Rng, 3, 1, 2);
+    fuse(Source.c_str(), {{"n", 6}});
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "failing source:\n" << Source;
+      return;
+    }
+  }
+}

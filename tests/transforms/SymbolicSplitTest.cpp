@@ -1,0 +1,117 @@
+//===- tests/transforms/SymbolicSplitTest.cpp -----------------------------===//
+//
+// Tests for the symbolic weak-crossing machinery: the crossing sum
+// expression surfaces as a hint, and splitting at Sum/2 preserves
+// semantics and removes the crossing dependences for every bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/LoopRestructuring.h"
+
+#include "../TestHelpers.h"
+#include "core/DependenceTester.h"
+#include "driver/Analyzer.h"
+#include "driver/Interpreter.h"
+#include "ir/PrettyPrinter.h"
+#include "transforms/Parallelizer.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+using namespace pdt;
+using namespace pdt::test;
+
+namespace {
+
+/// Hints for the first write-read pair of array \p Name.
+std::vector<TransformHint> hintsFor(const Program &P) {
+  std::vector<ArrayAccess> Accesses = collectAccesses(P);
+  SymbolRangeMap Symbols;
+  Symbols["n"] = Interval(1, std::nullopt);
+  std::vector<TransformHint> Out;
+  for (unsigned I = 0; I != Accesses.size(); ++I)
+    for (unsigned J = I + 1; J != Accesses.size(); ++J) {
+      if (Accesses[I].Ref->getArrayName() != Accesses[J].Ref->getArrayName())
+        continue;
+      DependenceTestResult R =
+          testAccessPair(Accesses[I], Accesses[J], Symbols);
+      for (TransformHint &H : R.Hints)
+        Out.push_back(std::move(H));
+    }
+  return Out;
+}
+
+} // namespace
+
+TEST(SymbolicCrossing, SumExpressionSurfaces) {
+  // a(i) = a(n - i + 1): i + i' = n + 1.
+  Program P = parseOrDie("do i = 1, n\n  a(i) = a(n-i+1) + b(i)\nend do\n");
+  std::vector<TransformHint> Hints = hintsFor(P);
+  bool Found = false;
+  for (const TransformHint &H : Hints) {
+    if (H.TheKind != TransformHint::Kind::Split || !H.SymbolicCrossingSum)
+      continue;
+    Found = true;
+    EXPECT_EQ(H.SymbolicCrossingSum->str(), "n + 1");
+    EXPECT_EQ(H.Index, "i");
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(SymbolicCrossing, SplitPreservesSemantics) {
+  Program P = parseOrDie("do i = 1, n\n  a(i) = a(n-i+1) + b(i)\nend do\n");
+  LinearExpr Sum = LinearExpr::symbol("n") + LinearExpr(1);
+  std::optional<Program> Split = splitLoopSymbolic(P, "i", Sum);
+  ASSERT_TRUE(Split.has_value());
+  EXPECT_EQ(programToString(*Split),
+            "do i = 1, (n + 1)/2\n"
+            "  a(i) = a(n - i + 1) + b(i)\n"
+            "end do\n"
+            "do i = (n + 1)/2 + 1, n\n"
+            "  a(i) = a(n - i + 1) + b(i)\n"
+            "end do\n");
+  // Semantics must hold for even and odd extents, including the
+  // degenerate sizes.
+  for (int64_t N : {0, 1, 2, 3, 8, 9, 15}) {
+    InterpreterOptions Options;
+    Options.Symbols["n"] = N;
+    ExecutionTrace Before = interpret(P, Options);
+    ExecutionTrace After = interpret(*Split, Options);
+    ASSERT_TRUE(Before.OK && After.OK);
+    EXPECT_EQ(Before.writeSequence(), After.writeSequence()) << "n=" << N;
+    EXPECT_EQ(Before.Memory, After.Memory) << "n=" << N;
+  }
+}
+
+TEST(SymbolicCrossing, SplitHalvesAreParallelForConcreteBound) {
+  // Instantiate n and verify both halves analyze parallel.
+  Program P = parseOrDie("do i = 1, n\n  a(i) = a(n-i+1) + b(i)\nend do\n");
+  LinearExpr Sum = LinearExpr::symbol("n") + LinearExpr(1);
+  std::optional<Program> Split = splitLoopSymbolic(P, "i", Sum);
+  ASSERT_TRUE(Split.has_value());
+  // Substitute n = 10 textually (whole-word) and re-analyze.
+  std::string Source = std::regex_replace(programToString(*Split),
+                                          std::regex("\\bn\\b"), "10");
+  AnalysisResult R = analyzeSource(Source, "split");
+  ASSERT_TRUE(R.Parsed) << Source;
+  std::vector<LoopParallelism> Par = findParallelLoops(R.Graph);
+  ASSERT_EQ(Par.size(), 2u);
+  EXPECT_TRUE(Par[0].Parallel) << R.Graph.str();
+  EXPECT_TRUE(Par[1].Parallel) << R.Graph.str();
+}
+
+TEST(SymbolicCrossing, NumericCaseStillPreferred) {
+  // With constant bounds the crossing is numeric, not symbolic.
+  Program P = parseOrDie("do i = 1, 9\n  a(i) = a(10-i)\nend do\n");
+  std::vector<TransformHint> Hints = hintsFor(P);
+  bool Numeric = false, Symbolic = false;
+  for (const TransformHint &H : Hints) {
+    if (H.TheKind != TransformHint::Kind::Split)
+      continue;
+    Numeric |= H.CrossingPoint.has_value();
+    Symbolic |= H.SymbolicCrossingSum.has_value();
+  }
+  EXPECT_TRUE(Numeric);
+  EXPECT_FALSE(Symbolic);
+}

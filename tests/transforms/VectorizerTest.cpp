@@ -1,0 +1,163 @@
+//===- tests/transforms/VectorizerTest.cpp -------------------------------------===//
+//
+// Unit tests for the Allen-Kennedy layered vectorization planner.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Vectorizer.h"
+
+#include "driver/Analyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pdt;
+
+namespace {
+
+std::vector<VectorizationPlan> plansFor(const char *Source) {
+  AnalysisResult R = analyzeSource(Source, "t");
+  EXPECT_TRUE(R.Parsed);
+  // NOTE: the plans reference statements owned by R.Prog; tests only
+  // inspect them while R is alive.
+  static AnalysisResult Keep; // Keep the last program alive per call.
+  Keep = std::move(R);
+  return planVectorization(Keep.Graph);
+}
+
+} // namespace
+
+TEST(Vectorizer, SimpleLoopFullyVectorizes) {
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 1, 100
+  a(i) = b(i) + c(i)
+end do
+)");
+  ASSERT_EQ(Plans.size(), 1u);
+  EXPECT_EQ(Plans[0].FullyVectorized, 1u);
+  EXPECT_EQ(Plans[0].Sequentialized, 0u);
+  ASSERT_EQ(Plans[0].Pieces.size(), 1u);
+  EXPECT_EQ(Plans[0].Pieces[0].TheKind,
+            VectorPlanNode::Kind::VectorStatement);
+}
+
+TEST(Vectorizer, RecurrenceSequentializes) {
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 2, 100
+  a(i) = a(i-1) + 1
+end do
+)");
+  ASSERT_EQ(Plans.size(), 1u);
+  EXPECT_EQ(Plans[0].FullyVectorized, 0u);
+  EXPECT_EQ(Plans[0].Sequentialized, 1u);
+  ASSERT_EQ(Plans[0].Pieces.size(), 1u);
+  EXPECT_EQ(Plans[0].Pieces[0].TheKind, VectorPlanNode::Kind::SerialLoop);
+  EXPECT_EQ(Plans[0].Pieces[0].LoopIndex, "i");
+}
+
+TEST(Vectorizer, DistributionSplitsLoop) {
+  // S1 feeds S2 across iterations, but neither is self-cyclic: the
+  // loop distributes into two vector statements in dependence order.
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 2, 100
+  a(i) = b(i) + 1
+  c(i) = a(i-1) + a(i)
+end do
+)");
+  ASSERT_EQ(Plans.size(), 1u);
+  EXPECT_EQ(Plans[0].FullyVectorized, 2u);
+  ASSERT_EQ(Plans[0].Pieces.size(), 2u);
+  // Topological order: the a-defining statement first.
+  EXPECT_TRUE(Plans[0].Pieces[0].Statement->getArrayTarget()
+                  ->getArrayName() == "a");
+  EXPECT_TRUE(Plans[0].Pieces[1].Statement->getArrayTarget()
+                  ->getArrayName() == "c");
+}
+
+TEST(Vectorizer, TwoStatementCycleSerializes) {
+  // a depends on d of the previous iteration and vice versa: a genuine
+  // two-statement recurrence.
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 2, 100
+  a(i) = d(i-1) + 1
+  d(i) = a(i-1) + a(i)
+end do
+)");
+  ASSERT_EQ(Plans.size(), 1u);
+  EXPECT_EQ(Plans[0].FullyVectorized, 0u);
+  EXPECT_EQ(Plans[0].Sequentialized, 2u);
+  ASSERT_EQ(Plans[0].Pieces.size(), 1u);
+  EXPECT_EQ(Plans[0].Pieces[0].Children.size(), 2u);
+}
+
+TEST(Vectorizer, OuterSerialInnerVector) {
+  // Recurrence on i only: serial i loop, vector j statement (the
+  // layered result PFC produced).
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 2, 100
+  do j = 1, 100
+    a(i, j) = a(i-1, j) + 1
+  end do
+end do
+)");
+  ASSERT_EQ(Plans.size(), 1u);
+  ASSERT_EQ(Plans[0].Pieces.size(), 1u);
+  const VectorPlanNode &Outer = Plans[0].Pieces[0];
+  EXPECT_EQ(Outer.TheKind, VectorPlanNode::Kind::SerialLoop);
+  EXPECT_EQ(Outer.LoopIndex, "i");
+  ASSERT_EQ(Outer.Children.size(), 1u);
+  EXPECT_EQ(Outer.Children[0].TheKind,
+            VectorPlanNode::Kind::VectorStatement);
+  EXPECT_EQ(Outer.Children[0].Level, 1u);
+  EXPECT_EQ(Plans[0].Sequentialized, 0u);
+}
+
+TEST(Vectorizer, ScalarReductionStaysSerial) {
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 1, 100
+  s = s + x(i)
+end do
+)");
+  ASSERT_EQ(Plans.size(), 1u);
+  EXPECT_EQ(Plans[0].FullyVectorized, 0u);
+  EXPECT_EQ(Plans[0].Sequentialized, 1u);
+}
+
+TEST(Vectorizer, PlanRendering) {
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 2, 100
+  a(i) = a(i-1) + b(i)
+  c(i) = b(i) + 1
+end do
+)");
+  ASSERT_EQ(Plans.size(), 1u);
+  std::string S = planToString(Plans[0]);
+  EXPECT_NE(S.find("serial loop i"), std::string::npos) << S;
+  EXPECT_NE(S.find("vectorize"), std::string::npos) << S;
+}
+
+TEST(Vectorizer, ReadModifyWriteVectorizes) {
+  // dy(i) = dy(i) + da*dx(i): the same-instance read-before-write is
+  // not a recurrence; vector semantics fetch before storing.
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 1, 100
+  dy(i) = dy(i) + da*dx(i)
+end do
+)");
+  ASSERT_EQ(Plans.size(), 1u);
+  EXPECT_EQ(Plans[0].FullyVectorized, 1u);
+  EXPECT_EQ(Plans[0].Sequentialized, 0u);
+}
+
+TEST(Vectorizer, MultipleNests) {
+  std::vector<VectorizationPlan> Plans = plansFor(R"(
+do i = 1, 100
+  a(i) = b(i)
+end do
+do j = 2, 100
+  c(j) = c(j-1)
+end do
+)");
+  ASSERT_EQ(Plans.size(), 2u);
+  EXPECT_EQ(Plans[0].FullyVectorized, 1u);
+  EXPECT_EQ(Plans[1].Sequentialized, 1u);
+}
