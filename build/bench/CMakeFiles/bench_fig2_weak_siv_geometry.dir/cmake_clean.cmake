@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_weak_siv_geometry.dir/bench_fig2_weak_siv_geometry.cpp.o"
+  "CMakeFiles/bench_fig2_weak_siv_geometry.dir/bench_fig2_weak_siv_geometry.cpp.o.d"
+  "bench_fig2_weak_siv_geometry"
+  "bench_fig2_weak_siv_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_weak_siv_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tests.dir/bench_micro_tests.cpp.o"
+  "CMakeFiles/bench_micro_tests.dir/bench_micro_tests.cpp.o.d"
+  "bench_micro_tests"
+  "bench_micro_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

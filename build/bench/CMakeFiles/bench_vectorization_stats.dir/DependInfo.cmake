@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_vectorization_stats.cpp" "bench/CMakeFiles/bench_vectorization_stats.dir/bench_vectorization_stats.cpp.o" "gcc" "bench/CMakeFiles/bench_vectorization_stats.dir/bench_vectorization_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/pdt_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/pdt_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/pdt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vectorization_stats.dir/bench_vectorization_stats.cpp.o"
+  "CMakeFiles/bench_vectorization_stats.dir/bench_vectorization_stats.cpp.o.d"
+  "bench_vectorization_stats"
+  "bench_vectorization_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vectorization_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_exactness.dir/bench_x2_exactness.cpp.o"
+  "CMakeFiles/bench_x2_exactness.dir/bench_x2_exactness.cpp.o.d"
+  "bench_x2_exactness"
+  "bench_x2_exactness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depcheck.dir/depcheck.cpp.o"
+  "CMakeFiles/depcheck.dir/depcheck.cpp.o.d"
+  "depcheck"
+  "depcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelize_corpus.dir/parallelize_corpus.cpp.o"
+  "CMakeFiles/parallelize_corpus.dir/parallelize_corpus.cpp.o.d"
+  "parallelize_corpus"
+  "parallelize_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelize_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restructure.dir/restructure.cpp.o"
+  "CMakeFiles/restructure.dir/restructure.cpp.o.d"
+  "restructure"
+  "restructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_advisor.dir/transform_advisor.cpp.o"
+  "CMakeFiles/transform_advisor.dir/transform_advisor.cpp.o.d"
+  "transform_advisor"
+  "transform_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

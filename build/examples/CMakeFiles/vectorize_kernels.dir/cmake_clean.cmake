@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vectorize_kernels.dir/vectorize_kernels.cpp.o"
+  "CMakeFiles/vectorize_kernels.dir/vectorize_kernels.cpp.o.d"
+  "vectorize_kernels"
+  "vectorize_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorize_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ASTRewriter.cpp" "src/analysis/CMakeFiles/pdt_analysis.dir/ASTRewriter.cpp.o" "gcc" "src/analysis/CMakeFiles/pdt_analysis.dir/ASTRewriter.cpp.o.d"
+  "/root/repo/src/analysis/InductionSubstitution.cpp" "src/analysis/CMakeFiles/pdt_analysis.dir/InductionSubstitution.cpp.o" "gcc" "src/analysis/CMakeFiles/pdt_analysis.dir/InductionSubstitution.cpp.o.d"
+  "/root/repo/src/analysis/LoopNest.cpp" "src/analysis/CMakeFiles/pdt_analysis.dir/LoopNest.cpp.o" "gcc" "src/analysis/CMakeFiles/pdt_analysis.dir/LoopNest.cpp.o.d"
+  "/root/repo/src/analysis/Normalization.cpp" "src/analysis/CMakeFiles/pdt_analysis.dir/Normalization.cpp.o" "gcc" "src/analysis/CMakeFiles/pdt_analysis.dir/Normalization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_analysis.dir/ASTRewriter.cpp.o"
+  "CMakeFiles/pdt_analysis.dir/ASTRewriter.cpp.o.d"
+  "CMakeFiles/pdt_analysis.dir/InductionSubstitution.cpp.o"
+  "CMakeFiles/pdt_analysis.dir/InductionSubstitution.cpp.o.d"
+  "CMakeFiles/pdt_analysis.dir/LoopNest.cpp.o"
+  "CMakeFiles/pdt_analysis.dir/LoopNest.cpp.o.d"
+  "CMakeFiles/pdt_analysis.dir/Normalization.cpp.o"
+  "CMakeFiles/pdt_analysis.dir/Normalization.cpp.o.d"
+  "libpdt_analysis.a"
+  "libpdt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

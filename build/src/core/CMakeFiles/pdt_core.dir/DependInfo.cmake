@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Constraint.cpp" "src/core/CMakeFiles/pdt_core.dir/Constraint.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/Constraint.cpp.o.d"
+  "/root/repo/src/core/DeltaTest.cpp" "src/core/CMakeFiles/pdt_core.dir/DeltaTest.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/DeltaTest.cpp.o.d"
+  "/root/repo/src/core/DependenceGraph.cpp" "src/core/CMakeFiles/pdt_core.dir/DependenceGraph.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/DependenceGraph.cpp.o.d"
+  "/root/repo/src/core/DependenceTester.cpp" "src/core/CMakeFiles/pdt_core.dir/DependenceTester.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/DependenceTester.cpp.o.d"
+  "/root/repo/src/core/DependenceTypes.cpp" "src/core/CMakeFiles/pdt_core.dir/DependenceTypes.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/DependenceTypes.cpp.o.d"
+  "/root/repo/src/core/FourierMotzkin.cpp" "src/core/CMakeFiles/pdt_core.dir/FourierMotzkin.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/FourierMotzkin.cpp.o.d"
+  "/root/repo/src/core/MIVTests.cpp" "src/core/CMakeFiles/pdt_core.dir/MIVTests.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/MIVTests.cpp.o.d"
+  "/root/repo/src/core/MultidimGCD.cpp" "src/core/CMakeFiles/pdt_core.dir/MultidimGCD.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/MultidimGCD.cpp.o.d"
+  "/root/repo/src/core/Oracle.cpp" "src/core/CMakeFiles/pdt_core.dir/Oracle.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/Oracle.cpp.o.d"
+  "/root/repo/src/core/Partition.cpp" "src/core/CMakeFiles/pdt_core.dir/Partition.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/Partition.cpp.o.d"
+  "/root/repo/src/core/PowerTest.cpp" "src/core/CMakeFiles/pdt_core.dir/PowerTest.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/PowerTest.cpp.o.d"
+  "/root/repo/src/core/SIVTests.cpp" "src/core/CMakeFiles/pdt_core.dir/SIVTests.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/SIVTests.cpp.o.d"
+  "/root/repo/src/core/Subscript.cpp" "src/core/CMakeFiles/pdt_core.dir/Subscript.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/Subscript.cpp.o.d"
+  "/root/repo/src/core/SubscriptBySubscript.cpp" "src/core/CMakeFiles/pdt_core.dir/SubscriptBySubscript.cpp.o" "gcc" "src/core/CMakeFiles/pdt_core.dir/SubscriptBySubscript.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/pdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

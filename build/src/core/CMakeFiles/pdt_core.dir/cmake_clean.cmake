@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_core.dir/Constraint.cpp.o"
+  "CMakeFiles/pdt_core.dir/Constraint.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/DeltaTest.cpp.o"
+  "CMakeFiles/pdt_core.dir/DeltaTest.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/pdt_core.dir/DependenceGraph.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/DependenceTester.cpp.o"
+  "CMakeFiles/pdt_core.dir/DependenceTester.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/DependenceTypes.cpp.o"
+  "CMakeFiles/pdt_core.dir/DependenceTypes.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/FourierMotzkin.cpp.o"
+  "CMakeFiles/pdt_core.dir/FourierMotzkin.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/MIVTests.cpp.o"
+  "CMakeFiles/pdt_core.dir/MIVTests.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/MultidimGCD.cpp.o"
+  "CMakeFiles/pdt_core.dir/MultidimGCD.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/Oracle.cpp.o"
+  "CMakeFiles/pdt_core.dir/Oracle.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/Partition.cpp.o"
+  "CMakeFiles/pdt_core.dir/Partition.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/PowerTest.cpp.o"
+  "CMakeFiles/pdt_core.dir/PowerTest.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/SIVTests.cpp.o"
+  "CMakeFiles/pdt_core.dir/SIVTests.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/Subscript.cpp.o"
+  "CMakeFiles/pdt_core.dir/Subscript.cpp.o.d"
+  "CMakeFiles/pdt_core.dir/SubscriptBySubscript.cpp.o"
+  "CMakeFiles/pdt_core.dir/SubscriptBySubscript.cpp.o.d"
+  "libpdt_core.a"
+  "libpdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/Analyzer.cpp" "src/driver/CMakeFiles/pdt_driver.dir/Analyzer.cpp.o" "gcc" "src/driver/CMakeFiles/pdt_driver.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/driver/Corpus.cpp" "src/driver/CMakeFiles/pdt_driver.dir/Corpus.cpp.o" "gcc" "src/driver/CMakeFiles/pdt_driver.dir/Corpus.cpp.o.d"
+  "/root/repo/src/driver/Interpreter.cpp" "src/driver/CMakeFiles/pdt_driver.dir/Interpreter.cpp.o" "gcc" "src/driver/CMakeFiles/pdt_driver.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/driver/TableReport.cpp" "src/driver/CMakeFiles/pdt_driver.dir/TableReport.cpp.o" "gcc" "src/driver/CMakeFiles/pdt_driver.dir/TableReport.cpp.o.d"
+  "/root/repo/src/driver/WorkloadGenerator.cpp" "src/driver/CMakeFiles/pdt_driver.dir/WorkloadGenerator.cpp.o" "gcc" "src/driver/CMakeFiles/pdt_driver.dir/WorkloadGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/pdt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

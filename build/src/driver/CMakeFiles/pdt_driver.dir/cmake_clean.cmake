@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_driver.dir/Analyzer.cpp.o"
+  "CMakeFiles/pdt_driver.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/pdt_driver.dir/Corpus.cpp.o"
+  "CMakeFiles/pdt_driver.dir/Corpus.cpp.o.d"
+  "CMakeFiles/pdt_driver.dir/Interpreter.cpp.o"
+  "CMakeFiles/pdt_driver.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/pdt_driver.dir/TableReport.cpp.o"
+  "CMakeFiles/pdt_driver.dir/TableReport.cpp.o.d"
+  "CMakeFiles/pdt_driver.dir/WorkloadGenerator.cpp.o"
+  "CMakeFiles/pdt_driver.dir/WorkloadGenerator.cpp.o.d"
+  "libpdt_driver.a"
+  "libpdt_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

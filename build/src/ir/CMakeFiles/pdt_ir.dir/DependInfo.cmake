@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/AST.cpp" "src/ir/CMakeFiles/pdt_ir.dir/AST.cpp.o" "gcc" "src/ir/CMakeFiles/pdt_ir.dir/AST.cpp.o.d"
+  "/root/repo/src/ir/AccessCollector.cpp" "src/ir/CMakeFiles/pdt_ir.dir/AccessCollector.cpp.o" "gcc" "src/ir/CMakeFiles/pdt_ir.dir/AccessCollector.cpp.o.d"
+  "/root/repo/src/ir/LinearExpr.cpp" "src/ir/CMakeFiles/pdt_ir.dir/LinearExpr.cpp.o" "gcc" "src/ir/CMakeFiles/pdt_ir.dir/LinearExpr.cpp.o.d"
+  "/root/repo/src/ir/PrettyPrinter.cpp" "src/ir/CMakeFiles/pdt_ir.dir/PrettyPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/pdt_ir.dir/PrettyPrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

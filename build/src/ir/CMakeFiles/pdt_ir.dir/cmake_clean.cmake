@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_ir.dir/AST.cpp.o"
+  "CMakeFiles/pdt_ir.dir/AST.cpp.o.d"
+  "CMakeFiles/pdt_ir.dir/AccessCollector.cpp.o"
+  "CMakeFiles/pdt_ir.dir/AccessCollector.cpp.o.d"
+  "CMakeFiles/pdt_ir.dir/LinearExpr.cpp.o"
+  "CMakeFiles/pdt_ir.dir/LinearExpr.cpp.o.d"
+  "CMakeFiles/pdt_ir.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/pdt_ir.dir/PrettyPrinter.cpp.o.d"
+  "libpdt_ir.a"
+  "libpdt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

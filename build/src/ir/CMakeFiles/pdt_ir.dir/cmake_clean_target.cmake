@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdt_ir.a"
+)

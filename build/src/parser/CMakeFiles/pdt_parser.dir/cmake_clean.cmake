@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/pdt_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pdt_parser.dir/Parser.cpp.o"
+  "CMakeFiles/pdt_parser.dir/Parser.cpp.o.d"
+  "libpdt_parser.a"
+  "libpdt_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

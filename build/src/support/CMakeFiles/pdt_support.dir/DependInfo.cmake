@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ErrorHandling.cpp" "src/support/CMakeFiles/pdt_support.dir/ErrorHandling.cpp.o" "gcc" "src/support/CMakeFiles/pdt_support.dir/ErrorHandling.cpp.o.d"
+  "/root/repo/src/support/Interval.cpp" "src/support/CMakeFiles/pdt_support.dir/Interval.cpp.o" "gcc" "src/support/CMakeFiles/pdt_support.dir/Interval.cpp.o.d"
+  "/root/repo/src/support/MathExtras.cpp" "src/support/CMakeFiles/pdt_support.dir/MathExtras.cpp.o" "gcc" "src/support/CMakeFiles/pdt_support.dir/MathExtras.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/support/CMakeFiles/pdt_support.dir/Rational.cpp.o" "gcc" "src/support/CMakeFiles/pdt_support.dir/Rational.cpp.o.d"
+  "/root/repo/src/support/SCC.cpp" "src/support/CMakeFiles/pdt_support.dir/SCC.cpp.o" "gcc" "src/support/CMakeFiles/pdt_support.dir/SCC.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/pdt_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/pdt_support.dir/Interval.cpp.o"
+  "CMakeFiles/pdt_support.dir/Interval.cpp.o.d"
+  "CMakeFiles/pdt_support.dir/MathExtras.cpp.o"
+  "CMakeFiles/pdt_support.dir/MathExtras.cpp.o.d"
+  "CMakeFiles/pdt_support.dir/Rational.cpp.o"
+  "CMakeFiles/pdt_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/pdt_support.dir/SCC.cpp.o"
+  "CMakeFiles/pdt_support.dir/SCC.cpp.o.d"
+  "libpdt_support.a"
+  "libpdt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/Interchange.cpp" "src/transforms/CMakeFiles/pdt_transforms.dir/Interchange.cpp.o" "gcc" "src/transforms/CMakeFiles/pdt_transforms.dir/Interchange.cpp.o.d"
+  "/root/repo/src/transforms/LocalityAdvisor.cpp" "src/transforms/CMakeFiles/pdt_transforms.dir/LocalityAdvisor.cpp.o" "gcc" "src/transforms/CMakeFiles/pdt_transforms.dir/LocalityAdvisor.cpp.o.d"
+  "/root/repo/src/transforms/LoopDistribution.cpp" "src/transforms/CMakeFiles/pdt_transforms.dir/LoopDistribution.cpp.o" "gcc" "src/transforms/CMakeFiles/pdt_transforms.dir/LoopDistribution.cpp.o.d"
+  "/root/repo/src/transforms/LoopFusion.cpp" "src/transforms/CMakeFiles/pdt_transforms.dir/LoopFusion.cpp.o" "gcc" "src/transforms/CMakeFiles/pdt_transforms.dir/LoopFusion.cpp.o.d"
+  "/root/repo/src/transforms/LoopRestructuring.cpp" "src/transforms/CMakeFiles/pdt_transforms.dir/LoopRestructuring.cpp.o" "gcc" "src/transforms/CMakeFiles/pdt_transforms.dir/LoopRestructuring.cpp.o.d"
+  "/root/repo/src/transforms/Parallelizer.cpp" "src/transforms/CMakeFiles/pdt_transforms.dir/Parallelizer.cpp.o" "gcc" "src/transforms/CMakeFiles/pdt_transforms.dir/Parallelizer.cpp.o.d"
+  "/root/repo/src/transforms/ScalarReplacement.cpp" "src/transforms/CMakeFiles/pdt_transforms.dir/ScalarReplacement.cpp.o" "gcc" "src/transforms/CMakeFiles/pdt_transforms.dir/ScalarReplacement.cpp.o.d"
+  "/root/repo/src/transforms/Vectorizer.cpp" "src/transforms/CMakeFiles/pdt_transforms.dir/Vectorizer.cpp.o" "gcc" "src/transforms/CMakeFiles/pdt_transforms.dir/Vectorizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdt_transforms.dir/Interchange.cpp.o"
+  "CMakeFiles/pdt_transforms.dir/Interchange.cpp.o.d"
+  "CMakeFiles/pdt_transforms.dir/LocalityAdvisor.cpp.o"
+  "CMakeFiles/pdt_transforms.dir/LocalityAdvisor.cpp.o.d"
+  "CMakeFiles/pdt_transforms.dir/LoopDistribution.cpp.o"
+  "CMakeFiles/pdt_transforms.dir/LoopDistribution.cpp.o.d"
+  "CMakeFiles/pdt_transforms.dir/LoopFusion.cpp.o"
+  "CMakeFiles/pdt_transforms.dir/LoopFusion.cpp.o.d"
+  "CMakeFiles/pdt_transforms.dir/LoopRestructuring.cpp.o"
+  "CMakeFiles/pdt_transforms.dir/LoopRestructuring.cpp.o.d"
+  "CMakeFiles/pdt_transforms.dir/Parallelizer.cpp.o"
+  "CMakeFiles/pdt_transforms.dir/Parallelizer.cpp.o.d"
+  "CMakeFiles/pdt_transforms.dir/ScalarReplacement.cpp.o"
+  "CMakeFiles/pdt_transforms.dir/ScalarReplacement.cpp.o.d"
+  "CMakeFiles/pdt_transforms.dir/Vectorizer.cpp.o"
+  "CMakeFiles/pdt_transforms.dir/Vectorizer.cpp.o.d"
+  "libpdt_transforms.a"
+  "libpdt_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdt_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

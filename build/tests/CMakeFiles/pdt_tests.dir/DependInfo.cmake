@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/ASTRewriterTest.cpp" "tests/CMakeFiles/pdt_tests.dir/analysis/ASTRewriterTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/analysis/ASTRewriterTest.cpp.o.d"
+  "/root/repo/tests/analysis/InductionSubstitutionTest.cpp" "tests/CMakeFiles/pdt_tests.dir/analysis/InductionSubstitutionTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/analysis/InductionSubstitutionTest.cpp.o.d"
+  "/root/repo/tests/analysis/LoopNestTest.cpp" "tests/CMakeFiles/pdt_tests.dir/analysis/LoopNestTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/analysis/LoopNestTest.cpp.o.d"
+  "/root/repo/tests/analysis/NormalizationTest.cpp" "tests/CMakeFiles/pdt_tests.dir/analysis/NormalizationTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/analysis/NormalizationTest.cpp.o.d"
+  "/root/repo/tests/analysis/RangeEdgeTest.cpp" "tests/CMakeFiles/pdt_tests.dir/analysis/RangeEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/analysis/RangeEdgeTest.cpp.o.d"
+  "/root/repo/tests/core/BaselinesTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/BaselinesTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/BaselinesTest.cpp.o.d"
+  "/root/repo/tests/core/ConstraintTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/ConstraintTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/ConstraintTest.cpp.o.d"
+  "/root/repo/tests/core/DeltaAdvancedTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/DeltaAdvancedTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/DeltaAdvancedTest.cpp.o.d"
+  "/root/repo/tests/core/DeltaTestTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/DeltaTestTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/DeltaTestTest.cpp.o.d"
+  "/root/repo/tests/core/DependenceGraphTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/DependenceGraphTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/DependenceGraphTest.cpp.o.d"
+  "/root/repo/tests/core/DependenceTesterTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/DependenceTesterTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/DependenceTesterTest.cpp.o.d"
+  "/root/repo/tests/core/DependenceTypesTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/DependenceTypesTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/DependenceTypesTest.cpp.o.d"
+  "/root/repo/tests/core/EndToEndSoundnessTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/EndToEndSoundnessTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/EndToEndSoundnessTest.cpp.o.d"
+  "/root/repo/tests/core/GraphAdvancedTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/GraphAdvancedTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/GraphAdvancedTest.cpp.o.d"
+  "/root/repo/tests/core/MIVTestsTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/MIVTestsTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/MIVTestsTest.cpp.o.d"
+  "/root/repo/tests/core/OracleTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/OracleTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/OracleTest.cpp.o.d"
+  "/root/repo/tests/core/PowerTestTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/PowerTestTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/PowerTestTest.cpp.o.d"
+  "/root/repo/tests/core/PropertyTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/PropertyTest.cpp.o.d"
+  "/root/repo/tests/core/SIVGeometrySweepTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/SIVGeometrySweepTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/SIVGeometrySweepTest.cpp.o.d"
+  "/root/repo/tests/core/SIVTestsTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/SIVTestsTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/SIVTestsTest.cpp.o.d"
+  "/root/repo/tests/core/SubscriptTest.cpp" "tests/CMakeFiles/pdt_tests.dir/core/SubscriptTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/core/SubscriptTest.cpp.o.d"
+  "/root/repo/tests/driver/AnalyzerTest.cpp" "tests/CMakeFiles/pdt_tests.dir/driver/AnalyzerTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/driver/AnalyzerTest.cpp.o.d"
+  "/root/repo/tests/driver/CorpusTest.cpp" "tests/CMakeFiles/pdt_tests.dir/driver/CorpusTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/driver/CorpusTest.cpp.o.d"
+  "/root/repo/tests/driver/GoldenTest.cpp" "tests/CMakeFiles/pdt_tests.dir/driver/GoldenTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/driver/GoldenTest.cpp.o.d"
+  "/root/repo/tests/driver/InterpreterTest.cpp" "tests/CMakeFiles/pdt_tests.dir/driver/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/driver/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/driver/WorkloadGeneratorTest.cpp" "tests/CMakeFiles/pdt_tests.dir/driver/WorkloadGeneratorTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/driver/WorkloadGeneratorTest.cpp.o.d"
+  "/root/repo/tests/ir/LinearExprTest.cpp" "tests/CMakeFiles/pdt_tests.dir/ir/LinearExprTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/ir/LinearExprTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserEdgeTest.cpp" "tests/CMakeFiles/pdt_tests.dir/ir/ParserEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/ir/ParserEdgeTest.cpp.o.d"
+  "/root/repo/tests/ir/ParserTest.cpp" "tests/CMakeFiles/pdt_tests.dir/ir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/ir/ParserTest.cpp.o.d"
+  "/root/repo/tests/ir/PrettyPrinterTest.cpp" "tests/CMakeFiles/pdt_tests.dir/ir/PrettyPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/ir/PrettyPrinterTest.cpp.o.d"
+  "/root/repo/tests/support/CastingTest.cpp" "tests/CMakeFiles/pdt_tests.dir/support/CastingTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/support/CastingTest.cpp.o.d"
+  "/root/repo/tests/support/IntervalPropertyTest.cpp" "tests/CMakeFiles/pdt_tests.dir/support/IntervalPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/support/IntervalPropertyTest.cpp.o.d"
+  "/root/repo/tests/support/IntervalTest.cpp" "tests/CMakeFiles/pdt_tests.dir/support/IntervalTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/support/IntervalTest.cpp.o.d"
+  "/root/repo/tests/support/MathExtrasTest.cpp" "tests/CMakeFiles/pdt_tests.dir/support/MathExtrasTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/support/MathExtrasTest.cpp.o.d"
+  "/root/repo/tests/support/RationalTest.cpp" "tests/CMakeFiles/pdt_tests.dir/support/RationalTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/support/RationalTest.cpp.o.d"
+  "/root/repo/tests/transforms/InterchangeApplyTest.cpp" "tests/CMakeFiles/pdt_tests.dir/transforms/InterchangeApplyTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/transforms/InterchangeApplyTest.cpp.o.d"
+  "/root/repo/tests/transforms/LocalityAdvisorTest.cpp" "tests/CMakeFiles/pdt_tests.dir/transforms/LocalityAdvisorTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/transforms/LocalityAdvisorTest.cpp.o.d"
+  "/root/repo/tests/transforms/LoopDistributionTest.cpp" "tests/CMakeFiles/pdt_tests.dir/transforms/LoopDistributionTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/transforms/LoopDistributionTest.cpp.o.d"
+  "/root/repo/tests/transforms/LoopFusionTest.cpp" "tests/CMakeFiles/pdt_tests.dir/transforms/LoopFusionTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/transforms/LoopFusionTest.cpp.o.d"
+  "/root/repo/tests/transforms/ScalarReplacementTest.cpp" "tests/CMakeFiles/pdt_tests.dir/transforms/ScalarReplacementTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/transforms/ScalarReplacementTest.cpp.o.d"
+  "/root/repo/tests/transforms/SymbolicSplitTest.cpp" "tests/CMakeFiles/pdt_tests.dir/transforms/SymbolicSplitTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/transforms/SymbolicSplitTest.cpp.o.d"
+  "/root/repo/tests/transforms/TransformsTest.cpp" "tests/CMakeFiles/pdt_tests.dir/transforms/TransformsTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/transforms/TransformsTest.cpp.o.d"
+  "/root/repo/tests/transforms/VectorizerTest.cpp" "tests/CMakeFiles/pdt_tests.dir/transforms/VectorizerTest.cpp.o" "gcc" "tests/CMakeFiles/pdt_tests.dir/transforms/VectorizerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/pdt_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/pdt_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pdt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/pdt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pdt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
