@@ -1,0 +1,284 @@
+//===- core/AccessLoweringCache.cpp - Per-access lowering cache -----------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AccessLoweringCache.h"
+
+#include "core/Partition.h"
+#include "ir/AST.h"
+
+#include <cassert>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+using namespace pdt;
+
+/// One lock-striped bucket of the testDependence memo table.
+struct AccessLoweringCache::MemoShard {
+  std::mutex M;
+  std::unordered_map<std::string, MemoizedResult> Table;
+};
+
+AccessLoweringCache::~AccessLoweringCache() = default;
+
+AccessLoweringCache::AccessLoweringCache(
+    const std::vector<ArrayAccess> &Accesses, const SymbolRangeMap &Symbols,
+    const std::set<std::string> *VaryingScalars)
+    : Accesses(Accesses), Symbols(Symbols),
+      Memo(std::make_unique<MemoShard[]>(NumMemoShards)) {
+  Lowered.reserve(Accesses.size());
+  for (const ArrayAccess &Access : Accesses) {
+    LoweredAccess L;
+    for (const DoLoop *Loop : Access.LoopStack)
+      L.OwnIndices.insert(Loop->getIndexName());
+
+    L.Dims.reserve(Access.Ref->getNumDims());
+    for (unsigned Dim = 0; Dim != Access.Ref->getNumDims(); ++Dim) {
+      std::optional<LinearExpr> Linear =
+          buildLinearExpr(Access.Ref->getSubscript(Dim), L.OwnIndices);
+      // A scalar assigned somewhere in the program is not a
+      // loop-invariant symbol; the subscript is effectively nonlinear.
+      if (Linear && VaryingScalars)
+        for (const auto &[Name, Coeff] : Linear->symbolTerms())
+          if (VaryingScalars->count(Name)) {
+            Linear.reset();
+            break;
+          }
+      L.Dims.push_back(std::move(Linear));
+    }
+
+    L.OwnCtx = LoopNestContext(Access.LoopStack, Symbols);
+    Lowered.push_back(std::move(L));
+  }
+}
+
+namespace {
+
+/// Retags the cached affine form for one pair: index terms of the
+/// common nest stay indices, any other index becomes a fresh ranged
+/// symbol named after the side it belongs to. Mirrors the term order
+/// of the from-scratch path so the resulting LinearExpr is identical
+/// (LinearExpr is canonical, so the fast path below returning the
+/// cached form unchanged is the same value the rebuild produces).
+std::optional<LinearExpr>
+combineOverCommonNest(const LoweredAccess &L, unsigned Dim,
+                      const std::set<std::string> &CommonIndices,
+                      const char *Suffix, SymbolRangeMap &ExtraRanges,
+                      bool &AddedRanges) {
+  const std::optional<LinearExpr> &Linear = L.Dims[Dim];
+  if (!Linear)
+    return std::nullopt;
+
+  // Fast path (the dominant same-nest case): every index is common,
+  // nothing to retag.
+  bool AllCommon = true;
+  for (const auto &[Name, Coeff] : Linear->indexTerms())
+    if (!CommonIndices.count(Name)) {
+      AllCommon = false;
+      break;
+    }
+  if (AllCommon)
+    return *Linear;
+
+  LinearExpr Result(Linear->getConstant());
+  for (const auto &[Name, Coeff] : Linear->symbolTerms())
+    Result = Result + LinearExpr::symbol(Name, Coeff);
+  for (const auto &[Name, Coeff] : Linear->indexTerms()) {
+    if (CommonIndices.count(Name)) {
+      Result = Result + LinearExpr::index(Name, Coeff);
+      continue;
+    }
+    std::string Renamed = Name + Suffix;
+    Result = Result + LinearExpr::symbol(Renamed, Coeff);
+    ExtraRanges[Renamed] = L.OwnCtx.indexRange(Name);
+    AddedRanges = true;
+  }
+  return Result;
+}
+
+} // namespace
+
+AccessLoweringCache::LoweredPair
+AccessLoweringCache::lowerPair(unsigned I, unsigned J,
+                               LoopNestContext &Storage) const {
+  const ArrayAccess &A = Accesses[I];
+  const ArrayAccess &B = Accesses[J];
+  assert(A.Ref && B.Ref && "null access");
+  assert(A.Ref->getArrayName() == B.Ref->getArrayName() &&
+         "testing accesses to different arrays");
+  LoweredPair Out;
+  if (A.Ref->getNumDims() != B.Ref->getNumDims()) {
+    Out.DimMismatch = true;
+    return Out;
+  }
+
+  const LoweredAccess &LA = Lowered[I];
+  const LoweredAccess &LB = Lowered[J];
+  std::vector<const DoLoop *> Common = commonLoops(A, B);
+
+  // The common nest is a stack prefix, so when it spans one side's
+  // whole stack that side's cached index set is the common set.
+  std::set<std::string> CommonStorage;
+  const std::set<std::string> *CommonIndices;
+  if (Common.size() == A.LoopStack.size())
+    CommonIndices = &LA.OwnIndices;
+  else if (Common.size() == B.LoopStack.size())
+    CommonIndices = &LB.OwnIndices;
+  else {
+    for (const DoLoop *Loop : Common)
+      CommonStorage.insert(Loop->getIndexName());
+    CommonIndices = &CommonStorage;
+  }
+
+  SymbolRangeMap ExtraRanges;
+  bool AddedRanges = false;
+  for (unsigned Dim = 0; Dim != A.Ref->getNumDims(); ++Dim) {
+    std::optional<LinearExpr> Src = combineOverCommonNest(
+        LA, Dim, *CommonIndices, "#src", ExtraRanges, AddedRanges);
+    std::optional<LinearExpr> Dst = combineOverCommonNest(
+        LB, Dim, *CommonIndices, "#snk", ExtraRanges, AddedRanges);
+    if (!Src || !Dst) {
+      Out.HasNonlinear = true;
+      continue; // Contributes no information.
+    }
+    Out.Subscripts.emplace_back(std::move(*Src), std::move(*Dst), Dim);
+  }
+
+  // The pair context is LoopNestContext(Common, Symbols + ExtraRanges).
+  // When no index was renamed and the common nest is one side's whole
+  // stack, that is exactly the cached per-access context: borrow it.
+  if (!AddedRanges && Common.size() == A.LoopStack.size())
+    Out.Ctx = &LA.OwnCtx;
+  else if (!AddedRanges && Common.size() == B.LoopStack.size())
+    Out.Ctx = &LB.OwnCtx;
+  else {
+    SymbolRangeMap AllSymbols = Symbols;
+    for (const auto &[Name, Range] : ExtraRanges)
+      AllSymbols.insert_or_assign(Name, Range);
+    Storage = LoopNestContext(Common, std::move(AllSymbols));
+    Out.Ctx = &Storage;
+  }
+  return Out;
+}
+
+std::optional<PreparedPair> AccessLoweringCache::preparePair(unsigned I,
+                                                             unsigned J) const {
+  LoopNestContext Storage;
+  LoweredPair Pair = lowerPair(I, J, Storage);
+  if (Pair.DimMismatch)
+    return std::nullopt;
+  PreparedPair Prepared;
+  Prepared.Subscripts = std::move(Pair.Subscripts);
+  Prepared.HasNonlinear = Pair.HasNonlinear;
+  for (const SubscriptPartition &P : partitionSubscripts(Prepared.Subscripts))
+    if (!P.isSeparable())
+      Prepared.HasCoupledGroup = true;
+  Prepared.Ctx = *Pair.Ctx;
+  return Prepared;
+}
+
+DependenceTestResult
+AccessLoweringCache::memoizedTestDependence(const LoweredPair &Pair,
+                                            TestStats *Stats) const {
+  // Distinct access pairs frequently lower to identical content —
+  // stencil programs repeat the same subscript shapes across
+  // statements and nests — so key the testDependence call on the full
+  // lowered content and run the algorithm once per distinct form.
+  std::string Key;
+  Key.reserve(128);
+  for (const SubscriptPair &S : Pair.Subscripts) {
+    Key += S.Src.str();
+    Key += '=';
+    Key += S.Dst.str();
+    Key += '@';
+    Key += std::to_string(S.Dim);
+    Key += ';';
+  }
+  Key += '|';
+  for (const LoopBounds &L : Pair.Ctx->loops()) {
+    Key += L.Index;
+    Key += ':';
+    if (L.Affine) {
+      Key += L.Lower.str();
+      Key += ',';
+      Key += L.Upper.str();
+    } else {
+      Key += '?';
+    }
+    Key += ',';
+    Key += std::to_string(L.Step);
+    Key += ';';
+  }
+  Key += '|';
+  for (const auto &[Name, Range] : Pair.Ctx->symbolRanges()) {
+    Key += Name;
+    Key += '=';
+    Key += Range.str();
+    Key += ';';
+  }
+
+  MemoShard &Shard =
+      Memo[std::hash<std::string>{}(Key) % NumMemoShards];
+  {
+    std::lock_guard<std::mutex> Lock(Shard.M);
+    auto It = Shard.Table.find(Key);
+    if (It != Shard.Table.end()) {
+      // Replay the cached statistics delta so merged counters equal an
+      // uncached run exactly (TestStats merging is additive).
+      if (Stats)
+        Stats->merge(It->second.Delta);
+      return It->second.Result;
+    }
+  }
+
+  TestStats Delta;
+  DependenceTestResult Result =
+      testDependence(Pair.Subscripts, *Pair.Ctx, &Delta);
+  if (Stats)
+    Stats->merge(Delta);
+  {
+    std::lock_guard<std::mutex> Lock(Shard.M);
+    Shard.Table.try_emplace(std::move(Key),
+                            MemoizedResult{Result, std::move(Delta)});
+  }
+  return Result;
+}
+
+DependenceTestResult AccessLoweringCache::testPair(unsigned I, unsigned J,
+                                                   TestStats *Stats) const {
+  const ArrayAccess &A = Accesses[I];
+  const ArrayAccess &B = Accesses[J];
+  if (Stats) {
+    ++Stats->ReferencePairs;
+    unsigned Dims = std::min(A.Ref->getNumDims(), B.Ref->getNumDims());
+    ++Stats->DimensionHistogram[std::min(Dims - 1, 3u)];
+  }
+
+  LoopNestContext Storage;
+  LoweredPair Pair = lowerPair(I, J, Storage);
+  // Mismatched dimensionality (legal Fortran through equivalence-style
+  // tricks): treat conservatively.
+  if (Pair.DimMismatch) {
+    DependenceTestResult R;
+    std::vector<const DoLoop *> Common = commonLoops(A, B);
+    R.Vectors.assign(1, DependenceVector(Common.size()));
+    return R;
+  }
+  if (Stats && Pair.HasNonlinear)
+    Stats->NonlinearSubscripts +=
+        A.Ref->getNumDims() - Pair.Subscripts.size();
+
+  DependenceTestResult Result = memoizedTestDependence(Pair, Stats);
+  Result.HasNonlinear = Pair.HasNonlinear;
+  if (Pair.HasNonlinear && Result.TheVerdict == Verdict::Dependent)
+    Result.TheVerdict = Verdict::Maybe;
+  if (Pair.HasNonlinear)
+    Result.Exact = false;
+  if (Stats && Result.isIndependent())
+    ++Stats->IndependentPairs;
+  return Result;
+}

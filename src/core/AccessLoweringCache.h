@@ -1,0 +1,127 @@
+//===- core/AccessLoweringCache.h - Per-access lowering cache ---*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-access half of pair preparation, hoisted out of the O(n^2)
+/// pair loop. For each array access the cache precomputes, once:
+///
+///   * the affine form of every subscript dimension over the access's
+///     own loop indices (nullopt when nonlinear or when it mentions a
+///     varying scalar), and
+///   * the analyzed context of the access's own loop nest, whose index
+///     ranges bound the fresh "#src"/"#snk" symbols that stand in for
+///     non-common indices.
+///
+/// preparePair then reduces to a cheap combination step: intersect the
+/// two loop stacks, retag non-common index terms as ranged symbols,
+/// and analyze the common nest. The result is bit-for-bit identical to
+/// what prepareAccessPair computes from scratch (the golden and
+/// determinism tests pin this down).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_ACCESSLOWERINGCACHE_H
+#define PDT_CORE_ACCESSLOWERINGCACHE_H
+
+#include "analysis/LoopNest.h"
+#include "core/DependenceTester.h"
+#include "ir/AccessCollector.h"
+#include "ir/LinearExpr.h"
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace pdt {
+
+/// The pair-independent lowering of one array access.
+struct LoweredAccess {
+  /// Affine form of each subscript dimension over the access's own
+  /// loop indices; nullopt marks a nonlinear (untestable) dimension.
+  std::vector<std::optional<LinearExpr>> Dims;
+  /// Analyzed context of the access's own loop stack, for the ranges
+  /// of renamed non-common indices. Reused outright as the pair
+  /// context when the common nest is this access's whole stack and no
+  /// index needed renaming.
+  LoopNestContext OwnCtx;
+  /// The access's own loop index names (equals the common index set
+  /// whenever the common nest is the whole stack).
+  std::set<std::string> OwnIndices;
+};
+
+class AccessLoweringCache {
+public:
+  /// Lowers every access of \p Accesses under symbol assumptions
+  /// \p Symbols. \p VaryingScalars (may be null) names scalars whose
+  /// mention makes a subscript nonlinear. The accesses vector must
+  /// outlive the cache.
+  AccessLoweringCache(const std::vector<ArrayAccess> &Accesses,
+                      const SymbolRangeMap &Symbols,
+                      const std::set<std::string> *VaryingScalars);
+  ~AccessLoweringCache();
+
+  const LoweredAccess &lowered(unsigned Access) const {
+    return Lowered[Access];
+  }
+
+  /// Combines the cached forms of accesses \p I and \p J into the same
+  /// PreparedPair prepareAccessPair(Accesses[I], Accesses[J], ...)
+  /// would build. Returns std::nullopt when the references have
+  /// different dimensionality. Thread-safe (const).
+  std::optional<PreparedPair> preparePair(unsigned I, unsigned J) const;
+
+  /// Tests accesses \p I and \p J, combining the cached forms without
+  /// materializing a PreparedPair: in the dominant same-nest case the
+  /// pair borrows the cached per-access context instead of copying it.
+  /// Produces exactly testAccessPair's result and statistics.
+  /// Thread-safe (const).
+  DependenceTestResult testPair(unsigned I, unsigned J,
+                                TestStats *Stats = nullptr) const;
+
+private:
+  /// View-based lowering of one pair: subscripts plus a pointer to
+  /// either a cached per-access context or \p Storage.
+  struct LoweredPair {
+    std::vector<SubscriptPair> Subscripts;
+    const LoopNestContext *Ctx = nullptr;
+    bool HasNonlinear = false;
+    /// References had different dimensionality; nothing was lowered.
+    bool DimMismatch = false;
+  };
+  LoweredPair lowerPair(unsigned I, unsigned J,
+                        LoopNestContext &Storage) const;
+
+  /// testDependence keyed by the pair's lowered content, with the
+  /// cached statistics delta replayed into \p Stats on hits.
+  DependenceTestResult memoizedTestDependence(const LoweredPair &Pair,
+                                              TestStats *Stats) const;
+
+  const std::vector<ArrayAccess> &Accesses;
+  SymbolRangeMap Symbols;
+  std::vector<LoweredAccess> Lowered;
+
+  /// Memoized testDependence results. Distinct access pairs often
+  /// lower to identical (subscripts, context) content — stencil
+  /// programs repeat the same shapes across statements and nests — so
+  /// the algorithm runs once per distinct lowered form. The cached
+  /// statistics delta is replayed into the caller's sink on every hit,
+  /// keeping merged counters exactly equal to an uncached run
+  /// (TestStats merging is additive). Sharded by key hash to keep
+  /// worker contention low.
+  struct MemoizedResult {
+    DependenceTestResult Result;
+    TestStats Delta;
+  };
+  struct MemoShard;
+  static constexpr unsigned NumMemoShards = 16;
+  std::unique_ptr<MemoShard[]> Memo;
+};
+
+} // namespace pdt
+
+#endif // PDT_CORE_ACCESSLOWERINGCACHE_H

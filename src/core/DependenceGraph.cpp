@@ -7,10 +7,14 @@
 
 #include "core/DependenceGraph.h"
 
+#include "core/AccessLoweringCache.h"
 #include "ir/PrettyPrinter.h"
 #include "support/Casting.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <map>
 
 using namespace pdt;
 
@@ -82,77 +86,138 @@ std::vector<OrientedVector> pdt::orientVectors(const DependenceVector &V) {
   return Result;
 }
 
+namespace {
+
+/// Tests one access pair against the cached lowered forms and emits
+/// its dependence edges. Pure function of (Accesses, I, J, Cache), so
+/// pairs may run on any worker in any order.
+std::vector<Dependence> testPairEdges(const std::vector<ArrayAccess> &Accesses,
+                                      unsigned I, unsigned J,
+                                      const AccessLoweringCache &Cache,
+                                      TestStats *Stats) {
+  const ArrayAccess &A = Accesses[I];
+  const ArrayAccess &B = Accesses[J];
+  bool SelfPair = I == J;
+  std::vector<Dependence> Out;
+
+  DependenceTestResult R = Cache.testPair(I, J, Stats);
+  if (R.isIndependent())
+    return Out;
+
+  std::vector<const DoLoop *> Common = commonLoops(A, B);
+  for (const DependenceVector &V : R.Vectors) {
+    for (const OrientedVector &O : orientVectors(V)) {
+      Dependence D;
+      D.Source = O.Reversed ? J : I;
+      D.Sink = O.Reversed ? I : J;
+      // Loop-independent dependences flow with textual order; the
+      // collection order (reads before the write of the same
+      // statement, statements in program order) encodes it.
+      if (!O.CarriedLevel && O.Reversed)
+        continue; // Covered by the forward all-'=' component.
+      // For a self pair, the same instance is not a dependence and
+      // the reversed carried component mirrors the forward one.
+      if (SelfPair && (!O.CarriedLevel || O.Reversed))
+        continue;
+      D.Vector = O.Vector;
+      D.CarriedLevel = O.CarriedLevel;
+      D.Carrier = O.CarriedLevel ? Common[*O.CarriedLevel] : nullptr;
+      D.Exact = R.Exact;
+      const ArrayAccess &Src = Accesses[D.Source];
+      const ArrayAccess &Snk = Accesses[D.Sink];
+      if (Src.IsWrite && Snk.IsWrite)
+        D.Kind = DependenceKind::Output;
+      else if (Src.IsWrite)
+        D.Kind = DependenceKind::Flow;
+      else if (Snk.IsWrite)
+        D.Kind = DependenceKind::Anti;
+      else
+        D.Kind = DependenceKind::Input;
+      Out.push_back(std::move(D));
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
 DependenceGraph DependenceGraph::build(const Program &P,
                                        const SymbolRangeMap &Symbols,
-                                       TestStats *Stats, bool IncludeInput) {
+                                       TestStats *Stats, bool IncludeInput,
+                                       unsigned NumThreads) {
   DependenceGraph G;
   G.Prog = &P;
   G.Accesses = collectAccesses(P);
 
   std::set<std::string> VaryingScalars = collectVaryingScalars(P);
+  AccessLoweringCache Cache(G.Accesses, Symbols, &VaryingScalars);
 
-  for (unsigned I = 0, E = G.Accesses.size(); I != E; ++I) {
-    for (unsigned J = I, E2 = E; J != E2; ++J) {
-      const ArrayAccess &A = G.Accesses[I];
-      const ArrayAccess &B = G.Accesses[J];
-      bool SelfPair = I == J;
-      // A reference against itself can only produce an output
-      // self-dependence (distinct iterations writing one element,
-      // e.g. a(5) or a(i/2-free dims)); reads need no self edge.
-      if (SelfPair && !A.IsWrite)
-        continue;
-      if (A.Ref->getArrayName() != B.Ref->getArrayName())
-        continue;
-      if (!IncludeInput && !A.IsWrite && !B.IsWrite)
-        continue;
+  // Bucket accesses by array name: only same-array pairs can ever
+  // depend, so cross-array pairs are not even enumerated.
+  std::map<std::string, std::vector<unsigned>> Buckets;
+  for (unsigned I = 0, E = G.Accesses.size(); I != E; ++I)
+    Buckets[G.Accesses[I].Ref->getArrayName()].push_back(I);
 
-      DependenceTestResult R =
-          testAccessPair(A, B, Symbols, Stats, &VaryingScalars);
-      if (R.isIndependent())
-        continue;
-
-      std::vector<const DoLoop *> Common = commonLoops(A, B);
-      for (const DependenceVector &V : R.Vectors) {
-        for (const OrientedVector &O : orientVectors(V)) {
-          Dependence D;
-          D.Source = O.Reversed ? J : I;
-          D.Sink = O.Reversed ? I : J;
-          // Loop-independent dependences flow with textual order; the
-          // collection order (reads before the write of the same
-          // statement, statements in program order) encodes it.
-          if (!O.CarriedLevel && O.Reversed)
-            continue; // Covered by the forward all-'=' component.
-          // For a self pair, the same instance is not a dependence and
-          // the reversed carried component mirrors the forward one.
-          if (SelfPair && (!O.CarriedLevel || O.Reversed))
-            continue;
-          D.Vector = O.Vector;
-          D.CarriedLevel = O.CarriedLevel;
-          D.Carrier = O.CarriedLevel ? Common[*O.CarriedLevel] : nullptr;
-          D.Exact = R.Exact;
-          const ArrayAccess &Src = G.Accesses[D.Source];
-          const ArrayAccess &Snk = G.Accesses[D.Sink];
-          if (Src.IsWrite && Snk.IsWrite)
-            D.Kind = DependenceKind::Output;
-          else if (Src.IsWrite)
-            D.Kind = DependenceKind::Flow;
-          else if (Snk.IsWrite)
-            D.Kind = DependenceKind::Anti;
-          else
-            D.Kind = DependenceKind::Input;
-          G.Edges.push_back(std::move(D));
-        }
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  for (const auto &[Name, Members] : Buckets) {
+    for (unsigned A = 0, E = Members.size(); A != E; ++A) {
+      for (unsigned B = A; B != E; ++B) {
+        unsigned I = Members[A], J = Members[B];
+        // A reference against itself can only produce an output
+        // self-dependence (distinct iterations writing one element,
+        // e.g. a(5) or a(i/2-free dims)); reads need no self edge.
+        if (I == J && !G.Accesses[I].IsWrite)
+          continue;
+        if (!IncludeInput && !G.Accesses[I].IsWrite && !G.Accesses[J].IsWrite)
+          continue;
+        Pairs.emplace_back(I, J);
       }
     }
   }
+  // Restore the serial (I, J) enumeration order; per-pair results are
+  // emitted in this order, so the graph is byte-identical to a serial
+  // build no matter how many workers test the pairs.
+  std::sort(Pairs.begin(), Pairs.end());
+
+  unsigned Workers = NumThreads ? NumThreads : ThreadPool::defaultThreadCount();
+  Workers = std::max(1u, std::min<unsigned>(Workers, Pairs.size() ? Pairs.size() : 1));
+
+  std::vector<std::vector<Dependence>> PerPair(Pairs.size());
+  std::vector<TestStats> WorkerStats(Workers);
+  auto Process = [&](size_t PairIdx, unsigned Worker) {
+    auto [I, J] = Pairs[PairIdx];
+    PerPair[PairIdx] = testPairEdges(G.Accesses, I, J, Cache,
+                                     Stats ? &WorkerStats[Worker] : nullptr);
+  };
+
+  if (Workers == 1) {
+    for (size_t PairIdx = 0; PairIdx != Pairs.size(); ++PairIdx)
+      Process(PairIdx, 0);
+  } else {
+    ThreadPool Pool(Workers);
+    Pool.parallelFor(Pairs.size(), Process);
+  }
+
+  if (Stats)
+    for (const TestStats &WS : WorkerStats)
+      Stats->merge(WS);
+  for (std::vector<Dependence> &Edges : PerPair)
+    for (Dependence &D : Edges)
+      G.Edges.push_back(std::move(D));
+
+  for (const Dependence &D : G.Edges)
+    if (D.Carrier)
+      ++G.CarrierEdgeCount[D.Carrier];
   return G;
 }
 
 bool DependenceGraph::isLoopParallel(const DoLoop *Loop) const {
-  for (const Dependence &D : Edges)
-    if (D.Carrier == Loop)
-      return false;
-  return true;
+  return carriedEdgeCount(Loop) == 0;
+}
+
+unsigned DependenceGraph::carriedEdgeCount(const DoLoop *Loop) const {
+  auto It = CarrierEdgeCount.find(Loop);
+  return It == CarrierEdgeCount.end() ? 0 : It->second;
 }
 
 std::vector<const DoLoop *> DependenceGraph::allLoops() const {

@@ -25,6 +25,7 @@
 #include "ir/AccessCollector.h"
 
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace pdt {
@@ -55,9 +56,20 @@ public:
   /// ranges for symbolic constants (e.g. {"n", [1, inf)}). Scalars
   /// assigned anywhere in \p P are detected and excluded from symbolic
   /// treatment automatically.
+  ///
+  /// Construction buckets accesses by array name (cross-array pairs
+  /// are never enumerated), lowers every access once through an
+  /// AccessLoweringCache, and fans pair testing out over a
+  /// work-stealing thread pool of \p NumThreads workers (0 = the
+  /// PDT_THREADS environment variable, or hardware concurrency;
+  /// 1 = serial on the calling thread). The result is deterministic:
+  /// edges are emitted in the serial pair order and per-worker
+  /// statistics are merged into \p Stats, so every thread count
+  /// produces byte-identical graphs and equal counters.
   static DependenceGraph build(const Program &P, const SymbolRangeMap &Symbols,
                                TestStats *Stats = nullptr,
-                               bool IncludeInput = false);
+                               bool IncludeInput = false,
+                               unsigned NumThreads = 0);
 
   const std::vector<ArrayAccess> &accesses() const { return Accesses; }
   const std::vector<Dependence> &dependences() const { return Edges; }
@@ -65,8 +77,12 @@ public:
   /// True when no dependence is carried by \p Loop, i.e. its
   /// iterations may execute in parallel (ignoring scalar dependences,
   /// which our input language's analyses have already substituted
-  /// away where possible).
+  /// away where possible). O(1): answered from the carrier index
+  /// built during construction instead of rescanning all edges.
   bool isLoopParallel(const DoLoop *Loop) const;
+
+  /// Number of edges carried by \p Loop.
+  unsigned carriedEdgeCount(const DoLoop *Loop) const;
 
   /// All loops of the program, outermost first per nest.
   std::vector<const DoLoop *> allLoops() const;
@@ -78,6 +94,9 @@ private:
   const Program *Prog = nullptr;
   std::vector<ArrayAccess> Accesses;
   std::vector<Dependence> Edges;
+  /// Carrier loop -> number of edges it carries, built once in
+  /// build() so per-loop parallelism queries don't rescan all edges.
+  std::unordered_map<const DoLoop *, unsigned> CarrierEdgeCount;
 };
 
 /// Splits one (possibly multi-direction) dependence vector into

@@ -288,17 +288,15 @@ pdt::prepareAccessPair(const ArrayAccess &A, const ArrayAccess &B,
 }
 
 DependenceTestResult
-pdt::testAccessPair(const ArrayAccess &A, const ArrayAccess &B,
-                    const SymbolRangeMap &Symbols, TestStats *Stats,
-                    const std::set<std::string> *VaryingScalars) {
+pdt::testPreparedAccessPair(const ArrayAccess &A, const ArrayAccess &B,
+                            const std::optional<PreparedPair> &Prepared,
+                            TestStats *Stats) {
   if (Stats) {
     ++Stats->ReferencePairs;
     unsigned Dims = std::min(A.Ref->getNumDims(), B.Ref->getNumDims());
     ++Stats->DimensionHistogram[std::min(Dims - 1, 3u)];
   }
 
-  std::optional<PreparedPair> Prepared =
-      prepareAccessPair(A, B, Symbols, VaryingScalars);
   // Mismatched dimensionality (legal Fortran through equivalence-style
   // tricks): treat conservatively.
   if (!Prepared) {
@@ -321,4 +319,12 @@ pdt::testAccessPair(const ArrayAccess &A, const ArrayAccess &B,
   if (Stats && Result.isIndependent())
     ++Stats->IndependentPairs;
   return Result;
+}
+
+DependenceTestResult
+pdt::testAccessPair(const ArrayAccess &A, const ArrayAccess &B,
+                    const SymbolRangeMap &Symbols, TestStats *Stats,
+                    const std::set<std::string> *VaryingScalars) {
+  return testPreparedAccessPair(
+      A, B, prepareAccessPair(A, B, Symbols, VaryingScalars), Stats);
 }

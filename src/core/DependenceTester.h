@@ -123,6 +123,16 @@ DependenceTestResult testAccessPair(
     TestStats *Stats = nullptr,
     const std::set<std::string> *VaryingScalars = nullptr);
 
+/// The back half of testAccessPair for callers that already lowered
+/// the pair (e.g. through an AccessLoweringCache): records the pair
+/// statistics, runs the algorithm on \p Prepared, and applies the
+/// conservative nonlinear adjustments. \p Prepared being nullopt means
+/// the references had mismatched dimensionality and yields the fully
+/// conservative result over the common nest of \p A and \p B.
+DependenceTestResult testPreparedAccessPair(
+    const ArrayAccess &A, const ArrayAccess &B,
+    const std::optional<PreparedPair> &Prepared, TestStats *Stats = nullptr);
+
 } // namespace pdt
 
 #endif // PDT_CORE_DEPENDENCETESTER_H

@@ -62,6 +62,14 @@ struct TestStats {
     return Independences[static_cast<unsigned>(K)];
   }
 
+  /// Folds the counters of another (e.g. per-worker) run into this
+  /// one. Every field is a plain sum, so merging is associative and
+  /// commutative: sharding a run over any number of workers and
+  /// merging reproduces the serial counts exactly.
+  TestStats &merge(const TestStats &RHS) { return *this += RHS; }
+
+  bool operator==(const TestStats &RHS) const = default;
+
   TestStats &operator+=(const TestStats &RHS) {
     for (unsigned I = 0; I != NumTestKinds; ++I) {
       Applications[I] += RHS.Applications[I];

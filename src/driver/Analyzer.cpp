@@ -80,7 +80,8 @@ AnalysisResult pdt::analyzeProgram(Program P, const AnalyzerOptions &Options) {
   }
 
   Result.Graph = DependenceGraph::build(*Result.Prog, Symbols, &Result.Stats,
-                                        Options.IncludeInputDeps);
+                                        Options.IncludeInputDeps,
+                                        Options.NumThreads);
   return Result;
 }
 

@@ -42,6 +42,11 @@ struct AnalyzerOptions {
   SymbolRangeMap Symbols;
   /// Also report read-read dependences.
   bool IncludeInputDeps = false;
+  /// Worker threads for dependence-graph construction. 0 = auto (the
+  /// PDT_THREADS environment variable when set, else hardware
+  /// concurrency); 1 = serial on the calling thread. Any value yields
+  /// byte-identical graphs and equal statistics.
+  unsigned NumThreads = 0;
 };
 
 /// Everything one analysis run produces. Move-only: the graph holds

@@ -1,0 +1,153 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool -----------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+using namespace pdt;
+
+unsigned ThreadPool::defaultThreadCount() {
+  if (const char *Env = std::getenv("PDT_THREADS")) {
+    char *End = nullptr;
+    long Value = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && Value > 0)
+      return static_cast<unsigned>(Value);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads)
+    : NumWorkers(NumThreads ? NumThreads : defaultThreadCount()) {
+  Shards.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  Helpers.reserve(NumWorkers - 1);
+  for (unsigned I = 1; I != NumWorkers; ++I)
+    Helpers.emplace_back([this, I] { helperLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Helpers)
+    T.join();
+}
+
+void ThreadPool::helperLoop(unsigned Worker) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    std::function<void(size_t, unsigned)> Fn;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkCV.wait(Lock, [&] {
+        return Stopping || Generation != SeenGeneration;
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+      Fn = Job;
+    }
+    // Job may already be retired when this helper wakes late, after
+    // the loop's items were all finished by other workers.
+    if (Fn)
+      runWorker(Worker, Fn);
+  }
+}
+
+void ThreadPool::runWorker(unsigned Worker,
+                           const std::function<void(size_t, unsigned)> &Fn) {
+  size_t Done = 0;
+  auto RunChunk = [&](std::pair<size_t, size_t> Chunk) {
+    for (size_t I = Chunk.first; I != Chunk.second; ++I)
+      Fn(I, Worker);
+    Done += Chunk.second - Chunk.first;
+  };
+
+  // Alternate scans over all shards starting at our own: pop our own
+  // deque from the front, steal from the back of a sibling's. New
+  // chunks never appear mid-run, so one full empty scan means the
+  // loop is drained.
+  for (;;) {
+    bool RanAny = false;
+    for (unsigned Offset = 0; Offset != NumWorkers; ++Offset) {
+      unsigned Victim = (Worker + Offset) % NumWorkers;
+      Shard &S = *Shards[Victim];
+      std::pair<size_t, size_t> Chunk;
+      {
+        std::lock_guard<std::mutex> Lock(S.M);
+        if (S.Chunks.empty())
+          continue;
+        if (Victim == Worker) {
+          Chunk = S.Chunks.front();
+          S.Chunks.pop_front();
+        } else {
+          Chunk = S.Chunks.back();
+          S.Chunks.pop_back();
+        }
+      }
+      RunChunk(Chunk);
+      RanAny = true;
+      break; // Rescan from our own shard.
+    }
+    if (!RanAny)
+      break;
+  }
+
+  if (!Done)
+    return;
+  bool Finished = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Remaining -= Done;
+    Finished = Remaining == 0;
+  }
+  if (Finished)
+    DoneCV.notify_all();
+}
+
+void ThreadPool::parallelFor(size_t NumItems,
+                             const std::function<void(size_t, unsigned)> &Fn) {
+  if (!NumItems)
+    return;
+  if (NumWorkers == 1 || NumItems == 1) {
+    for (size_t I = 0; I != NumItems; ++I)
+      Fn(I, 0);
+    return;
+  }
+
+  // Small chunks (8 per worker) keep stealing effective when pair
+  // costs are skewed without paying a lock per item.
+  size_t ChunkSize = std::max<size_t>(1, NumItems / (NumWorkers * 8));
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    unsigned Next = 0;
+    for (size_t Begin = 0; Begin < NumItems; Begin += ChunkSize) {
+      size_t End = std::min(NumItems, Begin + ChunkSize);
+      Shard &S = *Shards[Next];
+      std::lock_guard<std::mutex> ShardLock(S.M);
+      S.Chunks.emplace_back(Begin, End);
+      Next = (Next + 1) % NumWorkers;
+    }
+    Job = Fn;
+    Remaining = NumItems;
+    ++Generation;
+  }
+  WorkCV.notify_all();
+
+  runWorker(0, Fn);
+
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCV.wait(Lock, [&] { return Remaining == 0; });
+  Job = nullptr;
+}

@@ -1,0 +1,92 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for data-parallel loops. The
+/// dependence-graph builder fans the all-pairs testing loop out over
+/// it. Each worker owns a deque of index chunks; a worker drains its
+/// own deque from the front and steals from the back of its siblings
+/// when it runs dry, so uneven pair costs (a ZIV pair is orders of
+/// magnitude cheaper than a coupled MIV group) balance without a
+/// central queue bottleneck.
+///
+/// The calling thread participates as worker 0, so a pool of size 1
+/// spawns no threads at all and parallelFor degenerates to a plain
+/// serial loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_THREADPOOL_H
+#define PDT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pdt {
+
+class ThreadPool {
+public:
+  /// Creates a pool of \p NumThreads workers (including the caller);
+  /// 0 means defaultThreadCount(). Spawns NumThreads - 1 helper
+  /// threads.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numWorkers() const { return NumWorkers; }
+
+  /// Runs Fn(Index, Worker) for every Index in [0, NumItems) and
+  /// blocks until all calls return. Worker ids are in
+  /// [0, numWorkers()); the calling thread participates as worker 0.
+  /// Distinct indices may run concurrently; Fn must only write state
+  /// that is private per index or per worker. Not reentrant.
+  void parallelFor(size_t NumItems,
+                   const std::function<void(size_t, unsigned)> &Fn);
+
+  /// The PDT_THREADS environment variable when set to a positive
+  /// integer, otherwise std::thread::hardware_concurrency (minimum 1).
+  static unsigned defaultThreadCount();
+
+private:
+  /// One worker's chunk deque. Chunks are half-open index ranges.
+  struct Shard {
+    std::deque<std::pair<size_t, size_t>> Chunks;
+    std::mutex M;
+  };
+
+  void helperLoop(unsigned Worker);
+  /// Drains the worker's own shard, then steals; returns when every
+  /// shard scans empty.
+  void runWorker(unsigned Worker, const std::function<void(size_t, unsigned)> &Fn);
+
+  unsigned NumWorkers = 1;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::vector<std::thread> Helpers;
+
+  std::mutex M;
+  std::condition_variable WorkCV;
+  std::condition_variable DoneCV;
+  std::function<void(size_t, unsigned)> Job;
+  /// Items not yet completed in the current parallelFor.
+  size_t Remaining = 0;
+  /// Bumped once per parallelFor so helpers notice new work.
+  uint64_t Generation = 0;
+  bool Stopping = false;
+};
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_THREADPOOL_H

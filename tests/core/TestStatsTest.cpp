@@ -1,0 +1,154 @@
+//===- tests/core/TestStatsTest.cpp -------------------------------------------===//
+//
+// TestStats::merge algebra (associativity / commutativity / identity)
+// and the sharding contract the parallel graph builder relies on: a
+// run split over any number of per-worker TestStats sinks must merge
+// back to exactly the serial counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TestStats.h"
+
+#include "core/AccessLoweringCache.h"
+#include "core/DependenceGraph.h"
+#include "core/DependenceTester.h"
+#include "driver/Analyzer.h"
+#include "driver/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace pdt;
+
+namespace {
+
+/// A deterministic pseudo-random TestStats instance.
+TestStats randomStats(uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<uint64_t> D(0, 1000);
+  TestStats S;
+  for (unsigned I = 0; I != NumTestKinds; ++I) {
+    S.Applications[I] = D(Rng);
+    S.Independences[I] = D(Rng);
+  }
+  S.ReferencePairs = D(Rng);
+  S.IndependentPairs = D(Rng);
+  for (unsigned I = 0; I != 4; ++I)
+    S.DimensionHistogram[I] = D(Rng);
+  S.SeparableSubscripts = D(Rng);
+  S.CoupledSubscripts = D(Rng);
+  S.NonlinearSubscripts = D(Rng);
+  S.ZIVSubscripts = D(Rng);
+  S.SIVSubscripts = D(Rng);
+  S.MIVSubscripts = D(Rng);
+  S.CoupledGroups = D(Rng);
+  S.GroupsWithResidualMIV = D(Rng);
+  return S;
+}
+
+TEST(TestStatsTest, MergeIsCommutative) {
+  for (uint64_t Seed = 0; Seed != 8; ++Seed) {
+    TestStats A = randomStats(Seed);
+    TestStats B = randomStats(Seed + 100);
+    TestStats AB = A;
+    AB.merge(B);
+    TestStats BA = B;
+    BA.merge(A);
+    EXPECT_EQ(AB, BA);
+  }
+}
+
+TEST(TestStatsTest, MergeIsAssociative) {
+  for (uint64_t Seed = 0; Seed != 8; ++Seed) {
+    TestStats A = randomStats(Seed);
+    TestStats B = randomStats(Seed + 100);
+    TestStats C = randomStats(Seed + 200);
+    TestStats Left = A; // (A + B) + C
+    Left.merge(B);
+    Left.merge(C);
+    TestStats BC = B; // A + (B + C)
+    BC.merge(C);
+    TestStats Right = A;
+    Right.merge(BC);
+    EXPECT_EQ(Left, Right);
+  }
+}
+
+TEST(TestStatsTest, DefaultIsMergeIdentity) {
+  TestStats A = randomStats(42);
+  TestStats Merged = A;
+  Merged.merge(TestStats());
+  EXPECT_EQ(Merged, A);
+  TestStats Other;
+  Other.merge(A);
+  EXPECT_EQ(Other, A);
+}
+
+/// Shards the tested pairs of a program over K sinks by hand
+/// (round-robin, the worst case for any order assumption) and checks
+/// the merge reproduces the serial counters exactly.
+TEST(TestStatsTest, ShardedRunReproducesSerialCounts) {
+  // Concatenate a few corpus kernels into one program so the pair
+  // population is large enough to spread across shards.
+  std::string Source;
+  for (unsigned I = 0; I != 5 && I != corpus().size(); ++I)
+    Source += corpus()[I].Source + "\n";
+  AnalysisResult R = analyzeSource(Source, "sharded");
+  ASSERT_TRUE(R.Parsed);
+
+  std::vector<ArrayAccess> Accesses = collectAccesses(*R.Prog);
+  std::set<std::string> Varying = collectVaryingScalars(*R.Prog);
+  SymbolRangeMap Symbols;
+  for (const char *Name : {"n", "m"})
+    Symbols.try_emplace(Name, Interval(1, std::nullopt));
+  AccessLoweringCache Cache(Accesses, Symbols, &Varying);
+
+  TestStats Serial;
+  constexpr unsigned NumShards = 3;
+  std::array<TestStats, NumShards> Shards;
+  unsigned Pair = 0;
+  for (unsigned I = 0; I != Accesses.size(); ++I) {
+    for (unsigned J = I; J != Accesses.size(); ++J) {
+      if (I == J && !Accesses[I].IsWrite)
+        continue;
+      if (Accesses[I].Ref->getArrayName() != Accesses[J].Ref->getArrayName())
+        continue;
+      if (!Accesses[I].IsWrite && !Accesses[J].IsWrite)
+        continue;
+      std::optional<PreparedPair> P = Cache.preparePair(I, J);
+      testPreparedAccessPair(Accesses[I], Accesses[J], P, &Serial);
+      testPreparedAccessPair(Accesses[I], Accesses[J], P,
+                             &Shards[Pair++ % NumShards]);
+    }
+  }
+  ASSERT_GT(Pair, NumShards) << "corpus program too small to shard";
+
+  TestStats Merged;
+  for (const TestStats &S : Shards)
+    Merged.merge(S);
+  EXPECT_EQ(Merged, Serial);
+  EXPECT_EQ(Merged.ReferencePairs, Pair);
+}
+
+/// End to end: the analyzer's merged per-worker statistics at several
+/// thread counts equal the serial statistics on every corpus kernel.
+TEST(TestStatsTest, ThreadedAnalysisStatsMatchSerial) {
+  for (const CorpusKernel &K : corpus()) {
+    AnalyzerOptions Serial;
+    Serial.NumThreads = 1;
+    AnalysisResult R1 = analyzeSource(K.Source, K.Name, Serial);
+    ASSERT_TRUE(R1.Parsed) << K.Name;
+
+    for (unsigned Threads : {2u, 4u}) {
+      AnalyzerOptions Opt;
+      Opt.NumThreads = Threads;
+      AnalysisResult RN = analyzeSource(K.Source, K.Name, Opt);
+      ASSERT_TRUE(RN.Parsed) << K.Name;
+      EXPECT_EQ(RN.Stats, R1.Stats) << K.Name << " at " << Threads
+                                    << " threads";
+    }
+  }
+}
+
+} // namespace
