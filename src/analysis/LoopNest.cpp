@@ -8,6 +8,7 @@
 #include "analysis/LoopNest.h"
 
 #include "ir/AST.h"
+#include "support/Failure.h"
 
 #include <cassert>
 
@@ -39,12 +40,17 @@ LoopNestContext::LoopNestContext(const std::vector<const DoLoop *> &TheLoops,
   for (const DoLoop *L : TheLoops) {
     LoopBounds B;
     B.Index = L->getIndexName();
-    std::optional<LinearExpr> Lower = buildLinearExpr(L->getLower(),
-                                                      OuterIndices);
-    std::optional<LinearExpr> Upper = buildLinearExpr(L->getUpper(),
-                                                      OuterIndices);
-    std::optional<LinearExpr> Step = buildLinearExpr(L->getStep(),
-                                                     OuterIndices);
+    std::optional<LinearExpr> Lower, Upper, Step;
+    try {
+      Lower = buildLinearExpr(L->getLower(), OuterIndices);
+      Upper = buildLinearExpr(L->getUpper(), OuterIndices);
+      Step = buildLinearExpr(L->getStep(), OuterIndices);
+    } catch (const AnalysisError &) {
+      // Overflow while folding a bound expression: the loop becomes
+      // non-affine (an unbounded variable), which every test already
+      // handles conservatively.
+      Lower.reset();
+    }
     if (Lower && Upper && Step && Step->isPureConstant() &&
         Step->getConstant() != 0) {
       B.Lower = *Lower;

@@ -9,6 +9,7 @@
 
 #include "core/Partition.h"
 #include "ir/AST.h"
+#include "support/Failure.h"
 
 #include <cassert>
 #include <functional>
@@ -38,8 +39,14 @@ AccessLoweringCache::AccessLoweringCache(
 
     L.Dims.reserve(Access.Ref->getNumDims());
     for (unsigned Dim = 0; Dim != Access.Ref->getNumDims(); ++Dim) {
-      std::optional<LinearExpr> Linear =
-          buildLinearExpr(Access.Ref->getSubscript(Dim), L.OwnIndices);
+      std::optional<LinearExpr> Linear;
+      try {
+        Linear = buildLinearExpr(Access.Ref->getSubscript(Dim), L.OwnIndices);
+      } catch (const AnalysisError &) {
+        // Coefficient overflow while lowering: the dimension is as
+        // untestable as a nonlinear subscript — treat it as one.
+        Linear.reset();
+      }
       // A scalar assigned somewhere in the program is not a
       // loop-invariant symbol; the subscript is effectively nonlinear.
       if (Linear && VaryingScalars)
@@ -240,7 +247,10 @@ AccessLoweringCache::memoizedTestDependence(const LoweredPair &Pair,
       testDependence(Pair.Subscripts, *Pair.Ctx, &Delta);
   if (Stats)
     Stats->merge(Delta);
-  {
+  // Never memoize a degraded result: the failure may be transient
+  // (injected fault, deadline) and must not poison later identical
+  // pairs that would test cleanly.
+  if (!Result.Degraded) {
     std::lock_guard<std::mutex> Lock(Shard.M);
     Shard.Table.try_emplace(std::move(Key),
                             MemoizedResult{Result, std::move(Delta)});
@@ -258,27 +268,34 @@ DependenceTestResult AccessLoweringCache::testPair(unsigned I, unsigned J,
     ++Stats->DimensionHistogram[std::min(Dims - 1, 3u)];
   }
 
-  LoopNestContext Storage;
-  LoweredPair Pair = lowerPair(I, J, Storage);
-  // Mismatched dimensionality (legal Fortran through equivalence-style
-  // tricks): treat conservatively.
-  if (Pair.DimMismatch) {
-    DependenceTestResult R;
-    std::vector<const DoLoop *> Common = commonLoops(A, B);
-    R.Vectors.assign(1, DependenceVector(Common.size()));
-    return R;
-  }
-  if (Stats && Pair.HasNonlinear)
-    Stats->NonlinearSubscripts +=
-        A.Ref->getNumDims() - Pair.Subscripts.size();
+  // Containment boundary: pair lowering itself can raise (overflow
+  // while retagging coefficients, injected faults); degrade to the
+  // conservative all-directions edge for this pair only.
+  try {
+    LoopNestContext Storage;
+    LoweredPair Pair = lowerPair(I, J, Storage);
+    // Mismatched dimensionality (legal Fortran through equivalence-style
+    // tricks): treat conservatively.
+    if (Pair.DimMismatch) {
+      DependenceTestResult R;
+      std::vector<const DoLoop *> Common = commonLoops(A, B);
+      R.Vectors.assign(1, DependenceVector(Common.size()));
+      return R;
+    }
+    if (Stats && Pair.HasNonlinear)
+      Stats->NonlinearSubscripts +=
+          A.Ref->getNumDims() - Pair.Subscripts.size();
 
-  DependenceTestResult Result = memoizedTestDependence(Pair, Stats);
-  Result.HasNonlinear = Pair.HasNonlinear;
-  if (Pair.HasNonlinear && Result.TheVerdict == Verdict::Dependent)
-    Result.TheVerdict = Verdict::Maybe;
-  if (Pair.HasNonlinear)
-    Result.Exact = false;
-  if (Stats && Result.isIndependent())
-    ++Stats->IndependentPairs;
-  return Result;
+    DependenceTestResult Result = memoizedTestDependence(Pair, Stats);
+    Result.HasNonlinear = Pair.HasNonlinear;
+    if (Pair.HasNonlinear && Result.TheVerdict == Verdict::Dependent)
+      Result.TheVerdict = Verdict::Maybe;
+    if (Pair.HasNonlinear)
+      Result.Exact = false;
+    if (Stats && Result.isIndependent())
+      ++Stats->IndependentPairs;
+    return Result;
+  } catch (const AnalysisError &E) {
+    return degradedTestResult(commonLoops(A, B).size(), E.failure(), Stats);
+  }
 }

@@ -118,6 +118,8 @@ std::optional<RDIVRelation> matchRDIVRelation(const LinearExpr &Eq,
   } else {
     return std::nullopt;
   }
+  if (CSrc == INT64_MIN || Eq.getConstant() == INT64_MIN)
+    return std::nullopt; // Negations below would overflow (UB).
   if (CSnk != -CSrc)
     return std::nullopt;
   // Symbolic invariant parts are not propagated.

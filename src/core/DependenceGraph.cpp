@@ -88,19 +88,17 @@ std::vector<OrientedVector> pdt::orientVectors(const DependenceVector &V) {
 
 namespace {
 
-/// Tests one access pair against the cached lowered forms and emits
-/// its dependence edges. Pure function of (Accesses, I, J, Cache), so
-/// pairs may run on any worker in any order.
-std::vector<Dependence> testPairEdges(const std::vector<ArrayAccess> &Accesses,
-                                      unsigned I, unsigned J,
-                                      const AccessLoweringCache &Cache,
-                                      TestStats *Stats) {
+/// Converts one pair's test result into directed dependence edges.
+/// Shared by the tested path and the budget-exhausted conservative
+/// path, so degraded edges orient and classify exactly like real ones.
+std::vector<Dependence> emitEdges(const std::vector<ArrayAccess> &Accesses,
+                                  unsigned I, unsigned J,
+                                  const DependenceTestResult &R) {
   const ArrayAccess &A = Accesses[I];
   const ArrayAccess &B = Accesses[J];
   bool SelfPair = I == J;
   std::vector<Dependence> Out;
 
-  DependenceTestResult R = Cache.testPair(I, J, Stats);
   if (R.isIndependent())
     return Out;
 
@@ -123,6 +121,9 @@ std::vector<Dependence> testPairEdges(const std::vector<ArrayAccess> &Accesses,
       D.CarriedLevel = O.CarriedLevel;
       D.Carrier = O.CarriedLevel ? Common[*O.CarriedLevel] : nullptr;
       D.Exact = R.Exact;
+      D.Degraded = R.Degraded;
+      if (R.Degraded && R.Failure)
+        D.DegradedReason = R.Failure->Kind;
       const ArrayAccess &Src = Accesses[D.Source];
       const ArrayAccess &Snk = Accesses[D.Sink];
       if (Src.IsWrite && Snk.IsWrite)
@@ -139,12 +140,42 @@ std::vector<Dependence> testPairEdges(const std::vector<ArrayAccess> &Accesses,
   return Out;
 }
 
+/// Tests one access pair against the cached lowered forms and emits
+/// its dependence edges. Pure function of (Accesses, I, J, Cache), so
+/// pairs may run on any worker in any order.
+std::vector<Dependence> testPairEdges(const std::vector<ArrayAccess> &Accesses,
+                                      unsigned I, unsigned J,
+                                      const AccessLoweringCache &Cache,
+                                      TestStats *Stats) {
+  return emitEdges(Accesses, I, J, Cache.testPair(I, J, Stats));
+}
+
+/// The conservative edges for a pair that was never tested (exhausted
+/// budget) or whose testing failed past every inner containment layer.
+/// \p CountPair adds the pair to the structural statistics; pass false
+/// when the failed test already counted it.
+std::vector<Dependence>
+degradedPairEdges(const std::vector<ArrayAccess> &Accesses, unsigned I,
+                  unsigned J, AnalysisFailure Failure, TestStats *Stats,
+                  bool CountPair) {
+  unsigned Depth = commonLoops(Accesses[I], Accesses[J]).size();
+  if (Stats && CountPair) {
+    ++Stats->ReferencePairs;
+    unsigned Dims = std::min(Accesses[I].Ref->getNumDims(),
+                             Accesses[J].Ref->getNumDims());
+    ++Stats->DimensionHistogram[std::min(Dims - 1, 3u)];
+  }
+  return emitEdges(Accesses, I, J,
+                   degradedTestResult(Depth, std::move(Failure), Stats));
+}
+
 } // namespace
 
 DependenceGraph DependenceGraph::build(const Program &P,
                                        const SymbolRangeMap &Symbols,
                                        TestStats *Stats, bool IncludeInput,
-                                       unsigned NumThreads) {
+                                       unsigned NumThreads,
+                                       const ResourceBudget *Budget) {
   DependenceGraph G;
   G.Prog = &P;
   G.Accesses = collectAccesses(P);
@@ -182,12 +213,38 @@ DependenceGraph DependenceGraph::build(const Program &P,
   unsigned Workers = NumThreads ? NumThreads : ThreadPool::defaultThreadCount();
   Workers = std::max(1u, std::min<unsigned>(Workers, Pairs.size() ? Pairs.size() : 1));
 
+  std::optional<BudgetTracker> Tracker;
+  if (Budget)
+    Tracker.emplace(*Budget);
+
   std::vector<std::vector<Dependence>> PerPair(Pairs.size());
   std::vector<TestStats> WorkerStats(Workers);
   auto Process = [&](size_t PairIdx, unsigned Worker) {
     auto [I, J] = Pairs[PairIdx];
-    PerPair[PairIdx] = testPairEdges(G.Accesses, I, J, Cache,
-                                     Stats ? &WorkerStats[Worker] : nullptr);
+    TestStats *WS = Stats ? &WorkerStats[Worker] : nullptr;
+    // Budgets are enforced on the deterministic sorted pair order for
+    // MaxPairs (so the degraded tail is identical across thread
+    // counts); deadline degradation depends on wall time by nature.
+    if (Tracker && (Tracker->pairBudgetExceeded(PairIdx) ||
+                    Tracker->deadlineExpired())) {
+      PerPair[PairIdx] = degradedPairEdges(
+          G.Accesses, I, J,
+          AnalysisFailure{FailureKind::BudgetExhausted,
+                          "pair skipped: query budget exhausted"},
+          WS, /*CountPair=*/true);
+      return;
+    }
+    try {
+      PerPair[PairIdx] = testPairEdges(G.Accesses, I, J, Cache, WS);
+    } catch (const std::exception &E) {
+      // Last-resort containment: one poisoned pair (e.g. bad_alloc or
+      // an invariant violation escaping the inner boundaries) degrades
+      // only its own edges.
+      PerPair[PairIdx] = degradedPairEdges(
+          G.Accesses, I, J,
+          AnalysisFailure{FailureKind::InternalInvariant, E.what()}, WS,
+          /*CountPair=*/false);
+    }
   };
 
   if (Workers == 1) {
@@ -252,8 +309,16 @@ std::string DependenceGraph::str() const {
     } else {
       Out += "  loop-independent";
     }
-    if (!D.Exact)
+    if (D.Degraded) {
+      Out += "  (degraded";
+      if (D.DegradedReason) {
+        Out += ": ";
+        Out += failureKindName(*D.DegradedReason);
+      }
+      Out += ")";
+    } else if (!D.Exact) {
       Out += "  (assumed)";
+    }
     Out += "\n";
   }
   return Out;

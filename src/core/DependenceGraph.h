@@ -23,6 +23,8 @@
 #include "core/TestStats.h"
 #include "ir/AST.h"
 #include "ir/AccessCollector.h"
+#include "support/Budget.h"
+#include "support/Failure.h"
 
 #include <optional>
 #include <unordered_map>
@@ -44,6 +46,12 @@ struct Dependence {
   std::optional<unsigned> CarriedLevel;
   /// The verdict was exact (a dependence certainly exists).
   bool Exact = false;
+  /// The edge comes from a contained failure or an exhausted resource
+  /// budget: the pair was assumed dependent in all directions rather
+  /// than tested to completion.
+  bool Degraded = false;
+  /// Why the edge degraded, when Degraded.
+  std::optional<FailureKind> DegradedReason;
 
   bool isLoopIndependent() const { return Carrier == nullptr; }
 };
@@ -66,10 +74,18 @@ public:
   /// edges are emitted in the serial pair order and per-worker
   /// statistics are merged into \p Stats, so every thread count
   /// produces byte-identical graphs and equal counters.
+  ///
+  /// \p Budget (optional) bounds the per-query resources: once the
+  /// deadline expires or the pair cap is reached, remaining pairs are
+  /// not tested and instead receive conservative all-directions edges
+  /// flagged Degraded (budget-exhausted). Any failure raised while
+  /// testing one pair likewise degrades only that pair's edges — the
+  /// build itself never throws for analysis failures.
   static DependenceGraph build(const Program &P, const SymbolRangeMap &Symbols,
                                TestStats *Stats = nullptr,
                                bool IncludeInput = false,
-                               unsigned NumThreads = 0);
+                               unsigned NumThreads = 0,
+                               const ResourceBudget *Budget = nullptr);
 
   const std::vector<ArrayAccess> &accesses() const { return Accesses; }
   const std::vector<Dependence> &dependences() const { return Edges; }

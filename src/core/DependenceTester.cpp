@@ -53,9 +53,26 @@ void collectHints(const SIVResult &R, std::vector<TransformHint> &Hints) {
 
 } // namespace
 
+DependenceTestResult pdt::degradedTestResult(unsigned Depth,
+                                             AnalysisFailure Failure,
+                                             TestStats *Stats) {
+  DependenceTestResult Result;
+  Result.TheVerdict = Verdict::Maybe;
+  Result.Exact = false;
+  Result.Degraded = true;
+  Result.Vectors.assign(1, DependenceVector(Depth));
+  if (Stats)
+    Stats->noteDegraded(Failure.Kind);
+  Result.Failure = std::move(Failure);
+  return Result;
+}
+
+namespace {
+
+/// The uncontained algorithm body; may raise AnalysisError.
 DependenceTestResult
-pdt::testDependence(const std::vector<SubscriptPair> &Subscripts,
-                    const LoopNestContext &Ctx, TestStats *Stats) {
+testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
+                   const LoopNestContext &Ctx, TestStats *Stats) {
   DependenceTestResult Result;
   unsigned Depth = Ctx.depth();
   std::vector<DependenceVector> Vectors{DependenceVector(Depth)};
@@ -172,11 +189,31 @@ pdt::testDependence(const std::vector<SubscriptPair> &Subscripts,
   // Step 6: the surviving merged vectors. Partitions constrain
   // disjoint levels, so emptiness here would indicate a partition
   // returning an empty (non-independent) set, which cannot happen.
-  assert(!Vectors.empty() && "merge of non-empty partition results is empty");
+  pdt_check(!Vectors.empty(), "merge of non-empty partition results is empty");
   Result.Vectors = std::move(Vectors);
   Result.Exact = AllExact && !Result.HasNonlinear;
   Result.TheVerdict = Result.Exact ? Verdict::Dependent : Verdict::Maybe;
   return Result;
+}
+
+} // namespace
+
+DependenceTestResult
+pdt::testDependence(const std::vector<SubscriptPair> &Subscripts,
+                    const LoopNestContext &Ctx, TestStats *Stats) {
+  // Containment boundary: collapse any failure raised by the tests
+  // into the conservative all-directions dependence. Degradation only
+  // ever widens the answer (a failure can never prove independence),
+  // so soundness is preserved by construction.
+  try {
+    return testDependenceImpl(Subscripts, Ctx, Stats);
+  } catch (const AnalysisError &E) {
+    return degradedTestResult(Ctx.depth(), E.failure(), Stats);
+  } catch (const std::exception &E) {
+    return degradedTestResult(
+        Ctx.depth(),
+        AnalysisFailure{FailureKind::InternalInvariant, E.what()}, Stats);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -325,6 +362,19 @@ DependenceTestResult
 pdt::testAccessPair(const ArrayAccess &A, const ArrayAccess &B,
                     const SymbolRangeMap &Symbols, TestStats *Stats,
                     const std::set<std::string> *VaryingScalars) {
-  return testPreparedAccessPair(
-      A, B, prepareAccessPair(A, B, Symbols, VaryingScalars), Stats);
+  // Containment boundary for the lowering half: an overflow while
+  // building the affine forms degrades the pair, mirroring what
+  // testDependence does for failures inside the tests.
+  std::optional<PreparedPair> Prepared;
+  try {
+    Prepared = prepareAccessPair(A, B, Symbols, VaryingScalars);
+  } catch (const AnalysisError &E) {
+    if (Stats) {
+      ++Stats->ReferencePairs;
+      unsigned Dims = std::min(A.Ref->getNumDims(), B.Ref->getNumDims());
+      ++Stats->DimensionHistogram[std::min(Dims - 1, 3u)];
+    }
+    return degradedTestResult(commonLoops(A, B).size(), E.failure(), Stats);
+  }
+  return testPreparedAccessPair(A, B, Prepared, Stats);
 }

@@ -35,6 +35,7 @@
 #include "core/Subscript.h"
 #include "core/TestStats.h"
 #include "ir/AccessCollector.h"
+#include "support/Failure.h"
 #include "support/Rational.h"
 
 #include <optional>
@@ -74,6 +75,12 @@ struct DependenceTestResult {
   bool HasNonlinear = false;
   /// Loop transformation opportunities found by the weak SIV tests.
   std::vector<TransformHint> Hints;
+  /// A failure (overflow, exhausted budget, internal invariant) was
+  /// contained while testing: the result is the conservative
+  /// all-directions dependence, never "independent".
+  bool Degraded = false;
+  /// The contained failure, when Degraded.
+  std::optional<AnalysisFailure> Failure;
 
   bool isIndependent() const { return TheVerdict == Verdict::Independent; }
 };
@@ -81,9 +88,22 @@ struct DependenceTestResult {
 /// Tests a pair of already-affine subscript vectors against a loop
 /// nest. This is the paper's algorithm proper, exposed for unit tests,
 /// the oracle comparison, and the synthetic workload benches.
+///
+/// This is a fault-containment boundary: any AnalysisError raised by
+/// the tests (coefficient overflow, exhausted budgets, injected
+/// faults, internal invariants) is caught here and collapsed into the
+/// conservative all-directions dependence flagged Degraded — a
+/// failure can widen the answer but never produce "independent".
 DependenceTestResult
 testDependence(const std::vector<SubscriptPair> &Subscripts,
                const LoopNestContext &Ctx, TestStats *Stats = nullptr);
+
+/// The conservative result a contained failure degrades to: Maybe,
+/// inexact, one all-'*' vector over \p Depth levels, carrying
+/// \p Failure. Counted in \p Stats when provided.
+DependenceTestResult degradedTestResult(unsigned Depth,
+                                        AnalysisFailure Failure,
+                                        TestStats *Stats = nullptr);
 
 /// An access pair lowered to testable form: affine subscripts over the
 /// common nest plus the analyzed nest context. Shared by the practical

@@ -7,6 +7,9 @@
 
 #include "core/FourierMotzkin.h"
 
+#include "support/Failure.h"
+#include "support/FaultInjector.h"
+
 #include <cassert>
 #include <map>
 
@@ -27,6 +30,21 @@ void FMSystem::addEquality(const std::vector<Rational> &Coeffs,
 }
 
 bool FMSystem::isRationallyFeasible(unsigned MaxRows) const {
+  FMBudget Budget;
+  Budget.MaxRows = MaxRows;
+  return isRationallyFeasible(Budget);
+}
+
+bool FMSystem::isRationallyFeasible(const FMBudget &Budget,
+                                    bool *BudgetHit) const {
+  if (BudgetHit)
+    *BudgetHit = false;
+  auto GiveUp = [BudgetHit] {
+    if (BudgetHit)
+      *BudgetHit = true;
+    return true; // Budget exhausted: conservatively feasible.
+  };
+  uint64_t Steps = 0;
   std::vector<Row> Work = Rows;
   for (unsigned Var = 0; Var != NumVars; ++Var) {
     std::vector<Row> Lower, Upper, Rest;
@@ -54,6 +72,15 @@ bool FMSystem::isRationallyFeasible(unsigned MaxRows) const {
     // the shadow constraint L + U >= 0.
     for (const Row &Lo : Lower) {
       for (const Row &Up : Upper) {
+        FaultInjector::checkpoint();
+        ++Steps;
+        if (Budget.MaxSteps != 0 && Steps > Budget.MaxSteps)
+          return GiveUp();
+        // A clock read per step would dominate the combine; poll the
+        // deadline cooperatively every 64 steps.
+        if (Budget.Tracker && (Steps & 63) == 0 &&
+            Budget.Tracker->deadlineExpired())
+          return GiveUp();
         Row Combined;
         Combined.Coeffs.resize(NumVars);
         for (unsigned K = 0; K != NumVars; ++K)
@@ -61,8 +88,8 @@ bool FMSystem::isRationallyFeasible(unsigned MaxRows) const {
         Combined.Coeffs[Var] = Rational(0);
         Combined.Const = Lo.Const + Up.Const;
         Rest.push_back(std::move(Combined));
-        if (Rest.size() > MaxRows)
-          return true; // Blowup: give up conservatively.
+        if (Rest.size() > Budget.MaxRows)
+          return GiveUp(); // Blowup: give up conservatively.
       }
     }
     Work = std::move(Rest);
@@ -78,9 +105,13 @@ bool FMSystem::isRationallyFeasible(unsigned MaxRows) const {
 // Dependence front end
 //===----------------------------------------------------------------------===//
 
-Verdict pdt::fourierMotzkinTest(const std::vector<SubscriptPair> &Subscripts,
-                                const LoopNestContext &Ctx,
-                                TestStats *Stats) {
+namespace {
+
+/// The uncontained body of fourierMotzkinTest; may raise AnalysisError
+/// (rational overflow while building or eliminating rows).
+Verdict fourierMotzkinTestImpl(const std::vector<SubscriptPair> &Subscripts,
+                               const LoopNestContext &Ctx, TestStats *Stats,
+                               const FMBudget *Budget) {
   if (Stats)
     Stats->noteApplication(TestKind::FourierMotzkin);
 
@@ -185,10 +216,32 @@ Verdict pdt::fourierMotzkinTest(const std::vector<SubscriptPair> &Subscripts,
     System.addEquality(SrcCoeffs, SrcConst - DstConst);
   }
 
-  if (!System.isRationallyFeasible()) {
+  bool BudgetHit = false;
+  bool Feasible = Budget ? System.isRationallyFeasible(*Budget, &BudgetHit)
+                         : System.isRationallyFeasible();
+  if (Stats && BudgetHit)
+    ++Stats->FMBudgetHits;
+  if (!Feasible) {
     if (Stats)
       Stats->noteIndependence(TestKind::FourierMotzkin);
     return Verdict::Independent;
   }
   return Verdict::Maybe;
+}
+
+} // namespace
+
+Verdict pdt::fourierMotzkinTest(const std::vector<SubscriptPair> &Subscripts,
+                                const LoopNestContext &Ctx, TestStats *Stats,
+                                const FMBudget *Budget) {
+  // Containment boundary: any failure inside the elimination (rational
+  // overflow on adversarial bounds, injected faults) degrades to the
+  // conservative Maybe instead of crashing the caller.
+  try {
+    return fourierMotzkinTestImpl(Subscripts, Ctx, Stats, Budget);
+  } catch (const AnalysisError &E) {
+    if (Stats)
+      Stats->noteDegraded(E.kind());
+    return Verdict::Maybe;
+  }
 }

@@ -24,11 +24,27 @@
 #include "core/DependenceTypes.h"
 #include "core/Subscript.h"
 #include "core/TestStats.h"
+#include "support/Budget.h"
 #include "support/Rational.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace pdt {
+
+/// Resource limits for one Fourier-Motzkin elimination. Exceeding any
+/// limit makes the elimination give up conservatively (feasible, i.e.
+/// dependence assumed), never crash or hang.
+struct FMBudget {
+  /// Maximum live constraint rows (the classic FM blowup bound).
+  unsigned MaxRows = 4096;
+  /// Maximum lower-upper combination steps across the elimination;
+  /// 0 = unlimited.
+  uint64_t MaxSteps = 0;
+  /// Optional per-query deadline source (checked cooperatively every
+  /// few combination steps); may be null.
+  const BudgetTracker *Tracker = nullptr;
+};
 
 /// A system of linear inequalities sum(C[k] * x_k) + C0 >= 0 over
 /// rational variables, decided by Fourier-Motzkin elimination.
@@ -48,6 +64,12 @@ public:
   /// true, i.e. conservatively feasible).
   bool isRationallyFeasible(unsigned MaxRows = 4096) const;
 
+  /// Budgeted elimination: row, step, and deadline limits. When a
+  /// limit is exceeded the result is conservatively feasible and
+  /// \p BudgetHit (when non-null) is set.
+  bool isRationallyFeasible(const FMBudget &Budget,
+                            bool *BudgetHit = nullptr) const;
+
   unsigned numRows() const { return Rows.size(); }
 
 private:
@@ -60,10 +82,12 @@ private:
 };
 
 /// Tests one reference pair with Fourier-Motzkin elimination.
-/// Returns Independent (rational-infeasible) or Maybe.
+/// Returns Independent (rational-infeasible) or Maybe. Any internal
+/// failure (overflow, exhausted budget) is contained and yields Maybe.
 Verdict fourierMotzkinTest(const std::vector<SubscriptPair> &Subscripts,
                            const LoopNestContext &Ctx,
-                           TestStats *Stats = nullptr);
+                           TestStats *Stats = nullptr,
+                           const FMBudget *Budget = nullptr);
 
 } // namespace pdt
 

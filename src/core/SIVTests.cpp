@@ -8,6 +8,8 @@
 #include "core/SIVTests.h"
 
 #include "support/ErrorHandling.h"
+#include "support/Failure.h"
+#include "support/FaultInjector.h"
 #include "support/MathExtras.h"
 
 #include <cassert>
@@ -182,9 +184,14 @@ struct DiophantineSolution {
 };
 
 DiophantineSolution solveDiophantine(int64_t A, int64_t B, int64_t C) {
+  FaultInjector::checkpoint();
   DiophantineSolution S;
   ExtendedGCDResult E = extendedGCD(A, B);
   assert(E.Gcd != 0 && "both coefficients zero");
+  // -C and -(A/Gcd) below must not negate INT64_MIN (UB); such
+  // coefficients only arise from adversarial input, so degrade.
+  if (C == INT64_MIN || A == INT64_MIN)
+    raiseFailure(FailureKind::Overflow, "diophantine coefficient overflow");
   if (!dividesExactly(-C, E.Gcd))
     return S;
   int64_t Scale = -C / E.Gcd;
@@ -193,7 +200,8 @@ DiophantineSolution solveDiophantine(int64_t A, int64_t B, int64_t C) {
   std::optional<int64_t> X0 = checkedMul(E.CoeffA, Scale);
   std::optional<int64_t> Y0 = checkedMul(E.CoeffB, Scale);
   if (!X0 || !Y0)
-    reportFatalError("diophantine particular solution overflow");
+    raiseFailure(FailureKind::Overflow,
+                 "diophantine particular solution overflow");
   S.X0 = *X0;
   S.Y0 = *Y0;
   S.XStep = B / E.Gcd;
@@ -210,6 +218,9 @@ Verdict pdt::solveTwoVariableEquation(int64_t A, const Interval &XRange,
     return Verdict::Independent;
   if (A == 0 && B == 0)
     return C == 0 ? Verdict::Dependent : Verdict::Independent;
+  // -C below must not negate INT64_MIN (UB): degrade conservatively.
+  if (C == INT64_MIN)
+    raiseFailure(FailureKind::Overflow, "SIV constant overflow");
   if (A == 0) {
     if (!dividesExactly(-C, B))
       return Verdict::Independent;
@@ -336,6 +347,8 @@ SIVResult testWeakZeroSIV(const LinearExpr &Eq, const std::string &Var,
     if (Stats)
       Stats->noteApplication(TestKind::WeakZeroSIV);
     R.Test = TestKind::WeakZeroSIV;
+    if (C.getConstant() == INT64_MIN)
+      raiseFailure(FailureKind::Overflow, "SIV constant overflow");
     if (!dividesExactly(-C.getConstant(), A))
       return SIVResult::independent(TestKind::WeakZeroSIV);
     int64_t I0 = -C.getConstant() / A;
@@ -460,6 +473,8 @@ SIVResult testWeakCrossingSIV(const LinearExpr &Eq, const std::string &Index,
     if (Stats)
       Stats->noteApplication(TestKind::WeakCrossingSIV);
     R.Test = TestKind::WeakCrossingSIV;
+    if (C.getConstant() == INT64_MIN)
+      raiseFailure(FailureKind::Overflow, "SIV constant overflow");
     // The iteration sum S must be an integer.
     if (!dividesExactly(-C.getConstant(), A))
       return SIVResult::independent(TestKind::WeakCrossingSIV);

@@ -17,6 +17,7 @@
 #define PDT_CORE_TESTSTATS_H
 
 #include "core/DependenceTypes.h"
+#include "support/Failure.h"
 
 #include <array>
 #include <cstdint>
@@ -48,11 +49,22 @@ struct TestStats {
   uint64_t CoupledGroups = 0;
   uint64_t GroupsWithResidualMIV = 0;
 
+  // Fault containment: results degraded to the conservative
+  // all-directions answer, by failure kind, plus Fourier-Motzkin
+  // eliminations that gave up on a resource budget.
+  std::array<uint64_t, NumFailureKinds> DegradedByKind{};
+  uint64_t DegradedResults = 0;
+  uint64_t FMBudgetHits = 0;
+
   void noteApplication(TestKind K) {
     ++Applications[static_cast<unsigned>(K)];
   }
   void noteIndependence(TestKind K) {
     ++Independences[static_cast<unsigned>(K)];
+  }
+  void noteDegraded(FailureKind K) {
+    ++DegradedByKind[static_cast<unsigned>(K)];
+    ++DegradedResults;
   }
 
   uint64_t applications(TestKind K) const {
@@ -87,6 +99,10 @@ struct TestStats {
     MIVSubscripts += RHS.MIVSubscripts;
     CoupledGroups += RHS.CoupledGroups;
     GroupsWithResidualMIV += RHS.GroupsWithResidualMIV;
+    for (unsigned I = 0; I != NumFailureKinds; ++I)
+      DegradedByKind[I] += RHS.DegradedByKind[I];
+    DegradedResults += RHS.DegradedResults;
+    FMBudgetHits += RHS.FMBudgetHits;
     return *this;
   }
 };

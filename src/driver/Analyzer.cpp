@@ -60,11 +60,25 @@ AnalysisResult pdt::analyzeProgram(Program P, const AnalyzerOptions &Options) {
   AnalysisResult Result;
   Result.Parsed = true;
 
+  // Each rewriting pass is a containment boundary: a pass that fails
+  // (e.g. coefficient overflow while folding a bound expression) is
+  // skipped, analysis continues on the last good program — the
+  // unrewritten form is always a legal, merely less precise, input.
   Program Current = std::move(P);
-  if (Options.Normalize)
-    Current = normalizeLoops(Current);
-  if (Options.SubstituteIVs)
-    Current = substituteInductionVariables(Current);
+  if (Options.Normalize) {
+    try {
+      Current = normalizeLoops(Current);
+    } catch (const AnalysisError &E) {
+      Result.Failures.push_back(E.failure());
+    }
+  }
+  if (Options.SubstituteIVs) {
+    try {
+      Current = substituteInductionVariables(Current);
+    } catch (const AnalysisError &E) {
+      Result.Failures.push_back(E.failure());
+    }
+  }
   Result.Prog = std::make_unique<Program>(std::move(Current));
 
   // Assemble symbol ranges: explicit assumptions win; every other
@@ -81,7 +95,7 @@ AnalysisResult pdt::analyzeProgram(Program P, const AnalyzerOptions &Options) {
 
   Result.Graph = DependenceGraph::build(*Result.Prog, Symbols, &Result.Stats,
                                         Options.IncludeInputDeps,
-                                        Options.NumThreads);
+                                        Options.NumThreads, &Options.Budget);
   return Result;
 }
 
@@ -92,6 +106,13 @@ AnalysisResult pdt::analyzeSource(const std::string &Source,
   if (!Parsed.succeeded()) {
     AnalysisResult Result;
     Result.Diagnostics = std::move(Parsed.Diagnostics);
+    std::string Where = Name;
+    if (!Result.Diagnostics.empty()) {
+      Where += ": ";
+      Where += Result.Diagnostics.front().Message;
+    }
+    Result.Failures.push_back(
+        AnalysisFailure{FailureKind::MalformedInput, std::move(Where)});
     return Result;
   }
   return analyzeProgram(std::move(*Parsed.Prog), Options);

@@ -21,6 +21,8 @@
 #include "core/DependenceGraph.h"
 #include "core/TestStats.h"
 #include "parser/Parser.h"
+#include "support/Budget.h"
+#include "support/Failure.h"
 
 #include <memory>
 #include <string>
@@ -47,6 +49,12 @@ struct AnalyzerOptions {
   /// concurrency); 1 = serial on the calling thread. Any value yields
   /// byte-identical graphs and equal statistics.
   unsigned NumThreads = 0;
+  /// Per-query resource limits (wall-clock deadline, pair cap,
+  /// Fourier-Motzkin row/step caps). Exhausting a budget degrades the
+  /// untested pairs to conservative all-directions edges; it never
+  /// aborts the analysis. The default is unlimited except for the FM
+  /// row cap.
+  ResourceBudget Budget;
 };
 
 /// Everything one analysis run produces. Move-only: the graph holds
@@ -63,6 +71,11 @@ struct AnalysisResult {
   std::unique_ptr<Program> Prog;
   DependenceGraph Graph;
   TestStats Stats;
+  /// Failures contained at the pipeline level: a normalization or IV
+  /// substitution pass that failed (and was skipped, keeping the
+  /// previous program), or a parse failure. Per-pair failures are
+  /// reported on the degraded graph edges instead.
+  std::vector<AnalysisFailure> Failures;
 };
 
 /// Parses and analyzes \p Source. \p Name labels the program.

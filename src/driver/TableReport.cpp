@@ -157,8 +157,13 @@ std::vector<SuiteReport> pdt::analyzeCorpusSuites(bool IncludePaperSuite) {
     Report.Suite = Suite;
     for (const CorpusKernel *K : kernelsInSuite(Suite)) {
       AnalysisResult R = analyzeSource(K->Source, K->Name);
-      if (!R.Parsed)
-        reportFatalError("corpus kernel failed to parse");
+      if (!R.Parsed) {
+        // A malformed kernel is a data problem, not a program bug:
+        // count and name it in the report, keep analyzing the rest.
+        ++Report.ParseFailures;
+        Report.FailedKernels.push_back(K->Name);
+        continue;
+      }
       ++Report.Kernels;
       Report.Lines += countLines(K->Source);
       for (const Stmt *S : R.Prog->TopLevel)
@@ -206,6 +211,15 @@ std::string pdt::formatTable1(const std::vector<SuiteReport> &Reports) {
            pad(num(S.SeparableSubscripts), 7) +
            pad(num(S.CoupledSubscripts), 7) +
            pad(num(S.NonlinearSubscripts), 8) + "\n";
+  }
+  for (const SuiteReport &R : Reports) {
+    if (!R.ParseFailures)
+      continue;
+    Out += "note: " + R.Suite + ": skipped " + num(R.ParseFailures) +
+           " unparseable kernel(s):";
+    for (const std::string &Name : R.FailedKernels)
+      Out += " " + Name;
+    Out += "\n";
   }
   return Out;
 }

@@ -30,6 +30,11 @@ namespace pdt {
 struct SuiteReport {
   std::string Suite;
   unsigned Kernels = 0;
+  /// Kernels skipped because they failed to parse (reported, never
+  /// fatal: one bad kernel must not take down the whole corpus run).
+  unsigned ParseFailures = 0;
+  /// Names of the kernels that failed to parse.
+  std::vector<std::string> FailedKernels;
   unsigned Lines = 0; ///< Non-blank, non-comment source lines.
   unsigned Loops = 0;
   TestStats Stats;

@@ -10,6 +10,8 @@
 #include "ir/AST.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
+#include "support/Failure.h"
+#include "support/FaultInjector.h"
 #include "support/MathExtras.h"
 
 #include <cassert>
@@ -19,10 +21,12 @@ using namespace pdt;
 void LinearExpr::addIndexTerm(const std::string &Name, int64_t Coeff) {
   if (Coeff == 0)
     return;
+  FaultInjector::checkpoint();
   int64_t &Slot = IndexCoeffs[Name];
   std::optional<int64_t> Sum = checkedAdd(Slot, Coeff);
   if (!Sum)
-    reportFatalError("linear expression coefficient overflow");
+    raiseFailure(FailureKind::Overflow,
+                 "linear expression coefficient overflow");
   Slot = *Sum;
   if (Slot == 0)
     IndexCoeffs.erase(Name);
@@ -31,10 +35,12 @@ void LinearExpr::addIndexTerm(const std::string &Name, int64_t Coeff) {
 void LinearExpr::addSymbolTerm(const std::string &Name, int64_t Coeff) {
   if (Coeff == 0)
     return;
+  FaultInjector::checkpoint();
   int64_t &Slot = SymbolCoeffs[Name];
   std::optional<int64_t> Sum = checkedAdd(Slot, Coeff);
   if (!Sum)
-    reportFatalError("linear expression coefficient overflow");
+    raiseFailure(FailureKind::Overflow,
+                 "linear expression coefficient overflow");
   Slot = *Sum;
   if (Slot == 0)
     SymbolCoeffs.erase(Name);
@@ -82,7 +88,8 @@ LinearExpr LinearExpr::operator+(const LinearExpr &RHS) const {
     Result.addSymbolTerm(Name, Coeff);
   std::optional<int64_t> Sum = checkedAdd(Result.Constant, RHS.Constant);
   if (!Sum)
-    reportFatalError("linear expression constant overflow");
+    raiseFailure(FailureKind::Overflow,
+                 "linear expression constant overflow");
   Result.Constant = *Sum;
   return Result;
 }
@@ -97,21 +104,25 @@ LinearExpr LinearExpr::scale(int64_t Factor) const {
   LinearExpr Result;
   if (Factor == 0)
     return Result;
+  FaultInjector::checkpoint();
   for (const auto &[Name, Coeff] : IndexCoeffs) {
     std::optional<int64_t> P = checkedMul(Coeff, Factor);
     if (!P)
-      reportFatalError("linear expression coefficient overflow");
+      raiseFailure(FailureKind::Overflow,
+                 "linear expression coefficient overflow");
     Result.IndexCoeffs[Name] = *P;
   }
   for (const auto &[Name, Coeff] : SymbolCoeffs) {
     std::optional<int64_t> P = checkedMul(Coeff, Factor);
     if (!P)
-      reportFatalError("linear expression coefficient overflow");
+      raiseFailure(FailureKind::Overflow,
+                 "linear expression coefficient overflow");
     Result.SymbolCoeffs[Name] = *P;
   }
   std::optional<int64_t> P = checkedMul(Constant, Factor);
   if (!P)
-    reportFatalError("linear expression constant overflow");
+    raiseFailure(FailureKind::Overflow,
+                 "linear expression constant overflow");
   Result.Constant = *P;
   return Result;
 }

@@ -8,6 +8,7 @@
 #include "parser/Lexer.h"
 
 #include <cctype>
+#include <stdexcept>
 
 using namespace pdt;
 
@@ -138,7 +139,14 @@ Token Lexer::lexToken() {
     while (Pos < Source.size() &&
            std::isdigit(static_cast<unsigned char>(peek())))
       T.Spelling.push_back(advance());
-    T.Value = std::stoll(T.Spelling);
+    try {
+      T.Value = std::stoll(T.Spelling);
+    } catch (const std::out_of_range &) {
+      // A literal beyond int64 becomes an unknown token: the parser
+      // diagnoses it in place instead of the lexer throwing out of
+      // parseProgram.
+      T.TheKind = Token::Kind::Unknown;
+    }
     return T;
   }
 

@@ -1,0 +1,76 @@
+//===- support/Budget.h - Per-query resource budgets ------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative resource budgets for one analysis query. An analyzer
+/// serving untrusted kernels must bound its own work: a wall-clock
+/// deadline, a cap on the number of reference pairs tested, and caps
+/// on Fourier-Motzkin elimination (combination steps and constraint
+/// rows, which can grow doubly exponentially). Budgets are enforced
+/// cooperatively inside the hot loops; exhausting one never fails the
+/// query, it degrades the remaining work to the conservative "assume
+/// dependence" result flagged BudgetExhausted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_BUDGET_H
+#define PDT_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace pdt {
+
+/// Static limits for one analysis query. Zero / nullopt means
+/// unlimited (except MaxFMRows, whose default bounds the classic FM
+/// blowup even when no budget is configured).
+struct ResourceBudget {
+  /// Wall-clock deadline for the whole query, measured from the
+  /// construction of its BudgetTracker.
+  std::optional<std::chrono::milliseconds> Deadline;
+  /// Maximum number of reference pairs tested; pairs beyond the cap
+  /// get conservative degraded edges without running any test.
+  uint64_t MaxPairs = 0;
+  /// Maximum live constraint rows during one FM elimination.
+  unsigned MaxFMRows = 4096;
+  /// Maximum lower-upper combination steps during one FM elimination.
+  uint64_t MaxFMSteps = 0;
+};
+
+/// Runtime state of one query's budget: the start timestamp plus the
+/// limits. Cheap to copy; deadline checks are thread-safe (the state
+/// is immutable after construction).
+class BudgetTracker {
+public:
+  BudgetTracker() : Start(std::chrono::steady_clock::now()) {}
+  explicit BudgetTracker(const ResourceBudget &B)
+      : Limits(B), Start(std::chrono::steady_clock::now()) {}
+
+  const ResourceBudget &limits() const { return Limits; }
+
+  /// True once the wall-clock deadline has passed (false when no
+  /// deadline is configured).
+  bool deadlineExpired() const {
+    if (!Limits.Deadline)
+      return false;
+    return std::chrono::steady_clock::now() - Start >= *Limits.Deadline;
+  }
+
+  /// True when \p PairIndex (0-based) is beyond the pair cap.
+  bool pairBudgetExceeded(uint64_t PairIndex) const {
+    return Limits.MaxPairs != 0 && PairIndex >= Limits.MaxPairs;
+  }
+
+private:
+  ResourceBudget Limits;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_BUDGET_H

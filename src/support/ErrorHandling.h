@@ -8,8 +8,12 @@
 ///
 /// \file
 /// Fatal error reporting and an llvm_unreachable-style marker for code
-/// paths that must never execute. The library uses no exceptions; an
-/// unrecoverable internal error aborts with a message.
+/// paths that must never execute. These abort the process and are
+/// reserved for genuinely impossible states (covered switches,
+/// violated construction invariants). Anything that bad input,
+/// adversarial scale, or resource exhaustion can trigger must instead
+/// raise a recoverable AnalysisError (support/Failure.h), which the
+/// analysis pipeline contains and degrades to a conservative result.
 ///
 //===----------------------------------------------------------------------===//
 

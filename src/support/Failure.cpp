@@ -1,0 +1,54 @@
+//===- support/Failure.cpp - Analysis failure taxonomy --------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Failure.h"
+
+using namespace pdt;
+
+const char *pdt::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::Overflow:
+    return "overflow";
+  case FailureKind::BudgetExhausted:
+    return "budget-exhausted";
+  case FailureKind::SymbolicUnknown:
+    return "symbolic-unknown";
+  case FailureKind::InternalInvariant:
+    return "internal-invariant";
+  case FailureKind::MalformedInput:
+    return "malformed-input";
+  }
+  return "unknown";
+}
+
+std::string AnalysisFailure::str() const {
+  std::string S = failureKindName(Kind);
+  if (!Message.empty()) {
+    S += ": ";
+    S += Message;
+  }
+  return S;
+}
+
+void pdt::raiseFailure(FailureKind K, const char *Message) {
+  throw AnalysisError(AnalysisFailure{K, Message ? Message : ""});
+}
+
+AnalysisFailure pdt::failureFromException(std::exception_ptr P) {
+  try {
+    if (P)
+      std::rethrow_exception(P);
+  } catch (const AnalysisError &E) {
+    return E.failure();
+  } catch (const std::exception &E) {
+    return AnalysisFailure{FailureKind::InternalInvariant, E.what()};
+  } catch (...) {
+    return AnalysisFailure{FailureKind::InternalInvariant,
+                           "unknown exception"};
+  }
+  return AnalysisFailure{FailureKind::InternalInvariant, "no exception"};
+}

@@ -1,0 +1,145 @@
+//===- support/Failure.h - Analysis failure taxonomy ------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured failure taxonomy of the never-crash analysis
+/// pipeline. The paper's algorithm degrades gracefully by design: when
+/// a subscript is too hard it assumes dependence instead of guessing.
+/// This header extends that philosophy to the engineering layer: any
+/// recoverable analysis failure (coefficient overflow, an exhausted
+/// resource budget, an internal invariant violation) is raised as an
+/// AnalysisError carrying an AnalysisFailure, propagates up the test
+/// call chain, and is caught at a containment boundary
+/// (testDependence, the per-pair graph-build loop, the analyzer
+/// passes) which collapses it into a conservative "assume dependence
+/// in all directions" result flagged Degraded. Degradation must only
+/// ever widen a result — a failure may turn "independent" into
+/// "dependent", never the reverse.
+///
+/// reportFatalError / pdt_unreachable (ErrorHandling.h) remain for
+/// genuinely impossible states (covered switches); everything that bad
+/// input or adversarial scale can trigger goes through this header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_FAILURE_H
+#define PDT_SUPPORT_FAILURE_H
+
+#include <exception>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pdt {
+
+/// Why an analysis step could not produce an exact answer.
+enum class FailureKind {
+  /// 64-bit arithmetic overflowed (coefficients, constants, rationals).
+  Overflow,
+  /// A resource budget was exhausted (deadline, pair count, FM steps
+  /// or constraint rows).
+  BudgetExhausted,
+  /// A symbolic quantity could not be resolved to anything testable.
+  SymbolicUnknown,
+  /// An internal invariant did not hold; the result of this step
+  /// cannot be trusted and is discarded in favor of the conservative
+  /// answer.
+  InternalInvariant,
+  /// The input itself was malformed (bad parse, inconsistent shapes).
+  MalformedInput,
+};
+
+/// Number of FailureKind enumerators (for counter arrays).
+constexpr unsigned NumFailureKinds = 5;
+
+/// Display name ("overflow", "budget-exhausted", ...).
+const char *failureKindName(FailureKind K);
+
+/// One structured failure: what class of problem, and a human-readable
+/// description of the site that raised it.
+struct AnalysisFailure {
+  FailureKind Kind = FailureKind::InternalInvariant;
+  std::string Message;
+
+  /// Renders as "overflow: linear expression coefficient overflow".
+  std::string str() const;
+};
+
+/// The exception type recoverable analysis failures travel on. Thrown
+/// by raiseFailure, caught only at the documented containment
+/// boundaries; it never escapes the public analysis entry points.
+class AnalysisError : public std::exception {
+public:
+  explicit AnalysisError(AnalysisFailure F)
+      : TheFailure(std::move(F)), What(TheFailure.str()) {}
+
+  const AnalysisFailure &failure() const { return TheFailure; }
+  FailureKind kind() const { return TheFailure.Kind; }
+  const char *what() const noexcept override { return What.c_str(); }
+
+private:
+  AnalysisFailure TheFailure;
+  std::string What;
+};
+
+/// Raises an AnalysisError of kind \p K. The message should name the
+/// operation that failed, not the caller.
+[[noreturn]] void raiseFailure(FailureKind K, const char *Message);
+
+/// Folds the in-flight exception \p P into an AnalysisFailure:
+/// AnalysisError keeps its payload, any other std::exception (or
+/// unknown exception) becomes an internal-invariant failure carrying
+/// what() where available.
+AnalysisFailure failureFromException(std::exception_ptr P);
+
+/// An Expected<T>-style result: either a value or an AnalysisFailure.
+/// Used where a failure is part of the normal API contract (per-kernel
+/// corpus analysis, budget-checked lowering) rather than an
+/// exceptional unwind.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(AnalysisFailure F) : Storage(std::move(F)) {}
+
+  static Expected failure(FailureKind K, std::string Message) {
+    return Expected(AnalysisFailure{K, std::move(Message)});
+  }
+
+  bool hasValue() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &operator*() { return std::get<T>(Storage); }
+  const T &operator*() const { return std::get<T>(Storage); }
+  T *operator->() { return &std::get<T>(Storage); }
+  const T *operator->() const { return &std::get<T>(Storage); }
+
+  const AnalysisFailure &error() const {
+    return std::get<AnalysisFailure>(Storage);
+  }
+
+  /// The value, or \p Default when this holds a failure.
+  T valueOr(T Default) const {
+    return hasValue() ? std::get<T>(Storage) : std::move(Default);
+  }
+
+private:
+  std::variant<T, AnalysisFailure> Storage;
+};
+
+/// Checks a recoverable invariant: raises an internal-invariant
+/// failure (caught at the containment boundaries) instead of aborting
+/// the process the way assert/pdt_unreachable do. Use for conditions
+/// that adversarial input could conceivably violate.
+#define pdt_check(cond, msg)                                                   \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::pdt::raiseFailure(::pdt::FailureKind::InternalInvariant, msg);         \
+  } while (false)
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_FAILURE_H

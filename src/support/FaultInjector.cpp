@@ -1,0 +1,94 @@
+//===- support/FaultInjector.cpp - Deterministic fault injection ----------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+using namespace pdt;
+
+namespace {
+
+// Armed is the fast-path gate: a single relaxed load when the injector
+// is idle. Counter and Target only matter while armed; Kind is written
+// before Armed is released and read after it is acquired.
+std::atomic<bool> Armed{false};
+std::atomic<uint64_t> Counter{0};
+std::atomic<uint64_t> Target{0};
+std::atomic<FailureKind> Kind{FailureKind::Overflow};
+
+std::optional<FailureKind> parseKind(const std::string &Name) {
+  if (Name == "overflow")
+    return FailureKind::Overflow;
+  if (Name == "budget")
+    return FailureKind::BudgetExhausted;
+  if (Name == "symbolic")
+    return FailureKind::SymbolicUnknown;
+  if (Name == "internal")
+    return FailureKind::InternalInvariant;
+  if (Name == "malformed")
+    return FailureKind::MalformedInput;
+  return std::nullopt;
+}
+
+} // namespace
+
+void FaultInjector::arm(FailureKind K, uint64_t TargetSite) {
+  Kind.store(K, std::memory_order_relaxed);
+  Target.store(TargetSite, std::memory_order_relaxed);
+  Counter.store(0, std::memory_order_relaxed);
+  Armed.store(true, std::memory_order_release);
+}
+
+bool FaultInjector::armFromSpec(const std::string &Spec) {
+  std::string::size_type At = Spec.find('@');
+  if (At == std::string::npos || At == 0 || At + 1 >= Spec.size())
+    return false;
+  std::optional<FailureKind> K = parseKind(Spec.substr(0, At));
+  if (!K)
+    return false;
+  const std::string SiteStr = Spec.substr(At + 1);
+  char *End = nullptr;
+  unsigned long long Site = std::strtoull(SiteStr.c_str(), &End, 10);
+  if (End == SiteStr.c_str() || *End != '\0')
+    return false;
+  arm(*K, Site);
+  return true;
+}
+
+void FaultInjector::disarm() {
+  Armed.store(false, std::memory_order_release);
+  Counter.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::siteCount() {
+  return Counter.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::armed() {
+  return Armed.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::initFromEnvironment() {
+  if (const char *Env = std::getenv("PDT_FAULT_INJECT"))
+    armFromSpec(Env);
+}
+
+void FaultInjector::checkpoint() {
+  // One-time environment pickup, then the idle fast path.
+  static std::once_flag EnvOnce;
+  std::call_once(EnvOnce, initFromEnvironment);
+  if (!Armed.load(std::memory_order_acquire))
+    return;
+  uint64_t Site = Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t T = Target.load(std::memory_order_relaxed);
+  if (T != 0 && Site == T)
+    raiseFailure(Kind.load(std::memory_order_relaxed),
+                 "injected fault (PDT_FAULT_INJECT)");
+}

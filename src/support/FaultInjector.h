@@ -1,0 +1,75 @@
+//===- support/FaultInjector.h - Deterministic fault injection --*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for exercising the degradation paths.
+/// The arithmetic kernels of the analysis (LinearExpr term updates,
+/// Rational operations, the Diophantine solver, Fourier-Motzkin
+/// combination steps) each call FaultInjector::checkpoint() once per
+/// operation. When the injector is armed, checkpoints are numbered
+/// 1, 2, 3, ... in execution order and the checkpoint whose number
+/// equals the armed target raises the armed FailureKind, which the
+/// containment layers must absorb into a conservative Degraded result.
+/// Sweeping the target over every site therefore proves that no single
+/// arithmetic failure anywhere in the pipeline can crash the process
+/// or flip a verdict to an unsound "independent".
+///
+/// Arming is programmatic (arm / armFromSpec) or via the environment:
+///
+///   PDT_FAULT_INJECT=overflow@17    # kind '@' 1-based site number
+///
+/// with kinds overflow, budget, symbolic, internal, malformed. A
+/// target of 0 counts sites without tripping (count mode), which a
+/// sweep harness uses to discover the number of sites first. When the
+/// injector has never been armed, checkpoint() is a single relaxed
+/// atomic load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_FAULTINJECTOR_H
+#define PDT_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Failure.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pdt {
+
+class FaultInjector {
+public:
+  /// Arms the injector: the \p TargetSite-th checkpoint (1-based)
+  /// after this call raises \p K. TargetSite 0 counts without
+  /// tripping. Resets the site counter.
+  static void arm(FailureKind K, uint64_t TargetSite);
+
+  /// Parses a "kind@site" spec ("overflow@17"); returns false (and
+  /// leaves the injector untouched) on a malformed spec.
+  static bool armFromSpec(const std::string &Spec);
+
+  /// Disarms and resets the counter. checkpoint() becomes a no-op.
+  static void disarm();
+
+  /// Number of checkpoints executed since the last arm().
+  static uint64_t siteCount();
+
+  /// True when armed (including count mode).
+  static bool armed();
+
+  /// Reads PDT_FAULT_INJECT once per process and arms accordingly.
+  /// Called lazily by the first checkpoint; exposed for tests.
+  static void initFromEnvironment();
+
+  /// One instrumented arithmetic site. Raises the armed failure when
+  /// this is the target site.
+  static void checkpoint();
+};
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_FAULTINJECTOR_H

@@ -29,6 +29,13 @@ static int64_t saturatingMul(int64_t A, int64_t B) {
   return (signOf(A) * signOf(B) > 0) ? INT64_MAX : INT64_MIN;
 }
 
+/// Negates a finite bound, saturating at INT64_MAX for INT64_MIN
+/// (plain negation would be UB). Saturation only widens the interval,
+/// which keeps downstream tests conservative.
+static int64_t saturatingNeg(int64_t A) {
+  return A == INT64_MIN ? INT64_MAX : -A;
+}
+
 std::optional<int64_t> Interval::size() const {
   if (!isFinite())
     return std::nullopt;
@@ -57,9 +64,9 @@ Interval Interval::negate() const {
     return empty();
   Bound NewLo, NewHi;
   if (Hi)
-    NewLo = -*Hi;
+    NewLo = saturatingNeg(*Hi);
   if (Lo)
-    NewHi = -*Lo;
+    NewHi = saturatingNeg(*Lo);
   return Interval(NewLo, NewHi);
 }
 

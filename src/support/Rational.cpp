@@ -7,25 +7,35 @@
 
 #include "support/Rational.h"
 
-#include "support/ErrorHandling.h"
+#include "support/FaultInjector.h"
+#include "support/Failure.h"
 #include "support/MathExtras.h"
 
 #include <cassert>
 
 using namespace pdt;
 
-static int64_t mulOrDie(int64_t A, int64_t B) {
+static int64_t mulOrRaise(int64_t A, int64_t B) {
   std::optional<int64_t> R = checkedMul(A, B);
   if (!R)
-    reportFatalError("rational arithmetic overflow (multiplication)");
+    raiseFailure(FailureKind::Overflow,
+                 "rational arithmetic overflow (multiplication)");
   return *R;
 }
 
-static int64_t addOrDie(int64_t A, int64_t B) {
+static int64_t addOrRaise(int64_t A, int64_t B) {
   std::optional<int64_t> R = checkedAdd(A, B);
   if (!R)
-    reportFatalError("rational arithmetic overflow (addition)");
+    raiseFailure(FailureKind::Overflow,
+                 "rational arithmetic overflow (addition)");
   return *R;
+}
+
+static int64_t negOrRaise(int64_t A) {
+  if (A == INT64_MIN)
+    raiseFailure(FailureKind::Overflow,
+                 "rational arithmetic overflow (negation)");
+  return -A;
 }
 
 Rational::Rational(int64_t N, int64_t D) : Num(N), Den(D) {
@@ -35,8 +45,10 @@ Rational::Rational(int64_t N, int64_t D) : Num(N), Den(D) {
 
 void Rational::normalize() {
   if (Den < 0) {
-    Num = -Num;
-    Den = -Den;
+    // INT64_MIN cannot be negated; a denominator or numerator at the
+    // extreme is adversarial input, not a representable rational.
+    Num = negOrRaise(Num);
+    Den = negOrRaise(Den);
   }
   int64_t G = gcd64(Num, Den);
   if (G > 1) {
@@ -59,19 +71,20 @@ int64_t Rational::ceil() const { return ceilDiv(Num, Den); }
 
 Rational Rational::operator-() const {
   Rational R;
-  R.Num = -Num;
+  R.Num = negOrRaise(Num);
   R.Den = Den;
   return R;
 }
 
 Rational Rational::operator+(const Rational &RHS) const {
+  FaultInjector::checkpoint();
   // Reduce before cross-multiplying to delay overflow.
   int64_t G = gcd64(Den, RHS.Den);
   int64_t LhsScale = RHS.Den / G;
   int64_t RhsScale = Den / G;
   int64_t N =
-      addOrDie(mulOrDie(Num, LhsScale), mulOrDie(RHS.Num, RhsScale));
-  int64_t D = mulOrDie(Den, LhsScale);
+      addOrRaise(mulOrRaise(Num, LhsScale), mulOrRaise(RHS.Num, RhsScale));
+  int64_t D = mulOrRaise(Den, LhsScale);
   return Rational(N, D);
 }
 
@@ -80,11 +93,12 @@ Rational Rational::operator-(const Rational &RHS) const {
 }
 
 Rational Rational::operator*(const Rational &RHS) const {
+  FaultInjector::checkpoint();
   // Cross-reduce first.
   int64_t G1 = gcd64(Num, RHS.Den);
   int64_t G2 = gcd64(RHS.Num, Den);
-  int64_t N = mulOrDie(G1 ? Num / G1 : Num, G2 ? RHS.Num / G2 : RHS.Num);
-  int64_t D = mulOrDie(G2 ? Den / G2 : Den, G1 ? RHS.Den / G1 : RHS.Den);
+  int64_t N = mulOrRaise(G1 ? Num / G1 : Num, G2 ? RHS.Num / G2 : RHS.Num);
+  int64_t D = mulOrRaise(G2 ? Den / G2 : Den, G1 ? RHS.Den / G1 : RHS.Den);
   return Rational(N, D);
 }
 

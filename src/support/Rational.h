@@ -24,8 +24,10 @@
 namespace pdt {
 
 /// An exact rational number Num/Den with Den > 0, always stored in
-/// lowest terms. Arithmetic asserts on overflow (dependence-test
-/// operands are small; overflow indicates a driver bug, not bad input).
+/// lowest terms. Arithmetic raises an AnalysisError of kind Overflow
+/// when a result leaves the int64 range; the containment layer above
+/// the tests degrades the affected query to the conservative "assume
+/// dependence" answer instead of crashing.
 class Rational {
 public:
   /// Zero.

@@ -69,8 +69,18 @@ void ThreadPool::runWorker(unsigned Worker,
                            const std::function<void(size_t, unsigned)> &Fn) {
   size_t Done = 0;
   auto RunChunk = [&](std::pair<size_t, size_t> Chunk) {
-    for (size_t I = Chunk.first; I != Chunk.second; ++I)
-      Fn(I, Worker);
+    for (size_t I = Chunk.first; I != Chunk.second; ++I) {
+      // An exception escaping a helper thread would terminate the
+      // whole process; capture it instead and let parallelFor rethrow
+      // the first one on the calling thread once the loop drains.
+      try {
+        Fn(I, Worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(M);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+    }
     Done += Chunk.second - Chunk.first;
   };
 
@@ -121,8 +131,19 @@ void ThreadPool::parallelFor(size_t NumItems,
   if (!NumItems)
     return;
   if (NumWorkers == 1 || NumItems == 1) {
-    for (size_t I = 0; I != NumItems; ++I)
-      Fn(I, 0);
+    // Same semantics as the parallel path: every item runs, the first
+    // exception is rethrown once the loop drains.
+    std::exception_ptr Error;
+    for (size_t I = 0; I != NumItems; ++I) {
+      try {
+        Fn(I, 0);
+      } catch (...) {
+        if (!Error)
+          Error = std::current_exception();
+      }
+    }
+    if (Error)
+      std::rethrow_exception(Error);
     return;
   }
 
@@ -147,7 +168,13 @@ void ThreadPool::parallelFor(size_t NumItems,
 
   runWorker(0, Fn);
 
-  std::unique_lock<std::mutex> Lock(M);
-  DoneCV.wait(Lock, [&] { return Remaining == 0; });
-  Job = nullptr;
+  std::exception_ptr Error;
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    DoneCV.wait(Lock, [&] { return Remaining == 0; });
+    Job = nullptr;
+    Error = std::exchange(FirstError, nullptr);
+  }
+  if (Error)
+    std::rethrow_exception(Error);
 }

@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -53,6 +54,12 @@ public:
   /// [0, numWorkers()); the calling thread participates as worker 0.
   /// Distinct indices may run concurrently; Fn must only write state
   /// that is private per index or per worker. Not reentrant.
+  ///
+  /// Exceptions thrown by Fn never escape a helper thread (which would
+  /// terminate the process): each item runs under its own handler, the
+  /// remaining items still execute, and the first captured exception
+  /// is rethrown on the calling thread after the loop drains. The pool
+  /// stays usable for subsequent parallelFor calls.
   void parallelFor(size_t NumItems,
                    const std::function<void(size_t, unsigned)> &Fn);
 
@@ -80,6 +87,9 @@ private:
   std::condition_variable WorkCV;
   std::condition_variable DoneCV;
   std::function<void(size_t, unsigned)> Job;
+  /// First exception a job item threw in the current parallelFor;
+  /// rethrown on the caller once the loop drains.
+  std::exception_ptr FirstError;
   /// Items not yet completed in the current parallelFor.
   size_t Remaining = 0;
   /// Bumped once per parallelFor so helpers notice new work.

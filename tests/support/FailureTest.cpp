@@ -1,0 +1,180 @@
+//===- tests/support/FailureTest.cpp ------------------------------------------===//
+//
+// The failure taxonomy, Expected<T>, the deterministic fault injector,
+// and the thread pool's exception containment contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Failure.h"
+
+#include "support/FaultInjector.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+using namespace pdt;
+
+namespace {
+
+/// Every robustness test must leave the process-global injector
+/// disarmed, or later tests would trip on leftover state.
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::disarm(); }
+};
+
+TEST(Failure, KindNamesAreStableAndDistinct) {
+  EXPECT_STREQ(failureKindName(FailureKind::Overflow), "overflow");
+  EXPECT_STREQ(failureKindName(FailureKind::BudgetExhausted),
+               "budget-exhausted");
+  EXPECT_STREQ(failureKindName(FailureKind::SymbolicUnknown),
+               "symbolic-unknown");
+  EXPECT_STREQ(failureKindName(FailureKind::InternalInvariant),
+               "internal-invariant");
+  EXPECT_STREQ(failureKindName(FailureKind::MalformedInput),
+               "malformed-input");
+}
+
+TEST(Failure, StrRendersKindAndMessage) {
+  AnalysisFailure F{FailureKind::Overflow, "coefficient overflow"};
+  EXPECT_EQ(F.str(), "overflow: coefficient overflow");
+}
+
+TEST(Failure, RaiseFailureThrowsAnalysisError) {
+  try {
+    raiseFailure(FailureKind::BudgetExhausted, "out of steps");
+    FAIL() << "raiseFailure returned";
+  } catch (const AnalysisError &E) {
+    EXPECT_EQ(E.kind(), FailureKind::BudgetExhausted);
+    EXPECT_EQ(E.failure().Message, "out of steps");
+    EXPECT_STREQ(E.what(), "budget-exhausted: out of steps");
+  }
+}
+
+TEST(Failure, PdtCheckRaisesOnFalseOnly) {
+  EXPECT_NO_THROW(pdt_check(1 + 1 == 2, "arithmetic works"));
+  EXPECT_THROW(pdt_check(false, "impossible"), AnalysisError);
+}
+
+TEST(Failure, FailureFromExceptionFoldsAnyException) {
+  AnalysisFailure A = failureFromException(std::make_exception_ptr(
+      AnalysisError(AnalysisFailure{FailureKind::Overflow, "x"})));
+  EXPECT_EQ(A.Kind, FailureKind::Overflow);
+  EXPECT_EQ(A.Message, "x");
+
+  AnalysisFailure B = failureFromException(
+      std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_EQ(B.Kind, FailureKind::InternalInvariant);
+  EXPECT_EQ(B.Message, "boom");
+}
+
+TEST(Failure, ExpectedHoldsValueOrFailure) {
+  Expected<int> Good(42);
+  ASSERT_TRUE(Good.hasValue());
+  EXPECT_EQ(*Good, 42);
+  EXPECT_EQ(Good.valueOr(7), 42);
+
+  Expected<int> Bad =
+      Expected<int>::failure(FailureKind::SymbolicUnknown, "unknown n");
+  EXPECT_FALSE(Bad);
+  EXPECT_EQ(Bad.error().Kind, FailureKind::SymbolicUnknown);
+  EXPECT_EQ(Bad.valueOr(7), 7);
+}
+
+TEST(FaultInjector, CountModeCountsWithoutTripping) {
+  InjectorGuard G;
+  FaultInjector::arm(FailureKind::Overflow, /*TargetSite=*/0);
+  EXPECT_TRUE(FaultInjector::armed());
+  for (int I = 0; I != 5; ++I)
+    EXPECT_NO_THROW(FaultInjector::checkpoint());
+  EXPECT_EQ(FaultInjector::siteCount(), 5u);
+}
+
+TEST(FaultInjector, TripsExactlyAtTheTargetSite) {
+  InjectorGuard G;
+  FaultInjector::arm(FailureKind::BudgetExhausted, /*TargetSite=*/3);
+  EXPECT_NO_THROW(FaultInjector::checkpoint()); // site 1
+  EXPECT_NO_THROW(FaultInjector::checkpoint()); // site 2
+  try {
+    FaultInjector::checkpoint(); // site 3: boom
+    FAIL() << "target site did not trip";
+  } catch (const AnalysisError &E) {
+    EXPECT_EQ(E.kind(), FailureKind::BudgetExhausted);
+  }
+  // Sites beyond the target do not trip again.
+  EXPECT_NO_THROW(FaultInjector::checkpoint());
+}
+
+TEST(FaultInjector, DisarmMakesCheckpointFree) {
+  InjectorGuard G;
+  FaultInjector::arm(FailureKind::Overflow, 1);
+  FaultInjector::disarm();
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_NO_THROW(FaultInjector::checkpoint());
+}
+
+TEST(FaultInjector, SpecParsing) {
+  InjectorGuard G;
+  EXPECT_TRUE(FaultInjector::armFromSpec("overflow@17"));
+  EXPECT_TRUE(FaultInjector::armed());
+  FaultInjector::disarm();
+  EXPECT_TRUE(FaultInjector::armFromSpec("budget@1"));
+  EXPECT_TRUE(FaultInjector::armFromSpec("symbolic@2"));
+  EXPECT_TRUE(FaultInjector::armFromSpec("internal@3"));
+  EXPECT_TRUE(FaultInjector::armFromSpec("malformed@4"));
+  FaultInjector::disarm();
+
+  EXPECT_FALSE(FaultInjector::armFromSpec(""));
+  EXPECT_FALSE(FaultInjector::armFromSpec("overflow"));
+  EXPECT_FALSE(FaultInjector::armFromSpec("overflow@"));
+  EXPECT_FALSE(FaultInjector::armFromSpec("overflow@x"));
+  EXPECT_FALSE(FaultInjector::armFromSpec("nosuchkind@1"));
+  EXPECT_FALSE(FaultInjector::armed());
+}
+
+TEST(ThreadPoolContainment, ExceptionRethrownOnCallerAfterAllItemsRun) {
+  for (unsigned Threads : {1u, 4u}) {
+    ThreadPool Pool(Threads);
+    constexpr size_t N = 1000;
+    std::atomic<size_t> Ran{0};
+    bool Caught = false;
+    try {
+      Pool.parallelFor(N, [&](size_t I, unsigned) {
+        ++Ran;
+        if (I == 137)
+          throw AnalysisError(
+              AnalysisFailure{FailureKind::InternalInvariant, "poisoned"});
+      });
+    } catch (const AnalysisError &E) {
+      Caught = true;
+      EXPECT_EQ(E.kind(), FailureKind::InternalInvariant);
+    }
+    EXPECT_TRUE(Caught) << Threads << " threads";
+    // One poisoned item must not cancel its siblings.
+    EXPECT_EQ(Ran.load(), N) << Threads << " threads";
+
+    // The pool survives and stays usable.
+    std::atomic<size_t> Sum{0};
+    Pool.parallelFor(100, [&](size_t I, unsigned) { Sum += I; });
+    EXPECT_EQ(Sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPoolContainment, NonStdExceptionAlsoContained) {
+  ThreadPool Pool(2);
+  bool Caught = false;
+  try {
+    Pool.parallelFor(10, [&](size_t I, unsigned) {
+      if (I == 5)
+        throw 42; // Not derived from std::exception.
+    });
+  } catch (int V) {
+    Caught = true;
+    EXPECT_EQ(V, 42);
+  }
+  EXPECT_TRUE(Caught);
+}
+
+} // namespace
