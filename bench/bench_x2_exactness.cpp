@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "core/DependenceTester.h"
 #include "core/FourierMotzkin.h"
 #include "core/MultidimGCD.h"
@@ -26,7 +27,9 @@
 #include "driver/WorkloadGenerator.h"
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <string>
 
 using namespace pdt;
 
@@ -59,10 +62,21 @@ struct Tally {
                 Name, 100.0 * Exact / Cases, 100.0 * Conservative / Cases,
                 Unsound);
   }
+
+  std::string json() const {
+    std::string Out = "{\"exact\": ";
+    Out += std::to_string(Exact);
+    Out += ", \"conservative\": " + std::to_string(Conservative);
+    Out += ", \"unsound\": " + std::to_string(Unsound);
+    Out += ", \"cases\": " + std::to_string(Cases);
+    Out += "}";
+    return Out;
+  }
 };
 
-void runPopulation(const char *Title, const WorkloadConfig &Config,
-                   unsigned Cases, unsigned Seed) {
+void runPopulation(const char *Title, const char *Slug,
+                   const WorkloadConfig &Config, unsigned Cases,
+                   unsigned Seed, std::string &JsonOut) {
   Tally Practical{"practical suite"};
   Tally Baseline{"subscript-by-subscript"};
   Tally FM{"Fourier-Motzkin"};
@@ -100,33 +114,52 @@ void runPopulation(const char *Title, const WorkloadConfig &Config,
   MDGCD.print();
   Power.print();
   std::printf("\n");
+
+  if (!JsonOut.empty())
+    JsonOut += ",\n";
+  JsonOut += std::string("    \"") + Slug + "\": {\n";
+  JsonOut += "      \"practical\": " + Practical.json() + ",\n";
+  JsonOut += "      \"subscript_by_subscript\": " + Baseline.json() + ",\n";
+  JsonOut += "      \"fourier_motzkin\": " + FM.json() + ",\n";
+  JsonOut += "      \"multidimensional_gcd\": " + MDGCD.json() + ",\n";
+  JsonOut += "      \"power\": " + Power.json() + "\n";
+  JsonOut += "    }";
 }
 
 } // namespace
 
 int main() {
   std::printf("Experiment X2: verdict exactness vs brute-force oracle\n\n");
+  std::string PopulationsJson;
 
   WorkloadConfig Simple;
   Simple.StrongSIVBias = 0.6;
   Simple.IndexUseProb = 0.35;
-  runPopulation("simple population (SIV-heavy, like real code)", Simple,
-                3000, 2026);
+  runPopulation("simple population (SIV-heavy, like real code)", "simple",
+                Simple, 3000, 2026, PopulationsJson);
 
   WorkloadConfig Coupled;
   Coupled.Depth = 1;
   Coupled.NumDims = 2;
   Coupled.IndexUseProb = 0.9;
   Coupled.MaxBound = 8;
-  runPopulation("coupled population (both dims share the index)", Coupled,
-                3000, 715);
+  runPopulation("coupled population (both dims share the index)", "coupled",
+                Coupled, 3000, 715, PopulationsJson);
 
   WorkloadConfig MIV;
   MIV.Depth = 2;
   MIV.NumDims = 2;
   MIV.IndexUseProb = 0.85;
   MIV.StrongSIVBias = 0.1;
-  runPopulation("MIV-heavy population (stress the Banerjee fallback)", MIV,
-                2000, 99);
+  runPopulation("MIV-heavy population (stress the Banerjee fallback)", "miv",
+                MIV, 2000, 99, PopulationsJson);
+
+  std::ofstream Json("BENCH_exactness.json");
+  Json << "{\n"
+       << benchMetaJson("x2_exactness") << ",\n"
+       << "  \"populations\": {\n"
+       << PopulationsJson << "\n"
+       << "  }\n"
+       << "}\n";
   return 0;
 }

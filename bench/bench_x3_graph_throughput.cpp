@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "core/AccessLoweringCache.h"
 #include "core/DependenceGraph.h"
 #include "core/DependenceTester.h"
@@ -244,6 +245,7 @@ int main(int argc, char **argv) {
 
   std::ofstream Json("BENCH_graph_throughput.json");
   Json << "{\n"
+       << benchMetaJson("x3_graph_throughput") << ",\n"
        << "  \"workload\": {\"nests\": " << NumNests
        << ", \"accesses\": " << NumAccesses << ", \"tested_pairs\": " << Pairs
        << ", \"smoke\": " << (Smoke ? "true" : "false") << "},\n"

@@ -26,6 +26,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchMeta.h"
 #include "core/DependenceGraph.h"
 #include "core/DependenceTester.h"
 #include "core/Oracle.h"
@@ -384,6 +385,7 @@ int main(int argc, char **argv) {
 
   std::ofstream Json("BENCH_robustness.json");
   Json << "{\n"
+       << benchMetaJson("x4_robustness") << ",\n"
        << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n"
        << "  \"kernels_swept\": " << KernelsSwept << ",\n"
        << "  \"kernels_skipped\": " << KernelsSkipped << ",\n"

@@ -13,9 +13,16 @@
 // does not vectorize.
 //
 // Usage: depcheck [file|-] [--no-normalize] [--no-ivsub] [--input-deps]
+//                 [--explain]
+//
+// --explain appends a per-pair decision report: how each access pair's
+// subscripts were partitioned, which test of the suite fired, the
+// constraint values it derived, and why the verdict (or degradation)
+// followed.
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Explain.h"
 #include "driver/Analyzer.h"
 #include "ir/PrettyPrinter.h"
 #include "transforms/Parallelizer.h"
@@ -38,6 +45,7 @@ static std::string readAll(std::FILE *F) {
 int main(int argc, char **argv) {
   const char *Path = nullptr;
   AnalyzerOptions Options;
+  bool Explain = false;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--no-normalize") == 0)
       Options.Normalize = false;
@@ -45,6 +53,8 @@ int main(int argc, char **argv) {
       Options.SubstituteIVs = false;
     else if (std::strcmp(argv[I], "--input-deps") == 0)
       Options.IncludeInputDeps = true;
+    else if (std::strcmp(argv[I], "--explain") == 0)
+      Explain = true;
     else
       Path = argv[I];
   }
@@ -77,6 +87,12 @@ int main(int argc, char **argv) {
               R.Graph.dependences().size(), R.Graph.str().c_str());
   std::fputs(parallelismReport(R.Graph, findParallelLoops(R.Graph)).c_str(),
              stdout);
+
+  if (Explain)
+    std::printf("\n--- decision explanations ---\n%s",
+                explainProgram(*R.Prog, R.ResolvedSymbols,
+                               Options.IncludeInputDeps)
+                    .c_str());
 
   std::printf("\n--- statistics ---\n");
   std::printf("%-26s %llu\n", "reference pairs",

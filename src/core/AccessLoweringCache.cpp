@@ -10,6 +10,8 @@
 #include "core/Partition.h"
 #include "ir/AST.h"
 #include "support/Failure.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <functional>
@@ -31,6 +33,8 @@ AccessLoweringCache::AccessLoweringCache(
     const std::set<std::string> *VaryingScalars)
     : Accesses(Accesses), Symbols(Symbols),
       Memo(std::make_unique<MemoShard[]>(NumMemoShards)) {
+  Span LowerSpan("AccessLoweringCache::lower", "cache");
+  Metrics::count(Metric::AccessesLowered, Accesses.size());
   Lowered.reserve(Accesses.size());
   for (const ArrayAccess &Access : Accesses) {
     LoweredAccess L;
@@ -236,11 +240,20 @@ AccessLoweringCache::memoizedTestDependence(const LoweredPair &Pair,
     if (It != Shard.Table.end()) {
       // Replay the cached statistics delta so merged counters equal an
       // uncached run exactly (TestStats merging is additive).
+      Metrics::count(Metric::MemoHits);
       if (Stats)
         Stats->merge(It->second.Delta);
       return It->second.Result;
     }
   }
+  Metrics::count(Metric::MemoMisses);
+
+  // Span and latency-sample only the miss path: a memo hit costs on
+  // the order of the span bookkeeping itself, so instrumenting hits
+  // would roughly double their cost (and the armed-overhead budget of
+  // bench_x5 exists to forbid exactly that). Hits still count above.
+  Span PairSpan("AccessLoweringCache::testPair", "cache");
+  LatencyTimer PairLatency(Histo::PairTestNs);
 
   TestStats Delta;
   DependenceTestResult Result =
@@ -260,6 +273,7 @@ AccessLoweringCache::memoizedTestDependence(const LoweredPair &Pair,
 
 DependenceTestResult AccessLoweringCache::testPair(unsigned I, unsigned J,
                                                    TestStats *Stats) const {
+  Metrics::count(Metric::PairsTested);
   const ArrayAccess &A = Accesses[I];
   const ArrayAccess &B = Accesses[J];
   if (Stats) {
@@ -292,8 +306,11 @@ DependenceTestResult AccessLoweringCache::testPair(unsigned I, unsigned J,
       Result.TheVerdict = Verdict::Maybe;
     if (Pair.HasNonlinear)
       Result.Exact = false;
-    if (Stats && Result.isIndependent())
-      ++Stats->IndependentPairs;
+    if (Result.isIndependent()) {
+      Metrics::count(Metric::PairsIndependent);
+      if (Stats)
+        ++Stats->IndependentPairs;
+    }
     return Result;
   } catch (const AnalysisError &E) {
     return degradedTestResult(commonLoops(A, B).size(), E.failure(), Stats);

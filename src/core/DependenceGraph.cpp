@@ -10,7 +10,9 @@
 #include "core/AccessLoweringCache.h"
 #include "ir/PrettyPrinter.h"
 #include "support/Casting.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -176,6 +178,10 @@ DependenceGraph DependenceGraph::build(const Program &P,
                                        TestStats *Stats, bool IncludeInput,
                                        unsigned NumThreads,
                                        const ResourceBudget *Budget) {
+  Span BuildSpan("DependenceGraph::build", "graph");
+  int64_t BuildStartNs = Metrics::enabled() ? Trace::nowNs() : 0;
+  Metrics::count(Metric::GraphBuilds);
+
   DependenceGraph G;
   G.Prog = &P;
   G.Accesses = collectAccesses(P);
@@ -227,6 +233,9 @@ DependenceGraph DependenceGraph::build(const Program &P,
     // counts); deadline degradation depends on wall time by nature.
     if (Tracker && (Tracker->pairBudgetExceeded(PairIdx) ||
                     Tracker->deadlineExpired())) {
+      Metrics::count(Tracker->pairBudgetExceeded(PairIdx)
+                         ? Metric::BudgetPairSkips
+                         : Metric::BudgetDeadlineSkips);
       PerPair[PairIdx] = degradedPairEdges(
           G.Accesses, I, J,
           AnalysisFailure{FailureKind::BudgetExhausted,
@@ -265,6 +274,13 @@ DependenceGraph DependenceGraph::build(const Program &P,
   for (const Dependence &D : G.Edges)
     if (D.Carrier)
       ++G.CarrierEdgeCount[D.Carrier];
+
+  if (Metrics::enabled()) {
+    Metrics::count(Metric::PairsEnumerated, Pairs.size());
+    Metrics::count(Metric::EdgesEmitted, G.Edges.size());
+    Metrics::count(Metric::GraphBuildNs,
+                   static_cast<uint64_t>(Trace::nowNs() - BuildStartNs));
+  }
   return G;
 }
 

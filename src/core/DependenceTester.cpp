@@ -7,10 +7,13 @@
 
 #include "core/DependenceTester.h"
 
+#include "core/Explain.h"
 #include "core/MIVTests.h"
 #include "core/Partition.h"
 #include "core/SIVTests.h"
 #include "support/Casting.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <map>
 
@@ -63,16 +66,46 @@ DependenceTestResult pdt::degradedTestResult(unsigned Depth,
   Result.Vectors.assign(1, DependenceVector(Depth));
   if (Stats)
     Stats->noteDegraded(Failure.Kind);
+  Metrics::count(Metric::PairsDegraded);
+  Metrics::countDegraded(static_cast<unsigned>(Failure.Kind));
   Result.Failure = std::move(Failure);
   return Result;
 }
 
 namespace {
 
+/// Renders a Delta constraint map as "i: dist 1; j: point (3, 5)".
+std::string constraintMapString(const std::map<std::string, Constraint> &M) {
+  std::string Out;
+  for (const auto &[Index, C] : M) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += Index;
+    Out += ": ";
+    Out += C.str();
+  }
+  return Out;
+}
+
+/// Renders the constraint values an SIV result derived:
+/// "index i: direction <, distance 1, lattice dist 1".
+std::string sivConstraintString(const SIVResult &R) {
+  if (R.Index.empty())
+    return std::string();
+  std::string Out = "index " + R.Index + ": direction " +
+                    directionSetString(R.Directions);
+  if (R.Distance)
+    Out += ", distance " + std::to_string(*R.Distance);
+  if (!R.IndexConstraint.isAny())
+    Out += ", lattice " + R.IndexConstraint.str();
+  return Out;
+}
+
 /// The uncontained algorithm body; may raise AnalysisError.
 DependenceTestResult
 testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
-                   const LoopNestContext &Ctx, TestStats *Stats) {
+                   const LoopNestContext &Ctx, TestStats *Stats,
+                   PairExplanation *Ex) {
   DependenceTestResult Result;
   unsigned Depth = Ctx.depth();
   std::vector<DependenceVector> Vectors{DependenceVector(Depth)};
@@ -113,14 +146,63 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
     }
   }
 
+  // The explain recorder shadows the control flow below: each
+  // partition contributes one ExplainStep, pushed just before any
+  // early Independent return so the report shows which test ended the
+  // algorithm.
+  ExplainStep Step;
+  auto BeginStep = [&](const SubscriptPartition &P) {
+    if (!Ex)
+      return;
+    Step = ExplainStep();
+    Step.Coupled = !P.isSeparable();
+    for (unsigned Pos : P.Positions) {
+      Step.Dims.push_back(Subscripts[Pos].Dim);
+      Step.Subscripts.push_back(Subscripts[Pos].str());
+    }
+  };
+  auto RecordSIV = [&](const SIVResult &R) {
+    if (!Ex)
+      return;
+    Step.Applied = R.Test;
+    Step.StepVerdict = R.TheVerdict;
+    Step.Exact = R.Exact;
+    Step.Constraints = sivConstraintString(R);
+    Ex->Steps.push_back(Step);
+  };
+  auto RecordMIV = [&](const MIVResult &M) {
+    if (!Ex)
+      return;
+    Step.Applied = M.Test;
+    Step.StepVerdict = M.TheVerdict;
+    Step.Exact = false;
+    Ex->Steps.push_back(Step);
+  };
+
   for (const SubscriptPartition &P : Partitions) {
+    BeginStep(P);
     if (!P.isSeparable()) {
       // Step 4: Delta test on the coupled group.
       std::vector<SubscriptPair> Group;
       Group.reserve(P.Positions.size());
       for (unsigned Pos : P.Positions)
         Group.push_back(Subscripts[Pos]);
-      DeltaResult D = runDeltaTest(Group, Ctx, Stats);
+      Span DeltaSpan("DeltaTest::run", "delta");
+      LatencyTimer DeltaLatency(Histo::DeltaNs);
+      std::string DeltaLog;
+      DeltaResult D = runDeltaTest(Group, Ctx, Stats, Ex ? &DeltaLog : nullptr);
+      if (Ex) {
+        Step.Applied = D.DecidedBy;
+        Step.StepVerdict = D.TheVerdict;
+        Step.Exact = D.Exact;
+        Step.Constraints = constraintMapString(D.Constraints);
+        Step.Detail = "passes: " + std::to_string(D.Passes);
+        if (D.ResidualMIV)
+          Step.Detail += "; residual MIV handed to GCD/Banerjee fallback";
+        if (!DeltaLog.empty())
+          Step.Detail += "\n" + DeltaLog;
+        Ex->Steps.push_back(Step);
+      }
       if (D.TheVerdict == Verdict::Independent)
         return Independent(D.DecidedBy);
       if (!D.Exact)
@@ -134,9 +216,14 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
     const SubscriptPair &S = Subscripts[P.Positions.front()];
     LinearExpr Eq = S.equation();
     SubscriptShape Shape = shapeOfEquation(Eq);
+    if (Ex) {
+      Step.Shape = Shape;
+      Step.Detail = "dependence equation: " + Eq.str() + " = 0";
+    }
     switch (Shape) {
     case SubscriptShape::ZIV: {
       SIVResult R = testZIV(Eq, Ctx, Stats);
+      RecordSIV(R);
       if (R.TheVerdict == Verdict::Independent)
         return Independent(R.Test);
       if (!R.Exact)
@@ -148,6 +235,7 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
     case SubscriptShape::WeakCrossingSIV:
     case SubscriptShape::GeneralSIV: {
       SIVResult R = testSIV(Eq, Ctx, Stats);
+      RecordSIV(R);
       if (R.TheVerdict == Verdict::Independent)
         return Independent(R.Test);
       if (!R.Exact)
@@ -164,10 +252,20 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
     case SubscriptShape::RDIV: {
       // Exact existence check first, then Banerjee for directions.
       SIVResult R = testRDIV(Eq, Ctx, Stats);
-      if (R.TheVerdict == Verdict::Independent)
+      if (R.TheVerdict == Verdict::Independent) {
+        RecordSIV(R);
         return Independent(R.Test);
+      }
       AllExact = false; // Directions below are conservative.
       MIVResult M = testBanerjee(Eq, Ctx, Stats);
+      if (Ex) {
+        Step.Detail += "; RDIV existence check " +
+                       std::string(R.TheVerdict == Verdict::Dependent
+                                       ? "proved a solution exists"
+                                       : "could not decide") +
+                       ", Banerjee directions are conservative";
+        RecordMIV(M);
+      }
       if (M.TheVerdict == Verdict::Independent)
         return Independent(M.Test);
       if (!M.Vectors.empty())
@@ -176,6 +274,7 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
     }
     case SubscriptShape::GeneralMIV: {
       MIVResult M = testMIV(Eq, Ctx, Stats);
+      RecordMIV(M);
       if (M.TheVerdict == Verdict::Independent)
         return Independent(M.Test);
       AllExact = false; // Banerjee directions are conservative.
@@ -200,13 +299,15 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
 
 DependenceTestResult
 pdt::testDependence(const std::vector<SubscriptPair> &Subscripts,
-                    const LoopNestContext &Ctx, TestStats *Stats) {
+                    const LoopNestContext &Ctx, TestStats *Stats,
+                    PairExplanation *Explain) {
+  Span TestSpan("testDependence", "tester");
   // Containment boundary: collapse any failure raised by the tests
   // into the conservative all-directions dependence. Degradation only
   // ever widens the answer (a failure can never prove independence),
   // so soundness is preserved by construction.
   try {
-    return testDependenceImpl(Subscripts, Ctx, Stats);
+    return testDependenceImpl(Subscripts, Ctx, Stats, Explain);
   } catch (const AnalysisError &E) {
     return degradedTestResult(Ctx.depth(), E.failure(), Stats);
   } catch (const std::exception &E) {

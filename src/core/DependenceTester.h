@@ -43,6 +43,8 @@
 
 namespace pdt {
 
+struct PairExplanation;
+
 /// A transformation opportunity discovered while testing (sections
 /// 4.2.2 and 4.2.3).
 struct TransformHint {
@@ -94,9 +96,15 @@ struct DependenceTestResult {
 /// faults, internal invariants) is caught here and collapsed into the
 /// conservative all-directions dependence flagged Degraded — a
 /// failure can widen the answer but never produce "independent".
+///
+/// \p Explain, when non-null, receives one ExplainStep per partition
+/// (see core/Explain.h): which test fired and the constraint values it
+/// derived. The explain path is only exercised by the --explain driver
+/// flag; passing nullptr (the default) keeps the hot path untouched.
 DependenceTestResult
 testDependence(const std::vector<SubscriptPair> &Subscripts,
-               const LoopNestContext &Ctx, TestStats *Stats = nullptr);
+               const LoopNestContext &Ctx, TestStats *Stats = nullptr,
+               PairExplanation *Explain = nullptr);
 
 /// The conservative result a contained failure degrades to: Maybe,
 /// inexact, one all-'*' vector over \p Depth levels, carrying

@@ -1,0 +1,98 @@
+//===- core/Explain.h - Per-pair decision explanations ----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision-explanation layer: a structured record of *why* the
+/// tester concluded what it did for one access pair — how the
+/// subscripts were partitioned, which member of the suite fired on
+/// each partition (ZIV / strong SIV / weak-zero / weak-crossing /
+/// exact SIV / RDIV / GCD / Banerjee / Delta), the constraint values
+/// each test derived, and how the per-partition results merged into
+/// the final verdict (or why the pair degraded instead). Rendered as a
+/// readable per-pair report by the driver's --explain flag.
+///
+/// Explanations re-run the tester outside the memo cache, so they
+/// cost nothing unless requested and never perturb the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_EXPLAIN_H
+#define PDT_CORE_EXPLAIN_H
+
+#include "core/DependenceTester.h"
+#include "core/Subscript.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// One partition of the subscript partition step, with the test that
+/// was applied to it and what that test concluded.
+struct ExplainStep {
+  /// True for a minimal coupled group (Delta test); false for a
+  /// separable subscript (single-subscript test).
+  bool Coupled = false;
+  /// Array dimensions of the member subscripts (0-based).
+  std::vector<unsigned> Dims;
+  /// The member subscript pairs, rendered "<i+1, i>".
+  std::vector<std::string> Subscripts;
+  /// Shape that selected the test (separable partitions only).
+  SubscriptShape Shape = SubscriptShape::GeneralMIV;
+  /// The test that fired.
+  TestKind Applied = TestKind::Delta;
+  Verdict StepVerdict = Verdict::Maybe;
+  bool Exact = false;
+  /// The constraint values the test derived: directions, distance,
+  /// the Delta-lattice constraint per index.
+  std::string Constraints;
+  /// Free-form detail (the Delta test's step-by-step log).
+  std::string Detail;
+};
+
+/// Everything recorded while testing one access pair.
+struct PairExplanation {
+  std::string SrcRef;
+  std::string SnkRef;
+  /// Common-nest indices, outermost first.
+  std::vector<std::string> LoopIndices;
+  /// References had mismatched dimensionality: nothing was testable.
+  bool DimMismatch = false;
+  /// Some dimension was nonlinear and contributed no information.
+  bool HasNonlinear = false;
+  std::vector<ExplainStep> Steps;
+
+  Verdict FinalVerdict = Verdict::Maybe;
+  /// The test credited with an Independent verdict.
+  TestKind DecidedBy = TestKind::Delta;
+  bool Exact = false;
+  bool Degraded = false;
+  std::optional<AnalysisFailure> Failure;
+  /// Surviving merged dependence vectors, rendered.
+  std::vector<std::string> Vectors;
+
+  /// Readable multi-line report of the whole decision.
+  std::string str() const;
+};
+
+/// Explains one access pair (same conversion rules as testAccessPair).
+/// \p A is the dependence source candidate.
+PairExplanation
+explainAccessPair(const ArrayAccess &A, const ArrayAccess &B,
+                  const SymbolRangeMap &Symbols,
+                  const std::set<std::string> *VaryingScalars = nullptr);
+
+/// Explains every reference pair the graph builder would enumerate for
+/// \p P (same-array, at least one write unless \p IncludeInput) and
+/// concatenates the per-pair reports.
+std::string explainProgram(const Program &P, const SymbolRangeMap &Symbols,
+                           bool IncludeInput = false);
+
+} // namespace pdt
+
+#endif // PDT_CORE_EXPLAIN_H

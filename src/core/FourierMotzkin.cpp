@@ -9,6 +9,8 @@
 
 #include "support/Failure.h"
 #include "support/FaultInjector.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <map>
@@ -219,8 +221,11 @@ Verdict fourierMotzkinTestImpl(const std::vector<SubscriptPair> &Subscripts,
   bool BudgetHit = false;
   bool Feasible = Budget ? System.isRationallyFeasible(*Budget, &BudgetHit)
                          : System.isRationallyFeasible();
-  if (Stats && BudgetHit)
-    ++Stats->FMBudgetHits;
+  if (BudgetHit) {
+    Metrics::count(Metric::FMBudgetHits);
+    if (Stats)
+      ++Stats->FMBudgetHits;
+  }
   if (!Feasible) {
     if (Stats)
       Stats->noteIndependence(TestKind::FourierMotzkin);
@@ -234,6 +239,8 @@ Verdict fourierMotzkinTestImpl(const std::vector<SubscriptPair> &Subscripts,
 Verdict pdt::fourierMotzkinTest(const std::vector<SubscriptPair> &Subscripts,
                                 const LoopNestContext &Ctx, TestStats *Stats,
                                 const FMBudget *Budget) {
+  Span FMSpan("FourierMotzkin::test", "fm");
+  LatencyTimer FMLatency(Histo::FMNs);
   // Containment boundary: any failure inside the elimination (rational
   // overflow on adversarial bounds, injected faults) degrades to the
   // conservative Maybe instead of crashing the caller.

@@ -10,6 +10,7 @@
 #include "core/Subscript.h"
 #include "ir/LinearExpr.h"
 #include "support/MathExtras.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -242,6 +243,7 @@ MIVResult pdt::testBanerjee(const LinearExpr &Eq, const LoopNestContext &Ctx,
 
 MIVResult pdt::testMIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
                        TestStats *Stats) {
+  Span MIVSpan("MIVTests::testMIV", "miv");
   MIVResult G = testGCD(Eq, Ctx, Stats);
   if (G.TheVerdict == Verdict::Independent)
     return G;

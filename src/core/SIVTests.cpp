@@ -11,6 +11,7 @@
 #include "support/Failure.h"
 #include "support/FaultInjector.h"
 #include "support/MathExtras.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -104,6 +105,7 @@ static Interval divideRange(const Interval &Values, int64_t Divisor) {
 
 SIVResult pdt::testZIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
                        TestStats *Stats) {
+  Span ZIVSpan("SIVTests::testZIV", "siv");
   assert(Eq.numIndices() == 0 && "ZIV test on an equation with indices");
   SIVResult R;
   if (Eq.isPureConstant()) {
@@ -612,6 +614,7 @@ SIVResult testExactSIV(const LinearExpr &Eq, const std::string &Index,
 
 SIVResult pdt::testSIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
                        TestStats *Stats) {
+  Span SIVSpan("SIVTests::testSIV", "siv");
   const auto &Terms = Eq.indexTerms();
   assert(!Terms.empty() && Terms.size() <= 2 &&
          "SIV test on a non-SIV equation");

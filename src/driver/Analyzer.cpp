@@ -96,6 +96,7 @@ AnalysisResult pdt::analyzeProgram(Program P, const AnalyzerOptions &Options) {
   Result.Graph = DependenceGraph::build(*Result.Prog, Symbols, &Result.Stats,
                                         Options.IncludeInputDeps,
                                         Options.NumThreads, &Options.Budget);
+  Result.ResolvedSymbols = std::move(Symbols);
   return Result;
 }
 

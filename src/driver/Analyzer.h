@@ -71,6 +71,10 @@ struct AnalysisResult {
   std::unique_ptr<Program> Prog;
   DependenceGraph Graph;
   TestStats Stats;
+  /// The exact symbol-range map the graph was built under (explicit
+  /// assumptions plus defaulted symbols), so post-hoc passes such as
+  /// the --explain report re-test pairs under identical assumptions.
+  SymbolRangeMap ResolvedSymbols;
   /// Failures contained at the pipeline level: a normalization or IV
   /// substitution pass that failed (and was skipped, keeping the
   /// previous program), or a parse failure. Per-pair failures are

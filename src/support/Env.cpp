@@ -1,0 +1,62 @@
+//===- support/Env.cpp - Hardened environment-variable parsing ------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Env.h"
+
+#include "support/Failure.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pdt;
+
+namespace {
+
+/// One warning on stderr per bad value, tagged with the MalformedInput
+/// taxonomy kind so the message matches what the analysis pipeline
+/// would report for the same class of problem.
+void warnMalformed(const char *Name, const char *Value, const char *Reason) {
+  std::fprintf(stderr, "pdt: warning: %s: %s=\"%s\" %s; using the default\n",
+               failureKindName(FailureKind::MalformedInput), Name, Value,
+               Reason);
+}
+
+} // namespace
+
+std::optional<int64_t> pdt::envInt(const char *Name, int64_t Min, int64_t Max) {
+  const char *Value = std::getenv(Name);
+  if (!Value)
+    return std::nullopt;
+
+  errno = 0;
+  char *End = nullptr;
+  long long Parsed = std::strtoll(Value, &End, 10);
+  if (End == Value || *End != '\0') {
+    warnMalformed(Name, Value, "is not a decimal integer");
+    return std::nullopt;
+  }
+  if (errno == ERANGE || Parsed < Min || Parsed > Max) {
+    std::string Reason = "is outside [" + std::to_string(Min) + ", " +
+                         std::to_string(Max) + "]";
+    warnMalformed(Name, Value, Reason.c_str());
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(Parsed);
+}
+
+std::optional<std::string> pdt::envPath(const char *Name) {
+  const char *Value = std::getenv(Name);
+  if (!Value)
+    return std::nullopt;
+  std::string Path(Value);
+  if (Path.find_first_not_of(" \t") == std::string::npos) {
+    warnMalformed(Name, Value, "is empty");
+    return std::nullopt;
+  }
+  return Path;
+}

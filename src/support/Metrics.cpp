@@ -1,0 +1,323 @@
+//===- support/Metrics.cpp - Per-thread-sharded metrics registry ----------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Env.h"
+#include "support/ErrorHandling.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace pdt;
+
+std::atomic<bool> Metrics::EnabledFlag{false};
+
+const char *pdt::metricName(Metric M) {
+  switch (M) {
+  case Metric::GraphBuilds:
+    return "graph.builds";
+  case Metric::GraphBuildNs:
+    return "graph.build_ns";
+  case Metric::PairsEnumerated:
+    return "graph.pairs.enumerated";
+  case Metric::PairsTested:
+    return "graph.pairs.tested";
+  case Metric::PairsIndependent:
+    return "graph.pairs.independent";
+  case Metric::PairsDegraded:
+    return "graph.pairs.degraded";
+  case Metric::EdgesEmitted:
+    return "graph.edges";
+  case Metric::AccessesLowered:
+    return "lowering.accesses";
+  case Metric::MemoHits:
+    return "lowering.memo.hits";
+  case Metric::MemoMisses:
+    return "lowering.memo.misses";
+  case Metric::PoolParallelFors:
+    return "pool.parallel_fors";
+  case Metric::PoolChunksRun:
+    return "pool.chunks_run";
+  case Metric::PoolSteals:
+    return "pool.steals";
+  case Metric::BudgetPairSkips:
+    return "budget.pair_skips";
+  case Metric::BudgetDeadlineSkips:
+    return "budget.deadline_skips";
+  case Metric::FMBudgetHits:
+    return "budget.fm_hits";
+  case Metric::DegradedOverflow:
+    return "degraded.overflow";
+  case Metric::DegradedBudget:
+    return "degraded.budget-exhausted";
+  case Metric::DegradedSymbolic:
+    return "degraded.symbolic-unknown";
+  case Metric::DegradedInternal:
+    return "degraded.internal-invariant";
+  case Metric::DegradedMalformed:
+    return "degraded.malformed-input";
+  }
+  pdt_unreachable("covered switch");
+}
+
+const char *pdt::gaugeName(Gauge G) {
+  switch (G) {
+  case Gauge::PoolWorkers:
+    return "pool.workers.max";
+  case Gauge::PoolQueueDepth:
+    return "pool.queue_depth.max";
+  }
+  pdt_unreachable("covered switch");
+}
+
+const char *pdt::histoName(Histo H) {
+  switch (H) {
+  case Histo::PairTestNs:
+    return "latency.pair_test_ns";
+  case Histo::DeltaNs:
+    return "latency.delta_ns";
+  case Histo::FMNs:
+    return "latency.fm_ns";
+  }
+  pdt_unreachable("covered switch");
+}
+
+namespace {
+
+/// One thread's metric cells. The owning thread is the only writer
+/// (plain relaxed read-modify-write, no RMW instructions needed);
+/// snapshot() reads the cells with relaxed loads from any thread.
+struct MetricsShard {
+  std::array<std::atomic<uint64_t>, NumMetrics> Counters{};
+  std::array<std::atomic<uint64_t>, NumGauges> Gauges{};
+  struct HistoCells {
+    std::atomic<uint64_t> Count{0};
+    std::atomic<uint64_t> SumNs{0};
+    std::atomic<uint64_t> MaxNs{0};
+    std::array<std::atomic<uint64_t>, HistoBuckets> Buckets{};
+  };
+  std::array<HistoCells, NumHistos> Histograms{};
+
+  void reset() {
+    for (auto &C : Counters)
+      C.store(0, std::memory_order_relaxed);
+    for (auto &G : Gauges)
+      G.store(0, std::memory_order_relaxed);
+    for (HistoCells &H : Histograms) {
+      H.Count.store(0, std::memory_order_relaxed);
+      H.SumNs.store(0, std::memory_order_relaxed);
+      H.MaxNs.store(0, std::memory_order_relaxed);
+      for (auto &B : H.Buckets)
+        B.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+struct MetricsCollector {
+  std::mutex M;
+  std::vector<std::shared_ptr<MetricsShard>> Shards;
+  std::string Path;
+};
+
+MetricsCollector &metricsCollector() {
+  static MetricsCollector C;
+  return C;
+}
+
+MetricsShard &threadShard() {
+  thread_local std::shared_ptr<MetricsShard> Shard = [] {
+    auto S = std::make_shared<MetricsShard>();
+    MetricsCollector &C = metricsCollector();
+    std::lock_guard<std::mutex> Lock(C.M);
+    C.Shards.push_back(S);
+    return S;
+  }();
+  return *Shard;
+}
+
+/// Single-writer relaxed increment: cheaper than a fetch_add and race-
+/// free because only the owning thread stores to its shard.
+void relaxedAdd(std::atomic<uint64_t> &Cell, uint64_t N) {
+  Cell.store(Cell.load(std::memory_order_relaxed) + N,
+             std::memory_order_relaxed);
+}
+
+void relaxedMax(std::atomic<uint64_t> &Cell, uint64_t V) {
+  if (Cell.load(std::memory_order_relaxed) < V)
+    Cell.store(V, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void Metrics::countImpl(Metric M, uint64_t N) {
+  relaxedAdd(threadShard().Counters[static_cast<unsigned>(M)], N);
+}
+
+void Metrics::gaugeMaxImpl(Gauge G, uint64_t Value) {
+  relaxedMax(threadShard().Gauges[static_cast<unsigned>(G)], Value);
+}
+
+void Metrics::observeImpl(Histo H, uint64_t Ns) {
+  MetricsShard::HistoCells &Cells =
+      threadShard().Histograms[static_cast<unsigned>(H)];
+  relaxedAdd(Cells.Count, 1);
+  relaxedAdd(Cells.SumNs, Ns);
+  relaxedMax(Cells.MaxNs, Ns);
+  unsigned Bucket = std::bit_width(Ns);
+  if (Bucket >= HistoBuckets)
+    Bucket = HistoBuckets - 1;
+  relaxedAdd(Cells.Buckets[Bucket], 1);
+}
+
+bool Metrics::enable(std::string Path) {
+  if (!compiledIn())
+    return false;
+  reset();
+  {
+    MetricsCollector &C = metricsCollector();
+    std::lock_guard<std::mutex> Lock(C.M);
+    C.Path = std::move(Path);
+  }
+  // Touch the span clock so its one-time calibration is paid here, at
+  // arming time, not inside the first LatencyTimer.
+  Trace::nowNs();
+  EnabledFlag.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool Metrics::stop() {
+  EnabledFlag.store(false, std::memory_order_relaxed);
+  std::string Path;
+  {
+    MetricsCollector &C = metricsCollector();
+    std::lock_guard<std::mutex> Lock(C.M);
+    Path = C.Path;
+  }
+  if (Path.empty())
+    return true;
+  return writeTo(Path);
+}
+
+void Metrics::reset() {
+  MetricsCollector &C = metricsCollector();
+  std::lock_guard<std::mutex> Lock(C.M);
+  for (const std::shared_ptr<MetricsShard> &S : C.Shards)
+    S->reset();
+}
+
+MetricsSnapshot Metrics::snapshot() {
+  MetricsSnapshot Out;
+  MetricsCollector &C = metricsCollector();
+  std::lock_guard<std::mutex> Lock(C.M);
+  for (const std::shared_ptr<MetricsShard> &S : C.Shards) {
+    MetricsSnapshot Part;
+    for (unsigned I = 0; I != NumMetrics; ++I)
+      Part.Counters[I] = S->Counters[I].load(std::memory_order_relaxed);
+    for (unsigned I = 0; I != NumGauges; ++I)
+      Part.Gauges[I] = S->Gauges[I].load(std::memory_order_relaxed);
+    for (unsigned I = 0; I != NumHistos; ++I) {
+      MetricsSnapshot::Histogram &H = Part.Histograms[I];
+      const MetricsShard::HistoCells &Cells = S->Histograms[I];
+      H.Count = Cells.Count.load(std::memory_order_relaxed);
+      H.SumNs = Cells.SumNs.load(std::memory_order_relaxed);
+      H.MaxNs = Cells.MaxNs.load(std::memory_order_relaxed);
+      for (unsigned B = 0; B != HistoBuckets; ++B)
+        H.Buckets[B] = Cells.Buckets[B].load(std::memory_order_relaxed);
+    }
+    Out.merge(Part);
+  }
+  return Out;
+}
+
+std::string Metrics::toJson(const MetricsSnapshot &S) {
+  std::string Out;
+  Out += "{\n  \"counters\": {\n";
+  for (unsigned I = 0; I != NumMetrics; ++I) {
+    Out += "    \"";
+    Out += metricName(static_cast<Metric>(I));
+    Out += "\": " + std::to_string(S.Counters[I]);
+    Out += I + 1 == NumMetrics ? "\n" : ",\n";
+  }
+  Out += "  },\n  \"gauges\": {\n";
+  for (unsigned I = 0; I != NumGauges; ++I) {
+    Out += "    \"";
+    Out += gaugeName(static_cast<Gauge>(I));
+    Out += "\": " + std::to_string(S.Gauges[I]);
+    Out += I + 1 == NumGauges ? "\n" : ",\n";
+  }
+  Out += "  },\n  \"histograms\": {\n";
+  for (unsigned I = 0; I != NumHistos; ++I) {
+    const MetricsSnapshot::Histogram &H = S.Histograms[I];
+    Out += "    \"";
+    Out += histoName(static_cast<Histo>(I));
+    Out += "\": {\"count\": " + std::to_string(H.Count);
+    Out += ", \"sum_ns\": " + std::to_string(H.SumNs);
+    Out += ", \"max_ns\": " + std::to_string(H.MaxNs);
+    Out += ", \"log2_buckets\": [";
+    for (unsigned B = 0; B != HistoBuckets; ++B) {
+      Out += std::to_string(H.Buckets[B]);
+      if (B + 1 != HistoBuckets)
+        Out += ", ";
+    }
+    Out += "]}";
+    Out += I + 1 == NumHistos ? "\n" : ",\n";
+  }
+  Out += "  },\n  \"derived\": {\n";
+  double BuildSecs = S.counter(Metric::GraphBuildNs) / 1e9;
+  double PairsPerSec =
+      BuildSecs > 0 ? S.counter(Metric::PairsTested) / BuildSecs : 0;
+  uint64_t Lookups =
+      S.counter(Metric::MemoHits) + S.counter(Metric::MemoMisses);
+  double HitRate =
+      Lookups ? static_cast<double>(S.counter(Metric::MemoHits)) / Lookups : 0;
+  char Buffer[128];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "    \"pairs_per_sec\": %.1f,\n"
+                "    \"memo_hit_rate\": %.4f\n",
+                PairsPerSec, HitRate);
+  Out += Buffer;
+  Out += "  }\n}\n";
+  return Out;
+}
+
+bool Metrics::writeTo(const std::string &Path) {
+  std::ofstream File(Path);
+  if (!File)
+    return false;
+  File << toJson(snapshot());
+  File.flush();
+  return File.good();
+}
+
+void Metrics::initFromEnvironment() {
+  static bool Done = false;
+  if (Done)
+    return;
+  Done = true;
+  std::optional<std::string> Path = envPath("PDT_METRICS");
+  if (!Path)
+    return;
+  if (!compiledIn()) {
+    std::fprintf(stderr, "pdt: warning: PDT_METRICS is set but metrics were "
+                         "compiled out (PDT_TRACING=OFF); no report will be "
+                         "written\n");
+    return;
+  }
+  if (Metrics::enable(std::move(*Path)))
+    std::atexit([] { Metrics::stop(); });
+}
+
+namespace {
+[[maybe_unused]] const bool MetricsEnvInitialized =
+    (Metrics::initFromEnvironment(), true);
+} // namespace

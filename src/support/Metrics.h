@@ -1,0 +1,241 @@
+//===- support/Metrics.h - Per-thread-sharded metrics registry --*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed registry of counters, gauges, and histograms for the
+/// analysis pipeline: cache hits and misses, pairs tested, per-test
+/// latency, thread-pool chunk/steal counts and queue depth, budget
+/// consumption, and degraded verdicts by failure kind. Each thread
+/// writes its own shard (plain relaxed stores, single writer), and
+/// shards are merged into a MetricsSnapshot at report time. Every
+/// merge operation is associative and commutative (sums for counters
+/// and histogram cells, max for gauges), so the merged snapshot is
+/// independent of shard order and worker scheduling.
+///
+/// The registry is enumerated, not string-keyed: recording is an array
+/// index away, names exist only at report time. JSON is dumped via
+/// Metrics::writeTo (programmatic) or PDT_METRICS=out.json (at process
+/// exit), alongside the paper-facing TestStats counters.
+///
+/// Overhead policy matches support/Trace.h: compiled out, every
+/// recording call folds to nothing (Metrics::enabled() is a constant
+/// false); compiled in but disabled, one relaxed load and a predicted
+/// branch; enabled, one or two relaxed stores into the thread shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_METRICS_H
+#define PDT_SUPPORT_METRICS_H
+
+#include "support/Trace.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pdt {
+
+/// Monotonic counters.
+enum class Metric : unsigned {
+  GraphBuilds,         ///< DependenceGraph::build invocations.
+  GraphBuildNs,        ///< Total wall time inside build().
+  PairsEnumerated,     ///< Pairs produced by the bucketed enumeration.
+  PairsTested,         ///< Pairs that ran the tester.
+  PairsIndependent,    ///< Pairs proven independent.
+  PairsDegraded,       ///< Pairs collapsed to the conservative edge.
+  EdgesEmitted,        ///< Directed dependence edges emitted.
+  AccessesLowered,     ///< Accesses lowered by the cache constructor.
+  MemoHits,            ///< testDependence memo hits.
+  MemoMisses,          ///< testDependence memo misses.
+  PoolParallelFors,    ///< parallelFor invocations.
+  PoolChunksRun,       ///< Chunks executed by all workers.
+  PoolSteals,          ///< Chunks stolen from a sibling's deque.
+  BudgetPairSkips,     ///< Pairs skipped by the MaxPairs budget.
+  BudgetDeadlineSkips, ///< Pairs skipped by an expired deadline.
+  FMBudgetHits,        ///< Fourier-Motzkin eliminations that gave up.
+  DegradedOverflow,    ///< Degraded verdicts by failure kind...
+  DegradedBudget,
+  DegradedSymbolic,
+  DegradedInternal,
+  DegradedMalformed,
+};
+constexpr unsigned NumMetrics = 21;
+
+/// Gauges, merged by maximum.
+enum class Gauge : unsigned {
+  PoolWorkers,       ///< Largest worker count observed.
+  PoolQueueDepth,    ///< Deepest chunk deque observed on any worker.
+};
+constexpr unsigned NumGauges = 2;
+
+/// Latency histograms (nanoseconds, power-of-two buckets).
+enum class Histo : unsigned {
+  PairTestNs,  ///< One access pair through the tester.
+  DeltaNs,     ///< One Delta-test run on a coupled group.
+  FMNs,        ///< One Fourier-Motzkin feasibility decision.
+};
+constexpr unsigned NumHistos = 3;
+constexpr unsigned HistoBuckets = 32;
+
+/// Report-time name ("graph.pairs.tested", "pool.steals", ...).
+const char *metricName(Metric M);
+const char *gaugeName(Gauge G);
+const char *histoName(Histo H);
+
+/// One merged (or per-thread) view of every metric. Merging is a plain
+/// field-wise sum (max for gauges): associative, commutative, and
+/// independent of shard enumeration order.
+struct MetricsSnapshot {
+  struct Histogram {
+    uint64_t Count = 0;
+    uint64_t SumNs = 0;
+    uint64_t MaxNs = 0;
+    /// Bucket B counts samples with bit_width(ns) == B, i.e. values
+    /// in [2^(B-1), 2^B).
+    std::array<uint64_t, HistoBuckets> Buckets{};
+
+    Histogram &merge(const Histogram &RHS) {
+      Count += RHS.Count;
+      SumNs += RHS.SumNs;
+      MaxNs = MaxNs > RHS.MaxNs ? MaxNs : RHS.MaxNs;
+      for (unsigned I = 0; I != HistoBuckets; ++I)
+        Buckets[I] += RHS.Buckets[I];
+      return *this;
+    }
+    bool operator==(const Histogram &RHS) const = default;
+  };
+
+  std::array<uint64_t, NumMetrics> Counters{};
+  std::array<uint64_t, NumGauges> Gauges{};
+  std::array<Histogram, NumHistos> Histograms{};
+
+  MetricsSnapshot &merge(const MetricsSnapshot &RHS) {
+    for (unsigned I = 0; I != NumMetrics; ++I)
+      Counters[I] += RHS.Counters[I];
+    for (unsigned I = 0; I != NumGauges; ++I)
+      Gauges[I] = Gauges[I] > RHS.Gauges[I] ? Gauges[I] : RHS.Gauges[I];
+    for (unsigned I = 0; I != NumHistos; ++I)
+      Histograms[I].merge(RHS.Histograms[I]);
+    return *this;
+  }
+  bool operator==(const MetricsSnapshot &RHS) const = default;
+
+  uint64_t counter(Metric M) const {
+    return Counters[static_cast<unsigned>(M)];
+  }
+  uint64_t gauge(Gauge G) const { return Gauges[static_cast<unsigned>(G)]; }
+  const Histogram &histogram(Histo H) const {
+    return Histograms[static_cast<unsigned>(H)];
+  }
+};
+
+/// Global metrics control; recording goes to the calling thread's
+/// shard.
+class Metrics {
+public:
+  static bool enabled() {
+#if PDT_TRACING
+    return EnabledFlag.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  /// True when metric instrumentation was compiled in.
+  static constexpr bool compiledIn() { return PDT_TRACING != 0; }
+
+  /// Starts recording; \p Path (may be empty) is where the process-
+  /// exit hook and stop() write the JSON. Resets previous values.
+  /// Returns false when compiled out.
+  static bool enable(std::string Path = "");
+
+  /// Stops recording and writes the JSON to the enable() path (skipped
+  /// when empty).
+  static bool stop();
+
+  /// Zeroes every shard.
+  static void reset();
+
+  static void count(Metric M, uint64_t N = 1) {
+    if (enabled())
+      countImpl(M, N);
+  }
+  static void gaugeMax(Gauge G, uint64_t Value) {
+    if (enabled())
+      gaugeMaxImpl(G, Value);
+  }
+  static void observe(Histo H, uint64_t Ns) {
+    if (enabled())
+      observeImpl(H, Ns);
+  }
+  /// The counter tracking degraded verdicts of failure kind \p Kind
+  /// (kind as in FailureKind's enumerator order).
+  static void countDegraded(unsigned Kind) {
+    if (enabled())
+      countImpl(static_cast<Metric>(
+                    static_cast<unsigned>(Metric::DegradedOverflow) + Kind),
+                1);
+  }
+
+  /// Merges every thread shard; deterministic for a deterministic
+  /// workload (merge is order-independent).
+  static MetricsSnapshot snapshot();
+
+  /// Renders a snapshot as a JSON document.
+  static std::string toJson(const MetricsSnapshot &S);
+
+  /// Writes snapshot() to \p Path; false on I/O failure.
+  static bool writeTo(const std::string &Path);
+
+  /// Arms metrics from PDT_METRICS (hardened parsing). Called once
+  /// automatically before main; exposed for tests.
+  static void initFromEnvironment();
+
+private:
+  static void countImpl(Metric M, uint64_t N);
+  static void gaugeMaxImpl(Gauge G, uint64_t Value);
+  static void observeImpl(Histo H, uint64_t Ns);
+  static std::atomic<bool> EnabledFlag;
+};
+
+#if PDT_TRACING
+
+/// RAII latency sampler: records the scope's duration into \p H when
+/// metrics are enabled at construction time.
+class LatencyTimer {
+public:
+  explicit LatencyTimer(Histo H) : H(H) {
+    if (Metrics::enabled())
+      StartNs = Trace::nowNs();
+  }
+  ~LatencyTimer() {
+    if (StartNs >= 0)
+      Metrics::observe(H, static_cast<uint64_t>(Trace::nowNs() - StartNs));
+  }
+  LatencyTimer(const LatencyTimer &) = delete;
+  LatencyTimer &operator=(const LatencyTimer &) = delete;
+
+private:
+  Histo H;
+  int64_t StartNs = -1;
+};
+
+#else
+
+class LatencyTimer {
+public:
+  explicit LatencyTimer(Histo) {}
+  LatencyTimer(const LatencyTimer &) = delete;
+  LatencyTimer &operator=(const LatencyTimer &) = delete;
+};
+
+#endif // PDT_TRACING
+
+} // namespace pdt
+
+#endif // PDT_SUPPORT_METRICS_H

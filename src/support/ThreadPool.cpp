@@ -7,6 +7,10 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Env.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <string>
@@ -14,12 +18,11 @@
 using namespace pdt;
 
 unsigned ThreadPool::defaultThreadCount() {
-  if (const char *Env = std::getenv("PDT_THREADS")) {
-    char *End = nullptr;
-    long Value = std::strtol(Env, &End, 10);
-    if (End != Env && *End == '\0' && Value > 0)
-      return static_cast<unsigned>(Value);
-  }
+  // Hardened parsing: a malformed or out-of-range PDT_THREADS warns
+  // (malformed-input) instead of silently falling through to hardware
+  // concurrency.
+  if (std::optional<int64_t> Value = envInt("PDT_THREADS", 1, 65536))
+    return static_cast<unsigned>(*Value);
   unsigned HW = std::thread::hardware_concurrency();
   return HW ? HW : 1;
 }
@@ -67,8 +70,10 @@ void ThreadPool::helperLoop(unsigned Worker) {
 
 void ThreadPool::runWorker(unsigned Worker,
                            const std::function<void(size_t, unsigned)> &Fn) {
+  Span WorkerSpan("ThreadPool::worker", "pool");
   size_t Done = 0;
   auto RunChunk = [&](std::pair<size_t, size_t> Chunk) {
+    Span ChunkSpan("ThreadPool::chunk", "pool");
     for (size_t I = Chunk.first; I != Chunk.second; ++I) {
       // An exception escaping a helper thread would terminate the
       // whole process; capture it instead and let parallelFor rethrow
@@ -106,6 +111,9 @@ void ThreadPool::runWorker(unsigned Worker,
           S.Chunks.pop_back();
         }
       }
+      Metrics::count(Metric::PoolChunksRun);
+      if (Victim != Worker)
+        Metrics::count(Metric::PoolSteals);
       RunChunk(Chunk);
       RanAny = true;
       break; // Rescan from our own shard.
@@ -130,6 +138,9 @@ void ThreadPool::parallelFor(size_t NumItems,
                              const std::function<void(size_t, unsigned)> &Fn) {
   if (!NumItems)
     return;
+  Span LoopSpan("ThreadPool::parallelFor", "pool");
+  Metrics::count(Metric::PoolParallelFors);
+  Metrics::gaugeMax(Gauge::PoolWorkers, NumWorkers);
   if (NumWorkers == 1 || NumItems == 1) {
     // Same semantics as the parallel path: every item runs, the first
     // exception is rethrown once the loop drains.
@@ -158,6 +169,7 @@ void ThreadPool::parallelFor(size_t NumItems,
       Shard &S = *Shards[Next];
       std::lock_guard<std::mutex> ShardLock(S.M);
       S.Chunks.emplace_back(Begin, End);
+      Metrics::gaugeMax(Gauge::PoolQueueDepth, S.Chunks.size());
       Next = (Next + 1) % NumWorkers;
     }
     Job = Fn;

@@ -1,0 +1,114 @@
+//===- tests/support/EnvTest.cpp - Hardened env parsing tests -------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The PDT_* environment knobs must never silently coerce garbage:
+// malformed values warn (malformed-input taxonomy) and fall back to
+// the documented default; unset variables stay silent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace pdt;
+
+namespace {
+
+/// Scoped environment variable: restores the prior state on exit so
+/// tests cannot leak settings into each other.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    const char *Old = std::getenv(Name);
+    if (Old)
+      Saved = Old;
+    if (Value)
+      ::setenv(Name, Value, 1);
+    else
+      ::unsetenv(Name);
+  }
+  ~ScopedEnv() {
+    if (Saved)
+      ::setenv(Name, Saved->c_str(), 1);
+    else
+      ::unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::optional<std::string> Saved;
+};
+
+const char *Var = "PDT_ENVTEST_VALUE";
+
+} // namespace
+
+TEST(Env, UnsetIsSilentNullopt) {
+  ScopedEnv E(Var, nullptr);
+  EXPECT_EQ(envInt(Var, 1, 100), std::nullopt);
+  EXPECT_EQ(envPath(Var), std::nullopt);
+}
+
+TEST(Env, ParsesWellFormedInteger) {
+  ScopedEnv E(Var, "8");
+  EXPECT_EQ(envInt(Var, 1, 100), 8);
+}
+
+TEST(Env, AcceptsRangeEndpoints) {
+  {
+    ScopedEnv E(Var, "1");
+    EXPECT_EQ(envInt(Var, 1, 100), 1);
+  }
+  {
+    ScopedEnv E(Var, "100");
+    EXPECT_EQ(envInt(Var, 1, 100), 100);
+  }
+}
+
+TEST(Env, RejectsNonNumeric) {
+  ScopedEnv E(Var, "abc");
+  EXPECT_EQ(envInt(Var, 1, 100), std::nullopt);
+}
+
+TEST(Env, RejectsTrailingGarbage) {
+  ScopedEnv E(Var, "8threads");
+  EXPECT_EQ(envInt(Var, 1, 100), std::nullopt);
+}
+
+TEST(Env, RejectsOutOfRange) {
+  {
+    ScopedEnv E(Var, "0");
+    EXPECT_EQ(envInt(Var, 1, 100), std::nullopt);
+  }
+  {
+    ScopedEnv E(Var, "101");
+    EXPECT_EQ(envInt(Var, 1, 100), std::nullopt);
+  }
+  {
+    ScopedEnv E(Var, "999999999999999999999999");
+    EXPECT_EQ(envInt(Var, 1, 100), std::nullopt);
+  }
+}
+
+TEST(Env, RejectsEmptyOrWhitespacePath) {
+  {
+    ScopedEnv E(Var, "");
+    EXPECT_EQ(envPath(Var), std::nullopt);
+  }
+  {
+    ScopedEnv E(Var, "   \t ");
+    EXPECT_EQ(envPath(Var), std::nullopt);
+  }
+}
+
+TEST(Env, AcceptsRealPath) {
+  ScopedEnv E(Var, "out/trace.json");
+  EXPECT_EQ(envPath(Var), "out/trace.json");
+}

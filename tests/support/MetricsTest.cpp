@@ -1,0 +1,168 @@
+//===- tests/support/MetricsTest.cpp - Metrics registry tests -------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The metrics contract: snapshot merging is associative, commutative,
+// and has the zero snapshot as identity (so the merged view cannot
+// depend on shard order or worker scheduling); a deterministic serial
+// workload yields deterministic event counters; and the degraded-kind
+// helper maps onto the five per-kind counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "driver/Analyzer.h"
+#include "support/Failure.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+/// A synthetic snapshot with distinctive values derived from \p Seed,
+/// touching every field class (counters, gauges, histogram cells).
+MetricsSnapshot synthetic(uint64_t Seed) {
+  MetricsSnapshot S;
+  for (unsigned I = 0; I != NumMetrics; ++I)
+    S.Counters[I] = Seed * 31 + I * 7 + 1;
+  for (unsigned I = 0; I != NumGauges; ++I)
+    S.Gauges[I] = Seed * 13 + I * 5;
+  for (unsigned I = 0; I != NumHistos; ++I) {
+    auto &H = S.Histograms[I];
+    H.Count = Seed + I + 2;
+    H.SumNs = Seed * 1000 + I;
+    H.MaxNs = Seed * 100 + I * 10;
+    for (unsigned B = 0; B != HistoBuckets; ++B)
+      H.Buckets[B] = (Seed + B * I) % 9;
+  }
+  return S;
+}
+
+/// merge() mutates in place; this returns the merged copy.
+MetricsSnapshot merged(MetricsSnapshot A, const MetricsSnapshot &B) {
+  A.merge(B);
+  return A;
+}
+
+/// The deterministic portion of a snapshot: every counter that records
+/// an event count rather than elapsed wall time. Timing fields
+/// (GraphBuildNs, the latency histograms, and the latency-derived
+/// histogram summaries) legitimately differ between identical runs.
+std::vector<uint64_t> eventCounters(const MetricsSnapshot &S) {
+  std::vector<uint64_t> Out;
+  for (unsigned I = 0; I != NumMetrics; ++I)
+    if (static_cast<Metric>(I) != Metric::GraphBuildNs)
+      Out.push_back(S.Counters[I]);
+  return Out;
+}
+
+MetricsSnapshot runSerialWorkload() {
+  const char *Source = "do i = 1, 40\n"
+                       "  do j = 1, 40\n"
+                       "    a(i+1, j) = a(i, j+1)\n"
+                       "    b(2*i) = b(2*i+1) + a(i, j)\n"
+                       "  end do\n"
+                       "end do\n";
+  Metrics::enable("");
+  AnalyzerOptions Opt;
+  Opt.NumThreads = 1;
+  AnalysisResult R = analyzeSource(Source, "metrics-workload", Opt);
+  EXPECT_TRUE(R.Parsed);
+  MetricsSnapshot S = Metrics::snapshot();
+  Metrics::stop();
+  return S;
+}
+
+} // namespace
+
+TEST(Metrics, MergeIdentity) {
+  MetricsSnapshot Zero;
+  MetricsSnapshot A = synthetic(3);
+  EXPECT_EQ(merged(A, Zero), A);
+  EXPECT_EQ(merged(Zero, A), A);
+}
+
+TEST(Metrics, MergeCommutative) {
+  MetricsSnapshot A = synthetic(1), B = synthetic(8);
+  EXPECT_EQ(merged(A, B), merged(B, A));
+}
+
+TEST(Metrics, MergeAssociative) {
+  MetricsSnapshot A = synthetic(2), B = synthetic(5), C = synthetic(11);
+  EXPECT_EQ(merged(merged(A, B), C), merged(A, merged(B, C)));
+}
+
+TEST(Metrics, MergeSemanticsPerFieldClass) {
+  MetricsSnapshot A = synthetic(1), B = synthetic(4);
+  MetricsSnapshot M = merged(A, B);
+  // Counters and histogram cells sum; gauges take the max.
+  EXPECT_EQ(M.counter(Metric::PairsTested),
+            A.counter(Metric::PairsTested) + B.counter(Metric::PairsTested));
+  EXPECT_EQ(M.gauge(Gauge::PoolWorkers),
+            std::max(A.gauge(Gauge::PoolWorkers), B.gauge(Gauge::PoolWorkers)));
+  EXPECT_EQ(M.histogram(Histo::PairTestNs).Count,
+            A.histogram(Histo::PairTestNs).Count +
+                B.histogram(Histo::PairTestNs).Count);
+  EXPECT_EQ(M.histogram(Histo::PairTestNs).MaxNs,
+            std::max(A.histogram(Histo::PairTestNs).MaxNs,
+                     B.histogram(Histo::PairTestNs).MaxNs));
+}
+
+TEST(Metrics, SerialWorkloadIsDeterministic) {
+  if (!Metrics::compiledIn())
+    GTEST_SKIP() << "metrics compiled out";
+  MetricsSnapshot First = runSerialWorkload();
+  MetricsSnapshot Second = runSerialWorkload();
+  EXPECT_EQ(eventCounters(First), eventCounters(Second));
+  EXPECT_GT(First.counter(Metric::GraphBuilds), 0u);
+  EXPECT_GT(First.counter(Metric::PairsEnumerated), 0u);
+  EXPECT_GT(First.counter(Metric::PairsTested), 0u);
+  EXPECT_GT(First.counter(Metric::EdgesEmitted), 0u);
+  EXPECT_GT(First.counter(Metric::AccessesLowered), 0u);
+}
+
+TEST(Metrics, CountDegradedMapsOntoPerKindCounters) {
+  if (!Metrics::compiledIn())
+    GTEST_SKIP() << "metrics compiled out";
+  Metrics::enable("");
+  const Metric Kinds[] = {Metric::DegradedOverflow, Metric::DegradedBudget,
+                          Metric::DegradedSymbolic, Metric::DegradedInternal,
+                          Metric::DegradedMalformed};
+  for (unsigned Kind = 0; Kind != 5; ++Kind)
+    for (unsigned N = 0; N != Kind + 1; ++N)
+      Metrics::countDegraded(Kind);
+  MetricsSnapshot S = Metrics::snapshot();
+  Metrics::stop();
+  for (unsigned Kind = 0; Kind != 5; ++Kind)
+    EXPECT_EQ(S.counter(Kinds[Kind]), Kind + 1)
+        << "kind " << failureKindName(static_cast<FailureKind>(Kind));
+}
+
+TEST(Metrics, DisabledByDefaultRecordsNothing) {
+  Metrics::stop();
+  Metrics::reset();
+  Metrics::count(Metric::PairsTested, 42);
+  Metrics::gaugeMax(Gauge::PoolWorkers, 7);
+  Metrics::observe(Histo::PairTestNs, 1000);
+  EXPECT_EQ(Metrics::snapshot(), MetricsSnapshot());
+}
+
+TEST(Metrics, JsonNamesEveryRegisteredMetric) {
+  MetricsSnapshot S = synthetic(6);
+  std::string Json = Metrics::toJson(S);
+  for (unsigned I = 0; I != NumMetrics; ++I)
+    EXPECT_NE(Json.find(metricName(static_cast<Metric>(I))), std::string::npos)
+        << metricName(static_cast<Metric>(I));
+  for (unsigned I = 0; I != NumGauges; ++I)
+    EXPECT_NE(Json.find(gaugeName(static_cast<Gauge>(I))), std::string::npos);
+  for (unsigned I = 0; I != NumHistos; ++I)
+    EXPECT_NE(Json.find(histoName(static_cast<Histo>(I))), std::string::npos);
+}
