@@ -1,0 +1,207 @@
+//===- examples/depfuzz.cpp - Differential soundness fuzzer CLI ----------===//
+//
+// Command-line front end for the differential fuzzer (src/fuzz, see
+// docs/FUZZING.md):
+//
+//   depfuzz [--seed N] [--count N] [--threads N] [--repro-dir DIR]
+//           [--no-shrink] [--json FILE] [--bug NAME]
+//   depfuzz --replay FILE [--shrink]
+//
+// Campaign mode generates `count` kernels from `seed`, cross-checks
+// every access pair against the fast partitioned suite, the
+// Fourier-Motzkin baseline, and brute-force enumeration (plus sampled
+// interpreter runs), shrinks every discrepancy to a locally minimal
+// kernel, and writes one repro file per finding when --repro-dir is
+// set. Exit status 0 means a clean campaign.
+//
+// Replay mode re-runs all deciders on a repro file produced by a
+// previous campaign (or any fuzz-kernel-shaped program with `! pdt-fuzz`
+// metadata comments); --shrink reduces it further in-process.
+//
+// All PDT_FUZZ_* environment knobs apply; explicit flags win. When
+// PDT_FAULT_INJECT is set, campaign mode switches to the single-thread
+// fault-injection self-check: the injected fault must surface as a
+// DegradedResult discrepancy and shrink like any other finding.
+//
+// --bug plants a deliberate harness bug (force-independent | drop-lt)
+// in the fast suite's reported result; the campaign must then fail.
+// This validates the fuzzer itself, never real analysis code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Repro.h"
+#include "fuzz/Shrinker.h"
+#include "support/FaultInjector.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace pdt;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::cerr << "usage: " << Argv0
+            << " [--seed N] [--count N] [--threads N] [--repro-dir DIR]\n"
+               "       [--no-shrink] [--json FILE] [--bug "
+               "force-independent|drop-lt]\n"
+            << "       " << Argv0 << " --replay FILE [--shrink]\n";
+  return 2;
+}
+
+void printDiscrepancies(const std::vector<FuzzDiscrepancy> &Ds) {
+  for (const FuzzDiscrepancy &D : Ds) {
+    std::printf("  %s", fuzzDiscrepancyKindName(D.Kind));
+    if (D.SrcAccess != ~0u)
+      std::printf(" (pair %u->%u)", D.SrcAccess, D.SnkAccess);
+    std::printf(": %s\n", D.Detail.c_str());
+  }
+}
+
+int replay(const std::string &Path, bool Shrink) {
+  std::optional<FuzzKernel> K = loadFuzzReproFile(Path);
+  if (!K) {
+    std::cerr << "depfuzz: cannot load repro " << Path << "\n";
+    return 2;
+  }
+  FuzzCampaignConfig Config = fuzzCampaignConfigFromEnv();
+  std::printf("replaying seed=%llu index=%llu stratum=%s\n",
+              static_cast<unsigned long long>(K->Seed),
+              static_cast<unsigned long long>(K->Index),
+              fuzzStratumName(K->Stratum));
+  FuzzKernelVerdict V = checkFuzzKernel(*K, Config.Check);
+  if (!V.failed()) {
+    std::printf("no discrepancy: %u pairs agree across all deciders\n",
+                V.PairsChecked);
+    return 0;
+  }
+  std::printf("%zu discrepanc%s:\n", V.Discrepancies.size(),
+              V.Discrepancies.size() == 1 ? "y" : "ies");
+  printDiscrepancies(V.Discrepancies);
+  if (Shrink) {
+    FuzzPredicate StillFails = [&](const FuzzKernel &C) {
+      return checkFuzzKernel(C, Config.Check).failed();
+    };
+    FuzzShrinkResult R =
+        shrinkFuzzKernel(*K, StillFails, Config.ShrinkMaxSteps);
+    std::printf("shrunk in %u steps (%u reductions%s):\n%s", R.StepsTried,
+                R.Reductions, R.Minimal ? "" : ", step budget hit",
+                fuzzKernelToSource(R.Kernel).c_str());
+  }
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FuzzCampaignConfig Config = fuzzCampaignConfigFromEnv();
+  std::string JsonPath;
+  std::string ReplayPath;
+  bool ReplayMode = false;
+  bool ReplayShrink = false;
+
+  auto NumArg = [&](int &I, const char *Flag) -> uint64_t {
+    if (I + 1 >= argc) {
+      std::cerr << "depfuzz: " << Flag << " needs a value\n";
+      std::exit(2);
+    }
+    return std::strtoull(argv[++I], nullptr, 10);
+  };
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--seed"))
+      Config.Seed = NumArg(I, "--seed");
+    else if (!std::strcmp(argv[I], "--count"))
+      Config.Count = NumArg(I, "--count");
+    else if (!std::strcmp(argv[I], "--threads"))
+      Config.NumThreads = static_cast<unsigned>(NumArg(I, "--threads"));
+    else if (!std::strcmp(argv[I], "--repro-dir") && I + 1 < argc)
+      Config.ReproDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--replay") && I + 1 < argc) {
+      ReplayPath = argv[++I];
+      ReplayMode = true;
+    }
+    else if (!std::strcmp(argv[I], "--no-shrink"))
+      Config.Shrink = false;
+    else if (!std::strcmp(argv[I], "--shrink"))
+      ReplayShrink = true;
+    else if (!std::strcmp(argv[I], "--bug") && I + 1 < argc) {
+      std::string Name = argv[++I];
+      if (Name == "force-independent")
+        Config.Check.DeliberateBug = FuzzCheckConfig::Bug::ForceIndependent;
+      else if (Name == "drop-lt")
+        Config.Check.DeliberateBug = FuzzCheckConfig::Bug::DropLTDirection;
+      else
+        return usage(argv[0]);
+    } else
+      return usage(argv[0]);
+  }
+
+  if (ReplayMode)
+    return replay(ReplayPath, ReplayShrink);
+
+  // PDT_FAULT_INJECT switches to the self-check: prove the injected
+  // fault is caught, classified, and shrinkable.
+  if (const char *Spec = std::getenv("PDT_FAULT_INJECT")) {
+    FaultInjector::disarm();
+    std::printf("fault-injection self-check: %s over up to %llu kernels\n",
+                Spec, static_cast<unsigned long long>(Config.Count));
+    std::optional<FuzzFinding> F = runFaultInjectionSelfCheck(Config, Spec);
+    if (!F) {
+      std::cerr << "depfuzz: injected fault never surfaced (malformed spec "
+                   "or site out of reach)\n";
+      return 1;
+    }
+    std::printf("caught at kernel %llu; shrunk to %zu statement(s) in %u "
+                "steps:\n%s",
+                static_cast<unsigned long long>(F->Original.Index),
+                F->Shrunk.Stmts.size(), F->ShrinkSteps,
+                fuzzKernelToSource(F->Shrunk).c_str());
+    printDiscrepancies(F->Discrepancies);
+    if (!F->ReproPath.empty())
+      std::printf("repro: %s\n", F->ReproPath.c_str());
+    return 0;
+  }
+
+  FuzzCampaignReport Report = runFuzzCampaign(Config);
+
+  std::printf("checked %llu kernels (%llu pairs) in %.2f s: "
+              "%llu discrepancies, %llu aborts, %llu exactness losses\n",
+              static_cast<unsigned long long>(Report.KernelsChecked),
+              static_cast<unsigned long long>(Report.PairsChecked),
+              Report.ElapsedSec,
+              static_cast<unsigned long long>(Report.Discrepancies),
+              static_cast<unsigned long long>(Report.Aborts),
+              static_cast<unsigned long long>(Report.ExactnessLosses));
+  for (unsigned S = 0; S != NumFuzzStrata; ++S)
+    std::printf("  %-16s %8llu kernels, %llu with ground truth\n",
+                fuzzStratumName(static_cast<FuzzStratum>(S)),
+                static_cast<unsigned long long>(Report.StratumKernels[S]),
+                static_cast<unsigned long long>(Report.StratumGroundTruth[S]));
+  if (Report.KernelsSkipped)
+    std::printf("  %llu kernels skipped by the deadline\n",
+                static_cast<unsigned long long>(Report.KernelsSkipped));
+  for (const FuzzFinding &F : Report.Findings) {
+    std::printf("finding at kernel %llu (%s), shrunk to %zu statement(s):\n",
+                static_cast<unsigned long long>(F.Original.Index),
+                fuzzStratumName(F.Original.Stratum), F.Shrunk.Stmts.size());
+    printDiscrepancies(F.Discrepancies);
+    if (!F.ReproPath.empty())
+      std::printf("  repro: %s\n", F.ReproPath.c_str());
+    else
+      std::printf("%s", fuzzKernelToSource(F.Shrunk).c_str());
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Json(JsonPath);
+    Json << "{\n" << fuzzReportJson(Config, Report) << "\n}\n";
+  }
+  return Report.clean() ? 0 : 1;
+}

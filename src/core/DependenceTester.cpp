@@ -121,6 +121,15 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
     return Result;
   };
 
+  // A loop that provably cannot iterate (empty computed index range,
+  // e.g. constant bounds with Upper < Lower) executes no statement
+  // instance: every pair in the nest is independent regardless of the
+  // subscripts. Symbolic and non-affine bounds evaluate to non-empty
+  // conservative ranges, so only certainly-empty nests short-circuit.
+  for (const LoopBounds &L : Ctx.loops())
+    if (Ctx.indexRange(L.Index).isEmpty())
+      return Independent(TestKind::EmptyNest);
+
   // Step 1: partition into separable subscripts and minimal coupled
   // groups.
   std::vector<SubscriptPartition> Partitions = partitionSubscripts(Subscripts);

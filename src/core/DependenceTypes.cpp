@@ -124,6 +124,8 @@ const char *pdt::testKindName(TestKind K) {
     return "Power";
   case TestKind::Oracle:
     return "oracle";
+  case TestKind::EmptyNest:
+    return "empty nest";
   }
   pdt_unreachable("covered switch");
 }

@@ -130,13 +130,16 @@ enum class TestKind {
   MultidimensionalGCD,
   Power,
   Oracle,
+  /// Not a subscript test: the nest has a loop that cannot iterate, so
+  /// no statement instance exists and every pair is independent.
+  EmptyNest,
 };
 
 /// Display name of a test ("strong SIV", "Banerjee", ...).
 const char *testKindName(TestKind K);
 
 /// Number of TestKind enumerators (for counter arrays).
-constexpr unsigned NumTestKinds = 16;
+constexpr unsigned NumTestKinds = 17;
 
 //===----------------------------------------------------------------------===//
 // Verdicts

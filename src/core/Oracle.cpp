@@ -7,7 +7,10 @@
 
 #include "core/Oracle.h"
 
+#include "support/MathExtras.h"
+
 #include <cassert>
+#include <limits>
 #include <map>
 
 using namespace pdt;
@@ -15,7 +18,8 @@ using namespace pdt;
 namespace {
 
 /// Evaluates an affine expression at a concrete iteration point;
-/// fails on symbol terms.
+/// fails on symbol terms and on int64 overflow (the fuzzer feeds
+/// near-INT64_MAX coefficients through here).
 std::optional<int64_t>
 evalAt(const LinearExpr &E, const std::map<std::string, int64_t> &Values) {
   if (!E.symbolTerms().empty())
@@ -25,7 +29,13 @@ evalAt(const LinearExpr &E, const std::map<std::string, int64_t> &Values) {
     auto It = Values.find(Name);
     if (It == Values.end())
       return std::nullopt;
-    V += Coeff * It->second;
+    std::optional<int64_t> Term = checkedMul(Coeff, It->second);
+    if (!Term)
+      return std::nullopt;
+    std::optional<int64_t> Sum = checkedAdd(V, *Term);
+    if (!Sum)
+      return std::nullopt;
+    V = *Sum;
   }
   return V;
 }
@@ -44,11 +54,15 @@ bool forEachIteration(const LoopNestContext &Ctx, unsigned Level,
   std::optional<int64_t> Hi = evalAt(B.Upper, Values);
   if (!Lo || !Hi)
     return false;
-  for (int64_t I = *Lo; I <= *Hi; ++I) {
+  for (int64_t I = *Lo; I <= *Hi;) {
     Values[B.Index] = I;
     if (!forEachIteration(Ctx, Level + 1, Values,
                           std::forward<CallbackT>(Fn)))
       return false;
+    std::optional<int64_t> Next = checkedAdd(I, 1);
+    if (!Next)
+      break; // I == INT64_MAX: the bound check cannot pass again.
+    I = *Next;
   }
   Values.erase(B.Index);
   return true;
@@ -96,9 +110,13 @@ pdt::enumerateDependences(const std::vector<SubscriptPair> &Subscripts,
       Dist.reserve(Ctx.depth());
       for (unsigned L = 0; L != Ctx.depth(); ++L) {
         const std::string &Idx = Ctx.loop(L).Index;
-        int64_t D = Snk.at(Idx) - Src.at(Idx);
-        Tuple.push_back(D > 0 ? -1 : (D < 0 ? 1 : 0));
-        Dist.push_back(D);
+        int64_t SnkV = Snk.at(Idx), SrcV = Src.at(Idx);
+        std::optional<int64_t> D = checkedSub(SnkV, SrcV);
+        // The sign survives even when the distance itself overflows.
+        int Sign = SnkV > SrcV ? 1 : (SnkV < SrcV ? -1 : 0);
+        Tuple.push_back(-Sign);
+        Dist.push_back(D ? *D : (Sign > 0 ? std::numeric_limits<int64_t>::max()
+                                          : std::numeric_limits<int64_t>::min()));
       }
       // Tuple convention: -1 encodes '<' (source earlier). Flip to the
       // documented -1='<'? We store sign of (source - sink): source <

@@ -145,6 +145,17 @@ namespace {
 /// x = X0 + XStep * t constrained to \p Range. Accumulates into
 /// [TLo, THi] (nullopt = unbounded on that side). Returns false when
 /// the constraint is certainly unsatisfiable.
+/// Bound - X0 without UB: the subtraction must not wrap and the
+/// subsequent division must not be INT64_MIN / -1 (the one overflowing
+/// idiv). Near-INT64_MAX particular solutions arise from adversarial
+/// subscripts, so degrade rather than crash.
+int64_t parameterRhs(int64_t Bound, int64_t X0, int64_t XStep) {
+  std::optional<int64_t> Rhs = checkedSub(Bound, X0);
+  if (!Rhs || (*Rhs == INT64_MIN && XStep == -1))
+    raiseFailure(FailureKind::Overflow, "diophantine parameter bound overflow");
+  return *Rhs;
+}
+
 bool applyParameterBounds(int64_t X0, int64_t XStep, const Interval &Range,
                           Bound &TLo, Bound &THi) {
   if (Range.isEmpty())
@@ -152,7 +163,7 @@ bool applyParameterBounds(int64_t X0, int64_t XStep, const Interval &Range,
   assert(XStep != 0 && "parameter with zero step handled by caller");
   // X0 + XStep*t >= Lo  and  X0 + XStep*t <= Hi.
   if (Range.lower()) {
-    int64_t Rhs = *Range.lower() - X0;
+    int64_t Rhs = parameterRhs(*Range.lower(), X0, XStep);
     if (XStep > 0) {
       int64_t T = ceilDiv(Rhs, XStep);
       if (!TLo || T > *TLo)
@@ -164,7 +175,7 @@ bool applyParameterBounds(int64_t X0, int64_t XStep, const Interval &Range,
     }
   }
   if (Range.upper()) {
-    int64_t Rhs = *Range.upper() - X0;
+    int64_t Rhs = parameterRhs(*Range.upper(), X0, XStep);
     if (XStep > 0) {
       int64_t T = floorDiv(Rhs, XStep);
       if (!THi || T < *THi)
@@ -277,11 +288,14 @@ SIVResult testStrongSIV(const LinearExpr &Eq, const std::string &Index,
     if (!dividesExactly(C.getConstant(), A))
       return SIVResult::independent(TestKind::StrongSIV);
     int64_t D = C.getConstant() / A;
-    int64_t AbsD = D < 0 ? -D : D;
-    if (DistRange.isEmpty() ||
-        (DistRange.upper() && AbsD > *DistRange.upper())) {
-      // |d| exceeds U - L: no iteration pair is far enough apart.
+    if (DistRange.isEmpty())
       return SIVResult::independent(TestKind::StrongSIV);
+    if (DistRange.upper()) {
+      // |d| must not exceed U - L. D == INT64_MIN needs care: -D would
+      // overflow, and |D| = 2^63 exceeds every int64 upper bound.
+      int64_t AbsD = D == INT64_MIN ? INT64_MAX : (D < 0 ? -D : D);
+      if (D == INT64_MIN || AbsD > *DistRange.upper())
+        return SIVResult::independent(TestKind::StrongSIV);
     }
     R.Distance = D;
     R.Directions = directionForDistance(D);
@@ -634,6 +648,9 @@ SIVResult pdt::testSIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
   // a1 = CoeffA, a2 = -CoeffB (map order guarantees VarA = i,
   // VarB = i').
   const std::string &Index = baseName(VarA);
+  // -CoeffB below must not negate INT64_MIN (UB).
+  if (CoeffB == INT64_MIN)
+    raiseFailure(FailureKind::Overflow, "SIV coefficient overflow");
   int64_t A1 = CoeffA;
   int64_t A2 = -CoeffB;
   if (A1 == A2)

@@ -11,8 +11,11 @@
 #include "ir/PrettyPrinter.h"
 #include "support/Casting.h"
 #include "support/ErrorHandling.h"
+#include "support/MathExtras.h"
 
 #include <cassert>
+#include <limits>
+#include <optional>
 
 using namespace pdt;
 
@@ -119,31 +122,40 @@ private:
       int64_t V;
       if (!evalExpr(cast<UnaryExpr>(E)->getOperand(), V))
         return false;
-      Out = -V;
-      return true;
+      if (std::optional<int64_t> Neg = checkedSub(0, V)) {
+        Out = *Neg;
+        return true;
+      }
+      return fail("integer overflow");
     }
     case Expr::Kind::Binary: {
       const auto *B = cast<BinaryExpr>(E);
       int64_t L, R;
       if (!evalExpr(B->getLHS(), L) || !evalExpr(B->getRHS(), R))
         return false;
+      std::optional<int64_t> Checked;
       switch (B->getOpcode()) {
       case BinaryExpr::Opcode::Add:
-        Out = L + R;
-        return true;
+        Checked = checkedAdd(L, R);
+        break;
       case BinaryExpr::Opcode::Sub:
-        Out = L - R;
-        return true;
+        Checked = checkedSub(L, R);
+        break;
       case BinaryExpr::Opcode::Mul:
-        Out = L * R;
-        return true;
+        Checked = checkedMul(L, R);
+        break;
       case BinaryExpr::Opcode::Div:
         if (R == 0)
           return fail("division by zero");
+        if (L == std::numeric_limits<int64_t>::min() && R == -1)
+          return fail("integer overflow");
         Out = L / R;
         return true;
       }
-      pdt_unreachable("covered switch");
+      if (!Checked)
+        return fail("integer overflow");
+      Out = *Checked;
+      return true;
     }
     case Expr::Kind::ArrayElement: {
       const auto *A = cast<ArrayElement>(E);
@@ -213,8 +225,7 @@ private:
         return fail("loop with zero step");
       LoopStack.emplace_back(L->getIndexName(), Lower);
       bool OK = true;
-      for (int64_t I = Lower; Step > 0 ? I <= Upper : I >= Upper;
-           I += Step) {
+      for (int64_t I = Lower; Step > 0 ? I <= Upper : I >= Upper;) {
         LoopStack.back().second = I;
         for (const Stmt *Child : L->getBody()) {
           if (!execStmt(Child)) {
@@ -224,6 +235,12 @@ private:
         }
         if (!OK)
           break;
+        // An increment past the int64 range cannot still satisfy the
+        // bound check, so the loop is done rather than in error.
+        std::optional<int64_t> Next = checkedAdd(I, Step);
+        if (!Next)
+          break;
+        I = *Next;
       }
       LoopStack.pop_back();
       return OK;

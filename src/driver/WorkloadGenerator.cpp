@@ -11,14 +11,16 @@
 
 using namespace pdt;
 
-namespace {
-
-/// The index names used by generated nests, outermost first.
-const char *indexName(unsigned Level) {
+const char *pdt::workloadIndexName(unsigned Level) {
   static const char *Names[] = {"i", "j", "k", "l", "m2", "n2"};
   assert(Level < 6 && "generated nest too deep");
   return Names[Level];
 }
+
+namespace {
+
+/// Local shorthand for the shared name table.
+const char *indexName(unsigned Level) { return workloadIndexName(Level); }
 
 int64_t drawInt(std::mt19937_64 &Rng, int64_t Lo, int64_t Hi) {
   return std::uniform_int_distribution<int64_t>(Lo, Hi)(Rng);

@@ -47,6 +47,12 @@ struct RandomCase {
   LoopNestContext Ctx;
 };
 
+/// The canonical index name for nesting level \p Level (outermost
+/// first) used by every generated nest; shared with the differential
+/// fuzzer (src/fuzz) so its kernels parse and analyze identically.
+/// Valid for Level < 6.
+const char *workloadIndexName(unsigned Level);
+
 /// Draws one case from \p Rng under \p Config. Bounds are constant so
 /// the oracle can enumerate the case.
 RandomCase generateRandomCase(std::mt19937_64 &Rng,

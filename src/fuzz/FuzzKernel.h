@@ -1,0 +1,164 @@
+//===- fuzz/FuzzKernel.h - Differential-fuzzer kernel model -----*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured kernel representation the differential soundness
+/// fuzzer generates, checks, shrinks, and replays. A FuzzKernel is a
+/// perfect DO-loop nest over one array with one write and one read per
+/// statement, each subscript in canonical affine form. Keeping the
+/// kernel structured (instead of source text) makes the three lowering
+/// paths trivial and exactly comparable:
+///
+///   - symbolic  : SubscriptPair vectors + a LoopNestContext with
+///                 symbol ranges, fed to the fast partitioned suite and
+///                 the Fourier-Motzkin baseline;
+///   - concrete  : the same pairs with symbols substituted by their
+///                 sampled values, fed to the brute-force Oracle;
+///   - program   : an AST Program, fed to the whole analyzer pipeline
+///                 and the reference Interpreter for dynamic coverage.
+///
+/// The source rendering is a valid input-language program (parse /
+/// analyze / replay it with any driver) carrying the generator
+/// coordinates in `! pdt-fuzz` comment lines, so a repro file is
+/// self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_FUZZ_FUZZKERNEL_H
+#define PDT_FUZZ_FUZZKERNEL_H
+
+#include "analysis/LoopNest.h"
+#include "core/Subscript.h"
+#include "ir/AST.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdt {
+
+/// The generator strata, one per subscript class of the paper's
+/// taxonomy plus the hostile-input classes. Round-robin assignment
+/// guarantees every stratum is exercised in any campaign of at least
+/// NumFuzzStrata kernels.
+enum class FuzzStratum : unsigned {
+  ZIV,             ///< Both sides loop-invariant (section 3.2.1).
+  StrongSIV,       ///< a*i + c1 vs a*i + c2 (section 3.2.2).
+  WeakZeroSIV,     ///< a*i + c1 vs c2 (section 3.2.3).
+  WeakCrossingSIV, ///< a*i + c1 vs -a*i + c2 (section 3.2.4).
+  ExactSIV,        ///< a1*i + c1 vs a2*i + c2, a1 != +-a2 (section 3.2.5).
+  RDIV,            ///< a1*i + c1 vs a2*j + c2 across loops (section 3.2.6).
+  CoupledMIV,      ///< Multi-index subscripts sharing indices across dims.
+  SymbolicBound,   ///< Symbolic loop bounds / additive constants.
+  Degenerate,      ///< Zero-trip and single-trip loops, zero coefficients.
+  NearOverflow,    ///< Coefficients and constants near the int64 edge.
+};
+constexpr unsigned NumFuzzStrata = 10;
+
+/// Display name ("ziv", "strong-siv", ...).
+const char *fuzzStratumName(FuzzStratum S);
+
+/// Parses a fuzzStratumName back; nullopt for unknown names.
+std::optional<FuzzStratum> fuzzStratumFromName(const std::string &Name);
+
+/// One loop of the nest, outermost first. Bounds are integer constants
+/// except that the upper bound may be a symbolic constant whose
+/// sampled concrete value lives in FuzzKernel::SymbolValues.
+struct FuzzLoop {
+  std::string Index;
+  int64_t Lower = 1;
+  int64_t Upper = 4;
+  /// When non-empty, the upper bound is this symbol; Upper then holds
+  /// the sampled concrete value (mirroring SymbolValues) so kernels
+  /// round-trip structurally through the repro format.
+  std::string UpperSymbol;
+
+  bool operator==(const FuzzLoop &RHS) const = default;
+};
+
+/// One statement `a(Write...) = a(Read...) + 1`. Every statement of a
+/// kernel uses the same array and the same rank.
+struct FuzzStmt {
+  std::vector<LinearExpr> Write;
+  std::vector<LinearExpr> Read;
+
+  bool operator==(const FuzzStmt &RHS) const = default;
+};
+
+/// A generated kernel plus its generator coordinates.
+struct FuzzKernel {
+  uint64_t Seed = 0;   ///< Campaign seed.
+  uint64_t Index = 0;  ///< Kernel index within the campaign.
+  FuzzStratum Stratum = FuzzStratum::ZIV;
+  std::vector<FuzzLoop> Loops;
+  std::vector<FuzzStmt> Stmts;
+  /// Sampled concrete values for every symbol mentioned by a bound or
+  /// a subscript; all values are >= 1 so the standard symbol-range
+  /// assumption [1, inf) holds for the sampled instantiation.
+  std::map<std::string, int64_t> SymbolValues;
+
+  /// Array rank (every statement agrees by construction).
+  unsigned rank() const { return Stmts.empty() ? 0 : Stmts[0].Write.size(); }
+
+  bool operator==(const FuzzKernel &RHS) const = default;
+};
+
+/// One ordered access pair of a kernel. Access numbering is textual:
+/// statement S contributes access 2*S (its write) and 2*S + 1 (its
+/// read).
+struct FuzzPair {
+  unsigned SrcAccess = 0;
+  unsigned SnkAccess = 0;
+  std::vector<SubscriptPair> Subscripts;
+};
+
+/// Enumerates every ordered pair with at least one write (write-write
+/// pairs include the self pair of a single access, whose all-'='
+/// ground-truth tuple is the same dynamic instance and is skipped by
+/// the checker).
+std::vector<FuzzPair> enumerateFuzzPairs(const FuzzKernel &K);
+
+/// The context the static deciders see: symbolic bounds stay symbolic
+/// under the standard [1, inf) assumption.
+LoopNestContext symbolicFuzzContext(const FuzzKernel &K);
+
+/// Substitutes every symbol term by its sampled value with checked
+/// arithmetic; nullopt on int64 overflow.
+std::optional<LinearExpr>
+concretizeFuzzExpr(const LinearExpr &E,
+                   const std::map<std::string, int64_t> &SymbolValues);
+
+/// The fully concrete form the Oracle enumerates: bounds and subscript
+/// pairs with symbols substituted by their sampled values. Nullopt
+/// when substitution overflows.
+struct ConcreteFuzzPair {
+  std::vector<SubscriptPair> Subscripts;
+  LoopNestContext Ctx;
+};
+std::optional<ConcreteFuzzPair> concretizeFuzzPair(const FuzzKernel &K,
+                                                   const FuzzPair &Pair);
+
+/// Builds the kernel as an input-language Program (a perfect nest with
+/// every statement in the innermost body).
+Program fuzzKernelToProgram(const FuzzKernel &K);
+
+/// Renders the kernel as replayable source: `! pdt-fuzz` metadata
+/// comments followed by the pretty-printed program. The output parses
+/// with the ordinary front end (comments are skipped) and round-trips
+/// through parseFuzzKernelSource.
+std::string fuzzKernelToSource(const FuzzKernel &K);
+
+/// Reconstructs a kernel from fuzzKernelToSource output (or any
+/// program of the same restricted shape). Nullopt when the source does
+/// not parse or does not fit the fuzzer's kernel shape.
+std::optional<FuzzKernel> parseFuzzKernelSource(const std::string &Source);
+
+} // namespace pdt
+
+#endif // PDT_FUZZ_FUZZKERNEL_H

@@ -1,0 +1,235 @@
+//===- fuzz/KernelGen.cpp - Stratified deterministic generator ------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/KernelGen.h"
+
+#include "driver/WorkloadGenerator.h"
+
+#include <cassert>
+#include <limits>
+#include <random>
+
+using namespace pdt;
+
+uint64_t pdt::fuzzKernelSeed(uint64_t Seed, uint64_t Index) {
+  // splitmix64 over the combined coordinates: decorrelates adjacent
+  // indices so per-kernel streams are independent.
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ULL * (Index + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+namespace {
+
+int64_t drawInt(std::mt19937_64 &Rng, int64_t Lo, int64_t Hi) {
+  return std::uniform_int_distribution<int64_t>(Lo, Hi)(Rng);
+}
+
+bool drawBool(std::mt19937_64 &Rng, double Prob) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(Rng) < Prob;
+}
+
+int64_t drawNonZero(std::mt19937_64 &Rng, int64_t Range) {
+  assert(Range >= 1 && "empty coefficient range");
+  int64_t V = drawInt(Rng, 1, Range);
+  return drawBool(Rng, 0.5) ? V : -V;
+}
+
+/// A random affine expression over the kernel's indices, possibly
+/// mentioning the subscript symbol \p Sym (empty = none available).
+LinearExpr drawAffine(std::mt19937_64 &Rng, const FuzzGenConfig &Config,
+                      unsigned Depth, const std::string &Sym) {
+  LinearExpr E(drawInt(Rng, -Config.ConstRange, Config.ConstRange));
+  for (unsigned L = 0; L != Depth; ++L)
+    if (drawBool(Rng, 0.5)) {
+      int64_t Coeff = drawInt(Rng, -Config.CoeffRange, Config.CoeffRange);
+      if (Coeff != 0)
+        E = E + LinearExpr::index(workloadIndexName(L), Coeff);
+    }
+  if (!Sym.empty() && drawBool(Rng, 0.3))
+    E = E + LinearExpr::symbol(Sym, drawBool(Rng, 0.8) ? 1 : -1);
+  return E;
+}
+
+} // namespace
+
+FuzzKernel pdt::generateFuzzKernel(uint64_t Seed, uint64_t Index,
+                                   const FuzzGenConfig &Config) {
+  std::mt19937_64 Rng(fuzzKernelSeed(Seed, Index));
+  FuzzKernel K;
+  K.Seed = Seed;
+  K.Index = Index;
+  K.Stratum = static_cast<FuzzStratum>(Index % NumFuzzStrata);
+
+  const bool NeedsTwoLoops = K.Stratum == FuzzStratum::RDIV ||
+                             K.Stratum == FuzzStratum::CoupledMIV;
+  const unsigned MaxDepth = std::max(Config.MaxDepth, NeedsTwoLoops ? 2u : 1u);
+  const unsigned Depth =
+      static_cast<unsigned>(drawInt(Rng, NeedsTwoLoops ? 2 : 1, MaxDepth));
+  const unsigned MinDims = K.Stratum == FuzzStratum::CoupledMIV ? 2u : 1u;
+  const unsigned Dims = static_cast<unsigned>(
+      drawInt(Rng, MinDims, std::max(Config.MaxDims, MinDims)));
+  const unsigned Stmts =
+      static_cast<unsigned>(drawInt(Rng, 1, std::max(Config.MaxStmts, 1u)));
+
+  // Loop nest. Lower bounds are 1 except in the degenerate stratum,
+  // which also produces single-trip (U == L) and zero-trip (U < L)
+  // loops.
+  for (unsigned L = 0; L != Depth; ++L) {
+    FuzzLoop Loop;
+    Loop.Index = workloadIndexName(L);
+    if (K.Stratum == FuzzStratum::Degenerate) {
+      Loop.Lower = drawInt(Rng, -2, 2);
+      Loop.Upper = Loop.Lower + drawInt(Rng, -1, 2); // Includes U < L.
+    } else {
+      Loop.Lower = 1;
+      Loop.Upper = drawInt(Rng, 1, Config.MaxBound);
+    }
+    K.Loops.push_back(std::move(Loop));
+  }
+
+  // Symbols: a symbolic upper bound on a random loop, and optionally a
+  // second symbol usable inside subscripts.
+  std::string SubscriptSym;
+  if (K.Stratum == FuzzStratum::SymbolicBound) {
+    unsigned L = static_cast<unsigned>(drawInt(Rng, 0, Depth - 1));
+    K.Loops[L].UpperSymbol = "n";
+    K.Loops[L].Upper = drawInt(Rng, 1, Config.MaxBound);
+    K.SymbolValues["n"] = K.Loops[L].Upper;
+    if (drawBool(Rng, 0.5)) {
+      SubscriptSym = "m";
+      K.SymbolValues["m"] = drawInt(Rng, 1, Config.ConstRange);
+    } else if (drawBool(Rng, 0.5)) {
+      SubscriptSym = "n"; // Reuse the bound symbol inside subscripts.
+    }
+  }
+
+  auto DrawConst = [&] {
+    return LinearExpr(drawInt(Rng, -Config.ConstRange, Config.ConstRange));
+  };
+  auto Idx = [](unsigned L, int64_t Coeff) {
+    return LinearExpr::index(workloadIndexName(L), Coeff);
+  };
+
+  // The stratum's characteristic subscript-pair shape, installed in
+  // dimension 0 of statement 0 (write side first).
+  LinearExpr Dim0Src, Dim0Dst;
+  switch (K.Stratum) {
+  case FuzzStratum::ZIV:
+    Dim0Src = DrawConst();
+    Dim0Dst = DrawConst();
+    break;
+  case FuzzStratum::StrongSIV: {
+    int64_t A = drawNonZero(Rng, Config.CoeffRange);
+    Dim0Src = Idx(0, A) + DrawConst();
+    Dim0Dst = Idx(0, A) + DrawConst();
+    break;
+  }
+  case FuzzStratum::WeakZeroSIV: {
+    int64_t A = drawNonZero(Rng, Config.CoeffRange);
+    Dim0Src = Idx(0, A) + DrawConst();
+    Dim0Dst = DrawConst();
+    if (drawBool(Rng, 0.5))
+      std::swap(Dim0Src, Dim0Dst);
+    break;
+  }
+  case FuzzStratum::WeakCrossingSIV: {
+    int64_t A = drawNonZero(Rng, Config.CoeffRange);
+    Dim0Src = Idx(0, A) + DrawConst();
+    Dim0Dst = Idx(0, -A) + DrawConst();
+    break;
+  }
+  case FuzzStratum::ExactSIV: {
+    int64_t A1 = drawNonZero(Rng, std::max<int64_t>(Config.CoeffRange, 2));
+    int64_t A2 = drawNonZero(Rng, std::max<int64_t>(Config.CoeffRange, 2));
+    while (A2 == A1 || A2 == -A1)
+      A2 = drawNonZero(Rng, std::max<int64_t>(Config.CoeffRange, 2));
+    Dim0Src = Idx(0, A1) + DrawConst();
+    Dim0Dst = Idx(0, A2) + DrawConst();
+    break;
+  }
+  case FuzzStratum::RDIV:
+    Dim0Src = Idx(0, drawNonZero(Rng, Config.CoeffRange)) + DrawConst();
+    Dim0Dst = Idx(1, drawNonZero(Rng, Config.CoeffRange)) + DrawConst();
+    break;
+  case FuzzStratum::CoupledMIV:
+    // Dimension 1 (installed below) shares indices with dimension 0,
+    // forming a coupled group.
+    Dim0Src = Idx(0, drawNonZero(Rng, 2)) + Idx(1, drawNonZero(Rng, 2)) +
+              DrawConst();
+    Dim0Dst = Idx(0, drawNonZero(Rng, 2)) + DrawConst();
+    break;
+  case FuzzStratum::SymbolicBound:
+    Dim0Src = drawAffine(Rng, Config, Depth, SubscriptSym);
+    Dim0Dst = drawAffine(Rng, Config, Depth, SubscriptSym);
+    break;
+  case FuzzStratum::Degenerate:
+    // Zero coefficients and constant-only sides are the point here.
+    Dim0Src = drawBool(Rng, 0.5) ? DrawConst()
+                                 : Idx(0, drawInt(Rng, 0, 1)) + DrawConst();
+    Dim0Dst = drawBool(Rng, 0.5) ? DrawConst()
+                                 : Idx(0, drawInt(Rng, 0, 1)) + DrawConst();
+    break;
+  case FuzzStratum::NearOverflow: {
+    const int64_t Huge =
+        std::numeric_limits<int64_t>::max() - drawInt(Rng, 0, 4);
+    switch (drawInt(Rng, 0, 2)) {
+    case 0: // Huge additive constant on one side.
+      Dim0Src = Idx(0, 1) + LinearExpr(drawBool(Rng, 0.5) ? Huge : -Huge);
+      Dim0Dst = Idx(0, 1) + DrawConst();
+      break;
+    case 1: // Huge coefficient.
+      Dim0Src = Idx(0, Huge) + DrawConst();
+      Dim0Dst = Idx(0, drawNonZero(Rng, Config.CoeffRange)) + DrawConst();
+      break;
+    default: // Huge on both sides: differences overflow.
+      Dim0Src = Idx(0, 1) + LinearExpr(Huge);
+      Dim0Dst = Idx(0, 1) + LinearExpr(-Huge);
+      break;
+    }
+    break;
+  }
+  }
+
+  for (unsigned S = 0; S != Stmts; ++S) {
+    FuzzStmt Stmt;
+    for (unsigned D = 0; D != Dims; ++D) {
+      if (S == 0 && D == 0) {
+        Stmt.Write.push_back(Dim0Src);
+        Stmt.Read.push_back(Dim0Dst);
+        continue;
+      }
+      if (S == 0 && D == 1 && K.Stratum == FuzzStratum::CoupledMIV) {
+        Stmt.Write.push_back(Idx(1, drawNonZero(Rng, 2)) + DrawConst());
+        Stmt.Read.push_back(Idx(0, drawNonZero(Rng, 2)) +
+                            Idx(1, drawInt(Rng, -1, 1)) + DrawConst());
+        continue;
+      }
+      Stmt.Write.push_back(drawAffine(Rng, Config, Depth, SubscriptSym));
+      Stmt.Read.push_back(drawAffine(Rng, Config, Depth, SubscriptSym));
+    }
+    K.Stmts.push_back(std::move(Stmt));
+  }
+
+  // A sampled subscript symbol may end up mentioned nowhere when every
+  // drawAffine coin declines it. Prune it so SymbolValues holds exactly
+  // the symbols the structure uses — the invariant the shrinker keeps
+  // and the repro-format round trip depends on.
+  std::erase_if(K.SymbolValues, [&](const auto &Entry) {
+    for (const FuzzLoop &L : K.Loops)
+      if (L.UpperSymbol == Entry.first)
+        return false;
+    for (const FuzzStmt &S : K.Stmts)
+      for (const std::vector<LinearExpr> *Side : {&S.Write, &S.Read})
+        for (const LinearExpr &E : *Side)
+          if (E.symbolCoeff(Entry.first) != 0)
+            return false;
+    return true;
+  });
+  return K;
+}

@@ -1,0 +1,57 @@
+//===- fuzz/Repro.cpp - Self-contained repro files ------------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Repro.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace pdt;
+
+std::string
+pdt::renderFuzzRepro(const FuzzKernel &K,
+                     const std::vector<FuzzDiscrepancy> &Findings) {
+  std::ostringstream OS;
+  for (const FuzzDiscrepancy &F : Findings) {
+    OS << "! pdt-fuzz-finding kind=" << fuzzDiscrepancyKindName(F.Kind);
+    if (F.SrcAccess != ~0u)
+      OS << " pair=" << F.SrcAccess << "->" << F.SnkAccess;
+    OS << "\n!   " << F.Detail << "\n";
+  }
+  OS << "! replay: depfuzz --replay " << fuzzReproFileName(K) << "\n";
+  OS << fuzzKernelToSource(K);
+  return OS.str();
+}
+
+bool pdt::writeFuzzReproFile(const std::string &Path, const FuzzKernel &K,
+                             const std::vector<FuzzDiscrepancy> &Findings) {
+  std::filesystem::path Parent = std::filesystem::path(Path).parent_path();
+  if (!Parent.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Parent, EC);
+  }
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  OS << renderFuzzRepro(K, Findings);
+  return static_cast<bool>(OS);
+}
+
+std::optional<FuzzKernel> pdt::loadFuzzReproFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return std::nullopt;
+  std::ostringstream Buffer;
+  Buffer << IS.rdbuf();
+  return parseFuzzKernelSource(Buffer.str());
+}
+
+std::string pdt::fuzzReproFileName(const FuzzKernel &K) {
+  return "fuzz-repro-" + std::to_string(K.Seed) + "-" +
+         std::to_string(K.Index) + ".pdt";
+}

@@ -1,0 +1,48 @@
+//===- fuzz/Repro.h - Self-contained repro files ----------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discrepancy repro files: a valid input-language program whose
+/// `! pdt-fuzz` comment lines carry the generator coordinates, the
+/// sampled symbol values, and the discrepancy classification, so one
+/// file is everything needed to replay the finding (see
+/// docs/FUZZING.md). `examples/depfuzz --replay <file>` re-runs all
+/// deciders on the parsed kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_FUZZ_REPRO_H
+#define PDT_FUZZ_REPRO_H
+
+#include "fuzz/Differential.h"
+#include "fuzz/FuzzKernel.h"
+
+#include <optional>
+#include <string>
+
+namespace pdt {
+
+/// Renders a repro document for \p K: the kernel source (metadata
+/// comments + program) preceded by one `! pdt-fuzz-finding` line per
+/// discrepancy and a `! replay:` hint.
+std::string renderFuzzRepro(const FuzzKernel &K,
+                            const std::vector<FuzzDiscrepancy> &Findings);
+
+/// Writes renderFuzzRepro to \p Path; false on I/O failure.
+bool writeFuzzReproFile(const std::string &Path, const FuzzKernel &K,
+                        const std::vector<FuzzDiscrepancy> &Findings);
+
+/// Reads a repro (or any fuzz-kernel-shaped program) back from disk.
+std::optional<FuzzKernel> loadFuzzReproFile(const std::string &Path);
+
+/// The canonical repro file name for a finding on kernel \p K
+/// ("fuzz-repro-<seed>-<index>.pdt").
+std::string fuzzReproFileName(const FuzzKernel &K);
+
+} // namespace pdt
+
+#endif // PDT_FUZZ_REPRO_H

@@ -1,0 +1,59 @@
+//===- fuzz/Shrinker.h - Delta-debugging kernel reducer ---------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta debugging over the kernel structure: repeatedly try
+/// every one-step reduction (drop a statement, drop a loop, drop a
+/// dimension, concretize a symbol, zero or simplify a coefficient,
+/// halve a constant, tighten a bound) and accept the first one on
+/// which the caller's predicate still reproduces, until no single
+/// reduction reproduces. The result is locally minimal with respect to
+/// the reduction set: shrinking it one more step loses the failure.
+///
+/// The predicate sees complete, well-formed kernels only — every
+/// reduction keeps the rank uniform, at least one loop, at least one
+/// statement, and the symbol table consistent with the structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_FUZZ_SHRINKER_H
+#define PDT_FUZZ_SHRINKER_H
+
+#include "fuzz/FuzzKernel.h"
+
+#include <functional>
+
+namespace pdt {
+
+/// Returns true when the kernel still exhibits the failure being
+/// chased. Must be deterministic for the shrink to terminate at a
+/// local minimum.
+using FuzzPredicate = std::function<bool(const FuzzKernel &)>;
+
+/// Every one-step reduction of \p K, each a complete well-formed
+/// kernel strictly smaller than \p K. Exposed so the minimality test
+/// can verify that no candidate of a shrunk kernel reproduces.
+std::vector<FuzzKernel> fuzzReductionCandidates(const FuzzKernel &K);
+
+struct FuzzShrinkResult {
+  FuzzKernel Kernel;       ///< The locally minimal kernel.
+  unsigned StepsTried = 0; ///< Predicate evaluations spent.
+  unsigned Reductions = 0; ///< Accepted reduction steps.
+  /// False when MaxSteps ran out before reaching a local minimum (the
+  /// kernel is still the smallest reproducer found).
+  bool Minimal = true;
+};
+
+/// Shrinks \p K while \p StillFails holds. \p K itself must satisfy
+/// the predicate (asserted). \p MaxSteps bounds predicate evaluations,
+/// keeping the shrink budget-aware.
+FuzzShrinkResult shrinkFuzzKernel(FuzzKernel K, const FuzzPredicate &StillFails,
+                                  unsigned MaxSteps = 5000);
+
+} // namespace pdt
+
+#endif // PDT_FUZZ_SHRINKER_H

@@ -66,6 +66,16 @@ const char *pdt::metricName(Metric M) {
     return "degraded.internal-invariant";
   case Metric::DegradedMalformed:
     return "degraded.malformed-input";
+  case Metric::FuzzKernels:
+    return "fuzz.kernels";
+  case Metric::FuzzPairsChecked:
+    return "fuzz.pairs_checked";
+  case Metric::FuzzDiscrepancies:
+    return "fuzz.discrepancies";
+  case Metric::FuzzExactnessLosses:
+    return "fuzz.exactness_losses";
+  case Metric::FuzzShrinkSteps:
+    return "fuzz.shrink_steps";
   }
   pdt_unreachable("covered switch");
 }
@@ -88,6 +98,8 @@ const char *pdt::histoName(Histo H) {
     return "latency.delta_ns";
   case Histo::FMNs:
     return "latency.fm_ns";
+  case Histo::FuzzKernelNs:
+    return "latency.fuzz_kernel_ns";
   }
   pdt_unreachable("covered switch");
 }

@@ -63,8 +63,13 @@ enum class Metric : unsigned {
   DegradedSymbolic,
   DegradedInternal,
   DegradedMalformed,
+  FuzzKernels,         ///< Kernels checked by the differential fuzzer.
+  FuzzPairsChecked,    ///< Access pairs cross-checked by the fuzzer.
+  FuzzDiscrepancies,   ///< Soundness-class discrepancies found.
+  FuzzExactnessLosses, ///< Conservative (inexact, not unsound) edges seen.
+  FuzzShrinkSteps,     ///< Candidate reductions evaluated while shrinking.
 };
-constexpr unsigned NumMetrics = 21;
+constexpr unsigned NumMetrics = 26;
 
 /// Gauges, merged by maximum.
 enum class Gauge : unsigned {
@@ -75,11 +80,12 @@ constexpr unsigned NumGauges = 2;
 
 /// Latency histograms (nanoseconds, power-of-two buckets).
 enum class Histo : unsigned {
-  PairTestNs,  ///< One access pair through the tester.
-  DeltaNs,     ///< One Delta-test run on a coupled group.
-  FMNs,        ///< One Fourier-Motzkin feasibility decision.
+  PairTestNs,    ///< One access pair through the tester.
+  DeltaNs,       ///< One Delta-test run on a coupled group.
+  FMNs,          ///< One Fourier-Motzkin feasibility decision.
+  FuzzKernelNs,  ///< One generated kernel through all fuzz deciders.
 };
-constexpr unsigned NumHistos = 3;
+constexpr unsigned NumHistos = 4;
 constexpr unsigned HistoBuckets = 32;
 
 /// Report-time name ("graph.pairs.tested", "pool.steals", ...).

@@ -1,0 +1,185 @@
+//===- tests/fuzz/DifferentialTest.cpp ------------------------------------===//
+//
+// The differential harness end to end: regression kernels for the core
+// bugs the fuzzer found (self-pair exactness, zero-trip nests, the
+// near-overflow SIGFPE), a small clean campaign covering every
+// stratum, campaign-level determinism across thread counts, the
+// planted-bug self-checks, the repro-file round trip, and the
+// PDT_FUZZ_* environment overlay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "core/DependenceTester.h"
+#include "fuzz/Repro.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pdt;
+
+namespace {
+
+/// `a(W) = a(R) + 1` inside `do i = Lower, Upper`.
+FuzzKernel singleLoopKernel(int64_t Lower, int64_t Upper, LinearExpr W,
+                            LinearExpr R) {
+  FuzzKernel K;
+  K.Loops.push_back({"i", Lower, Upper, ""});
+  K.Stmts.push_back({{std::move(W)}, {std::move(R)}});
+  return K;
+}
+
+TEST(DifferentialTest, SelfPairConstantSubscriptIsNotAFalseExact) {
+  // `a(0) = a(0)` in a single-trip loop: the write-write self pair's
+  // only solution is the all-'=' tuple — the same dynamic instance,
+  // which the oracle convention drops. The exact "dependent" verdict
+  // admits that tuple, so the empty enumeration is consistent.
+  FuzzKernel K =
+      singleLoopKernel(1, 1, LinearExpr::constant(0), LinearExpr::constant(0));
+  FuzzKernelVerdict V = checkFuzzKernel(K);
+  EXPECT_FALSE(V.failed()) << V.Discrepancies[0].Detail;
+  EXPECT_TRUE(V.GroundTruth);
+}
+
+TEST(DifferentialTest, ZeroTripNestDecidesEmptyNest) {
+  // `do i = 1, 0` never executes, so even textually identical
+  // subscripts carry no dependence; the suite must prove it rather
+  // than claim an exact dependence over an empty iteration space.
+  FuzzKernel K = singleLoopKernel(1, 0, LinearExpr::index("i"),
+                                  LinearExpr::index("i") - LinearExpr(1));
+  LoopNestContext Ctx = symbolicFuzzContext(K);
+  for (const FuzzPair &Pair : enumerateFuzzPairs(K)) {
+    DependenceTestResult R = testDependence(Pair.Subscripts, Ctx);
+    EXPECT_EQ(R.TheVerdict, Verdict::Independent);
+    EXPECT_EQ(R.DecidedBy, TestKind::EmptyNest);
+  }
+  EXPECT_FALSE(checkFuzzKernel(K).failed());
+}
+
+TEST(DifferentialTest, NearOverflowSubscriptsNeitherCrashNorLie) {
+  // Regressions from the near-overflow stratum: a particular solution
+  // at INT64_MAX used to reach floorDiv(INT64_MIN, -1) (SIGFPE), and a
+  // dependence equation whose constant is exactly INT64_MIN used to
+  // wrap the strong-SIV |distance| computation into a false exact.
+  for (int64_t C : {INT64_MAX, INT64_MAX - 3, INT64_MIN + 4}) {
+    FuzzKernel K =
+        singleLoopKernel(1, 4, LinearExpr::index("i") + LinearExpr(C),
+                         LinearExpr::index("i") + LinearExpr(4));
+    FuzzKernelVerdict V = checkFuzzKernel(K);
+    EXPECT_FALSE(V.failed()) << "constant " << C << ": "
+                             << V.Discrepancies[0].Detail;
+  }
+}
+
+TEST(DifferentialTest, SmallCampaignIsCleanAndCoversEveryStratum) {
+  FuzzCampaignConfig Config;
+  Config.Seed = 1;
+  Config.Count = 400;
+  Config.NumThreads = 2;
+  FuzzCampaignReport Report = runFuzzCampaign(Config);
+  EXPECT_TRUE(Report.clean());
+  EXPECT_TRUE(Report.allStrataCovered());
+  EXPECT_EQ(Report.KernelsChecked, 400u);
+  EXPECT_EQ(Report.KernelsSkipped, 0u);
+  EXPECT_GT(Report.PairsChecked, 400u);
+  EXPECT_GT(Report.GroundTruthKernels, 0u);
+  EXPECT_GT(Report.DynamicChecks, 0u);
+  EXPECT_TRUE(Report.Findings.empty());
+}
+
+TEST(DifferentialTest, CampaignIsDeterministicAcrossThreadCounts) {
+  FuzzCampaignConfig Config;
+  Config.Seed = 7;
+  Config.Count = 50;
+  Config.Check.DeliberateBug = FuzzCheckConfig::Bug::ForceIndependent;
+  Config.MaxFindings = 3;
+
+  Config.NumThreads = 1;
+  FuzzCampaignReport Serial = runFuzzCampaign(Config);
+  ASSERT_FALSE(Serial.clean());
+  ASSERT_FALSE(Serial.Findings.empty());
+
+  Config.NumThreads = 4;
+  FuzzCampaignReport Parallel = runFuzzCampaign(Config);
+
+  EXPECT_EQ(Parallel.KernelsChecked, Serial.KernelsChecked);
+  EXPECT_EQ(Parallel.PairsChecked, Serial.PairsChecked);
+  EXPECT_EQ(Parallel.Discrepancies, Serial.Discrepancies);
+  EXPECT_EQ(Parallel.ExactnessLosses, Serial.ExactnessLosses);
+  ASSERT_EQ(Parallel.Findings.size(), Serial.Findings.size());
+  for (unsigned I = 0; I != Serial.Findings.size(); ++I) {
+    EXPECT_EQ(Parallel.Findings[I].Original, Serial.Findings[I].Original);
+    EXPECT_EQ(Parallel.Findings[I].Shrunk, Serial.Findings[I].Shrunk);
+    EXPECT_EQ(Parallel.Findings[I].Discrepancies.size(),
+              Serial.Findings[I].Discrepancies.size());
+  }
+}
+
+TEST(DifferentialTest, PlantedBugsAreCaughtAndShrunkSmall) {
+  for (FuzzCheckConfig::Bug Bug : {FuzzCheckConfig::Bug::ForceIndependent,
+                                   FuzzCheckConfig::Bug::DropLTDirection}) {
+    FuzzCampaignConfig Config;
+    Config.Seed = 7;
+    Config.Count = 100;
+    Config.NumThreads = 2;
+    Config.Check.DeliberateBug = Bug;
+    Config.MaxFindings = 2;
+    FuzzCampaignReport Report = runFuzzCampaign(Config);
+    ASSERT_FALSE(Report.clean());
+    ASSERT_FALSE(Report.Findings.empty());
+    bool Convicted = false;
+    for (const FuzzFinding &F : Report.Findings) {
+      EXPECT_LE(F.Shrunk.Stmts.size(), 3u);
+      for (const FuzzDiscrepancy &D : F.Discrepancies)
+        Convicted |= D.Kind == FuzzDiscrepancyKind::SoundnessViolation ||
+                     D.Kind == FuzzDiscrepancyKind::DynamicUncovered;
+    }
+    EXPECT_TRUE(Convicted);
+  }
+}
+
+TEST(DifferentialTest, ReproFileRoundTrips) {
+  FuzzKernel K = generateFuzzKernel(5, 123);
+  std::vector<FuzzDiscrepancy> Findings = {
+      {FuzzDiscrepancyKind::SoundnessViolation, 0, 1, "unit-test finding"}};
+
+  std::string Text = renderFuzzRepro(K, Findings);
+  EXPECT_NE(Text.find("pdt-fuzz"), std::string::npos);
+  EXPECT_NE(Text.find("soundness-violation"), std::string::npos);
+
+  EXPECT_EQ(fuzzReproFileName(K), "fuzz-repro-5-123.pdt");
+  std::string Path = "pdt-unit-test-repro.pdt"; // Scratch in the test cwd.
+  ASSERT_TRUE(writeFuzzReproFile(Path, K, Findings));
+  std::optional<FuzzKernel> Back = loadFuzzReproFile(Path);
+  std::remove(Path.c_str());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, K);
+}
+
+TEST(DifferentialTest, EnvKnobsOverlayTheDefaults) {
+  ASSERT_EQ(setenv("PDT_FUZZ_SEED", "42", 1), 0);
+  ASSERT_EQ(setenv("PDT_FUZZ_COUNT", "77", 1), 0);
+  ASSERT_EQ(setenv("PDT_FUZZ_THREADS", "3", 1), 0);
+  ASSERT_EQ(setenv("PDT_FUZZ_SHRINK_STEPS", "9", 1), 0);
+  ASSERT_EQ(setenv("PDT_FUZZ_REPRO_DIR", "repros", 1), 0);
+  FuzzCampaignConfig C = fuzzCampaignConfigFromEnv();
+  EXPECT_EQ(C.Seed, 42u);
+  EXPECT_EQ(C.Count, 77u);
+  EXPECT_EQ(C.NumThreads, 3u);
+  EXPECT_EQ(C.ShrinkMaxSteps, 9u);
+  EXPECT_EQ(C.ReproDir, "repros");
+  for (const char *Var : {"PDT_FUZZ_SEED", "PDT_FUZZ_COUNT",
+                          "PDT_FUZZ_THREADS", "PDT_FUZZ_SHRINK_STEPS",
+                          "PDT_FUZZ_REPRO_DIR"})
+    unsetenv(Var);
+
+  FuzzCampaignConfig Defaults = fuzzCampaignConfigFromEnv();
+  EXPECT_EQ(Defaults.Seed, 1u);
+  EXPECT_EQ(Defaults.Count, 10000u);
+  EXPECT_TRUE(Defaults.ReproDir.empty());
+}
+
+} // namespace
