@@ -16,10 +16,13 @@
 #ifndef PDT_BENCH_BENCHMETA_H
 #define PDT_BENCH_BENCHMETA_H
 
+#include "support/Env.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <ctime>
+#include <filesystem>
+#include <optional>
 #include <string>
 
 // Injected by bench/CMakeLists.txt; the fallbacks keep the header
@@ -55,6 +58,21 @@ inline std::string benchMetaJson(const char *BenchName) {
   Out += std::string("    \"timestamp\": \"") + Time + "\"\n";
   Out += "  }";
   return Out;
+}
+
+/// Where a bench JSON artifact lands: inside PDT_BENCH_DIR (created
+/// on demand) when set, the current directory otherwise. Every bench
+/// routes its BENCH_*.json through this so one environment variable
+/// collects a whole run's artifacts — ctest working directories,
+/// CI output folders, the committed ledger directory.
+inline std::string benchOutputPath(const char *FileName) {
+  std::optional<std::string> Dir = envPath("PDT_BENCH_DIR");
+  if (!Dir)
+    return FileName;
+  std::error_code EC;
+  std::filesystem::create_directories(*Dir, EC);
+  // On failure fall through: the ofstream open reports the real error.
+  return *Dir + "/" + FileName;
 }
 
 } // namespace pdt

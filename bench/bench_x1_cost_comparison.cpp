@@ -19,6 +19,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchMeta.h"
+
+#include "driver/RunReport.h"
 #include "core/DependenceTester.h"
 #include "core/FourierMotzkin.h"
 #include "core/MultidimGCD.h"
@@ -165,6 +167,7 @@ template <typename Fn> double sweepMs(unsigned Reps, Fn &&Run) {
 // corpus pairs, so the paper's 22-28x Fourier-Motzkin cost ratio is
 // machine-readable.
 int main(int argc, char **argv) {
+  RunReport::noteTool("bench_x1_cost_comparison");
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
@@ -186,7 +189,7 @@ int main(int argc, char **argv) {
                : 0u;
   });
 
-  std::ofstream Json("BENCH_cost_comparison.json");
+  std::ofstream Json(benchOutputPath("BENCH_cost_comparison.json"));
   Json << "{\n"
        << benchMetaJson("x1_cost_comparison") << ",\n"
        << "  \"pairs\": " << corpusPairs().size() << ",\n"

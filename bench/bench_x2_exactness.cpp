@@ -18,6 +18,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchMeta.h"
+
+#include "driver/RunReport.h"
 #include "core/DependenceTester.h"
 #include "core/FourierMotzkin.h"
 #include "core/MultidimGCD.h"
@@ -129,6 +131,7 @@ void runPopulation(const char *Title, const char *Slug,
 } // namespace
 
 int main() {
+  RunReport::noteTool("bench_x2_exactness");
   std::printf("Experiment X2: verdict exactness vs brute-force oracle\n\n");
   std::string PopulationsJson;
 
@@ -154,7 +157,7 @@ int main() {
   runPopulation("MIV-heavy population (stress the Banerjee fallback)", "miv",
                 MIV, 2000, 99, PopulationsJson);
 
-  std::ofstream Json("BENCH_exactness.json");
+  std::ofstream Json(benchOutputPath("BENCH_exactness.json"));
   Json << "{\n"
        << benchMetaJson("x2_exactness") << ",\n"
        << "  \"populations\": {\n"

@@ -22,6 +22,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchMeta.h"
+
+#include "driver/RunReport.h"
 #include "core/AccessLoweringCache.h"
 #include "core/DependenceGraph.h"
 #include "core/DependenceTester.h"
@@ -148,6 +150,7 @@ template <typename Fn> Measurement timeBest(unsigned Reps, Fn &&Run) {
 } // namespace
 
 int main(int argc, char **argv) {
+  RunReport::noteTool("bench_x3_graph_throughput");
   bool Smoke = false;
   unsigned Threads = 4;
   unsigned NumNests = 64;
@@ -243,7 +246,7 @@ int main(int argc, char **argv) {
               Threads, Parallel.Secs * 1e3, ParallelPps, SpeedupParallel,
               ThreadScaling);
 
-  std::ofstream Json("BENCH_graph_throughput.json");
+  std::ofstream Json(benchOutputPath("BENCH_graph_throughput.json"));
   Json << "{\n"
        << benchMetaJson("x3_graph_throughput") << ",\n"
        << "  \"workload\": {\"nests\": " << NumNests

@@ -27,6 +27,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchMeta.h"
+
+#include "driver/RunReport.h"
 #include "core/DependenceGraph.h"
 #include "core/DependenceTester.h"
 #include "core/Oracle.h"
@@ -262,6 +264,7 @@ end do
 } // namespace
 
 int main(int argc, char **argv) {
+  RunReport::noteTool("bench_x4_robustness");
   bool Smoke = false;
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--smoke"))
@@ -383,7 +386,7 @@ int main(int argc, char **argv) {
   std::printf("x4 robustness: %s in %.1f s\n",
               Failures ? "FAILURES" : "all checks passed", TotalSecs);
 
-  std::ofstream Json("BENCH_robustness.json");
+  std::ofstream Json(benchOutputPath("BENCH_robustness.json"));
   Json << "{\n"
        << benchMetaJson("x4_robustness") << ",\n"
        << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n"

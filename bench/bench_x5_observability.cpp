@@ -27,6 +27,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchMeta.h"
+
+#include "driver/RunReport.h"
 #include "core/DependenceGraph.h"
 #include "core/DependenceTester.h"
 #include "core/FourierMotzkin.h"
@@ -143,6 +145,7 @@ const std::set<std::string> KnownLayers = {"graph", "cache", "tester",
 } // namespace
 
 int main(int argc, char **argv) {
+  RunReport::noteTool("bench_x5_observability");
   bool Smoke = false;
   unsigned Threads = 4;
   unsigned NumNests = 96;
@@ -246,7 +249,7 @@ int main(int argc, char **argv) {
               Events.size(), Layers.size(),
               Failures ? "FAILURES" : "all checks passed");
 
-  std::ofstream Json("BENCH_observability.json");
+  std::ofstream Json(benchOutputPath("BENCH_observability.json"));
   Json << "{\n"
        << benchMetaJson("x5_observability") << ",\n"
        << "  \"workload\": {\"nests\": " << NumNests

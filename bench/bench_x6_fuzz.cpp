@@ -27,6 +27,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchMeta.h"
+
+#include "driver/RunReport.h"
 #include "fuzz/Fuzzer.h"
 
 #include <cstdio>
@@ -85,6 +87,7 @@ void checkDeliberateBug(FuzzCheckConfig::Bug Bug, const char *Name) {
 } // namespace
 
 int main(int argc, char **argv) {
+  RunReport::noteTool("bench_x6_fuzz");
   bool Smoke = false;
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--smoke"))
@@ -173,7 +176,7 @@ int main(int argc, char **argv) {
 
   std::printf("x6 fuzz: %s\n", Failures ? "FAILURES" : "all checks passed");
 
-  std::ofstream Json("BENCH_fuzz.json");
+  std::ofstream Json(benchOutputPath("BENCH_fuzz.json"));
   Json << "{\n"
        << benchMetaJson("x6_fuzz") << ",\n"
        << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n"

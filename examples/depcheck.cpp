@@ -24,9 +24,11 @@
 
 #include "core/Explain.h"
 #include "driver/Analyzer.h"
+#include "driver/RunReport.h"
 #include "ir/PrettyPrinter.h"
 #include "transforms/Parallelizer.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -74,7 +76,14 @@ int main(int argc, char **argv) {
     Name = Path;
   }
 
+  RunReport::noteTool("depcheck");
+  RunReport::noteWorkload("input", Name);
+  auto T0 = std::chrono::steady_clock::now();
   AnalysisResult R = analyzeSource(Source, Name, Options);
+  RunReport::noteWallNs(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - T0)
+                            .count());
+  RunReport::noteStats(R.Stats);
   if (!R.Parsed) {
     for (const Diagnostic &D : R.Diagnostics)
       std::fprintf(stderr, "%s: %s\n", Name.c_str(), D.str().c_str());

@@ -29,6 +29,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/RunReport.h"
 #include "fuzz/Fuzzer.h"
 #include "fuzz/Repro.h"
 #include "fuzz/Shrinker.h"
@@ -170,7 +171,11 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  RunReport::noteTool("depfuzz");
+  RunReport::noteWorkload("seed", Config.Seed);
+  RunReport::noteWorkload("kernels", Config.Count);
   FuzzCampaignReport Report = runFuzzCampaign(Config);
+  RunReport::noteWallNs(static_cast<int64_t>(Report.ElapsedSec * 1e9));
 
   std::printf("checked %llu kernels (%llu pairs) in %.2f s: "
               "%llu discrepancies, %llu aborts, %llu exactness losses\n",

@@ -1,0 +1,385 @@
+//===- examples/depprof.cpp ------------------------------------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The report-tooling companion to depcheck: reads the AnalysisReport
+// JSON every pdt tool writes under PDT_REPORT and answers the three
+// questions a performance investigation starts with.
+//
+//   depprof report <run.json> [--collapsed]
+//     Pretty-prints one report: identity, headline counters, latency
+//     quantiles, and the span attribution tables sorted by self time.
+//     --collapsed instead emits folded flamegraph stacks
+//     ("a;b;c selfns" lines) for flamegraph.pl / speedscope.
+//
+//   depprof diff <before.json> <after.json>
+//           [--time] [--counter-tol F] [--counter-floor F]
+//           [--time-tol F] [--time-floor F]
+//     Diffs two runs key by key under per-class tolerances (see
+//     driver/ReportDiff.h). Exits 1 when a regression-class change is
+//     found — the ctest self-regression gate is exactly this command.
+//     Wall-clock keys gate only under --time.
+//
+//   depprof history append <ledger.jsonl> <run.json> --bench NAME
+//           [--config STR]
+//   depprof history scan <ledger.jsonl> --bench NAME [--config STR]
+//           [--noise-k F]
+//     Appends a curated line to the BENCH_HISTORY.jsonl perf ledger,
+//     or scans it: the newest run's time-class values are compared
+//     against the median of the prior runs and flagged beyond
+//     noise-k median-absolute-deviations (exit 1 when flagged).
+//
+// Exit codes: 0 clean, 1 regression/flag, 2 usage or I/O error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ReportDiff.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s report <run.json> [--collapsed]\n"
+      "       %s diff <before.json> <after.json> [--time]\n"
+      "              [--counter-tol F] [--counter-floor F]\n"
+      "              [--time-tol F] [--time-floor F]\n"
+      "       %s history append <ledger.jsonl> <run.json> --bench NAME"
+      " [--config STR]\n"
+      "       %s history scan <ledger.jsonl> --bench NAME [--config STR]"
+      " [--noise-k F]\n",
+      Argv0, Argv0, Argv0, Argv0);
+  return 2;
+}
+
+std::optional<json::Value> loadReport(const char *Path) {
+  std::ifstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "depprof: cannot open %s\n", Path);
+    return std::nullopt;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  std::string Error;
+  std::optional<json::Value> V = json::parse(Buffer.str(), &Error);
+  if (!V) {
+    std::fprintf(stderr, "depprof: %s: %s\n", Path, Error.c_str());
+    return std::nullopt;
+  }
+  std::optional<std::string> Schema = V->stringAt("schema");
+  if (!Schema || *Schema != "pdt-report-v1") {
+    std::fprintf(stderr, "depprof: %s: not a pdt-report-v1 document\n", Path);
+    return std::nullopt;
+  }
+  return V;
+}
+
+void printEntryTable(const json::Value &Report, const char *Member,
+                     const char *Title) {
+  const json::Value *Profile = Report.find("profile");
+  const json::Value *Rows = Profile ? Profile->find(Member) : nullptr;
+  if (!Rows || !Rows->isArray() || Rows->asArray().empty())
+    return;
+
+  struct Row {
+    std::string Key;
+    uint64_t Calls;
+    double InclusiveMs, SelfMs;
+  };
+  std::vector<Row> Sorted;
+  for (const json::Value &R : Rows->asArray()) {
+    std::optional<std::string> Key = R.stringAt("key");
+    if (!Key)
+      continue;
+    Sorted.push_back({*Key, R.uintAt("calls").value_or(0),
+                      R.numberAt("inclusive_ns").value_or(0) / 1e6,
+                      R.numberAt("self_ns").value_or(0) / 1e6});
+  }
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Row &A, const Row &B) { return A.SelfMs > B.SelfMs; });
+
+  std::printf("\n%s\n%-40s %10s %12s %12s\n", Title, "key", "calls",
+              "incl (ms)", "self (ms)");
+  for (const Row &R : Sorted)
+    std::printf("%-40s %10llu %12.3f %12.3f\n", R.Key.c_str(),
+                static_cast<unsigned long long>(R.Calls), R.InclusiveMs,
+                R.SelfMs);
+}
+
+int cmdReport(int argc, char **argv) {
+  const char *Path = nullptr;
+  bool Collapsed = false;
+  for (int I = 0; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--collapsed"))
+      Collapsed = true;
+    else if (!Path)
+      Path = argv[I];
+    else
+      return usage("depprof");
+  }
+  if (!Path)
+    return usage("depprof");
+  std::optional<json::Value> Report = loadReport(Path);
+  if (!Report)
+    return 2;
+
+  if (Collapsed) {
+    const json::Value *Profile = Report->find("profile");
+    const json::Value *Stacks = Profile ? Profile->find("stacks") : nullptr;
+    if (!Stacks || !Stacks->isArray()) {
+      std::fprintf(stderr, "depprof: %s has no profile section (run with "
+                           "PDT_TRACE or PDT_PROFILE armed)\n",
+                   Path);
+      return 2;
+    }
+    for (const json::Value &S : Stacks->asArray())
+      if (auto Stack = S.stringAt("stack"))
+        std::printf("%s %llu\n", Stack->c_str(),
+                    static_cast<unsigned long long>(
+                        S.uintAt("self_ns").value_or(0)));
+    return 0;
+  }
+
+  const json::Value *Meta = Report->find("meta");
+  std::printf("report: %s\n", Path);
+  if (Meta) {
+    std::printf("  tool      %s\n",
+                Meta->stringAt("tool").value_or("unknown").c_str());
+    std::printf("  threads   %llu\n",
+                static_cast<unsigned long long>(
+                    Meta->uintAt("threads").value_or(0)));
+    std::printf("  time      %s\n",
+                Meta->stringAt("timestamp").value_or("unknown").c_str());
+  }
+  if (const json::Value *Workload = Report->find("workload"))
+    for (const auto &[Key, V] : Workload->asObject())
+      if (V.isString())
+        std::printf("  %-9s %s\n", Key.c_str(), V.asString().c_str());
+
+  if (const json::Value *Stats = Report->find("stats")) {
+    std::printf("\nstats\n");
+    std::printf("  reference pairs      %llu\n",
+                static_cast<unsigned long long>(
+                    Stats->uintAt("reference_pairs").value_or(0)));
+    std::printf("  proven independent   %llu\n",
+                static_cast<unsigned long long>(
+                    Stats->uintAt("independent_pairs").value_or(0)));
+    std::printf("  degraded results     %llu\n",
+                static_cast<unsigned long long>(
+                    Stats->uintAt("degraded_results").value_or(0)));
+    if (const json::Value *Tests = Stats->find("tests"))
+      for (const auto &[Kind, Counts] : Tests->asObject()) {
+        uint64_t Applications = Counts.uintAt("applications").value_or(0);
+        if (!Applications)
+          continue;
+        std::printf("  %-20s applied %llu, disproved %llu\n", Kind.c_str(),
+                    static_cast<unsigned long long>(Applications),
+                    static_cast<unsigned long long>(
+                        Counts.uintAt("independences").value_or(0)));
+      }
+  }
+
+  if (const json::Value *Metrics = Report->find("metrics"))
+    if (const json::Value *Histograms = Metrics->find("histograms")) {
+      std::printf("\nlatency quantiles\n");
+      for (const auto &[Name, H] : Histograms->asObject()) {
+        uint64_t Count = H.uintAt("count").value_or(0);
+        if (!Count)
+          continue;
+        std::printf("  %-24s n=%-9llu p50 %8.0f ns   p95 %8.0f ns   "
+                    "p99 %8.0f ns\n",
+                    Name.c_str(), static_cast<unsigned long long>(Count),
+                    H.numberAt("p50_ns").value_or(0),
+                    H.numberAt("p95_ns").value_or(0),
+                    H.numberAt("p99_ns").value_or(0));
+      }
+    }
+
+  if (const json::Value *Timing = Report->find("timing"))
+    std::printf("\nwall time  %.3f ms\n",
+                Timing->numberAt("wall_ns").value_or(0) / 1e6);
+
+  if (const json::Value *Profile = Report->find("profile")) {
+    std::printf("\nattributed self time  %.3f ms over %llu spans\n",
+                Profile->numberAt("total_self_ns").value_or(0) / 1e6,
+                static_cast<unsigned long long>(
+                    Profile->uintAt("events").value_or(0)));
+    printEntryTable(*Report, "by_kind", "by test kind");
+    printEntryTable(*Report, "by_layer", "by layer");
+    printEntryTable(*Report, "by_site", "by site");
+  } else {
+    std::printf("\n(no profile section: run with PDT_TRACE or PDT_PROFILE "
+                "armed to attribute time)\n");
+  }
+  return 0;
+}
+
+const char *className(KeyClass C) {
+  switch (C) {
+  case KeyClass::Stat:
+    return "stat";
+  case KeyClass::Counter:
+    return "counter";
+  case KeyClass::Sched:
+    return "sched";
+  case KeyClass::Time:
+    return "time";
+  }
+  return "?";
+}
+
+int cmdDiff(int argc, char **argv) {
+  const char *BeforePath = nullptr, *AfterPath = nullptr;
+  DiffOptions Opts;
+  auto FloatArg = [&](int &I) -> double {
+    if (I + 1 >= argc) {
+      std::fprintf(stderr, "depprof: %s needs a value\n", argv[I]);
+      std::exit(2);
+    }
+    return std::strtod(argv[++I], nullptr);
+  };
+  for (int I = 0; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--time"))
+      Opts.IncludeTime = true;
+    else if (!std::strcmp(argv[I], "--counter-tol"))
+      Opts.CounterTol = FloatArg(I);
+    else if (!std::strcmp(argv[I], "--counter-floor"))
+      Opts.CounterFloor = FloatArg(I);
+    else if (!std::strcmp(argv[I], "--time-tol"))
+      Opts.TimeTol = FloatArg(I);
+    else if (!std::strcmp(argv[I], "--time-floor"))
+      Opts.TimeFloor = FloatArg(I);
+    else if (!BeforePath)
+      BeforePath = argv[I];
+    else if (!AfterPath)
+      AfterPath = argv[I];
+    else
+      return usage("depprof");
+  }
+  if (!BeforePath || !AfterPath)
+    return usage("depprof");
+
+  std::optional<json::Value> Before = loadReport(BeforePath);
+  std::optional<json::Value> After = loadReport(AfterPath);
+  if (!Before || !After)
+    return 2;
+
+  DiffResult R = diffReports(*Before, *After, Opts);
+  if (R.Changed.empty()) {
+    std::printf("no differences (%s vs %s)\n", BeforePath, AfterPath);
+    return 0;
+  }
+  for (const DiffEntry &E : R.Changed) {
+    const char *Mark = E.Regression ? "REGRESSION" : "changed";
+    if (!E.InBefore)
+      std::printf("%-10s %-8s %s: (absent) -> %.6g\n", Mark,
+                  className(E.Class), E.Key.c_str(), E.After);
+    else if (!E.InAfter)
+      std::printf("%-10s %-8s %s: %.6g -> (absent)\n", Mark,
+                  className(E.Class), E.Key.c_str(), E.Before);
+    else
+      std::printf("%-10s %-8s %s: %.6g -> %.6g\n", Mark, className(E.Class),
+                  E.Key.c_str(), E.Before, E.After);
+  }
+  std::printf("%zu changed key(s), %u regression(s)\n", R.Changed.size(),
+              R.Regressions);
+  return R.Regressions ? 1 : 0;
+}
+
+int cmdHistory(int argc, char **argv) {
+  if (argc < 2)
+    return usage("depprof");
+  const char *Mode = argv[0];
+  std::vector<const char *> Paths;
+  std::string Bench, Config = "default";
+  double NoiseK = 4.0;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--bench") && I + 1 < argc)
+      Bench = argv[++I];
+    else if (!std::strcmp(argv[I], "--config") && I + 1 < argc)
+      Config = argv[++I];
+    else if (!std::strcmp(argv[I], "--noise-k") && I + 1 < argc)
+      NoiseK = std::strtod(argv[++I], nullptr);
+    else
+      Paths.push_back(argv[I]);
+  }
+  if (Bench.empty()) {
+    std::fprintf(stderr, "depprof: history needs --bench NAME\n");
+    return 2;
+  }
+
+  if (!std::strcmp(Mode, "append")) {
+    if (Paths.size() != 2)
+      return usage("depprof");
+    std::optional<json::Value> Report = loadReport(Paths[1]);
+    if (!Report)
+      return 2;
+    std::string Timestamp = "unknown";
+    if (const json::Value *Meta = Report->find("meta"))
+      Timestamp = Meta->stringAt("timestamp").value_or("unknown");
+    HistoryLine L =
+        historyLineFromReport(Bench, Config, Timestamp, *Report);
+    if (!appendHistoryLine(Paths[0], L)) {
+      std::fprintf(stderr, "depprof: cannot append to %s\n", Paths[0]);
+      return 2;
+    }
+    std::printf("appended %s (%s) with %zu value(s) to %s\n", Bench.c_str(),
+                Config.c_str(), L.Values.size(), Paths[0]);
+    return 0;
+  }
+
+  if (!std::strcmp(Mode, "scan")) {
+    if (Paths.size() != 1)
+      return usage("depprof");
+    HistoryLoad Load = loadHistory(Paths[0]);
+    if (Load.Malformed)
+      std::fprintf(stderr, "depprof: warning: %u malformed line(s) in %s\n",
+                   Load.Malformed, Paths[0]);
+    HistoryScan Scan = scanHistory(Load.Lines, Bench, Config, NoiseK);
+    if (Scan.Considered < 4) {
+      std::printf("%u run(s) of %s (%s) in the ledger; need 4 before "
+                  "regression scanning engages\n",
+                  Scan.Considered, Bench.c_str(), Config.c_str());
+      return 0;
+    }
+    if (Scan.Flags.empty()) {
+      std::printf("latest %s (%s) run is within noise of %u prior run(s)\n",
+                  Bench.c_str(), Config.c_str(), Scan.Considered - 1);
+      return 0;
+    }
+    for (const HistoryFlag &F : Scan.Flags)
+      std::printf("REGRESSION %s: %.6g vs median %.6g (band %.6g)\n",
+                  F.Key.c_str(), F.Latest, F.Median, F.Band);
+    return 1;
+  }
+  return usage("depprof");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+  if (!std::strcmp(argv[1], "report"))
+    return cmdReport(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "diff"))
+    return cmdDiff(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "history"))
+    return cmdHistory(argc - 2, argv + 2);
+  return usage(argv[0]);
+}

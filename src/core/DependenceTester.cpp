@@ -196,7 +196,7 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
       Group.reserve(P.Positions.size());
       for (unsigned Pos : P.Positions)
         Group.push_back(Subscripts[Pos]);
-      Span DeltaSpan("DeltaTest::run", "delta");
+      Span DeltaSpan("DeltaTest::run", "delta", testKindTag(TestKind::Delta));
       LatencyTimer DeltaLatency(Histo::DeltaNs);
       std::string DeltaLog;
       DeltaResult D = runDeltaTest(Group, Ctx, Stats, Ex ? &DeltaLog : nullptr);

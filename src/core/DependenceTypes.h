@@ -138,6 +138,10 @@ enum class TestKind {
 /// Display name of a test ("strong SIV", "Banerjee", ...).
 const char *testKindName(TestKind K);
 
+/// The plain-int attribution tag stored on trace spans (support's
+/// pdt::Span cannot name TestKind; see support/Profile.h).
+constexpr int testKindTag(TestKind K) { return static_cast<int>(K); }
+
 /// Number of TestKind enumerators (for counter arrays).
 constexpr unsigned NumTestKinds = 17;
 

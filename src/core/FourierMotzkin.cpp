@@ -239,7 +239,8 @@ Verdict fourierMotzkinTestImpl(const std::vector<SubscriptPair> &Subscripts,
 Verdict pdt::fourierMotzkinTest(const std::vector<SubscriptPair> &Subscripts,
                                 const LoopNestContext &Ctx, TestStats *Stats,
                                 const FMBudget *Budget) {
-  Span FMSpan("FourierMotzkin::test", "fm");
+  Span FMSpan("FourierMotzkin::test", "fm",
+              testKindTag(TestKind::FourierMotzkin));
   LatencyTimer FMLatency(Histo::FMNs);
   // Containment boundary: any failure inside the elimination (rational
   // overflow on adversarial bounds, injected faults) degrades to the

@@ -23,6 +23,7 @@ using namespace pdt;
 
 MIVResult pdt::testGCD(const LinearExpr &Eq, const LoopNestContext &Ctx,
                        TestStats *Stats) {
+  Span GCDSpan("MIVTests::testGCD", "miv", testKindTag(TestKind::GCD));
   (void)Ctx;
   MIVResult R;
   R.Test = TestKind::GCD;
@@ -189,6 +190,8 @@ Interval pdt::banerjeeBounds(const LinearExpr &Eq, const LoopNestContext &Ctx,
 
 MIVResult pdt::testBanerjee(const LinearExpr &Eq, const LoopNestContext &Ctx,
                             TestStats *Stats) {
+  Span BanerjeeSpan("MIVTests::testBanerjee", "miv",
+                    testKindTag(TestKind::Banerjee));
   MIVResult R;
   R.Test = TestKind::Banerjee;
   if (Stats)

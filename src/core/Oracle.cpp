@@ -8,6 +8,7 @@
 #include "core/Oracle.h"
 
 #include "support/MathExtras.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <limits>
@@ -73,6 +74,8 @@ bool forEachIteration(const LoopNestContext &Ctx, unsigned Level,
 std::optional<OracleResult>
 pdt::enumerateDependences(const std::vector<SubscriptPair> &Subscripts,
                           const LoopNestContext &Ctx, uint64_t MaxPairs) {
+  Span OracleSpan("Oracle::enumerateDependences", "oracle",
+                  testKindTag(TestKind::Oracle));
   for (const SubscriptPair &S : Subscripts)
     if (!S.Src.symbolTerms().empty() || !S.Dst.symbolTerms().empty())
       return std::nullopt;

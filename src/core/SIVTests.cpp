@@ -105,7 +105,7 @@ static Interval divideRange(const Interval &Values, int64_t Divisor) {
 
 SIVResult pdt::testZIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
                        TestStats *Stats) {
-  Span ZIVSpan("SIVTests::testZIV", "siv");
+  Span ZIVSpan("SIVTests::testZIV", "siv", testKindTag(TestKind::ZIV));
   assert(Eq.numIndices() == 0 && "ZIV test on an equation with indices");
   SIVResult R;
   if (Eq.isPureConstant()) {
@@ -276,6 +276,8 @@ namespace {
 SIVResult testStrongSIV(const LinearExpr &Eq, const std::string &Index,
                         int64_t A, const LoopNestContext &Ctx,
                         TestStats *Stats) {
+  Span StrongSpan("SIVTests::testStrongSIV", "siv",
+                  testKindTag(TestKind::StrongSIV));
   SIVResult R;
   R.Index = Index;
   LinearExpr C = invariantPart(Eq);
@@ -344,6 +346,8 @@ SIVResult testStrongSIV(const LinearExpr &Eq, const std::string &Index,
 SIVResult testWeakZeroSIV(const LinearExpr &Eq, const std::string &Var,
                           int64_t A, const LoopNestContext &Ctx,
                           TestStats *Stats) {
+  Span WeakZeroSpan("SIVTests::testWeakZeroSIV", "siv",
+                    testKindTag(TestKind::WeakZeroSIV));
   SIVResult R;
   std::string Base = baseName(Var);
   R.Index = Base;
@@ -478,6 +482,8 @@ SIVResult testWeakZeroSIV(const LinearExpr &Eq, const std::string &Var,
 SIVResult testWeakCrossingSIV(const LinearExpr &Eq, const std::string &Index,
                               int64_t A, const LoopNestContext &Ctx,
                               TestStats *Stats) {
+  Span WeakCrossingSpan("SIVTests::testWeakCrossingSIV", "siv",
+                        testKindTag(TestKind::WeakCrossingSIV));
   SIVResult R;
   R.Index = Index;
   LinearExpr C = invariantPart(Eq);
@@ -550,6 +556,8 @@ SIVResult testWeakCrossingSIV(const LinearExpr &Eq, const std::string &Index,
 SIVResult testExactSIV(const LinearExpr &Eq, const std::string &Index,
                        int64_t A1, int64_t B1, const LoopNestContext &Ctx,
                        TestStats *Stats) {
+  Span ExactSpan("SIVTests::testExactSIV", "siv",
+                 testKindTag(TestKind::ExactSIV));
   SIVResult R;
   R.Index = Index;
   LinearExpr C = invariantPart(Eq);
@@ -662,6 +670,7 @@ SIVResult pdt::testSIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
 
 SIVResult pdt::testRDIV(const LinearExpr &Eq, const LoopNestContext &Ctx,
                         TestStats *Stats) {
+  Span RDIVSpan("SIVTests::testRDIV", "siv", testKindTag(TestKind::RDIV));
   const auto &Terms = Eq.indexTerms();
   assert(Terms.size() == 2 && "RDIV test needs exactly two variables");
   auto It = Terms.begin();

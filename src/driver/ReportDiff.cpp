@@ -1,0 +1,306 @@
+//===- driver/ReportDiff.cpp - Report flattening, diffing, history --------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ReportDiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+using namespace pdt;
+
+namespace {
+
+bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.substr(0, Prefix.size()) == Prefix;
+}
+
+bool contains(std::string_view S, std::string_view Needle) {
+  return S.find(Needle) != std::string_view::npos;
+}
+
+void flattenInto(const json::Value &V, std::string &Key,
+                 std::vector<FlatValue> &Out) {
+  switch (V.kind()) {
+  case json::Value::Kind::Number:
+    Out.push_back({Key, V.asDouble()});
+    break;
+  case json::Value::Kind::Bool:
+    Out.push_back({Key, V.asBool() ? 1.0 : 0.0});
+    break;
+  case json::Value::Kind::Array: {
+    size_t Prefix = Key.size();
+    const auto &Elements = V.asArray();
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      Key += "[" + std::to_string(I) + "]";
+      flattenInto(Elements[I], Key, Out);
+      Key.resize(Prefix);
+    }
+    break;
+  }
+  case json::Value::Kind::Object: {
+    size_t Prefix = Key.size();
+    for (const auto &[Name, Member] : V.asObject()) {
+      if (Key.empty() && Name == "meta")
+        continue; // Identity, not measurement.
+      if (!Key.empty())
+        Key += '.';
+      Key += Name;
+      flattenInto(Member, Key, Out);
+      Key.resize(Prefix);
+    }
+    break;
+  }
+  case json::Value::Kind::Null:
+  case json::Value::Kind::String:
+    break; // Non-numeric leaves carry no comparable value.
+  }
+}
+
+double medianOf(std::vector<double> Xs) {
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  return N % 2 ? Xs[N / 2] : 0.5 * (Xs[N / 2 - 1] + Xs[N / 2]);
+}
+
+} // namespace
+
+KeyClass pdt::classifyKey(std::string_view Key) {
+  if (startsWith(Key, "stats."))
+    return KeyClass::Stat;
+  // Scheduling-dependent splits and rates: never gate on them. The
+  // memo hit/miss *split* depends on which worker reaches a pair
+  // first even though their sum is deterministic.
+  if (startsWith(Key, "metrics.counters.pool.") ||
+      startsWith(Key, "metrics.counters.lowering.memo.") ||
+      startsWith(Key, "metrics.gauges.") ||
+      startsWith(Key, "metrics.derived.") ||
+      Key == "metrics.counters.budget.deadline_skips")
+    return KeyClass::Sched;
+  if (contains(Key, "_ns") || contains(Key, "p50") || contains(Key, "p95") ||
+      contains(Key, "p99") || startsWith(Key, "timing.") ||
+      startsWith(Key, "profile."))
+    return KeyClass::Time;
+  return KeyClass::Counter;
+}
+
+std::vector<FlatValue> pdt::flattenReport(const json::Value &Report) {
+  std::vector<FlatValue> Out;
+  std::string Key;
+  flattenInto(Report, Key, Out);
+  std::sort(Out.begin(), Out.end(),
+            [](const FlatValue &A, const FlatValue &B) { return A.Key < B.Key; });
+  return Out;
+}
+
+DiffResult pdt::diffReports(const json::Value &Before,
+                            const json::Value &After,
+                            const DiffOptions &Opts) {
+  std::vector<FlatValue> B = flattenReport(Before);
+  std::vector<FlatValue> A = flattenReport(After);
+
+  DiffResult R;
+  size_t IB = 0, IA = 0;
+  auto emit = [&](DiffEntry E) {
+    E.Class = classifyKey(E.Key);
+    switch (E.Class) {
+    case KeyClass::Stat:
+      // Deterministic by contract: any difference (including a
+      // one-sided key) is a regression.
+      E.Regression = !(E.InBefore && E.InAfter && E.Before == E.After);
+      break;
+    case KeyClass::Counter: {
+      if (!E.InBefore || !E.InAfter) {
+        E.Regression = true;
+        break;
+      }
+      double Delta = std::fabs(E.After - E.Before);
+      double Base = std::max(std::fabs(E.Before), 1.0);
+      E.Regression = Delta / Base > Opts.CounterTol && Delta > Opts.CounterFloor;
+      break;
+    }
+    case KeyClass::Sched:
+      E.Regression = false;
+      break;
+    case KeyClass::Time: {
+      if (!Opts.IncludeTime) {
+        E.Regression = false;
+        break;
+      }
+      // One-sided time keys (a profile section appearing or not)
+      // carry no speed information.
+      if (!E.InBefore || !E.InAfter) {
+        E.Regression = false;
+        break;
+      }
+      double Increase = E.After - E.Before;
+      double Base = std::max(std::fabs(E.Before), 1.0);
+      E.Regression = Increase / Base > Opts.TimeTol && Increase > Opts.TimeFloor;
+      break;
+    }
+    }
+    if (E.Regression)
+      ++R.Regressions;
+    R.Changed.push_back(std::move(E));
+  };
+
+  while (IB != B.size() || IA != A.size()) {
+    if (IA == A.size() || (IB != B.size() && B[IB].Key < A[IA].Key)) {
+      emit({B[IB].Key, KeyClass::Counter, true, false, B[IB].Value, 0, false});
+      ++IB;
+    } else if (IB == B.size() || A[IA].Key < B[IB].Key) {
+      emit({A[IA].Key, KeyClass::Counter, false, true, 0, A[IA].Value, false});
+      ++IA;
+    } else {
+      if (B[IB].Value != A[IA].Value)
+        emit({B[IB].Key, KeyClass::Counter, true, true, B[IB].Value,
+              A[IA].Value, false});
+      ++IB;
+      ++IA;
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// History
+//===----------------------------------------------------------------------===//
+
+HistoryLine pdt::historyLineFromReport(std::string Bench, std::string Config,
+                                       std::string Timestamp,
+                                       const json::Value &Report) {
+  HistoryLine L;
+  L.Bench = std::move(Bench);
+  L.Config = std::move(Config);
+  L.Timestamp = std::move(Timestamp);
+  for (FlatValue &F : flattenReport(Report)) {
+    // Per-bucket histogram cells and per-path stacks are shape, not
+    // summary; the quantiles and totals already cover them.
+    bool Keep = classifyKey(F.Key) == KeyClass::Time
+                    ? !startsWith(F.Key, "profile.stacks") &&
+                          !contains(F.Key, ".log2_buckets[")
+                    : F.Key == "stats.reference_pairs" ||
+                          F.Key == "stats.independent_pairs" ||
+                          F.Key == "metrics.counters.graph.pairs.tested" ||
+                          F.Key == "metrics.counters.graph.edges";
+    if (Keep)
+      L.Values.push_back(std::move(F));
+  }
+  return L;
+}
+
+std::string pdt::renderHistoryLine(const HistoryLine &L) {
+  std::string Out = "{\"bench\": \"" + json::escape(L.Bench) +
+                    "\", \"config\": \"" + json::escape(L.Config) +
+                    "\", \"timestamp\": \"" + json::escape(L.Timestamp) +
+                    "\", \"values\": {";
+  bool First = true;
+  char Number[48];
+  for (const FlatValue &F : L.Values) {
+    Out += First ? "" : ", ";
+    First = false;
+    // %.17g round-trips doubles exactly; integral values still print
+    // as integers.
+    if (F.Value == std::floor(F.Value) && std::fabs(F.Value) < 1e15)
+      std::snprintf(Number, sizeof(Number), "%.0f", F.Value);
+    else
+      std::snprintf(Number, sizeof(Number), "%.17g", F.Value);
+    Out += "\"" + json::escape(F.Key) + "\": " + Number;
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::optional<HistoryLine> pdt::parseHistoryLine(std::string_view Line,
+                                                 std::string *Error) {
+  std::optional<json::Value> V = json::parse(Line, Error);
+  if (!V)
+    return std::nullopt;
+  HistoryLine L;
+  std::optional<std::string> Bench = V->stringAt("bench");
+  std::optional<std::string> Config = V->stringAt("config");
+  std::optional<std::string> Timestamp = V->stringAt("timestamp");
+  const json::Value *Values = V->find("values");
+  if (!Bench || !Config || !Timestamp || !Values || !Values->isObject()) {
+    if (Error)
+      *Error = "history line missing bench/config/timestamp/values";
+    return std::nullopt;
+  }
+  L.Bench = std::move(*Bench);
+  L.Config = std::move(*Config);
+  L.Timestamp = std::move(*Timestamp);
+  for (const auto &[Key, Member] : Values->asObject())
+    if (Member.isNumber())
+      L.Values.push_back({Key, Member.asDouble()});
+  std::sort(L.Values.begin(), L.Values.end(),
+            [](const FlatValue &A, const FlatValue &B) { return A.Key < B.Key; });
+  return L;
+}
+
+bool pdt::appendHistoryLine(const std::string &Path, const HistoryLine &L) {
+  std::ofstream File(Path, std::ios::app);
+  if (!File)
+    return false;
+  File << renderHistoryLine(L) << '\n';
+  File.flush();
+  return File.good();
+}
+
+HistoryLoad pdt::loadHistory(const std::string &Path) {
+  HistoryLoad Load;
+  std::ifstream File(Path);
+  if (!File)
+    return Load;
+  std::string Line;
+  while (std::getline(File, Line)) {
+    if (Line.empty())
+      continue;
+    if (std::optional<HistoryLine> L = parseHistoryLine(Line))
+      Load.Lines.push_back(std::move(*L));
+    else
+      ++Load.Malformed;
+  }
+  return Load;
+}
+
+HistoryScan pdt::scanHistory(const std::vector<HistoryLine> &Lines,
+                             std::string_view Bench, std::string_view Config,
+                             double NoiseK) {
+  HistoryScan Scan;
+  std::vector<const HistoryLine *> Matching;
+  for (const HistoryLine &L : Lines)
+    if (L.Bench == Bench && L.Config == Config)
+      Matching.push_back(&L);
+  Scan.Considered = static_cast<unsigned>(Matching.size());
+  if (Matching.size() < 4)
+    return Scan; // Need >= 3 prior samples plus the candidate.
+
+  const HistoryLine &Latest = *Matching.back();
+  for (const FlatValue &F : Latest.Values) {
+    if (classifyKey(F.Key) != KeyClass::Time)
+      continue;
+    std::vector<double> Prior;
+    for (size_t I = 0; I + 1 < Matching.size(); ++I)
+      for (const FlatValue &P : Matching[I]->Values)
+        if (P.Key == F.Key)
+          Prior.push_back(P.Value);
+    if (Prior.size() < 3)
+      continue;
+    double Median = medianOf(Prior);
+    std::vector<double> Deviations;
+    Deviations.reserve(Prior.size());
+    for (double X : Prior)
+      Deviations.push_back(std::fabs(X - Median));
+    double MAD = medianOf(std::move(Deviations));
+    double Band =
+        NoiseK * std::max({MAD, 0.01 * std::fabs(Median), 1000.0});
+    if (F.Value > Median + Band)
+      Scan.Flags.push_back({F.Key, F.Value, Median, Band});
+  }
+  return Scan;
+}

@@ -1,0 +1,173 @@
+//===- driver/ReportDiff.h - Report flattening, diffing, history -*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison side of the run-report stack: flatten an
+/// AnalysisReport (driver/RunReport.h) into dotted numeric keys, diff
+/// two flattened reports under per-class tolerances, and maintain the
+/// append-only BENCH_HISTORY.jsonl perf ledger.
+///
+/// Every key gets a class that decides how strictly it is compared:
+///
+///   * Stat — "stats.*": deterministic for a fixed workload at any
+///     thread count; ANY change is a regression (these are the paper-
+///     facing counters, they must not drift silently);
+///   * Counter — deterministic-by-construction metrics (pairs tested,
+///     edges emitted, degradations): a regression beyond a relative
+///     tolerance and an absolute floor;
+///   * Sched — scheduling-dependent metrics (pool steals and chunk
+///     counts, memo hit/miss split, queue depths, deadline skips,
+///     derived rates): reported when changed, never a regression;
+///   * Time — anything in nanoseconds, the latency quantiles, the
+///     span profile, "timing.*": a regression only on an *increase*
+///     beyond a generous relative tolerance and an absolute floor,
+///     and only when DiffOptions::IncludeTime is set (the ctest
+///     self-regression gate runs with it off, so wall-clock noise
+///     can never flake the suite).
+///
+/// The "meta" subtree (tool name, timestamp, thread count) is
+/// identity, not measurement, and is excluded from flattening
+/// entirely — diffing a report against itself is empty by
+/// construction, and diffing two same-workload runs gates only on
+/// reproducible quantities.
+///
+/// History lines are one JSON object per line: bench name, config
+/// string, timestamp, and a curated subset of flattened values (the
+/// time-class keys plus headline counters). scanHistory flags the
+/// newest value of each key when it exceeds the median of the prior
+/// runs by more than NoiseK times the median absolute deviation
+/// (with an absolute floor, so a quiet history cannot make noise
+/// look like regression).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_DRIVER_REPORTDIFF_H
+#define PDT_DRIVER_REPORTDIFF_H
+
+#include "support/Json.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdt {
+
+/// Comparison strictness class of a flattened report key.
+enum class KeyClass { Stat, Counter, Sched, Time };
+
+/// The class of \p Key under the rules documented above.
+KeyClass classifyKey(std::string_view Key);
+
+/// One numeric leaf of a flattened report.
+struct FlatValue {
+  std::string Key;
+  double Value = 0;
+};
+
+/// Flattens \p Report into sorted (dotted-key, number) pairs. Objects
+/// concatenate member names with '.', arrays append "[i]"; the "meta"
+/// subtree and non-numeric leaves are skipped (booleans count as
+/// 0/1).
+std::vector<FlatValue> flattenReport(const json::Value &Report);
+
+/// Diff tolerances. The defaults match the bench_x7 self-regression
+/// gate; depprof exposes them as flags.
+struct DiffOptions {
+  double CounterTol = 0.05;   ///< Relative, Counter class.
+  double CounterFloor = 16;   ///< Absolute change floor, Counter class.
+  double TimeTol = 0.30;      ///< Relative increase, Time class.
+  double TimeFloor = 250e3;   ///< Absolute increase floor (ns-scale).
+  bool IncludeTime = false;   ///< Gate on Time-class keys at all?
+};
+
+/// One changed (or one-sided) key.
+struct DiffEntry {
+  std::string Key;
+  KeyClass Class = KeyClass::Counter;
+  /// Present flags distinguish "changed" from "added"/"removed".
+  bool InBefore = false, InAfter = false;
+  double Before = 0, After = 0;
+  bool Regression = false;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> Changed; ///< Sorted by key.
+  unsigned Regressions = 0;       ///< Entries with Regression set.
+};
+
+/// Diffs two parsed reports. Identical reports produce an empty
+/// Changed list regardless of options.
+DiffResult diffReports(const json::Value &Before, const json::Value &After,
+                       const DiffOptions &Opts = DiffOptions());
+
+//===----------------------------------------------------------------------===//
+// BENCH_HISTORY.jsonl
+//===----------------------------------------------------------------------===//
+
+/// One appended run: identity plus curated flattened values.
+struct HistoryLine {
+  std::string Bench;
+  std::string Config;
+  std::string Timestamp;
+  std::vector<FlatValue> Values; ///< Sorted by key.
+};
+
+/// Curates \p Report into a history line: every Time-class key plus
+/// the headline counters (reference pairs, independent pairs, pairs
+/// tested, edges emitted).
+HistoryLine historyLineFromReport(std::string Bench, std::string Config,
+                                  std::string Timestamp,
+                                  const json::Value &Report);
+
+/// One-line JSON rendering (no trailing newline).
+std::string renderHistoryLine(const HistoryLine &L);
+
+/// Parses one ledger line; nullopt (with \p Error filled) on
+/// malformed input.
+std::optional<HistoryLine> parseHistoryLine(std::string_view Line,
+                                            std::string *Error = nullptr);
+
+/// Appends \p L to the ledger at \p Path (created if missing); false
+/// on I/O failure.
+bool appendHistoryLine(const std::string &Path, const HistoryLine &L);
+
+/// Loads every well-formed line; malformed lines are counted, not
+/// fatal (the ledger is append-only across versions).
+struct HistoryLoad {
+  std::vector<HistoryLine> Lines;
+  unsigned Malformed = 0;
+};
+HistoryLoad loadHistory(const std::string &Path);
+
+/// A key whose newest value sits beyond the noise band of its
+/// history.
+struct HistoryFlag {
+  std::string Key;
+  double Latest = 0;
+  double Median = 0; ///< Median of the *prior* runs.
+  double Band = 0;   ///< NoiseK * max(MAD, floors).
+};
+
+struct HistoryScan {
+  unsigned Considered = 0; ///< Matching lines (bench + config).
+  std::vector<HistoryFlag> Flags;
+};
+
+/// Scans the lines matching \p Bench and \p Config: the last line is
+/// the candidate, the rest are history. Keys need at least three
+/// prior samples; a value flags when it exceeds
+/// median + NoiseK * max(MAD, 0.01 * median, 1000). Only Time-class
+/// keys are scanned (counters are the diff gate's job).
+HistoryScan scanHistory(const std::vector<HistoryLine> &Lines,
+                        std::string_view Bench, std::string_view Config,
+                        double NoiseK = 4.0);
+
+} // namespace pdt
+
+#endif // PDT_DRIVER_REPORTDIFF_H

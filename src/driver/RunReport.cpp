@@ -1,0 +1,265 @@
+//===- driver/RunReport.cpp - Versioned per-run analysis report -----------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/RunReport.h"
+
+#include "core/DependenceTypes.h"
+#include "support/CrashSafety.h"
+#include "support/Env.h"
+#include "support/Failure.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Profile.h"
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+struct Recorder {
+  std::mutex M;
+  std::string Tool = "unknown";
+  std::vector<std::pair<std::string, std::string>> Workload;
+  TestStats Stats;
+  int64_t WallNs = 0;
+  std::string EnvPath;
+};
+
+Recorder &recorder() {
+  // Immortal: the PDT_REPORT atexit/crash writer renders from this
+  // state, potentially after static destruction has begun.
+  static Recorder *R = new Recorder;
+  return *R;
+}
+
+/// The Profile tag-name bridge: support stores plain int tags, the
+/// driver knows they are TestKind enumerators.
+const char *kindTagName(int Tag) {
+  if (Tag < 0 || Tag >= static_cast<int>(NumTestKinds))
+    return nullptr;
+  return testKindName(static_cast<TestKind>(Tag));
+}
+
+void appendStats(std::string &Out, const TestStats &S) {
+  Out += "\"stats\": {\n";
+  Out += "  \"reference_pairs\": " + std::to_string(S.ReferencePairs) + ",\n";
+  Out += "  \"independent_pairs\": " + std::to_string(S.IndependentPairs) +
+         ",\n";
+  Out += "  \"dimension_histogram\": [";
+  for (unsigned I = 0; I != S.DimensionHistogram.size(); ++I) {
+    Out += std::to_string(S.DimensionHistogram[I]);
+    if (I + 1 != S.DimensionHistogram.size())
+      Out += ", ";
+  }
+  Out += "],\n";
+  Out += "  \"separable_subscripts\": " +
+         std::to_string(S.SeparableSubscripts) + ",\n";
+  Out += "  \"coupled_subscripts\": " + std::to_string(S.CoupledSubscripts) +
+         ",\n";
+  Out += "  \"nonlinear_subscripts\": " +
+         std::to_string(S.NonlinearSubscripts) + ",\n";
+  Out += "  \"ziv_subscripts\": " + std::to_string(S.ZIVSubscripts) + ",\n";
+  Out += "  \"siv_subscripts\": " + std::to_string(S.SIVSubscripts) + ",\n";
+  Out += "  \"miv_subscripts\": " + std::to_string(S.MIVSubscripts) + ",\n";
+  Out += "  \"coupled_groups\": " + std::to_string(S.CoupledGroups) + ",\n";
+  Out += "  \"groups_with_residual_miv\": " +
+         std::to_string(S.GroupsWithResidualMIV) + ",\n";
+  Out += "  \"degraded_results\": " + std::to_string(S.DegradedResults) +
+         ",\n";
+  Out += "  \"fm_budget_hits\": " + std::to_string(S.FMBudgetHits) + ",\n";
+  Out += "  \"degraded_by_kind\": {";
+  for (unsigned I = 0; I != NumFailureKinds; ++I) {
+    Out += I ? ", " : "";
+    Out += "\"" +
+           json::escape(failureKindName(static_cast<FailureKind>(I))) +
+           "\": " + std::to_string(S.DegradedByKind[I]);
+  }
+  Out += "},\n";
+  Out += "  \"tests\": {\n";
+  for (unsigned I = 0; I != NumTestKinds; ++I) {
+    Out += "    \"" +
+           json::escape(testKindName(static_cast<TestKind>(I))) +
+           "\": {\"applications\": " + std::to_string(S.Applications[I]) +
+           ", \"independences\": " + std::to_string(S.Independences[I]) + "}";
+    Out += I + 1 == NumTestKinds ? "\n" : ",\n";
+  }
+  Out += "  }\n}";
+}
+
+void writeReportNow() {
+  const std::string Path = RunReport::envPathValue();
+  if (!Path.empty() && !RunReport::writeTo(Path))
+    std::fprintf(stderr, "pdt: warning: cannot write PDT_REPORT file %s\n",
+                 Path.c_str());
+}
+
+} // namespace
+
+void RunReport::noteTool(std::string Tool) {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.Tool = std::move(Tool);
+}
+
+void RunReport::noteWorkload(std::string Key, std::string Value) {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (auto &[K, V] : R.Workload)
+    if (K == Key) {
+      V = std::move(Value);
+      return;
+    }
+  R.Workload.emplace_back(std::move(Key), std::move(Value));
+}
+
+void RunReport::noteWorkload(std::string Key, uint64_t Value) {
+  noteWorkload(std::move(Key), std::to_string(Value));
+}
+
+void RunReport::noteStats(const TestStats &Stats) {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.Stats.merge(Stats);
+}
+
+void RunReport::noteWallNs(int64_t Ns) {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.WallNs += Ns;
+}
+
+void RunReport::reset() {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.M);
+  R.Tool = "unknown";
+  R.Workload.clear();
+  R.Stats = TestStats();
+  R.WallNs = 0;
+}
+
+std::string RunReport::render() {
+  // Copy the recorded state under the lock, render outside it (the
+  // crash path may re-enter via writeReportNow with arbitrary locks
+  // held elsewhere, but never this one).
+  Recorder &R = recorder();
+  std::string Tool;
+  std::vector<std::pair<std::string, std::string>> Workload;
+  TestStats Stats;
+  int64_t WallNs;
+  {
+    std::lock_guard<std::mutex> Lock(R.M);
+    Tool = R.Tool;
+    Workload = R.Workload;
+    Stats = R.Stats;
+    WallNs = R.WallNs;
+  }
+  std::sort(Workload.begin(), Workload.end());
+
+  char Time[32] = "unknown";
+  std::time_t Now = std::time(nullptr);
+  if (std::tm *UTC = std::gmtime(&Now))
+    std::strftime(Time, sizeof(Time), "%Y-%m-%dT%H:%M:%SZ", UTC);
+
+  std::string Out;
+  Out.reserve(8192);
+  Out += "{\n\"schema\": \"pdt-report-v1\",\n";
+  Out += "\"meta\": {\n";
+  Out += "  \"tool\": \"" + json::escape(Tool) + "\",\n";
+  Out += std::string("  \"tracing_compiled_in\": ") +
+         (Trace::compiledIn() ? "true" : "false") + ",\n";
+  Out += "  \"threads\": " +
+         std::to_string(ThreadPool::defaultThreadCount()) + ",\n";
+  Out += std::string("  \"timestamp\": \"") + Time + "\"\n},\n";
+
+  Out += "\"workload\": {";
+  bool First = true;
+  for (const auto &[Key, Value] : Workload) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "  \"" + json::escape(Key) + "\": \"" + json::escape(Value) + "\"";
+  }
+  Out += Workload.empty() ? "},\n" : "\n},\n";
+
+  appendStats(Out, Stats);
+  Out += ",\n";
+
+  // Metrics::toJson is a full document ending in "}\n"; embed it as
+  // the member value minus the trailing newline.
+  std::string MetricsJson = Metrics::toJson(Metrics::snapshot());
+  while (!MetricsJson.empty() && MetricsJson.back() == '\n')
+    MetricsJson.pop_back();
+  Out += "\"metrics\": " + MetricsJson;
+
+  if (Trace::compiledIn()) {
+    Profile P = Profile::fromTrace(kindTagName);
+    if (P.NumEvents != 0) {
+      std::string ProfileJson = P.toJson();
+      while (!ProfileJson.empty() && ProfileJson.back() == '\n')
+        ProfileJson.pop_back();
+      Out += ",\n\"profile\": " + ProfileJson;
+    }
+  }
+
+  if (WallNs != 0)
+    Out += ",\n\"timing\": {\"wall_ns\": " + std::to_string(WallNs) + "}";
+
+  Out += "\n}\n";
+  return Out;
+}
+
+bool RunReport::writeTo(const std::string &Path) {
+  std::ofstream File(Path);
+  if (!File)
+    return false;
+  File << render();
+  File.flush();
+  return File.good();
+}
+
+const std::string &RunReport::envPathValue() {
+  return recorder().EnvPath;
+}
+
+void RunReport::initFromEnvironment() {
+  static bool Done = false;
+  if (Done)
+    return;
+  Done = true;
+  // Install the TestKind namer bridge unconditionally: env-armed
+  // profiles (PDT_PROFILE) should get symbolic kind names whenever
+  // the driver is linked in.
+  Profile::setTagNamer(kindTagName);
+  std::optional<std::string> Path = envPath("PDT_REPORT");
+  if (!Path)
+    return;
+  recorder().EnvPath = std::move(*Path);
+  // A report without counters is hollow: arm metrics (cheap, sharded
+  // relaxed stores) unless something else — PDT_METRICS — already
+  // did. Tracing stays opt-in (PDT_TRACE / PDT_PROFILE); the profile
+  // section appears whenever spans were recorded.
+  if (Metrics::compiledIn() && !Metrics::enabled())
+    Metrics::enable();
+  std::atexit([] { writeReportNow(); });
+  registerCrashFlush("PDT_REPORT", [] { writeReportNow(); });
+}
+
+namespace {
+/// Arms PDT_REPORT before main, mirroring Trace/Metrics/Profile.
+[[maybe_unused]] const bool ReportEnvInitialized =
+    (RunReport::initFromEnvironment(), true);
+} // namespace

@@ -1,0 +1,101 @@
+//===- support/CrashSafety.cpp - Flush telemetry on abnormal exit ---------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CrashSafety.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+struct FlushHook {
+  const char *Name;
+  void (*Hook)();
+  bool Ran;
+};
+
+struct Registry {
+  std::mutex M;
+  std::vector<FlushHook> Hooks;
+  std::terminate_handler PreviousTerminate = nullptr;
+  bool HandlersInstalled = false;
+};
+
+Registry &registry() {
+  // Immortal: crash handlers may fire at any point during shutdown.
+  static Registry *R = new Registry;
+  return *R;
+}
+
+/// One process-wide latch so the SIGABRT raised by the chained
+/// terminate handler (abort) does not re-enter the flush loop.
+std::atomic<bool> FlushInProgress{false};
+
+extern "C" void crashSafetySigabrt(int Sig) {
+  // Restore the default disposition first: if a hook itself aborts we
+  // die immediately instead of recursing.
+  std::signal(Sig, SIG_DFL);
+  runCrashFlushHooks();
+  std::raise(Sig);
+}
+
+[[noreturn]] void crashSafetyTerminate() {
+  runCrashFlushHooks();
+  std::terminate_handler Previous = registry().PreviousTerminate;
+  if (Previous && Previous != crashSafetyTerminate)
+    Previous();
+  std::abort();
+}
+
+void installHandlersLocked(Registry &R) {
+  if (R.HandlersInstalled)
+    return;
+  R.HandlersInstalled = true;
+  R.PreviousTerminate = std::set_terminate(crashSafetyTerminate);
+  std::signal(SIGABRT, crashSafetySigabrt);
+}
+
+} // namespace
+
+void pdt::registerCrashFlush(const char *Name, void (*Hook)()) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (const FlushHook &H : R.Hooks)
+    if (H.Hook == Hook)
+      return;
+  R.Hooks.push_back({Name, Hook, false});
+  installHandlersLocked(R);
+}
+
+void pdt::runCrashFlushHooks() {
+  if (FlushInProgress.exchange(true))
+    return;
+  Registry &R = registry();
+  // Deliberately not taking R.M around the hook calls: the crashing
+  // thread may already hold arbitrary locks, and the hook list only
+  // grows. Copy the entries under the lock, run outside it.
+  std::vector<FlushHook *> ToRun;
+  {
+    std::lock_guard<std::mutex> Lock(R.M);
+    for (FlushHook &H : R.Hooks)
+      if (!H.Ran) {
+        H.Ran = true;
+        ToRun.push_back(&H);
+      }
+  }
+  for (FlushHook *H : ToRun) {
+    std::fprintf(stderr, "pdt: crash-flushing %s\n", H->Name);
+    H->Hook();
+  }
+  FlushInProgress.store(false);
+}

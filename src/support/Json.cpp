@@ -1,0 +1,382 @@
+//===- support/Json.cpp - Minimal JSON value model and parser -------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace pdt;
+using namespace pdt::json;
+
+const Value *Value::find(std::string_view Key) const {
+  if (TheKind != Kind::Object)
+    return nullptr;
+  for (const Member &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+std::optional<double> Value::numberAt(std::string_view Key) const {
+  const Value *V = find(Key);
+  if (!V || !V->isNumber())
+    return std::nullopt;
+  return V->asDouble();
+}
+
+std::optional<uint64_t> Value::uintAt(std::string_view Key) const {
+  const Value *V = find(Key);
+  if (!V || !V->isNumber())
+    return std::nullopt;
+  return V->asUInt();
+}
+
+std::optional<bool> Value::boolAt(std::string_view Key) const {
+  const Value *V = find(Key);
+  if (!V || !V->isBool())
+    return std::nullopt;
+  return V->asBool();
+}
+
+std::optional<std::string> Value::stringAt(std::string_view Key) const {
+  const Value *V = find(Key);
+  if (!V || !V->isString())
+    return std::nullopt;
+  return V->asString();
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Depth is bounded so a
+/// pathological "[[[[..." input cannot blow the stack.
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<Value> run() {
+    std::optional<Value> V = parseValue(0);
+    if (!V)
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after the document");
+    return V;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 96;
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+
+  std::nullopt_t fail(const std::string &Why) {
+    if (Error && Error->empty())
+      *Error = "offset " + std::to_string(Pos) + ": " + Why;
+    return std::nullopt;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  std::optional<Value> parseValue(unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipSpace();
+    if (Pos == Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"': {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      return Value(std::move(*S));
+    }
+    case 't':
+      if (literal("true"))
+        return Value(true);
+      return fail("bad literal");
+    case 'f':
+      if (literal("false"))
+        return Value(false);
+      return fail("bad literal");
+    case 'n':
+      if (literal("null"))
+        return Value();
+      return fail("bad literal");
+    default:
+      return parseNumber();
+    }
+  }
+
+  std::optional<Value> parseObject(unsigned Depth) {
+    ++Pos; // '{'
+    std::vector<Member> Members;
+    skipSpace();
+    if (consume('}'))
+      return Value(std::move(Members));
+    for (;;) {
+      skipSpace();
+      if (Pos == Text.size() || Text[Pos] != '"')
+        return fail("expected a member name");
+      std::optional<std::string> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      if (!consume(':'))
+        return fail("expected ':' after member name");
+      std::optional<Value> V = parseValue(Depth + 1);
+      if (!V)
+        return std::nullopt;
+      Members.emplace_back(std::move(*Key), std::move(*V));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Value(std::move(Members));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<Value> parseArray(unsigned Depth) {
+    ++Pos; // '['
+    std::vector<Value> Elements;
+    skipSpace();
+    if (consume(']'))
+      return Value(std::move(Elements));
+    for (;;) {
+      std::optional<Value> V = parseValue(Depth + 1);
+      if (!V)
+        return std::nullopt;
+      Elements.push_back(std::move(*V));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Value(std::move(Elements));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<std::string> parseString() {
+    ++Pos; // '"'
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos == Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"': Out += '"'; break;
+      case '\\': Out += '\\'; break;
+      case '/': Out += '/'; break;
+      case 'b': Out += '\b'; break;
+      case 'f': Out += '\f'; break;
+      case 'n': Out += '\n'; break;
+      case 'r': Out += '\r'; break;
+      case 't': Out += '\t'; break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (unsigned I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad \\u escape digit");
+        }
+        // UTF-8 encode the BMP code point; surrogate pairs are not
+        // produced by any writer in this repository.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::optional<Value> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool Fractional = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '+' || C == '-') {
+        Fractional = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string_view Tok = Text.substr(Start, Pos - Start);
+    if (!Fractional) {
+      int64_t I = 0;
+      auto [Ptr, Ec] = std::from_chars(Tok.data(), Tok.data() + Tok.size(), I);
+      if (Ec == std::errc() && Ptr == Tok.data() + Tok.size())
+        return Value(I);
+      // Out-of-int64-range integers (e.g. a uint64 counter above
+      // INT64_MAX) fall through to the double path below.
+    }
+    std::string Buf(Tok);
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Buf.c_str(), &End);
+    if (End != Buf.c_str() + Buf.size() || errno == ERANGE)
+      return fail("malformed number");
+    return Value(D);
+  }
+};
+
+void dumpTo(const Value &V, std::string &Out) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    Out += "null";
+    break;
+  case Value::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case Value::Kind::Number: {
+    double D = V.asDouble();
+    if (static_cast<double>(V.asInt()) == D) {
+      Out += std::to_string(V.asInt());
+    } else {
+      char Buf[40];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      Out += Buf;
+    }
+    break;
+  }
+  case Value::Kind::String:
+    Out += '"';
+    Out += escape(V.asString());
+    Out += '"';
+    break;
+  case Value::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &E : V.asArray()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      dumpTo(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Value::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const Member &M : V.asObject()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += escape(M.first);
+      Out += "\":";
+      dumpTo(M.second, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::optional<Value> pdt::json::parse(std::string_view Text,
+                                      std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).run();
+}
+
+std::string pdt::json::dump(const Value &V) {
+  std::string Out;
+  dumpTo(V, Out);
+  return Out;
+}
+
+std::string pdt::json::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}

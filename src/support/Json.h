@@ -1,0 +1,122 @@
+//===- support/Json.h - Minimal JSON value model and parser -----*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON reader for the tooling side of the observability stack:
+/// depprof loads AnalysisReport files and BENCH_HISTORY.jsonl lines,
+/// and the schema-stability tests round-trip reports through it. The
+/// writers in this repository emit JSON by hand (each producer controls
+/// its own canonical key order); this module only needs to *read* that
+/// output back, so it favors simplicity over speed:
+///
+///   * objects preserve member order (a vector of pairs, not a map), so
+///     parse -> serialize round-trips are byte-stable;
+///   * numbers remember whether the source text was an integer, so
+///     uint64 counters survive the trip without double rounding;
+///   * errors carry a byte offset and a one-line description.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SUPPORT_JSON_H
+#define PDT_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdt {
+namespace json {
+
+class Value;
+
+using Member = std::pair<std::string, Value>;
+
+/// One JSON value. Kept deliberately closed: the analysis layers never
+/// build these; only the report tooling does.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : TheKind(Kind::Null) {}
+  explicit Value(bool B) : TheKind(Kind::Bool), BoolValue(B) {}
+  explicit Value(double D)
+      : TheKind(Kind::Number), NumValue(D), IntValue(static_cast<int64_t>(D)),
+        IsInt(false) {}
+  explicit Value(int64_t I)
+      : TheKind(Kind::Number), NumValue(static_cast<double>(I)), IntValue(I),
+        IsInt(true) {}
+  explicit Value(uint64_t U)
+      : TheKind(Kind::Number), NumValue(static_cast<double>(U)),
+        IntValue(static_cast<int64_t>(U)), IsInt(true) {}
+  explicit Value(std::string S)
+      : TheKind(Kind::String), StrValue(std::move(S)) {}
+  explicit Value(std::vector<Value> A)
+      : TheKind(Kind::Array), Elements(std::move(A)) {}
+  explicit Value(std::vector<Member> O)
+      : TheKind(Kind::Object), Members(std::move(O)) {}
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isNumber() const { return TheKind == Kind::Number; }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  bool asBool() const { return BoolValue; }
+  double asDouble() const { return NumValue; }
+  /// The integer value; exact when the source text was an integer
+  /// literal, otherwise a truncation of the double.
+  int64_t asInt() const { return IsInt ? IntValue : static_cast<int64_t>(NumValue); }
+  uint64_t asUInt() const { return static_cast<uint64_t>(asInt()); }
+  const std::string &asString() const { return StrValue; }
+  const std::vector<Value> &asArray() const { return Elements; }
+  const std::vector<Member> &asObject() const { return Members; }
+
+  /// Object member lookup (first match); nullptr when absent or when
+  /// this value is not an object.
+  const Value *find(std::string_view Key) const;
+
+  /// Convenience typed lookups for report parsing: nullopt when the
+  /// member is absent or has the wrong kind.
+  std::optional<double> numberAt(std::string_view Key) const;
+  std::optional<uint64_t> uintAt(std::string_view Key) const;
+  std::optional<bool> boolAt(std::string_view Key) const;
+  std::optional<std::string> stringAt(std::string_view Key) const;
+
+private:
+  Kind TheKind;
+  bool BoolValue = false;
+  double NumValue = 0.0;
+  int64_t IntValue = 0;
+  bool IsInt = false;
+  std::string StrValue;
+  std::vector<Value> Elements;
+  std::vector<Member> Members;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, anything
+/// else after the value is an error). On failure returns nullopt and,
+/// when \p Error is non-null, fills it with "offset N: why".
+std::optional<Value> parse(std::string_view Text, std::string *Error = nullptr);
+
+/// Serializes \p V compactly (no added whitespace). Used by tests and
+/// the history tooling; the report writers keep their own pretty,
+/// canonical formatting.
+std::string dump(const Value &V);
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included). Shared by every hand-rolled writer in the repo.
+std::string escape(std::string_view S);
+
+} // namespace json
+} // namespace pdt
+
+#endif // PDT_SUPPORT_JSON_H

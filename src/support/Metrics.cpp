@@ -7,10 +7,12 @@
 
 #include "support/Metrics.h"
 
+#include "support/CrashSafety.h"
 #include "support/Env.h"
 #include "support/ErrorHandling.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -104,6 +106,37 @@ const char *pdt::histoName(Histo H) {
   pdt_unreachable("covered switch");
 }
 
+double MetricsSnapshot::Histogram::quantileNs(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  double Rank = Q * static_cast<double>(Count - 1);
+  uint64_t Before = 0;
+  for (unsigned B = 0; B != HistoBuckets; ++B) {
+    uint64_t N = Buckets[B];
+    if (!N) {
+      continue;
+    }
+    if (Rank < static_cast<double>(Before + N)) {
+      if (B == 0)
+        return 0.0;
+      double Lo = std::ldexp(1.0, static_cast<int>(B) - 1);
+      double Hi = std::ldexp(1.0, static_cast<int>(B));
+      double Fraction =
+          (Rank - static_cast<double>(Before) + 0.5) / static_cast<double>(N);
+      double V = Lo + Fraction * (Hi - Lo);
+      return MaxNs && V > static_cast<double>(MaxNs)
+                 ? static_cast<double>(MaxNs)
+                 : V;
+    }
+    Before += N;
+  }
+  return static_cast<double>(MaxNs);
+}
+
 namespace {
 
 /// One thread's metric cells. The owning thread is the only writer
@@ -142,8 +175,11 @@ struct MetricsCollector {
 };
 
 MetricsCollector &metricsCollector() {
-  static MetricsCollector C;
-  return C;
+  // Immortal, like the trace collector: exit-time report writers may
+  // snapshot metrics after this TU's static destructors would have
+  // run.
+  static MetricsCollector *C = new MetricsCollector;
+  return *C;
 }
 
 MetricsShard &threadShard() {
@@ -275,6 +311,11 @@ std::string Metrics::toJson(const MetricsSnapshot &S) {
     Out += "\": {\"count\": " + std::to_string(H.Count);
     Out += ", \"sum_ns\": " + std::to_string(H.SumNs);
     Out += ", \"max_ns\": " + std::to_string(H.MaxNs);
+    char Quantiles[128];
+    std::snprintf(Quantiles, sizeof(Quantiles),
+                  ", \"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f",
+                  H.quantileNs(0.50), H.quantileNs(0.95), H.quantileNs(0.99));
+    Out += Quantiles;
     Out += ", \"log2_buckets\": [";
     for (unsigned B = 0; B != HistoBuckets; ++B) {
       Out += std::to_string(H.Buckets[B]);
@@ -325,8 +366,14 @@ void Metrics::initFromEnvironment() {
                          "written\n");
     return;
   }
-  if (Metrics::enable(std::move(*Path)))
+  if (Metrics::enable(std::move(*Path))) {
     std::atexit([] { Metrics::stop(); });
+    // Aborting runs skip atexit; flush on terminate/SIGABRT too.
+    registerCrashFlush("PDT_METRICS", [] {
+      if (Metrics::enabled())
+        Metrics::stop();
+    });
+  }
 }
 
 namespace {

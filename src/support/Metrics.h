@@ -114,6 +114,17 @@ struct MetricsSnapshot {
       return *this;
     }
     bool operator==(const Histogram &RHS) const = default;
+
+    /// Closed-form quantile estimate (0 <= Q <= 1) from the bucket
+    /// counts alone. The continuous 0-based rank Q*(Count-1) is
+    /// located in the cumulative bucket walk, then interpolated
+    /// linearly across that bucket's value range [2^(B-1), 2^B) under
+    /// a uniform within-bucket assumption — the sample at offset k of
+    /// the n in a bucket sits at fraction (k + 0.5) / n. Bucket 0
+    /// (value 0) maps to 0, and the result is clamped to MaxNs so the
+    /// top bucket cannot report beyond the observed maximum. Returns
+    /// 0 for an empty histogram.
+    double quantileNs(double Q) const;
   };
 
   std::array<uint64_t, NumMetrics> Counters{};

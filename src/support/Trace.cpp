@@ -7,6 +7,7 @@
 
 #include "support/Trace.h"
 
+#include "support/CrashSafety.h"
 #include "support/Env.h"
 
 #include <algorithm>
@@ -58,8 +59,13 @@ struct Collector {
 };
 
 Collector &collector() {
-  static Collector C;
-  return C;
+  // Immortal (leaked on purpose): exit-time flush hooks — the
+  // PDT_REPORT writer, crash flushes — may run after this TU's
+  // static destructors would have fired, so the collector must never
+  // be destroyed. Still reachable through the static pointer, so
+  // LeakSanitizer stays quiet.
+  static Collector *C = new Collector;
+  return *C;
 }
 
 ThreadBuffer &threadBuffer() {
@@ -143,8 +149,8 @@ int64_t Trace::nowNs() {
       .count();
 }
 
-void Trace::record(const char *Name, const char *Category, int64_t StartNs,
-                   int64_t EndNs) {
+void Trace::record(const char *Name, const char *Category, int16_t Kind,
+                   int64_t StartNs, int64_t EndNs) {
   ThreadBuffer &Buffer = threadBuffer();
   uint32_t N = Buffer.Size.load(std::memory_order_relaxed);
   if (N == Buffer.Events.size()) {
@@ -153,7 +159,8 @@ void Trace::record(const char *Name, const char *Category, int64_t StartNs,
     std::lock_guard<std::mutex> Lock(Buffer.M);
     Buffer.Events.resize(Buffer.Events.size() * 2);
   }
-  Buffer.Events[N] = {Name, Category, Buffer.Tid, StartNs, EndNs - StartNs};
+  Buffer.Events[N] = {Name,  Category, Buffer.Tid,
+                      Kind,  StartNs,  EndNs - StartNs};
   Buffer.Size.store(N + 1, std::memory_order_release);
 }
 
@@ -288,8 +295,15 @@ void Trace::initFromEnvironment() {
                          "written\n");
     return;
   }
-  if (Trace::start(std::move(*Path)))
+  if (Trace::start(std::move(*Path))) {
     std::atexit([] { Trace::stop(); });
+    // An aborting run skips atexit; the crash-flush registry covers
+    // std::terminate and SIGABRT so the trace survives those too.
+    registerCrashFlush("PDT_TRACE", [] {
+      if (Trace::enabled())
+        Trace::stop();
+    });
+  }
 }
 
 namespace {

@@ -51,11 +51,16 @@ namespace pdt {
 
 /// One finished span, as recorded in a thread buffer and exposed to
 /// tests through Trace::snapshot(). Times are nanoseconds since the
-/// trace clock anchor.
+/// trace clock anchor. Kind is a small attribution tag (the core layer
+/// stores its TestKind enumerator there, see support/Profile.h);
+/// NoTag for structural spans that belong to no particular test.
 struct TraceEvent {
+  static constexpr int16_t NoTag = -1;
+
   const char *Name = nullptr;
   const char *Category = nullptr;
   uint32_t Tid = 0;
+  int16_t Kind = NoTag;
   int64_t StartNs = 0;
   int64_t DurationNs = 0;
 };
@@ -110,8 +115,8 @@ private:
   // friend *class* declaration would conflict with.
   friend class Span;
 #endif
-  static void record(const char *Name, const char *Category, int64_t StartNs,
-                     int64_t EndNs);
+  static void record(const char *Name, const char *Category, int16_t Kind,
+                     int64_t StartNs, int64_t EndNs);
   static std::atomic<bool> EnabledFlag;
 };
 
@@ -120,7 +125,7 @@ private:
 /// observability smoke test can static_assert its emptiness.
 class NoopSpan {
 public:
-  explicit NoopSpan(const char *, const char * = nullptr) {}
+  explicit NoopSpan(const char *, const char * = nullptr, int = -1) {}
   NoopSpan(const NoopSpan &) = delete;
   NoopSpan &operator=(const NoopSpan &) = delete;
 };
@@ -133,19 +138,24 @@ static_assert(std::is_empty_v<NoopSpan>,
 
 /// RAII scope: records one complete event from construction to
 /// destruction when tracing is armed. \p Name and \p Category must be
-/// string literals.
+/// string literals. \p KindTag, when not NoTag, attributes the span to
+/// a dependence test for the profiler (core passes its TestKind
+/// enumerator cast to int; support deliberately stays ignorant of the
+/// enum itself).
 class Span {
 public:
-  explicit Span(const char *Name, const char *Category = "pdt") {
+  explicit Span(const char *Name, const char *Category = "pdt",
+                int KindTag = TraceEvent::NoTag) {
     if (Trace::enabled()) {
       this->Name = Name;
       this->Category = Category;
+      Kind = static_cast<int16_t>(KindTag);
       StartNs = Trace::nowNs();
     }
   }
   ~Span() {
     if (Name)
-      Trace::record(Name, Category, StartNs, Trace::nowNs());
+      Trace::record(Name, Category, Kind, StartNs, Trace::nowNs());
   }
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
@@ -153,6 +163,7 @@ public:
 private:
   const char *Name = nullptr;
   const char *Category = nullptr;
+  int16_t Kind = TraceEvent::NoTag;
   int64_t StartNs = 0;
 };
 

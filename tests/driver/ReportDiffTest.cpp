@@ -1,0 +1,333 @@
+//===- tests/driver/ReportDiffTest.cpp - Report diff and history tests ----===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The regression-detection rules, key class by key class: stats keys
+// gate on any change, counters on tolerated relative drift, scheduling
+// splits never, wall-clock values only on opt-in increase. Plus the
+// perf-history ledger: curation, JSONL round-trip, and the median+MAD
+// spike scan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ReportDiff.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace pdt;
+
+namespace {
+
+json::Value parsed(const std::string &Text) {
+  std::string Error;
+  std::optional<json::Value> V = json::parse(Text, &Error);
+  EXPECT_TRUE(V) << Error << " in: " << Text;
+  return V ? *V : json::Value();
+}
+
+/// A minimal but structurally faithful report.
+std::string reportText(uint64_t Pairs, uint64_t MemoHits, uint64_t BuildNs) {
+  return "{\"schema\": \"pdt-report-v1\","
+         "\"meta\": {\"tool\": \"t\", \"threads\": 4},"
+         "\"stats\": {\"reference_pairs\": " +
+         std::to_string(Pairs) +
+         "},"
+         "\"metrics\": {\"counters\": {"
+         "\"graph.pairs.tested\": " +
+         std::to_string(Pairs) +
+         ", \"lowering.memo.hits\": " + std::to_string(MemoHits) +
+         ", \"graph.build_ns\": " + std::to_string(BuildNs) +
+         "}},"
+         "\"timing\": {\"wall_ns\": " +
+         std::to_string(BuildNs + 1000) + "}}";
+}
+
+const DiffEntry *entryFor(const DiffResult &R, const std::string &Key) {
+  for (const DiffEntry &E : R.Changed)
+    if (E.Key == Key)
+      return &E;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(ReportDiff, ClassifyKey) {
+  EXPECT_EQ(classifyKey("stats.reference_pairs"), KeyClass::Stat);
+  EXPECT_EQ(classifyKey("stats.tests.StrongSIV.applications"),
+            KeyClass::Stat);
+  EXPECT_EQ(classifyKey("metrics.counters.pool.steals"), KeyClass::Sched);
+  EXPECT_EQ(classifyKey("metrics.counters.lowering.memo.hits"),
+            KeyClass::Sched);
+  EXPECT_EQ(classifyKey("metrics.gauges.pool.workers"), KeyClass::Sched);
+  EXPECT_EQ(classifyKey("metrics.derived.pairs_per_sec"), KeyClass::Sched);
+  EXPECT_EQ(classifyKey("metrics.counters.budget.deadline_skips"),
+            KeyClass::Sched);
+  EXPECT_EQ(classifyKey("metrics.counters.graph.build_ns"), KeyClass::Time);
+  EXPECT_EQ(classifyKey("metrics.histograms.latency.pair_test_ns.p95_ns"),
+            KeyClass::Time);
+  EXPECT_EQ(classifyKey("timing.wall_ns"), KeyClass::Time);
+  EXPECT_EQ(classifyKey("profile.total_self_ns"), KeyClass::Time);
+  EXPECT_EQ(classifyKey("metrics.counters.graph.pairs.tested"),
+            KeyClass::Counter);
+  EXPECT_EQ(classifyKey("metrics.counters.budget.pair_skips"),
+            KeyClass::Counter);
+}
+
+TEST(ReportDiff, FlattenSkipsMetaStringsAndIndexesArrays) {
+  json::Value V = parsed("{\"meta\": {\"threads\": 4, \"tool\": \"t\"},"
+                         "\"stats\": {\"dimension_histogram\": [5, 3],"
+                         "\"name\": \"ignored\", \"flag\": true}}");
+  std::vector<FlatValue> Flat = flattenReport(V);
+  ASSERT_EQ(Flat.size(), 3u);
+  EXPECT_EQ(Flat[0].Key, "stats.dimension_histogram[0]");
+  EXPECT_EQ(Flat[0].Value, 5.0);
+  EXPECT_EQ(Flat[1].Key, "stats.dimension_histogram[1]");
+  EXPECT_EQ(Flat[2].Key, "stats.flag");
+  EXPECT_EQ(Flat[2].Value, 1.0);
+}
+
+TEST(ReportDiff, IdenticalReportsDiffEmpty) {
+  json::Value A = parsed(reportText(100, 40, 5000000));
+  DiffResult R = diffReports(A, A);
+  EXPECT_TRUE(R.Changed.empty());
+  EXPECT_EQ(R.Regressions, 0u);
+}
+
+TEST(ReportDiff, AnyStatChangeIsARegression) {
+  json::Value A = parsed(reportText(100, 40, 5000000));
+  json::Value B = parsed(reportText(101, 40, 5000000));
+  DiffResult R = diffReports(A, B);
+  const DiffEntry *E = entryFor(R, "stats.reference_pairs");
+  ASSERT_TRUE(E);
+  EXPECT_TRUE(E->Regression);
+}
+
+TEST(ReportDiff, CounterDriftWithinToleranceIsNotARegression) {
+  // graph.pairs.tested moves by 2% (default tolerance 5%): changed,
+  // but not a regression. It also changes stats.reference_pairs here,
+  // so diff purely synthetic counter documents instead.
+  json::Value A = parsed("{\"metrics\": {\"counters\": "
+                         "{\"graph.pairs.tested\": 1000}}}");
+  json::Value B = parsed("{\"metrics\": {\"counters\": "
+                         "{\"graph.pairs.tested\": 1020}}}");
+  DiffResult R = diffReports(A, B);
+  const DiffEntry *E = entryFor(R, "metrics.counters.graph.pairs.tested");
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(E->Regression);
+}
+
+TEST(ReportDiff, CounterDriftBeyondToleranceRegresses) {
+  json::Value A = parsed("{\"metrics\": {\"counters\": "
+                         "{\"graph.pairs.tested\": 1000}}}");
+  json::Value B = parsed("{\"metrics\": {\"counters\": "
+                         "{\"graph.pairs.tested\": 1100}}}");
+  EXPECT_EQ(diffReports(A, B).Regressions, 1u);
+  // Shrinking counters regress too: "fewer pairs tested" can mean the
+  // analysis silently skipped work.
+  EXPECT_EQ(diffReports(B, A).Regressions, 1u);
+}
+
+TEST(ReportDiff, AbsoluteFloorSuppressesTinyCounterDrift) {
+  // 10 -> 20 is 100% relative drift but only 10 absolute (floor 16):
+  // noise on a near-zero counter, not a regression.
+  json::Value A = parsed("{\"metrics\": {\"counters\": "
+                         "{\"graph.pairs.tested\": 10}}}");
+  json::Value B = parsed("{\"metrics\": {\"counters\": "
+                         "{\"graph.pairs.tested\": 20}}}");
+  EXPECT_EQ(diffReports(A, B).Regressions, 0u);
+}
+
+TEST(ReportDiff, SchedulingSplitsNeverRegress) {
+  json::Value A = parsed("{\"metrics\": {\"counters\": "
+                         "{\"lowering.memo.hits\": 10, \"pool.steals\": 0}}}");
+  json::Value B = parsed("{\"metrics\": {\"counters\": "
+                         "{\"lowering.memo.hits\": 900000,"
+                         " \"pool.steals\": 12345}}}");
+  DiffResult R = diffReports(A, B);
+  EXPECT_EQ(R.Changed.size(), 2u);
+  EXPECT_EQ(R.Regressions, 0u);
+}
+
+TEST(ReportDiff, TimeIsExcludedByDefaultAndOptIn) {
+  json::Value A = parsed(reportText(100, 40, 5000000));
+  json::Value B = parsed(reportText(100, 40, 50000000)); // 10x slower
+  EXPECT_EQ(diffReports(A, B).Regressions, 0u);
+  DiffOptions WithTime;
+  WithTime.IncludeTime = true;
+  EXPECT_GE(diffReports(A, B, WithTime).Regressions, 1u);
+  // Getting faster is never a regression, even opted in.
+  EXPECT_EQ(diffReports(B, A, WithTime).Regressions, 0u);
+}
+
+TEST(ReportDiff, SmallTimeIncreasesStayInsideTheTolerance) {
+  DiffOptions WithTime;
+  WithTime.IncludeTime = true;
+  // +20% on 5ms: inside the default 30% wall-clock tolerance.
+  json::Value A = parsed(reportText(100, 40, 5000000));
+  json::Value B = parsed(reportText(100, 40, 6000000));
+  EXPECT_EQ(diffReports(A, B, WithTime).Regressions, 0u);
+  // +50% but only 150us absolute: under the 250us floor.
+  json::Value C = parsed(reportText(100, 40, 300000));
+  json::Value D = parsed(reportText(100, 40, 450000));
+  EXPECT_EQ(diffReports(C, D, WithTime).Regressions, 0u);
+}
+
+TEST(ReportDiff, OneSidedKeysRegressOnlyForDeterministicClasses) {
+  json::Value A = parsed("{\"stats\": {\"reference_pairs\": 5},"
+                         "\"metrics\": {\"counters\": {\"graph.edges\": 9}},"
+                         "\"timing\": {\"wall_ns\": 1000}}");
+  json::Value B = parsed("{\"stats\": {\"reference_pairs\": 5}}");
+  DiffResult R = diffReports(A, B);
+  const DiffEntry *Edges = entryFor(R, "metrics.counters.graph.edges");
+  const DiffEntry *Wall = entryFor(R, "timing.wall_ns");
+  ASSERT_TRUE(Edges && Wall);
+  EXPECT_TRUE(Edges->Regression); // a counter vanished: regression
+  EXPECT_FALSE(Wall->Regression); // a timing section vanished: fine
+}
+
+//===----------------------------------------------------------------------===//
+// History
+//===----------------------------------------------------------------------===//
+
+TEST(ReportHistory, CurationKeepsSummariesAndDropsShape) {
+  json::Value R = parsed(
+      "{\"schema\": \"pdt-report-v1\","
+      "\"meta\": {\"threads\": 4},"
+      "\"stats\": {\"reference_pairs\": 9, \"independent_pairs\": 3,"
+      " \"coupled_groups\": 2},"
+      "\"metrics\": {\"counters\": {\"graph.pairs.tested\": 9,"
+      " \"graph.edges\": 4, \"graph.build_ns\": 777,"
+      " \"pool.steals\": 5},"
+      "\"histograms\": {\"latency.pair_test_ns\": {\"p95_ns\": 12.5,"
+      " \"log2_buckets\": [0, 3, 1]}}},"
+      "\"profile\": {\"total_self_ns\": 700,"
+      " \"stacks\": [{\"self_ns\": 1}]},"
+      "\"timing\": {\"wall_ns\": 800}}");
+  HistoryLine L = historyLineFromReport("b", "c", "t", R);
+  auto Has = [&](const char *Key) {
+    for (const FlatValue &F : L.Values)
+      if (F.Key == Key)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(Has("stats.reference_pairs"));
+  EXPECT_TRUE(Has("stats.independent_pairs"));
+  EXPECT_TRUE(Has("metrics.counters.graph.pairs.tested"));
+  EXPECT_TRUE(Has("metrics.counters.graph.edges"));
+  EXPECT_TRUE(Has("metrics.counters.graph.build_ns"));
+  EXPECT_TRUE(Has("metrics.histograms.latency.pair_test_ns.p95_ns"));
+  EXPECT_TRUE(Has("profile.total_self_ns"));
+  EXPECT_TRUE(Has("timing.wall_ns"));
+  // Shape and scheduling noise stays out of the ledger.
+  EXPECT_FALSE(Has("stats.coupled_groups"));
+  EXPECT_FALSE(Has("metrics.counters.pool.steals"));
+  EXPECT_FALSE(Has(
+      "metrics.histograms.latency.pair_test_ns.log2_buckets[1]"));
+  EXPECT_FALSE(Has("profile.stacks[0].self_ns"));
+  EXPECT_FALSE(Has("meta.threads"));
+}
+
+TEST(ReportHistory, LineRoundTripsThroughJsonl) {
+  HistoryLine L;
+  L.Bench = "bench_x7_profile";
+  L.Config = "RelWithDebInfo";
+  L.Timestamp = "2026-08-05T00:00:00Z";
+  L.Values = {{"metrics.counters.graph.build_ns", 11847247.0},
+              {"timing.wall_ns", 12345678.5}};
+  std::string Line = renderHistoryLine(L);
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  std::string Error;
+  std::optional<HistoryLine> Back = parseHistoryLine(Line, &Error);
+  ASSERT_TRUE(Back) << Error;
+  EXPECT_EQ(Back->Bench, L.Bench);
+  EXPECT_EQ(Back->Config, L.Config);
+  EXPECT_EQ(Back->Timestamp, L.Timestamp);
+  ASSERT_EQ(Back->Values.size(), 2u);
+  EXPECT_EQ(Back->Values[0].Key, "metrics.counters.graph.build_ns");
+  EXPECT_EQ(Back->Values[0].Value, 11847247.0);
+  EXPECT_EQ(Back->Values[1].Value, 12345678.5);
+}
+
+TEST(ReportHistory, AppendAndLoadTolerateMalformedLines) {
+  const char *Path = "report_history_test.jsonl";
+  std::remove(Path);
+  HistoryLine L;
+  L.Bench = "b";
+  L.Config = "c";
+  L.Timestamp = "t";
+  L.Values = {{"timing.wall_ns", 100.0}};
+  ASSERT_TRUE(appendHistoryLine(Path, L));
+  {
+    std::ofstream File(Path, std::ios::app);
+    File << "this is not json\n";
+    File << "{\"bench\": \"missing-the-rest\"}\n";
+  }
+  ASSERT_TRUE(appendHistoryLine(Path, L));
+  HistoryLoad Load = loadHistory(Path);
+  EXPECT_EQ(Load.Lines.size(), 2u);
+  EXPECT_EQ(Load.Malformed, 2u);
+  std::remove(Path);
+}
+
+namespace {
+
+std::vector<HistoryLine> ledger(std::initializer_list<double> WallValues) {
+  std::vector<HistoryLine> Lines;
+  for (double V : WallValues) {
+    HistoryLine L;
+    L.Bench = "b";
+    L.Config = "c";
+    L.Timestamp = "t";
+    L.Values = {{"metrics.counters.graph.pairs.tested", 1000.0},
+                {"timing.wall_ns", V}};
+    Lines.push_back(std::move(L));
+  }
+  return Lines;
+}
+
+} // namespace
+
+TEST(ReportHistory, ScanNeedsFourComparableSamples) {
+  HistoryScan Scan = scanHistory(ledger({1e6, 1e6, 9e9}), "b", "c");
+  EXPECT_EQ(Scan.Considered, 3u);
+  EXPECT_TRUE(Scan.Flags.empty());
+}
+
+TEST(ReportHistory, ScanFlagsASpikeAboveTheNoiseBand) {
+  // Four stable priors around 1ms, then a 10x spike.
+  HistoryScan Scan =
+      scanHistory(ledger({1.00e6, 1.02e6, 0.99e6, 1.01e6, 1.0e7}), "b", "c");
+  EXPECT_EQ(Scan.Considered, 5u);
+  ASSERT_EQ(Scan.Flags.size(), 1u);
+  EXPECT_EQ(Scan.Flags[0].Key, "timing.wall_ns");
+  EXPECT_EQ(Scan.Flags[0].Latest, 1.0e7);
+}
+
+TEST(ReportHistory, ScanToleratesDriftInsideTheBand) {
+  // +2% on a noisy series: inside NoiseK * max(MAD, 1% of median).
+  HistoryScan Scan =
+      scanHistory(ledger({1.00e6, 1.02e6, 0.98e6, 1.01e6, 1.02e6}), "b", "c");
+  EXPECT_EQ(Scan.Considered, 5u);
+  EXPECT_TRUE(Scan.Flags.empty());
+}
+
+TEST(ReportHistory, ScanIgnoresCounterKeysAndOtherBenches) {
+  // The counter key is identical here; only wall time spikes, and a
+  // non-matching bench/config must not be considered at all.
+  std::vector<HistoryLine> Lines = ledger({1e6, 1e6, 1e6, 1e6, 1e6});
+  HistoryScan Other = scanHistory(Lines, "different-bench", "c");
+  EXPECT_EQ(Other.Considered, 0u);
+  EXPECT_TRUE(Other.Flags.empty());
+  HistoryScan Stable = scanHistory(Lines, "b", "c");
+  EXPECT_EQ(Stable.Considered, 5u);
+  EXPECT_TRUE(Stable.Flags.empty());
+}

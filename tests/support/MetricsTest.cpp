@@ -155,6 +155,102 @@ TEST(Metrics, DisabledByDefaultRecordsNothing) {
   EXPECT_EQ(Metrics::snapshot(), MetricsSnapshot());
 }
 
+namespace {
+
+/// A histogram with \p PerBucket[I] samples in bucket I (value range
+/// [2^(I-1), 2^I)), Count kept consistent, MaxNs as given.
+MetricsSnapshot::Histogram bucketed(
+    std::initializer_list<std::pair<unsigned, uint64_t>> PerBucket,
+    uint64_t MaxNs) {
+  MetricsSnapshot::Histogram H;
+  for (auto [Bucket, N] : PerBucket) {
+    H.Buckets[Bucket] = N;
+    H.Count += N;
+  }
+  H.MaxNs = MaxNs;
+  return H;
+}
+
+} // namespace
+
+TEST(MetricsQuantile, EmptyHistogramIsZero) {
+  MetricsSnapshot::Histogram H;
+  EXPECT_EQ(H.quantileNs(0.0), 0.0);
+  EXPECT_EQ(H.quantileNs(0.5), 0.0);
+  EXPECT_EQ(H.quantileNs(1.0), 0.0);
+}
+
+TEST(MetricsQuantile, SingleBucketInterpolatesUniformly) {
+  // 4 samples in bucket 3, i.e. values in [4, 8). The 0-based rank
+  // Q*(Count-1) sits at within-bucket fraction (rank + 0.5)/4.
+  MetricsSnapshot::Histogram H = bucketed({{3, 4}}, /*MaxNs=*/7);
+  EXPECT_DOUBLE_EQ(H.quantileNs(0.0), 4.5);  // rank 0   -> 4 + 0.125*4
+  EXPECT_DOUBLE_EQ(H.quantileNs(0.5), 6.0);  // rank 1.5 -> 4 + 0.5*4
+  EXPECT_DOUBLE_EQ(H.quantileNs(1.0), 7.0);  // rank 3 -> 7.5, clamped
+}
+
+TEST(MetricsQuantile, BucketZeroMeansValueZero) {
+  MetricsSnapshot::Histogram H = bucketed({{0, 10}}, /*MaxNs=*/0);
+  EXPECT_EQ(H.quantileNs(0.0), 0.0);
+  EXPECT_EQ(H.quantileNs(0.99), 0.0);
+  EXPECT_EQ(H.quantileNs(1.0), 0.0);
+}
+
+TEST(MetricsQuantile, WalksAcrossBuckets) {
+  // One sample in [1,2), one in [2,4): the low quantile interpolates
+  // inside the first bucket, the high one inside the second.
+  MetricsSnapshot::Histogram H = bucketed({{1, 1}, {2, 1}}, /*MaxNs=*/3);
+  EXPECT_DOUBLE_EQ(H.quantileNs(0.0), 1.5); // bucket 1 midpoint
+  EXPECT_DOUBLE_EQ(H.quantileNs(1.0), 3.0); // bucket 2 midpoint
+}
+
+TEST(MetricsQuantile, MedianLandsInTheHeavyBucket) {
+  // 1 sample in [2,4), 98 in [8,16), 1 in [32,64): every central
+  // quantile must come from the dominant bucket.
+  MetricsSnapshot::Histogram H =
+      bucketed({{2, 1}, {4, 98}, {6, 1}}, /*MaxNs=*/40);
+  EXPECT_DOUBLE_EQ(H.quantileNs(0.50), 12.0); // rank 49.5, mid-bucket
+  // rank 98.01 is still among the 98 heavy samples; only the true
+  // maximum escapes into the outlier bucket (and clamps to MaxNs).
+  double P99 = H.quantileNs(0.99);
+  EXPECT_GE(P99, 8.0);
+  EXPECT_LT(P99, 16.0);
+  EXPECT_DOUBLE_EQ(H.quantileNs(1.0), 40.0);
+}
+
+TEST(MetricsQuantile, MonotonicInQ) {
+  MetricsSnapshot::Histogram H =
+      bucketed({{1, 3}, {3, 7}, {5, 11}, {9, 2}}, /*MaxNs=*/500);
+  double Prev = -1.0;
+  for (double Q = 0.0; Q <= 1.0; Q += 0.05) {
+    double V = H.quantileNs(Q);
+    EXPECT_GE(V, Prev) << "at Q=" << Q;
+    Prev = V;
+  }
+}
+
+TEST(MetricsQuantile, ClampsToObservedMax) {
+  // All mass in [16,32) but the largest observed sample was 17: the
+  // interpolated upper quantiles must not exceed it.
+  MetricsSnapshot::Histogram H = bucketed({{5, 8}}, /*MaxNs=*/17);
+  EXPECT_EQ(H.quantileNs(1.0), 17.0);
+  EXPECT_LE(H.quantileNs(0.99), 17.0);
+}
+
+TEST(MetricsQuantile, OutOfRangeQIsClamped) {
+  MetricsSnapshot::Histogram H = bucketed({{3, 4}}, /*MaxNs=*/7);
+  EXPECT_EQ(H.quantileNs(-1.0), H.quantileNs(0.0));
+  EXPECT_EQ(H.quantileNs(2.0), H.quantileNs(1.0));
+}
+
+TEST(MetricsQuantile, JsonCarriesQuantileSummaries) {
+  MetricsSnapshot S = synthetic(6);
+  std::string Json = Metrics::toJson(S);
+  EXPECT_NE(Json.find("\"p50_ns\""), std::string::npos);
+  EXPECT_NE(Json.find("\"p95_ns\""), std::string::npos);
+  EXPECT_NE(Json.find("\"p99_ns\""), std::string::npos);
+}
+
 TEST(Metrics, JsonNamesEveryRegisteredMetric) {
   MetricsSnapshot S = synthetic(6);
   std::string Json = Metrics::toJson(S);
