@@ -19,6 +19,15 @@
 // equal TestStats, then writes BENCH_graph_throughput.json. Run with
 // --smoke for a sub-second workload (wired as the bench_smoke ctest).
 //
+// --ablation instead measures the batched SoA fast path against the
+// scalar testers (core/PairBatch.h) on a ZIV/strong-SIV-heavy
+// workload: both configurations run at the same thread count, must
+// produce byte-identical edges and equal TestStats, and each emits a
+// full pdt-report-v1 document (BENCH_x3_ablation_{scalar,batched}.json)
+// so depprof can diff them and append the batched run to the
+// BENCH_HISTORY.jsonl perf ledger. The non-smoke run gates on the
+// batched configuration sustaining >= 1.5x pairs/sec.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchMeta.h"
@@ -27,8 +36,10 @@
 #include "core/AccessLoweringCache.h"
 #include "core/DependenceGraph.h"
 #include "core/DependenceTester.h"
+#include "core/PairBatch.h"
 #include "driver/Analyzer.h"
 #include "driver/WorkloadGenerator.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <chrono>
@@ -147,26 +158,174 @@ template <typename Fn> Measurement timeBest(unsigned Reps, Fn &&Run) {
   return Best;
 }
 
+/// The batched-vs-scalar ablation: identical workload, identical
+/// thread count, only the PairBatch mode override differs.
+int runAblation(bool Smoke, unsigned Threads, unsigned NumNests) {
+  unsigned Reps = Smoke ? 1 : 3;
+  std::mt19937_64 Rng(0x5EEDBA7C4);
+  std::string Source = generateBatchHeavyProgramSource(Rng, NumNests);
+
+  AnalyzerOptions Opt;
+  Opt.NumThreads = 1;
+  AnalysisResult Base = analyzeSource(Source, "x3-ablation-workload", Opt);
+  if (!Base.Parsed) {
+    std::cerr << "ablation workload failed to parse\n";
+    return 1;
+  }
+  const Program &Prog = *Base.Prog;
+  SymbolRangeMap Symbols;
+
+  auto Configured = [&](BatchMode Mode) {
+    return timeBest(Reps, [&, Mode] {
+      setBatchModeOverride(Mode);
+      TestStats S;
+      DependenceGraph G =
+          DependenceGraph::build(Prog, Symbols, &S, false, Threads);
+      setBatchModeOverride(std::nullopt);
+      return std::pair(G.dependences(), S);
+    });
+  };
+  Measurement Scalar = Configured(BatchMode::Off);
+  Measurement Batched = Configured(BatchMode::On);
+
+  // The whole point of the fast path: routing must not change results.
+  if (Batched.EdgeReport != Scalar.EdgeReport) {
+    std::cerr << "FAIL: batched and scalar graphs differ\n";
+    return 1;
+  }
+  if (!(Batched.Stats == Scalar.Stats)) {
+    std::cerr << "FAIL: batched and scalar TestStats differ\n";
+    return 1;
+  }
+  uint64_t ScalarRouting = Scalar.Stats.BatchedZIV +
+                           Scalar.Stats.BatchedStrongSIV +
+                           Scalar.Stats.ScalarFallback;
+  if (ScalarRouting != 0) {
+    std::cerr << "FAIL: scalar configuration reported batched routing\n";
+    return 1;
+  }
+  if (batchingCompiledIn()) {
+    if (Batched.Stats.BatchedZIV == 0 || Batched.Stats.BatchedStrongSIV == 0) {
+      std::cerr << "FAIL: batch-heavy workload produced no batched verdicts\n";
+      return 1;
+    }
+    if (NumNests >= 11 && Batched.Stats.ScalarFallback == 0) {
+      std::cerr << "FAIL: coupled nests did not reach the scalar fallback\n";
+      return 1;
+    }
+  }
+
+  uint64_t Pairs = Scalar.Stats.ReferencePairs;
+  double ScalarPps = Pairs / Scalar.Secs;
+  double BatchedPps = Pairs / Batched.Secs;
+  double Speedup = Scalar.Secs / Batched.Secs;
+
+  std::printf("x3 batched-vs-scalar ablation: %u nests, %llu tested pairs, "
+              "%u threads%s\n",
+              NumNests, static_cast<unsigned long long>(Pairs), Threads,
+              batchingCompiledIn() ? "" : " (batching compiled out)");
+  std::printf("  scalar:   %8.1f ms  %10.0f pairs/sec\n", Scalar.Secs * 1e3,
+              ScalarPps);
+  std::printf("  batched:  %8.1f ms  %10.0f pairs/sec  (%.2fx)\n",
+              Batched.Secs * 1e3, BatchedPps, Speedup);
+  std::printf("  routing: ziv %llu, strong-siv %llu, scalar fallback %llu\n",
+              static_cast<unsigned long long>(Batched.Stats.BatchedZIV),
+              static_cast<unsigned long long>(Batched.Stats.BatchedStrongSIV),
+              static_cast<unsigned long long>(Batched.Stats.ScalarFallback));
+
+  // One fresh, metrics-armed build per configuration so each report
+  // carries its own counters (Metrics are process-global; reset
+  // between renders). Stats and Counter-class metrics are identical
+  // across the two documents by construction — only the Sched-class
+  // "routing" section and memo/pool splits may differ, which is
+  // exactly what the depprof_ablation_diff ctest exercises.
+  auto EmitReport = [&](const char *FileName, const char *Config,
+                        BatchMode Mode) {
+    setBatchModeOverride(Mode);
+    if (Metrics::compiledIn()) {
+      Metrics::reset();
+      if (!Metrics::enabled())
+        Metrics::enable();
+    }
+    TestStats S;
+    auto Start = std::chrono::steady_clock::now();
+    DependenceGraph::build(Prog, Symbols, &S, false, Threads);
+    int64_t WallNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    setBatchModeOverride(std::nullopt);
+    RunReport::reset();
+    RunReport::noteTool("bench_x3_graph_throughput");
+    RunReport::noteWorkload("mode", "ablation");
+    RunReport::noteWorkload("config", Config);
+    RunReport::noteWorkload("nests", static_cast<uint64_t>(NumNests));
+    RunReport::noteStats(S);
+    RunReport::noteWallNs(WallNs);
+    if (!RunReport::writeTo(benchOutputPath(FileName))) {
+      std::cerr << "FAIL: cannot write " << FileName << "\n";
+      return false;
+    }
+    return true;
+  };
+  if (!EmitReport("BENCH_x3_ablation_scalar.json", "scalar", BatchMode::Off) ||
+      !EmitReport("BENCH_x3_ablation_batched.json", "batched", BatchMode::On))
+    return 1;
+
+  std::ofstream Json(benchOutputPath("BENCH_graph_ablation.json"));
+  Json << "{\n"
+       << benchMetaJson("x3_graph_ablation") << ",\n"
+       << "  \"workload\": {\"nests\": " << NumNests
+       << ", \"tested_pairs\": " << Pairs
+       << ", \"smoke\": " << (Smoke ? "true" : "false") << "},\n"
+       << "  \"threads\": " << Threads << ",\n"
+       << "  \"batching_compiled_in\": "
+       << (batchingCompiledIn() ? "true" : "false") << ",\n"
+       << "  \"scalar_ms\": " << Scalar.Secs * 1e3 << ",\n"
+       << "  \"batched_ms\": " << Batched.Secs * 1e3 << ",\n"
+       << "  \"scalar_pairs_per_sec\": " << ScalarPps << ",\n"
+       << "  \"batched_pairs_per_sec\": " << BatchedPps << ",\n"
+       << "  \"speedup_batched_vs_scalar\": " << Speedup << ",\n"
+       << "  \"batched_ziv\": " << Batched.Stats.BatchedZIV << ",\n"
+       << "  \"batched_strong_siv\": " << Batched.Stats.BatchedStrongSIV
+       << ",\n"
+       << "  \"scalar_fallback\": " << Batched.Stats.ScalarFallback << ",\n"
+       << "  \"graphs_identical\": true,\n"
+       << "  \"stats_identical\": true\n"
+       << "}\n";
+
+  if (!Smoke && batchingCompiledIn() && Speedup < 1.5) {
+    std::cerr << "FAIL: batched path only " << Speedup
+              << "x over scalar (need >= 1.5x)\n";
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   RunReport::noteTool("bench_x3_graph_throughput");
   bool Smoke = false;
+  bool Ablation = false;
   unsigned Threads = 4;
   unsigned NumNests = 64;
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--smoke"))
       Smoke = true;
+    else if (!std::strcmp(argv[I], "--ablation"))
+      Ablation = true;
     else if (!std::strcmp(argv[I], "--threads") && I + 1 != argc)
       Threads = std::strtoul(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--nests") && I + 1 != argc)
       NumNests = std::strtoul(argv[++I], nullptr, 10);
     else {
       std::cerr << "usage: " << argv[0]
-                << " [--smoke] [--threads N] [--nests N]\n";
+                << " [--smoke] [--ablation] [--threads N] [--nests N]\n";
       return 2;
     }
   }
+  if (Ablation)
+    return runAblation(Smoke, Threads, Smoke ? 12 : NumNests);
   if (Smoke)
     NumNests = 4;
   unsigned Reps = Smoke ? 1 : 3;

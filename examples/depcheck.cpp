@@ -117,5 +117,10 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(
                     R.Stats.independences(Kind)));
   }
+  std::printf("%-26s ziv %llu, strong-siv %llu, scalar fallback %llu\n",
+              "batched routing",
+              static_cast<unsigned long long>(R.Stats.BatchedZIV),
+              static_cast<unsigned long long>(R.Stats.BatchedStrongSIV),
+              static_cast<unsigned long long>(R.Stats.ScalarFallback));
   return 0;
 }

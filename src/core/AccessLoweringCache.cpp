@@ -30,41 +30,50 @@ AccessLoweringCache::~AccessLoweringCache() = default;
 
 AccessLoweringCache::AccessLoweringCache(
     const std::vector<ArrayAccess> &Accesses, const SymbolRangeMap &Symbols,
-    const std::set<std::string> *VaryingScalars)
-    : Accesses(Accesses), Symbols(Symbols),
+    const std::set<std::string> *VaryingScalars, bool DeferLowering)
+    : Accesses(Accesses), Symbols(Symbols), VaryingScalars(VaryingScalars),
       Memo(std::make_unique<MemoShard[]>(NumMemoShards)) {
-  Span LowerSpan("AccessLoweringCache::lower", "cache");
+  // Counted up front in both modes so the lowering counter never
+  // depends on how many buckets the deferred schedule actually
+  // reaches.
   Metrics::count(Metric::AccessesLowered, Accesses.size());
-  Lowered.reserve(Accesses.size());
-  for (const ArrayAccess &Access : Accesses) {
-    LoweredAccess L;
-    for (const DoLoop *Loop : Access.LoopStack)
-      L.OwnIndices.insert(Loop->getIndexName());
+  Lowered.resize(Accesses.size());
+  if (DeferLowering)
+    return;
+  for (unsigned I = 0, E = Accesses.size(); I != E; ++I)
+    lowerAccess(I);
+}
 
-    L.Dims.reserve(Access.Ref->getNumDims());
-    for (unsigned Dim = 0; Dim != Access.Ref->getNumDims(); ++Dim) {
-      std::optional<LinearExpr> Linear;
-      try {
-        Linear = buildLinearExpr(Access.Ref->getSubscript(Dim), L.OwnIndices);
-      } catch (const AnalysisError &) {
-        // Coefficient overflow while lowering: the dimension is as
-        // untestable as a nonlinear subscript — treat it as one.
-        Linear.reset();
-      }
-      // A scalar assigned somewhere in the program is not a
-      // loop-invariant symbol; the subscript is effectively nonlinear.
-      if (Linear && VaryingScalars)
-        for (const auto &[Name, Coeff] : Linear->symbolTerms())
-          if (VaryingScalars->count(Name)) {
-            Linear.reset();
-            break;
-          }
-      L.Dims.push_back(std::move(Linear));
+void AccessLoweringCache::lowerAccess(unsigned Access) {
+  Span LowerSpan("AccessLoweringCache::lower", "cache");
+  const ArrayAccess &Source = Accesses[Access];
+  LoweredAccess &L = Lowered[Access];
+  for (const DoLoop *Loop : Source.LoopStack)
+    L.OwnIndices.insert(Loop->getIndexName());
+
+  L.Dims.reserve(Source.Ref->getNumDims());
+  for (unsigned Dim = 0; Dim != Source.Ref->getNumDims(); ++Dim) {
+    std::optional<LinearExpr> Linear;
+    try {
+      Linear = buildLinearExpr(Source.Ref->getSubscript(Dim), L.OwnIndices);
+    } catch (const AnalysisError &) {
+      // Coefficient overflow while lowering: the dimension is as
+      // untestable as a nonlinear subscript — treat it as one.
+      Linear.reset();
     }
-
-    L.OwnCtx = LoopNestContext(Access.LoopStack, Symbols);
-    Lowered.push_back(std::move(L));
+    // A scalar assigned somewhere in the program is not a
+    // loop-invariant symbol; the subscript is effectively nonlinear.
+    if (Linear && VaryingScalars)
+      for (const auto &[Name, Coeff] : Linear->symbolTerms())
+        if (VaryingScalars->count(Name)) {
+          Linear.reset();
+          break;
+        }
+    L.Dims.push_back(std::move(Linear));
   }
+
+  L.OwnCtx = LoopNestContext(Source.LoopStack, Symbols);
+  L.Ready = true;
 }
 
 namespace {

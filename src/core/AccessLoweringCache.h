@@ -39,6 +39,8 @@
 
 namespace pdt {
 
+struct PairBatchPlan;
+
 /// The pair-independent lowering of one array access.
 struct LoweredAccess {
   /// Affine form of each subscript dimension over the access's own
@@ -52,22 +54,46 @@ struct LoweredAccess {
   /// The access's own loop index names (equals the common index set
   /// whenever the common nest is the whole stack).
   std::set<std::string> OwnIndices;
+  /// lowerAccess completed for this entry (always true after an eager
+  /// construction; deferred entries flip it as their lowering job
+  /// runs).
+  bool Ready = false;
 };
 
 class AccessLoweringCache {
 public:
   /// Lowers every access of \p Accesses under symbol assumptions
   /// \p Symbols. \p VaryingScalars (may be null) names scalars whose
-  /// mention makes a subscript nonlinear. The accesses vector must
-  /// outlive the cache.
+  /// mention makes a subscript nonlinear. The accesses vector (and
+  /// VaryingScalars when deferring) must outlive the cache. With
+  /// \p DeferLowering the constructor only sizes the table; the caller
+  /// schedules lowerAccess per access (the job-graph builder lowers
+  /// each array's accesses as that bucket's pipeline starts, instead
+  /// of lowering the whole program up front).
   AccessLoweringCache(const std::vector<ArrayAccess> &Accesses,
                       const SymbolRangeMap &Symbols,
-                      const std::set<std::string> *VaryingScalars);
+                      const std::set<std::string> *VaryingScalars,
+                      bool DeferLowering = false);
   ~AccessLoweringCache();
+
+  /// Lowers one access (idempotent is NOT required: call exactly once
+  /// per access, before any pair involving it is tested). Distinct
+  /// accesses may be lowered concurrently.
+  void lowerAccess(unsigned Access);
+
+  bool isLowered(unsigned Access) const { return Lowered[Access].Ready; }
 
   const LoweredAccess &lowered(unsigned Access) const {
     return Lowered[Access];
   }
+
+  /// Classifies the pair's subscripts and, when every dimension is a
+  /// batchable constant-difference ZIV or separable strong SIV,
+  /// appends its entries and a PairRecord (tagged \p PairIdx) to
+  /// \p Plan. Returns false — leaving \p Plan untouched — when any
+  /// dimension needs the scalar path. Thread-safe for distinct plans.
+  bool planBatchedPair(unsigned I, unsigned J, size_t PairIdx,
+                       PairBatchPlan &Plan) const;
 
   /// Combines the cached forms of accesses \p I and \p J into the same
   /// PreparedPair prepareAccessPair(Accesses[I], Accesses[J], ...)
@@ -103,6 +129,7 @@ private:
 
   const std::vector<ArrayAccess> &Accesses;
   SymbolRangeMap Symbols;
+  const std::set<std::string> *VaryingScalars = nullptr;
   std::vector<LoweredAccess> Lowered;
 
   /// Memoized testDependence results. Distinct access pairs often

@@ -1,0 +1,49 @@
+//===- core/BatchedSIV.h - SoA ZIV/strong-SIV decide kernel -----*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decide half of the batched fast path: one pass of branch-free
+/// divisibility/bounds checks over a PairBatchPlan's SoA buffers, and
+/// the materialization of each pair's DependenceTestResult from the
+/// per-entry verdicts — bit-identical to the scalar testZIV /
+/// testStrongSIV outcome, including the TestStats increments and the
+/// exact/Maybe flag for unbounded iteration spaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_CORE_BATCHEDSIV_H
+#define PDT_CORE_BATCHEDSIV_H
+
+#include "core/DependenceTester.h"
+#include "core/PairBatch.h"
+
+namespace pdt {
+
+/// Decides every entry of \p Plan in one pass, filling Plan.Indep and
+/// Plan.Dist. An entry proves independence iff its constant difference
+/// is not divisible by the coefficient or the resulting distance
+/// exceeds the iteration span. The loop is branch-free per entry (the
+/// compiler's auto-vectorizer needs no intrinsics) and UB-free: the
+/// planner guarantees Coeff != 0, Const != INT64_MIN, so neither the
+/// division nor the negation can overflow.
+void decidePairBatch(PairBatchPlan &Plan);
+
+/// Rebuilds the full DependenceTestResult for one decided pair,
+/// replaying exactly the statistics the scalar walk would have
+/// recorded: the pair preamble (reference-pair count, dimension
+/// histogram), the upfront structural counts, one application per
+/// entry up to and including the deciding one, and the independence
+/// credit when an entry disproves the dependence. Also counts the
+/// pair-routing observability counters (BatchedZIV, BatchedStrongSIV).
+DependenceTestResult
+materializeBatchedPair(const PairBatchPlan &Plan,
+                       const PairBatchPlan::PairRecord &Rec,
+                       TestStats *Stats);
+
+} // namespace pdt
+
+#endif // PDT_CORE_BATCHEDSIV_H

@@ -8,14 +8,19 @@
 #include "core/DependenceGraph.h"
 
 #include "core/AccessLoweringCache.h"
+#include "core/BatchedSIV.h"
+#include "core/PairBatch.h"
 #include "ir/PrettyPrinter.h"
 #include "support/Casting.h"
+#include "support/FaultInjector.h"
+#include "support/JobGraph.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 #include <map>
 
 using namespace pdt;
@@ -187,7 +192,6 @@ DependenceGraph DependenceGraph::build(const Program &P,
   G.Accesses = collectAccesses(P);
 
   std::set<std::string> VaryingScalars = collectVaryingScalars(P);
-  AccessLoweringCache Cache(G.Accesses, Symbols, &VaryingScalars);
 
   // Bucket accesses by array name: only same-array pairs can ever
   // depend, so cross-array pairs are not even enumerated.
@@ -216,18 +220,52 @@ DependenceGraph DependenceGraph::build(const Program &P,
   // build no matter how many workers test the pairs.
   std::sort(Pairs.begin(), Pairs.end());
 
-  unsigned Workers = NumThreads ? NumThreads : ThreadPool::defaultThreadCount();
+  unsigned Workers = ThreadPool::resolveThreadCount(NumThreads);
   Workers = std::max(1u, std::min<unsigned>(Workers, Pairs.size() ? Pairs.size() : 1));
+  // Tiny pair populations lose more to pool construction and chunk
+  // handoff than they gain from parallel testing: stay serial when the
+  // caller left the thread count to us (an explicit NumThreads is an
+  // explicit request). Fault injection also forces the serial order,
+  // so injection checkpoints keep their deterministic numbering.
+  constexpr size_t MinPairsForPool = 32;
+  bool Faulted = FaultInjector::armed();
+  if ((NumThreads == 0 && Pairs.size() < MinPairsForPool) || Faulted)
+    Workers = 1;
 
   std::optional<BudgetTracker> Tracker;
   if (Budget)
     Tracker.emplace(*Budget);
 
+  // Route eligible ZIV/strong-SIV pairs through the batched SoA
+  // kernels unless the mode, the compile flag, a pair-skipping budget,
+  // or armed fault injection says otherwise. A deadline or pair cap
+  // degrades pairs mid-run in scalar enumeration order and injection
+  // must hit scalar checkpoints, so those need the pure scalar order;
+  // the FM caps never fire on batched pairs (ZIV/strong-SIV decide
+  // without Fourier-Motzkin), so the driver's default budget does not
+  // forfeit batching.
+  bool BudgetSkipsPairs =
+      Tracker && (Tracker->limits().Deadline || Tracker->limits().MaxPairs);
+  BatchMode Mode = batchMode();
+  bool Batched = batchingCompiledIn() && !BudgetSkipsPairs && !Faulted &&
+                 (Mode == BatchMode::On ||
+                  (Mode == BatchMode::Auto && Pairs.size() >= MinPairsForPool));
+
+  // Deferred lowering lets the job graph lower each array's accesses
+  // as that bucket's pipeline starts instead of up front; the serial
+  // path keeps the eager order (and with it the exact legacy execution
+  // order under fault injection).
+  AccessLoweringCache Cache(G.Accesses, Symbols, &VaryingScalars,
+                            /*DeferLowering=*/Workers > 1);
+
   std::vector<std::vector<Dependence>> PerPair(Pairs.size());
-  std::vector<TestStats> WorkerStats(Workers);
-  auto Process = [&](size_t PairIdx, unsigned Worker) {
+  auto ProcessScalar = [&](size_t PairIdx, TestStats *WS) {
     auto [I, J] = Pairs[PairIdx];
-    TestStats *WS = Stats ? &WorkerStats[Worker] : nullptr;
+    // A failed lowering job leaves its accesses unready; its exception
+    // is already propagating out of the build, so the pair's edges are
+    // never observed.
+    if (!Cache.isLowered(I) || !Cache.isLowered(J))
+      return;
     // Budgets are enforced on the deterministic sorted pair order for
     // MaxPairs (so the degraded tail is identical across thread
     // counts); deadline degradation depends on wall time by nature.
@@ -255,17 +293,139 @@ DependenceGraph DependenceGraph::build(const Program &P,
           /*CountPair=*/false);
     }
   };
+  auto ProcessBatched = [&](const PairBatchPlan &Plan,
+                            const PairBatchPlan::PairRecord &Rec,
+                            TestStats *WS) {
+    try {
+      PerPair[Rec.PairIdx] = emitEdges(G.Accesses, Rec.I, Rec.J,
+                                       materializeBatchedPair(Plan, Rec, WS));
+    } catch (const std::exception &E) {
+      PerPair[Rec.PairIdx] = degradedPairEdges(
+          G.Accesses, Rec.I, Rec.J,
+          AnalysisFailure{FailureKind::InternalInvariant, E.what()}, WS,
+          /*CountPair=*/false);
+    }
+  };
+
+  // Per-job statistics sinks; a deque keeps addresses stable while
+  // jobs are still being added. Merged after the run — TestStats
+  // merging is additive, so the merge order cannot matter.
+  std::deque<TestStats> JobStats;
+  auto NewStats = [&]() -> TestStats * {
+    if (!Stats)
+      return nullptr;
+    return &JobStats.emplace_back();
+  };
 
   if (Workers == 1) {
-    for (size_t PairIdx = 0; PairIdx != Pairs.size(); ++PairIdx)
-      Process(PairIdx, 0);
+    TestStats *WS = NewStats();
+    if (Batched) {
+      PairBatchPlan Plan;
+      std::vector<size_t> Residue;
+      for (size_t PairIdx = 0; PairIdx != Pairs.size(); ++PairIdx) {
+        auto [I, J] = Pairs[PairIdx];
+        if (!Cache.planBatchedPair(I, J, PairIdx, Plan)) {
+          Residue.push_back(PairIdx);
+          if (WS)
+            ++WS->ScalarFallback;
+        }
+      }
+      decidePairBatch(Plan);
+      for (const PairBatchPlan::PairRecord &Rec : Plan.Pairs)
+        ProcessBatched(Plan, Rec, WS);
+      for (size_t PairIdx : Residue)
+        ProcessScalar(PairIdx, WS);
+    } else {
+      for (size_t PairIdx = 0; PairIdx != Pairs.size(); ++PairIdx)
+        ProcessScalar(PairIdx, WS);
+    }
   } else {
+    // Pipelined schedule: per array bucket, lowering -> (batched
+    // classification + decide) -> batched materialization and scalar
+    // residue as dependency-aware jobs on one shared pool. Buckets
+    // pipeline against each other — one array can be in its decide
+    // stage while another is still lowering — with no global barrier
+    // between stages. Every job writes only its own PerPair slots and
+    // stats sink, so the emitted graph stays byte-identical to the
+    // serial build.
     ThreadPool Pool(Workers);
-    Pool.parallelFor(Pairs.size(), Process);
+    JobGraph Graph;
+    // Pair indices per bucket (Pairs is globally sorted, so a bucket's
+    // pair list is ascending, but buckets interleave).
+    std::map<std::string, std::vector<size_t>> BucketPairs;
+    for (size_t PairIdx = 0; PairIdx != Pairs.size(); ++PairIdx)
+      BucketPairs[G.Accesses[Pairs[PairIdx].first].Ref->getArrayName()]
+          .push_back(PairIdx);
+
+    std::deque<PairBatchPlan> Plans;
+    std::deque<std::vector<size_t>> Residues;
+    for (auto &[Name, Members] : Buckets) {
+      auto PairsIt = BucketPairs.find(Name);
+      if (PairsIt == BucketPairs.end())
+        continue; // No testable pairs; nothing reads the lowerings.
+      const std::vector<size_t> &Indices = PairsIt->second;
+
+      const std::vector<unsigned> *BucketMembers = &Members;
+      JobGraph::JobId Lower = Graph.add([&Cache, BucketMembers] {
+        for (unsigned Access : *BucketMembers)
+          Cache.lowerAccess(Access);
+      });
+
+      // Scalar work is striped over a fixed job count so the graph can
+      // be built before the residue is known; stripe k takes indices
+      // k, k+N, k+2N, ...
+      size_t NumStripes = std::clamp<size_t>(Indices.size() / 64, 1, Workers);
+
+      if (Batched) {
+        PairBatchPlan *Plan = &Plans.emplace_back();
+        std::vector<size_t> *Residue = &Residues.emplace_back();
+        TestStats *ClassifyWS = NewStats();
+        JobGraph::JobId Classify = Graph.add(
+            [&Cache, &Pairs, Plan, Residue, ClassifyWS, &Indices] {
+              for (size_t PairIdx : Indices) {
+                auto [I, J] = Pairs[PairIdx];
+                if (!Cache.planBatchedPair(I, J, PairIdx, *Plan)) {
+                  Residue->push_back(PairIdx);
+                  if (ClassifyWS)
+                    ++ClassifyWS->ScalarFallback;
+                }
+              }
+              decidePairBatch(*Plan);
+            },
+            {Lower});
+        TestStats *DecideWS = NewStats();
+        Graph.add(
+            [&ProcessBatched, Plan, DecideWS] {
+              for (const PairBatchPlan::PairRecord &Rec : Plan->Pairs)
+                ProcessBatched(*Plan, Rec, DecideWS);
+            },
+            {Classify});
+        for (size_t Stripe = 0; Stripe != NumStripes; ++Stripe) {
+          TestStats *StripeWS = NewStats();
+          Graph.add(
+              [&ProcessScalar, Residue, StripeWS, Stripe, NumStripes] {
+                for (size_t K = Stripe; K < Residue->size(); K += NumStripes)
+                  ProcessScalar((*Residue)[K], StripeWS);
+              },
+              {Classify});
+        }
+      } else {
+        for (size_t Stripe = 0; Stripe != NumStripes; ++Stripe) {
+          TestStats *StripeWS = NewStats();
+          Graph.add(
+              [&ProcessScalar, &Indices, StripeWS, Stripe, NumStripes] {
+                for (size_t K = Stripe; K < Indices.size(); K += NumStripes)
+                  ProcessScalar(Indices[K], StripeWS);
+              },
+              {Lower});
+        }
+      }
+    }
+    Graph.run(Pool);
   }
 
   if (Stats)
-    for (const TestStats &WS : WorkerStats)
+    for (const TestStats &WS : JobStats)
       Stats->merge(WS);
   for (std::vector<Dependence> &Edges : PerPair)
     for (Dependence &D : Edges)

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <tuple>
 
 namespace pdt {
 
@@ -56,6 +57,18 @@ struct TestStats {
   uint64_t DegradedResults = 0;
   uint64_t FMBudgetHits = 0;
 
+  // Pair-routing counters for the batched SoA fast path: subscripts
+  // decided by the batched ZIV / strong-SIV kernels, and pairs the
+  // batch planner sent back to the scalar testers (symbolic terms,
+  // overflow risk, coupled shapes, ...). Routing is an observability
+  // signal, not an analysis result: the batched and scalar paths
+  // produce identical verdicts, so operator== deliberately ignores
+  // these three fields (a batched run and a scalar run of the same
+  // program compare equal).
+  uint64_t BatchedZIV = 0;
+  uint64_t BatchedStrongSIV = 0;
+  uint64_t ScalarFallback = 0;
+
   void noteApplication(TestKind K) {
     ++Applications[static_cast<unsigned>(K)];
   }
@@ -80,7 +93,22 @@ struct TestStats {
   /// merging reproduces the serial counts exactly.
   TestStats &merge(const TestStats &RHS) { return *this += RHS; }
 
-  bool operator==(const TestStats &RHS) const = default;
+  /// Equality over the analysis counters only — the routing trio
+  /// (BatchedZIV, BatchedStrongSIV, ScalarFallback) is excluded so
+  /// that runs differing only in how pairs were routed (batched vs
+  /// scalar) still compare equal.
+  auto resultKey() const {
+    return std::tie(Applications, Independences, ReferencePairs,
+                    IndependentPairs, DimensionHistogram,
+                    SeparableSubscripts, CoupledSubscripts,
+                    NonlinearSubscripts, ZIVSubscripts, SIVSubscripts,
+                    MIVSubscripts, CoupledGroups, GroupsWithResidualMIV,
+                    DegradedByKind, DegradedResults, FMBudgetHits);
+  }
+
+  bool operator==(const TestStats &RHS) const {
+    return resultKey() == RHS.resultKey();
+  }
 
   TestStats &operator+=(const TestStats &RHS) {
     for (unsigned I = 0; I != NumTestKinds; ++I) {
@@ -103,6 +131,9 @@ struct TestStats {
       DegradedByKind[I] += RHS.DegradedByKind[I];
     DegradedResults += RHS.DegradedResults;
     FMBudgetHits += RHS.FMBudgetHits;
+    BatchedZIV += RHS.BatchedZIV;
+    BatchedStrongSIV += RHS.BatchedStrongSIV;
+    ScalarFallback += RHS.ScalarFallback;
     return *this;
   }
 };

@@ -76,7 +76,8 @@ KeyClass pdt::classifyKey(std::string_view Key) {
   // Scheduling-dependent splits and rates: never gate on them. The
   // memo hit/miss *split* depends on which worker reaches a pair
   // first even though their sum is deterministic.
-  if (startsWith(Key, "metrics.counters.pool.") ||
+  if (startsWith(Key, "routing.") ||
+      startsWith(Key, "metrics.counters.pool.") ||
       startsWith(Key, "metrics.counters.lowering.memo.") ||
       startsWith(Key, "metrics.gauges.") ||
       startsWith(Key, "metrics.derived.") ||

@@ -21,7 +21,10 @@
 ///     tolerance and an absolute floor;
 ///   * Sched — scheduling-dependent metrics (pool steals and chunk
 ///     counts, memo hit/miss split, queue depths, deadline skips,
-///     derived rates): reported when changed, never a regression;
+///     derived rates) plus the batched/scalar routing split
+///     ("routing.*", which depends on PDT_BATCH and the pair-count
+///     threshold, not on the workload's semantics): reported when
+///     changed, never a regression;
 ///   * Time — anything in nanoseconds, the latency quantiles, the
 ///     span profile, "timing.*": a regression only on an *increase*
 ///     beyond a generous relative tolerance and an absolute floor,

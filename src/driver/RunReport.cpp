@@ -198,6 +198,16 @@ std::string RunReport::render() {
   appendStats(Out, Stats);
   Out += ",\n";
 
+  // Pair-routing counters live outside "stats": routing (batched vs
+  // scalar) is an implementation choice, not an analysis result, so
+  // report diffs classify "routing.*" as Sched and never gate on it.
+  Out += "\"routing\": {\n";
+  Out += "  \"batched_ziv\": " + std::to_string(Stats.BatchedZIV) + ",\n";
+  Out += "  \"batched_strong_siv\": " +
+         std::to_string(Stats.BatchedStrongSIV) + ",\n";
+  Out += "  \"scalar_fallback\": " + std::to_string(Stats.ScalarFallback) +
+         "\n},\n";
+
   // Metrics::toJson is a full document ending in "}\n"; embed it as
   // the member value minus the trailing newline.
   std::string MetricsJson = Metrics::toJson(Metrics::snapshot());

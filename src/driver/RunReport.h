@@ -26,7 +26,10 @@
 /// deterministic workload the "stats" section is byte-identical at
 /// any thread count; timing-valued members are confined to "meta",
 /// "metrics", "profile", and "timing" so report diffs can gate on the
-/// deterministic subset (see driver/ReportDiff.h).
+/// deterministic subset (see driver/ReportDiff.h). The "routing"
+/// section (batched vs scalar pair routing, core/PairBatch.h) is
+/// likewise excluded from gating: it varies with PDT_BATCH and the
+/// batching threshold while the verdicts stay identical.
 ///
 //===----------------------------------------------------------------------===//
 

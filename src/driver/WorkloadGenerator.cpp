@@ -119,3 +119,51 @@ std::string pdt::generateRandomProgramSource(std::mt19937_64 &Rng,
   }
   return Src;
 }
+
+std::string pdt::generateBatchHeavyProgramSource(std::mt19937_64 &Rng,
+                                                 unsigned NumNests,
+                                                 unsigned StmtsPerNest) {
+  std::string Src;
+  for (unsigned N = 0; N != NumNests; ++N) {
+    // Constant bounds keep every index range finite (the planner can
+    // prove exactness); a per-nest array keeps the pair buckets
+    // nest-local, which is the shape the job-graph pipeline overlaps.
+    std::string A = "b" + std::to_string(N);
+    bool ZIVNest = N % 5 == 4;
+    bool CoupledNest = N % 11 == 10;
+    Src += "do i = 1, " + std::to_string(drawInt(Rng, 16, 96)) + "\n";
+    Src += "  do j = 1, " + std::to_string(drawInt(Rng, 16, 96)) + "\n";
+    for (unsigned S = 0; S != StmtsPerNest; ++S) {
+      auto Constant = [&]() { return std::to_string(drawInt(Rng, 1, 8)); };
+      if (ZIVNest) {
+        // Pure-constant subscripts in both dimensions: ZIV pairs.
+        Src += "    " + A + "(" + Constant() + ", " + Constant() + ") = " +
+               A + "(" + Constant() + ", " + Constant() + ") + 1\n";
+        continue;
+      }
+      if (CoupledNest && S == 0) {
+        // Coupled subscripts (i+j): the planner rejects them and the
+        // pair takes the scalar-fallback route.
+        Src += "    " + A + "(i+j, j) = " + A + "(i+j-1, j) + 1\n";
+        continue;
+      }
+      // Strong-SIV stencil: equal unit coefficients, differing
+      // constant offsets, in both dimensions.
+      auto Ref = [&]() {
+        auto Off = [&](const char *Idx) {
+          int64_t C = drawInt(Rng, -3, 3);
+          std::string Out = Idx;
+          if (C > 0)
+            Out += "+" + std::to_string(C);
+          else if (C < 0)
+            Out += "-" + std::to_string(-C);
+          return Out;
+        };
+        return A + "(" + Off("i") + ", " + Off("j") + ")";
+      };
+      Src += "    " + Ref() + " = " + Ref() + " + " + Ref() + "\n";
+    }
+    Src += "  end do\nend do\n";
+  }
+  return Src;
+}

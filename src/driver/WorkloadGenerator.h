@@ -66,6 +66,16 @@ std::string generateRandomProgramSource(std::mt19937_64 &Rng,
                                         unsigned MaxDepth = 3,
                                         unsigned StmtsPerNest = 3);
 
+/// Generates a program dominated by the subscript shapes the batched
+/// SoA fast path handles (core/PairBatch.h): depth-2 nests with
+/// constant bounds and per-nest arrays, mixing strong-SIV stencils
+/// with pure-constant (ZIV) nests, plus occasional coupled
+/// subscripts that force the planner's scalar fallback. Used by the
+/// bench_x3 batched-vs-scalar ablation.
+std::string generateBatchHeavyProgramSource(std::mt19937_64 &Rng,
+                                            unsigned NumNests,
+                                            unsigned StmtsPerNest = 4);
+
 } // namespace pdt
 
 #endif // PDT_DRIVER_WORKLOADGENERATOR_H

@@ -11,8 +11,10 @@
 #include "core/DependenceTester.h"
 #include "core/FourierMotzkin.h"
 #include "core/Oracle.h"
+#include "core/PairBatch.h"
 #include "driver/Interpreter.h"
 #include "ir/AccessCollector.h"
+#include "support/FaultInjector.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
@@ -34,6 +36,8 @@ const char *pdt::fuzzDiscrepancyKindName(FuzzDiscrepancyKind K) {
     return "dynamic-uncovered";
   case FuzzDiscrepancyKind::DegradedResult:
     return "degraded-result";
+  case FuzzDiscrepancyKind::BatchDivergence:
+    return "batch-divergence";
   case FuzzDiscrepancyKind::Abort:
     return "abort";
   }
@@ -184,9 +188,42 @@ void checkDynamicCoverage(const FuzzKernel &K, const FuzzCheckConfig &Config,
     (void)Value;
     Ranges[Name] = Interval(1, std::nullopt);
   }
-  DependenceGraph G =
-      DependenceGraph::build(P, Ranges, nullptr, /*IncludeInput=*/false);
+  // Scoped batch-mode override so an escaping exception cannot leave
+  // the worker thread pinned to a routing.
+  struct BatchModeGuard {
+    explicit BatchModeGuard(BatchMode M) { setBatchModeOverride(M); }
+    ~BatchModeGuard() { setBatchModeOverride(std::nullopt); }
+  };
+
+  TestStats ScalarStats;
+  DependenceGraph G = [&] {
+    BatchModeGuard Guard(BatchMode::Off);
+    return DependenceGraph::build(P, Ranges, &ScalarStats,
+                                  /*IncludeInput=*/false);
+  }();
   Out.DynamicChecked = true;
+
+  // The fourth decider dimension: the batched SoA fast path must be
+  // indistinguishable from the scalar testers on every kernel. Forced
+  // On (not Auto) so small kernels below the batching threshold still
+  // exercise the planner and kernels.
+  if (Config.RunBatchCrossCheck && batchingCompiledIn() &&
+      !FaultInjector::armed()) {
+    TestStats BatchedStats;
+    DependenceGraph BatchedG = [&] {
+      BatchModeGuard Guard(BatchMode::On);
+      return DependenceGraph::build(P, Ranges, &BatchedStats,
+                                    /*IncludeInput=*/false);
+    }();
+    bool GraphsDiffer = BatchedG.str() != G.str();
+    if (GraphsDiffer || !(BatchedStats == ScalarStats)) {
+      Out.Discrepancies.push_back(
+          {FuzzDiscrepancyKind::BatchDivergence, ~0u, ~0u,
+           GraphsDiffer ? "batched and scalar dependence graphs differ"
+                        : "batched and scalar TestStats differ"});
+      return;
+    }
+  }
 
   auto Covered = [&G](unsigned Src, unsigned Snk,
                       const std::vector<int> &Tuple) {

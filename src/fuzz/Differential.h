@@ -62,6 +62,10 @@ enum class FuzzDiscrepancyKind {
   /// A decider produced a degraded result while FailOnDegraded was set
   /// (the fault-injection self-check).
   DegradedResult,
+  /// The batched SoA fast path (core/PairBatch.h) and the scalar
+  /// testers produced different graphs or TestStats on the same
+  /// kernel; the two routings must be indistinguishable.
+  BatchDivergence,
   /// An exception escaped a decider; the never-crash contract broke.
   Abort,
 };
@@ -94,6 +98,12 @@ struct FuzzCheckConfig {
   /// normal campaigns (degradation is legal); on under fault
   /// injection, where it proves injected faults surface and shrink.
   bool FailOnDegraded = false;
+  /// On kernels that run the whole-pipeline check, also rebuild the
+  /// dependence graph with batching forced on and forced off and
+  /// require identical graphs and TestStats (skipped when batching is
+  /// compiled out or fault injection is armed, which forces the
+  /// scalar path anyway).
+  bool RunBatchCrossCheck = true;
   /// Deliberately planted harness-validation bugs: the fuzzer must
   /// catch its own sabotage (used by the self-tests and the shrinker
   /// unit tests; never on in real campaigns).

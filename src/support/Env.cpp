@@ -49,6 +49,25 @@ std::optional<int64_t> pdt::envInt(const char *Name, int64_t Min, int64_t Max) {
   return static_cast<int64_t>(Parsed);
 }
 
+std::optional<std::string>
+pdt::envChoice(const char *Name, std::initializer_list<const char *> Choices) {
+  const char *Value = std::getenv(Name);
+  if (!Value)
+    return std::nullopt;
+  for (const char *Choice : Choices)
+    if (std::string(Value) == Choice)
+      return std::string(Choice);
+  std::string Reason = "is not one of";
+  const char *Sep = " ";
+  for (const char *Choice : Choices) {
+    Reason += Sep;
+    Reason += Choice;
+    Sep = "/";
+  }
+  warnMalformed(Name, Value, Reason.c_str());
+  return std::nullopt;
+}
+
 std::optional<std::string> pdt::envPath(const char *Name) {
   const char *Value = std::getenv(Name);
   if (!Value)

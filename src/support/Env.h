@@ -19,6 +19,7 @@
 #define PDT_SUPPORT_ENV_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
 
@@ -34,6 +35,14 @@ std::optional<int64_t> envInt(const char *Name, int64_t Min, int64_t Max);
 /// or whitespace-only value is rejected with a malformed-input warning
 /// (an accidental `PDT_TRACE=` must not truncate a file named "").
 std::optional<std::string> envPath(const char *Name);
+
+/// Reads \p Name as one of a closed set of keywords (exact,
+/// case-sensitive match). Returns the matched choice when the value is
+/// one of \p Choices, nullopt when the variable is unset, and nullopt
+/// — after a malformed-input warning listing the allowed values — for
+/// anything else.
+std::optional<std::string> envChoice(const char *Name,
+                                     std::initializer_list<const char *> Choices);
 
 } // namespace pdt
 

@@ -23,6 +23,12 @@ std::atomic<uint64_t> Counter{0};
 std::atomic<uint64_t> Target{0};
 std::atomic<FailureKind> Kind{FailureKind::Overflow};
 
+// One-time PDT_FAULT_INJECT pickup, shared by checkpoint() and
+// armed() so routing decisions made before the first checkpoint
+// (e.g. the batched-vs-scalar gate) already see an env-armed
+// injector.
+std::once_flag EnvOnce;
+
 std::optional<FailureKind> parseKind(const std::string &Name) {
   if (Name == "overflow")
     return FailureKind::Overflow;
@@ -72,6 +78,7 @@ uint64_t FaultInjector::siteCount() {
 }
 
 bool FaultInjector::armed() {
+  std::call_once(EnvOnce, initFromEnvironment);
   return Armed.load(std::memory_order_relaxed);
 }
 
@@ -82,7 +89,6 @@ void FaultInjector::initFromEnvironment() {
 
 void FaultInjector::checkpoint() {
   // One-time environment pickup, then the idle fast path.
-  static std::once_flag EnvOnce;
   std::call_once(EnvOnce, initFromEnvironment);
   if (!Armed.load(std::memory_order_acquire))
     return;

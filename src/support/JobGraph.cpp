@@ -1,0 +1,81 @@
+//===- support/JobGraph.cpp - Dependency-aware job scheduling -------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JobGraph.h"
+
+#include "support/Failure.h"
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+using namespace pdt;
+
+JobGraph::JobId JobGraph::add(std::function<void()> Fn,
+                              const std::vector<JobId> &Deps) {
+  pdt_check(!Ran, "JobGraph is single-shot; jobs added after run()");
+  JobId Id = Jobs.size();
+  Jobs.push_back({std::move(Fn), {}, 0});
+  for (JobId Dep : Deps) {
+    pdt_check(Dep < Id, "job dependency on a not-yet-added job");
+    Jobs[Dep].Succs.push_back(Id);
+    ++Jobs[Id].PendingDeps;
+  }
+  return Id;
+}
+
+void JobGraph::run(ThreadPool &Pool) {
+  pdt_check(!Ran, "JobGraph is single-shot; run() called twice");
+  Ran = true;
+  if (Jobs.empty())
+    return;
+
+  // Shared scheduler state. parallelFor runs exactly Jobs.size() work
+  // items; each item executes exactly one job, blocking until one is
+  // ready. Progress is guaranteed: whenever jobs remain incomplete,
+  // either the ready queue is non-empty or some job is running whose
+  // completion will refill it (the pending jobs form a DAG whose
+  // sources have all predecessors completed).
+  std::mutex M;
+  std::condition_variable ReadyCV;
+  std::deque<JobId> Ready;
+  std::exception_ptr FirstError;
+  for (JobId Id = 0; Id != Jobs.size(); ++Id)
+    if (Jobs[Id].PendingDeps == 0)
+      Ready.push_back(Id);
+
+  Pool.parallelFor(Jobs.size(), [&](size_t, unsigned) {
+    JobId Id;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      ReadyCV.wait(Lock, [&] { return !Ready.empty(); });
+      Id = Ready.front();
+      Ready.pop_front();
+    }
+    // Containment: a throwing job must not poison its siblings or
+    // starve its dependents; the first failure is rethrown below.
+    try {
+      Jobs[Id].Fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(M);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      for (JobId Succ : Jobs[Id].Succs)
+        if (--Jobs[Succ].PendingDeps == 0)
+          Ready.push_back(Succ);
+      ReadyCV.notify_all();
+    }
+  });
+
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

@@ -28,7 +28,7 @@ unsigned ThreadPool::defaultThreadCount() {
 }
 
 ThreadPool::ThreadPool(unsigned NumThreads)
-    : NumWorkers(NumThreads ? NumThreads : defaultThreadCount()) {
+    : NumWorkers(resolveThreadCount(NumThreads)) {
   Shards.reserve(NumWorkers);
   for (unsigned I = 0; I != NumWorkers; ++I)
     Shards.push_back(std::make_unique<Shard>());

@@ -67,6 +67,14 @@ public:
   /// integer, otherwise std::thread::hardware_concurrency (minimum 1).
   static unsigned defaultThreadCount();
 
+  /// The single "0 means auto" policy point: \p Requested when
+  /// non-zero, otherwise defaultThreadCount(). Every layer that
+  /// accepts a NumThreads knob resolves it through here instead of
+  /// re-implementing the fallback.
+  static unsigned resolveThreadCount(unsigned Requested) {
+    return Requested ? Requested : defaultThreadCount();
+  }
+
 private:
   /// One worker's chunk deque. Chunks are half-open index ranges.
   struct Shard {

@@ -112,3 +112,31 @@ TEST(Env, AcceptsRealPath) {
   ScopedEnv E(Var, "out/trace.json");
   EXPECT_EQ(envPath(Var), "out/trace.json");
 }
+
+TEST(Env, ChoiceUnsetIsSilentNullopt) {
+  ScopedEnv E(Var, nullptr);
+  EXPECT_EQ(envChoice(Var, {"on", "off", "auto"}), std::nullopt);
+}
+
+TEST(Env, ChoiceAcceptsEachListedValue) {
+  for (const char *Value : {"on", "off", "auto"}) {
+    ScopedEnv E(Var, Value);
+    EXPECT_EQ(envChoice(Var, {"on", "off", "auto"}), std::string(Value));
+  }
+}
+
+TEST(Env, ChoiceRejectsUnlistedValue) {
+  ScopedEnv E(Var, "sometimes");
+  EXPECT_EQ(envChoice(Var, {"on", "off", "auto"}), std::nullopt);
+}
+
+TEST(Env, ChoiceIsCaseSensitiveAndExact) {
+  {
+    ScopedEnv E(Var, "ON");
+    EXPECT_EQ(envChoice(Var, {"on", "off", "auto"}), std::nullopt);
+  }
+  {
+    ScopedEnv E(Var, " on");
+    EXPECT_EQ(envChoice(Var, {"on", "off", "auto"}), std::nullopt);
+  }
+}

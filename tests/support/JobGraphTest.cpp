@@ -1,0 +1,214 @@
+//===- tests/support/JobGraphTest.cpp - Job-graph scheduler tests ---------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The dependency-aware scheduler behind the pipelined dependence-graph
+// build: jobs must never start before their dependencies finish (at
+// any worker count), a single worker must execute the FIFO topological
+// order deterministically, and a throwing job must neither poison its
+// siblings nor starve its dependents.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JobGraph.h"
+
+#include "support/Failure.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <random>
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+/// Runs a fork-join diamond lattice and checks the topological
+/// contract: every job observes all of its dependencies completed.
+void runTopologicalLattice(unsigned Workers) {
+  ThreadPool Pool(Workers);
+  JobGraph Graph;
+
+  constexpr unsigned Layers = 6, Width = 8;
+  std::vector<std::atomic<bool>> Done(Layers * Width);
+  std::atomic<unsigned> Violations{0};
+
+  std::vector<JobGraph::JobId> Prev;
+  for (unsigned L = 0; L != Layers; ++L) {
+    std::vector<JobGraph::JobId> Current;
+    for (unsigned W = 0; W != Width; ++W) {
+      unsigned Slot = L * Width + W;
+      // Each job depends on two jobs of the previous layer (wrapping),
+      // forming overlapping diamonds.
+      std::vector<JobGraph::JobId> Deps;
+      std::vector<unsigned> DepSlots;
+      if (L != 0) {
+        Deps = {Prev[W], Prev[(W + 1) % Width]};
+        DepSlots = {(L - 1) * Width + W, (L - 1) * Width + (W + 1) % Width};
+      }
+      Current.push_back(Graph.add(
+          [&Done, &Violations, Slot, DepSlots] {
+            for (unsigned D : DepSlots)
+              if (!Done[D].load())
+                Violations.fetch_add(1);
+            Done[Slot].store(true);
+          },
+          Deps));
+    }
+    Prev = std::move(Current);
+  }
+
+  EXPECT_EQ(Graph.size(), Layers * Width);
+  Graph.run(Pool);
+  EXPECT_EQ(Violations.load(), 0u);
+  for (const std::atomic<bool> &D : Done)
+    EXPECT_TRUE(D.load());
+}
+
+} // namespace
+
+TEST(JobGraph, TopologicalAtOneWorker) { runTopologicalLattice(1); }
+TEST(JobGraph, TopologicalAtFourWorkers) { runTopologicalLattice(4); }
+TEST(JobGraph, TopologicalAtEightWorkers) { runTopologicalLattice(8); }
+
+TEST(JobGraph, EmptyGraphIsANoOp) {
+  ThreadPool Pool(4);
+  JobGraph Graph;
+  EXPECT_EQ(Graph.size(), 0u);
+  Graph.run(Pool); // Must not hang or throw.
+}
+
+TEST(JobGraph, SingleWorkerRunsFIFOTopologicalOrder) {
+  // With one worker the ready queue is drained strictly FIFO: sources
+  // in id order, then successors in the order their last dependency
+  // completed. For a chain interleaved with independent jobs the
+  // resulting order is fully determined.
+  ThreadPool Pool(1);
+  JobGraph Graph;
+  std::vector<unsigned> Order;
+
+  auto Record = [&Order](unsigned Tag) {
+    return [&Order, Tag] { Order.push_back(Tag); };
+  };
+  JobGraph::JobId A = Graph.add(Record(0));            // source
+  JobGraph::JobId B = Graph.add(Record(1));            // source
+  JobGraph::JobId C = Graph.add(Record(2), {A});       // ready after A
+  JobGraph::JobId D = Graph.add(Record(3), {A, B});    // ready after B
+  Graph.add(Record(4), {C, D});
+  Graph.run(Pool);
+
+  // A and B run first (id order); A's completion enqueues C, B's
+  // completion enqueues D, so the FIFO pops C before D, and the sink
+  // runs last.
+  EXPECT_EQ(Order, (std::vector<unsigned>{0, 1, 2, 3, 4}));
+}
+
+TEST(JobGraph, SingleWorkerOrderIsDeterministic) {
+  std::vector<std::vector<unsigned>> Runs;
+  for (unsigned Rep = 0; Rep != 3; ++Rep) {
+    ThreadPool Pool(1);
+    JobGraph Graph;
+    std::vector<unsigned> Order;
+    std::mt19937_64 Rng(99);
+    std::vector<JobGraph::JobId> Ids;
+    for (unsigned I = 0; I != 40; ++I) {
+      std::vector<JobGraph::JobId> Deps;
+      for (JobGraph::JobId Candidate : Ids)
+        if (Rng() % 5 == 0)
+          Deps.push_back(Candidate);
+      Ids.push_back(Graph.add([&Order, I] { Order.push_back(I); }, Deps));
+    }
+    Graph.run(Pool);
+    Runs.push_back(std::move(Order));
+  }
+  EXPECT_EQ(Runs[0], Runs[1]);
+  EXPECT_EQ(Runs[0], Runs[2]);
+}
+
+TEST(JobGraph, ThrowingJobDoesNotStarveDependents) {
+  for (unsigned Workers : {1u, 4u}) {
+    ThreadPool Pool(Workers);
+    JobGraph Graph;
+    std::atomic<unsigned> Ran{0};
+
+    JobGraph::JobId Thrower =
+        Graph.add([] { throw std::runtime_error("job failed"); });
+    // Both a dependent of the thrower and an unrelated sibling must
+    // still execute; the first error resurfaces from run().
+    Graph.add([&Ran] { Ran.fetch_add(1); }, {Thrower});
+    Graph.add([&Ran] { Ran.fetch_add(1); });
+
+    EXPECT_THROW(Graph.run(Pool), std::runtime_error);
+    EXPECT_EQ(Ran.load(), 2u);
+  }
+}
+
+TEST(JobGraph, FirstOfSeveralErrorsIsRethrown) {
+  // Serial execution makes "first" deterministic: job 0 throws before
+  // job 1 does.
+  ThreadPool Pool(1);
+  JobGraph Graph;
+  Graph.add([] { throw std::runtime_error("first"); });
+  Graph.add([] { throw std::logic_error("second"); });
+  try {
+    Graph.run(Pool);
+    FAIL() << "run() must rethrow";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "first");
+  }
+}
+
+TEST(JobGraph, ForwardDependenciesAreRejected) {
+  JobGraph Graph;
+  JobGraph::JobId A = Graph.add([] {});
+  // Depending on a job id that has not been added yet would permit
+  // cycles; the graph refuses it (recoverable failure, not abort).
+  EXPECT_THROW(Graph.add([] {}, {A + 1}), AnalysisError);
+}
+
+TEST(JobGraph, IsSingleShot) {
+  ThreadPool Pool(1);
+  JobGraph Graph;
+  Graph.add([] {});
+  Graph.run(Pool);
+  EXPECT_THROW(Graph.run(Pool), AnalysisError);
+  EXPECT_THROW(Graph.add([] {}), AnalysisError);
+}
+
+TEST(JobGraph, StressRandomDAGAtManyWorkers) {
+  // A few hundred jobs with random back-edges: all jobs run exactly
+  // once and no job starts before its dependencies complete.
+  std::mt19937_64 Rng(1234);
+  for (unsigned Workers : {2u, 8u}) {
+    ThreadPool Pool(Workers);
+    JobGraph Graph;
+    constexpr unsigned N = 300;
+    std::vector<std::atomic<bool>> Done(N);
+    std::atomic<unsigned> Violations{0}, Ran{0};
+    for (unsigned I = 0; I != N; ++I) {
+      std::vector<JobGraph::JobId> Deps;
+      if (I != 0)
+        for (unsigned D = 0; D != 3; ++D)
+          Deps.push_back(Rng() % I);
+      std::vector<JobGraph::JobId> DepCopy = Deps;
+      Graph.add(
+          [&Done, &Violations, &Ran, I, DepCopy] {
+            for (JobGraph::JobId D : DepCopy)
+              if (!Done[D].load())
+                Violations.fetch_add(1);
+            Ran.fetch_add(1);
+            Done[I].store(true);
+          },
+          Deps);
+    }
+    Graph.run(Pool);
+    EXPECT_EQ(Ran.load(), N);
+    EXPECT_EQ(Violations.load(), 0u);
+  }
+}
