@@ -28,14 +28,19 @@
 
 #include "BenchMeta.h"
 
+#include "core/ResultStore.h"
+#include "driver/Analyzer.h"
 #include "driver/RunReport.h"
 #include "fuzz/Fuzzer.h"
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+
+#include <unistd.h>
 
 using namespace pdt;
 
@@ -100,20 +105,38 @@ int main(int argc, char **argv) {
 
   //===------------------------------------------------------------------===//
   // 1. The campaign: >= 100k kernels, zero discrepancies, all strata.
+  //
+  // A throwaway persistent store is active for the whole campaign so
+  // the cached-vs-fresh cross-check (fuzz/Differential.cpp) runs on
+  // every interpreter-checked kernel: cached answers must be
+  // byte-identical to fresh ones over the full stratified stream.
   //===------------------------------------------------------------------===//
+  std::error_code EC;
+  std::filesystem::path StoreDir =
+      std::filesystem::temp_directory_path(EC) /
+      ("pdt-x6-store-" + std::to_string(static_cast<unsigned>(getpid())));
+  bool StoreActive =
+      !EC && resultStoreCompiledIn() &&
+      ResultStore::activate(StoreDir.string(),
+                            analyzerOptionsFingerprint(AnalyzerOptions()));
+
   FuzzCampaignConfig Config;
   Config.Seed = 1;
   Config.Count = Smoke ? 100000 : 400000;
   Config = fuzzCampaignConfigFromEnv(Config);
   FuzzCampaignReport Report = runFuzzCampaign(Config);
 
+  ResultStore::deactivate();
+  std::filesystem::remove_all(StoreDir, EC);
+
   std::printf("campaign: %llu kernels, %llu pairs, %llu ground-truth "
-              "kernels, %llu dynamic checks, %llu exactness losses, "
-              "%.1f s (%.0f kernels/s)\n",
+              "kernels, %llu dynamic checks, %llu store cross-checks, "
+              "%llu exactness losses, %.1f s (%.0f kernels/s)\n",
               static_cast<unsigned long long>(Report.KernelsChecked),
               static_cast<unsigned long long>(Report.PairsChecked),
               static_cast<unsigned long long>(Report.GroundTruthKernels),
               static_cast<unsigned long long>(Report.DynamicChecks),
+              static_cast<unsigned long long>(Report.StoreCrossChecks),
               static_cast<unsigned long long>(Report.ExactnessLosses),
               Report.ElapsedSec,
               Report.ElapsedSec > 0
@@ -122,6 +145,8 @@ int main(int argc, char **argv) {
   if (!Report.clean())
     fail("campaign found " + std::to_string(Report.Discrepancies) +
          " discrepancies / " + std::to_string(Report.Aborts) + " aborts");
+  if (StoreActive && Report.StoreCrossChecks == 0)
+    fail("store was active but the cached-vs-fresh cross-check never ran");
   if (!Report.allStrataCovered())
     fail("campaign left a stratum unexercised");
   for (unsigned S = 0; S != NumFuzzStrata; ++S)

@@ -273,6 +273,11 @@ AccessLoweringCache::memoizedTestDependence(const LoweredPair &Pair,
   // (injected fault, deadline) and must not poison later identical
   // pairs that would test cleanly.
   if (!Result.Degraded) {
+    // The persistent-store routing counters describe *this* call's
+    // trip to disk, not the content; replaying them on memo hits
+    // (which never touch the store) would overcount.
+    Delta.StoreHits = 0;
+    Delta.StoreMisses = 0;
     std::lock_guard<std::mutex> Lock(Shard.M);
     Shard.Table.try_emplace(std::move(Key),
                             MemoizedResult{Result, std::move(Delta)});

@@ -228,7 +228,7 @@ DependenceGraph DependenceGraph::build(const Program &P,
   // explicit request). Fault injection also forces the serial order,
   // so injection checkpoints keep their deterministic numbering.
   constexpr size_t MinPairsForPool = 32;
-  bool Faulted = FaultInjector::armed();
+  bool Faulted = FaultInjector::anyArmed();
   if ((NumThreads == 0 && Pairs.size() < MinPairsForPool) || Faulted)
     Workers = 1;
 

@@ -10,8 +10,10 @@
 #include "core/Explain.h"
 #include "core/MIVTests.h"
 #include "core/Partition.h"
+#include "core/ResultStore.h"
 #include "core/SIVTests.h"
 #include "support/Casting.h"
+#include "support/FaultInjector.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -306,15 +308,16 @@ testDependenceImpl(const std::vector<SubscriptPair> &Subscripts,
 
 } // namespace
 
+namespace {
+
+/// The containment boundary proper: collapse any failure raised by the
+/// tests into the conservative all-directions dependence. Degradation
+/// only ever widens the answer (a failure can never prove
+/// independence), so soundness is preserved by construction.
 DependenceTestResult
-pdt::testDependence(const std::vector<SubscriptPair> &Subscripts,
-                    const LoopNestContext &Ctx, TestStats *Stats,
-                    PairExplanation *Explain) {
-  Span TestSpan("testDependence", "tester");
-  // Containment boundary: collapse any failure raised by the tests
-  // into the conservative all-directions dependence. Degradation only
-  // ever widens the answer (a failure can never prove independence),
-  // so soundness is preserved by construction.
+containedTestDependence(const std::vector<SubscriptPair> &Subscripts,
+                        const LoopNestContext &Ctx, TestStats *Stats,
+                        PairExplanation *Explain) {
   try {
     return testDependenceImpl(Subscripts, Ctx, Stats, Explain);
   } catch (const AnalysisError &E) {
@@ -324,6 +327,39 @@ pdt::testDependence(const std::vector<SubscriptPair> &Subscripts,
         Ctx.depth(),
         AnalysisFailure{FailureKind::InternalInvariant, E.what()}, Stats);
   }
+}
+
+} // namespace
+
+DependenceTestResult
+pdt::testDependence(const std::vector<SubscriptPair> &Subscripts,
+                    const LoopNestContext &Ctx, TestStats *Stats,
+                    PairExplanation *Explain) {
+  Span TestSpan("testDependence", "tester");
+  // The persistent store sits beside the in-process memo: probed only
+  // when active, never under --explain (a hit would skip the recorded
+  // steps) and never with the arithmetic fault injector armed (hits
+  // would renumber the injection sites between runs). Store failures
+  // of any kind surface as misses, so this path cannot widen, narrow,
+  // or crash the analysis.
+  std::shared_ptr<ResultStore> Store;
+  if (!Explain && !FaultInjector::armed())
+    Store = ResultStore::active();
+  if (!Store)
+    return containedTestDependence(Subscripts, Ctx, Stats, Explain);
+  std::optional<CanonicalPair> Q = ResultStore::canonicalize(Subscripts, Ctx);
+  if (!Q)
+    return containedTestDependence(Subscripts, Ctx, Stats, Explain);
+  if (std::optional<DependenceTestResult> Hit = Store->lookup(*Q, Stats))
+    return std::move(*Hit);
+  TestStats Delta;
+  DependenceTestResult Result =
+      containedTestDependence(Subscripts, Ctx, &Delta, nullptr);
+  if (Stats)
+    Stats->merge(Delta);
+  if (!Result.Degraded)
+    Store->insert(*Q, Result, Delta);
+  return Result;
 }
 
 //===----------------------------------------------------------------------===//

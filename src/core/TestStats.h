@@ -69,6 +69,14 @@ struct TestStats {
   uint64_t BatchedStrongSIV = 0;
   uint64_t ScalarFallback = 0;
 
+  // Persistent result store routing (core/ResultStore): queries served
+  // from the on-disk store vs computed and (possibly) persisted. Like
+  // the batching trio these describe *where* an answer came from, not
+  // what it was — a warm run and a cold run of the same program
+  // compare equal — so resultKey() excludes them too.
+  uint64_t StoreHits = 0;
+  uint64_t StoreMisses = 0;
+
   void noteApplication(TestKind K) {
     ++Applications[static_cast<unsigned>(K)];
   }
@@ -93,10 +101,11 @@ struct TestStats {
   /// merging reproduces the serial counts exactly.
   TestStats &merge(const TestStats &RHS) { return *this += RHS; }
 
-  /// Equality over the analysis counters only — the routing trio
-  /// (BatchedZIV, BatchedStrongSIV, ScalarFallback) is excluded so
-  /// that runs differing only in how pairs were routed (batched vs
-  /// scalar) still compare equal.
+  /// Equality over the analysis counters only — the routing counters
+  /// (BatchedZIV, BatchedStrongSIV, ScalarFallback, StoreHits,
+  /// StoreMisses) are excluded so that runs differing only in how
+  /// answers were produced (batched vs scalar, cached vs computed)
+  /// still compare equal.
   auto resultKey() const {
     return std::tie(Applications, Independences, ReferencePairs,
                     IndependentPairs, DimensionHistogram,
@@ -134,6 +143,8 @@ struct TestStats {
     BatchedZIV += RHS.BatchedZIV;
     BatchedStrongSIV += RHS.BatchedStrongSIV;
     ScalarFallback += RHS.ScalarFallback;
+    StoreHits += RHS.StoreHits;
+    StoreMisses += RHS.StoreMisses;
     return *this;
   }
 };

@@ -9,7 +9,9 @@
 
 #include "analysis/InductionSubstitution.h"
 #include "analysis/Normalization.h"
+#include "core/ResultStore.h"
 #include "support/Casting.h"
+#include "support/Env.h"
 
 using namespace pdt;
 
@@ -54,9 +56,53 @@ void collectSymbols(const Stmt *S, std::set<std::string> &LoopIndices,
     collectSymbols(Child, LoopIndices, Names);
 }
 
+/// Opens the PDT_STORE-armed persistent store for this option set, if
+/// any. Idempotent per (directory, fingerprint); a change in either
+/// reopens, which quarantines every segment of the other generation
+/// (full invalidation on version/options skew).
+void ensureEnvResultStore(const AnalyzerOptions &Options) {
+  if (!resultStoreCompiledIn())
+    return;
+  std::optional<std::string> Mode =
+      envChoice("PDT_STORE", {"1", "0", "on", "off"});
+  if (!Mode || *Mode == "0" || *Mode == "off")
+    return;
+  std::string Dir = envPath("PDT_STORE_DIR").value_or(".pdt-store");
+  std::string Gen = analyzerOptionsFingerprint(Options);
+  if (std::shared_ptr<ResultStore> Active = ResultStore::active())
+    if (Active->directory() == Dir && Active->generation() == Gen)
+      return;
+  ResultStore::activate(Dir, Gen);
+}
+
 } // namespace
 
+std::string pdt::analyzerOptionsFingerprint(const AnalyzerOptions &Options) {
+  std::string F = "pdt-analyzer-v7;";
+  F += "norm=";
+  F += Options.Normalize ? '1' : '0';
+  F += ";subst=";
+  F += Options.SubstituteIVs ? '1' : '0';
+  F += ";default=";
+  F += Options.DefaultSymbolRange.str();
+  F += ";input=";
+  F += Options.IncludeInputDeps ? '1' : '0';
+  F += ";fmrows=";
+  F += std::to_string(Options.Budget.MaxFMRows);
+  F += ";fmsteps=";
+  F += std::to_string(Options.Budget.MaxFMSteps);
+  F += ";syms=";
+  for (const auto &[Name, Range] : Options.Symbols) {
+    F += Name;
+    F += '=';
+    F += Range.str();
+    F += ';';
+  }
+  return F;
+}
+
 AnalysisResult pdt::analyzeProgram(Program P, const AnalyzerOptions &Options) {
+  ensureEnvResultStore(Options);
   AnalysisResult Result;
   Result.Parsed = true;
 

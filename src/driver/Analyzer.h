@@ -82,6 +82,16 @@ struct AnalysisResult {
   std::vector<AnalysisFailure> Failures;
 };
 
+/// The persistent result store's generation string for one option set:
+/// analyzer version + the option fields that can change a test result
+/// (normalization, IV substitution, symbol assumptions, the
+/// determinism-relevant budget caps). NumThreads and the wall-clock
+/// budgets are excluded — they never change what a result *is*, only
+/// whether it gets computed (and degraded results are never
+/// persisted). Any skew in this string invalidates the whole store on
+/// open.
+std::string analyzerOptionsFingerprint(const AnalyzerOptions &Options);
+
 /// Parses and analyzes \p Source. \p Name labels the program.
 AnalysisResult analyzeSource(const std::string &Source,
                              const std::string &Name,

@@ -76,7 +76,10 @@ KeyClass pdt::classifyKey(std::string_view Key) {
   // Scheduling-dependent splits and rates: never gate on them. The
   // memo hit/miss *split* depends on which worker reaches a pair
   // first even though their sum is deterministic.
-  if (startsWith(Key, "routing.") ||
+  // "store.*" (and the store metrics) likewise: hit/miss splits depend
+  // on what earlier runs left on disk, never on what the answers were.
+  if (startsWith(Key, "routing.") || startsWith(Key, "store.") ||
+      startsWith(Key, "metrics.counters.store.") ||
       startsWith(Key, "metrics.counters.pool.") ||
       startsWith(Key, "metrics.counters.lowering.memo.") ||
       startsWith(Key, "metrics.gauges.") ||

@@ -34,7 +34,10 @@ namespace {
 struct Recorder {
   std::mutex M;
   std::string Tool = "unknown";
-  std::vector<std::pair<std::string, std::string>> Workload;
+  // Value plus is-it-a-JSON-number flag: numeric workload values
+  // render unquoted so the report flattener (ReportDiff) sees them
+  // and *_ns workload keys reach the perf-history ledger.
+  std::vector<std::pair<std::string, std::pair<std::string, bool>>> Workload;
   TestStats Stats;
   int64_t WallNs = 0;
   std::string EnvPath;
@@ -116,19 +119,25 @@ void RunReport::noteTool(std::string Tool) {
   R.Tool = std::move(Tool);
 }
 
-void RunReport::noteWorkload(std::string Key, std::string Value) {
+static void noteWorkloadImpl(std::string Key, std::string Value,
+                             bool Numeric) {
   Recorder &R = recorder();
   std::lock_guard<std::mutex> Lock(R.M);
   for (auto &[K, V] : R.Workload)
     if (K == Key) {
-      V = std::move(Value);
+      V = {std::move(Value), Numeric};
       return;
     }
-  R.Workload.emplace_back(std::move(Key), std::move(Value));
+  R.Workload.emplace_back(std::move(Key),
+                          std::make_pair(std::move(Value), Numeric));
+}
+
+void RunReport::noteWorkload(std::string Key, std::string Value) {
+  noteWorkloadImpl(std::move(Key), std::move(Value), /*Numeric=*/false);
 }
 
 void RunReport::noteWorkload(std::string Key, uint64_t Value) {
-  noteWorkload(std::move(Key), std::to_string(Value));
+  noteWorkloadImpl(std::move(Key), std::to_string(Value), /*Numeric=*/true);
 }
 
 void RunReport::noteStats(const TestStats &Stats) {
@@ -158,7 +167,7 @@ std::string RunReport::render() {
   // held elsewhere, but never this one).
   Recorder &R = recorder();
   std::string Tool;
-  std::vector<std::pair<std::string, std::string>> Workload;
+  std::vector<std::pair<std::string, std::pair<std::string, bool>>> Workload;
   TestStats Stats;
   int64_t WallNs;
   {
@@ -191,7 +200,9 @@ std::string RunReport::render() {
   for (const auto &[Key, Value] : Workload) {
     Out += First ? "\n" : ",\n";
     First = false;
-    Out += "  \"" + json::escape(Key) + "\": \"" + json::escape(Value) + "\"";
+    Out += "  \"" + json::escape(Key) + "\": ";
+    Out += Value.second ? Value.first
+                        : "\"" + json::escape(Value.first) + "\"";
   }
   Out += Workload.empty() ? "},\n" : "\n},\n";
 
@@ -207,6 +218,13 @@ std::string RunReport::render() {
          std::to_string(Stats.BatchedStrongSIV) + ",\n";
   Out += "  \"scalar_fallback\": " + std::to_string(Stats.ScalarFallback) +
          "\n},\n";
+
+  // Persistent-store counters are routing too (cached vs computed is
+  // not an analysis result); "store.*" gets the same Sched, never-gate
+  // classification. Recovery activity comes from the metrics section.
+  Out += "\"store\": {\n";
+  Out += "  \"hits\": " + std::to_string(Stats.StoreHits) + ",\n";
+  Out += "  \"misses\": " + std::to_string(Stats.StoreMisses) + "\n},\n";
 
   // Metrics::toJson is a full document ending in "}\n"; embed it as
   // the member value minus the trailing newline.

@@ -12,6 +12,7 @@
 #include "core/FourierMotzkin.h"
 #include "core/Oracle.h"
 #include "core/PairBatch.h"
+#include "core/ResultStore.h"
 #include "driver/Interpreter.h"
 #include "ir/AccessCollector.h"
 #include "support/FaultInjector.h"
@@ -38,6 +39,8 @@ const char *pdt::fuzzDiscrepancyKindName(FuzzDiscrepancyKind K) {
     return "degraded-result";
   case FuzzDiscrepancyKind::BatchDivergence:
     return "batch-divergence";
+  case FuzzDiscrepancyKind::StoreDivergence:
+    return "store-divergence";
   case FuzzDiscrepancyKind::Abort:
     return "abort";
   }
@@ -195,8 +198,13 @@ void checkDynamicCoverage(const FuzzKernel &K, const FuzzCheckConfig &Config,
     ~BatchModeGuard() { setBatchModeOverride(std::nullopt); }
   };
 
+  // The baseline (and the batch cross-check below) must be computed
+  // fresh: a persistent store serving cached answers into the
+  // reference build would mask exactly the divergences the store
+  // cross-check exists to find.
   TestStats ScalarStats;
   DependenceGraph G = [&] {
+    StoreBypassGuard NoStore;
     BatchModeGuard Guard(BatchMode::Off);
     return DependenceGraph::build(P, Ranges, &ScalarStats,
                                   /*IncludeInput=*/false);
@@ -211,6 +219,7 @@ void checkDynamicCoverage(const FuzzKernel &K, const FuzzCheckConfig &Config,
       !FaultInjector::armed()) {
     TestStats BatchedStats;
     DependenceGraph BatchedG = [&] {
+      StoreBypassGuard NoStore;
       BatchModeGuard Guard(BatchMode::On);
       return DependenceGraph::build(P, Ranges, &BatchedStats,
                                     /*IncludeInput=*/false);
@@ -222,6 +231,38 @@ void checkDynamicCoverage(const FuzzKernel &K, const FuzzCheckConfig &Config,
            GraphsDiffer ? "batched and scalar dependence graphs differ"
                         : "batched and scalar TestStats differ"});
       return;
+    }
+  }
+
+  // The fifth decider dimension: cached answers must be
+  // indistinguishable from fresh ones. Build the graph twice through
+  // the active store — the first pass populates it with this kernel's
+  // canonical records, the second is guaranteed to be served from
+  // them — and require both graphs and their result-bearing TestStats
+  // to match the store-bypassed baseline exactly. Scalar routing on
+  // both passes so any difference implicates the store alone.
+  if (Config.RunStoreCrossCheck && resultStoreCompiledIn() &&
+      !FaultInjector::anyArmed() && ResultStore::active()) {
+    for (int Pass = 0; Pass != 2; ++Pass) {
+      TestStats StoreStats;
+      DependenceGraph StoreG = [&] {
+        BatchModeGuard Guard(BatchMode::Off);
+        return DependenceGraph::build(P, Ranges, &StoreStats,
+                                      /*IncludeInput=*/false);
+      }();
+      Out.StoreCrossChecked = true;
+      // The hit/miss split differs between passes by design; only the
+      // analysis results must agree.
+      bool GraphsDiffer = StoreG.str() != G.str();
+      if (GraphsDiffer || StoreStats.resultKey() != ScalarStats.resultKey()) {
+        std::string Detail =
+            std::string(Pass == 0 ? "populating" : "store-served") +
+            (GraphsDiffer ? " dependence graph differs from fresh build"
+                          : " TestStats differ from fresh build");
+        Out.Discrepancies.push_back({FuzzDiscrepancyKind::StoreDivergence,
+                                     ~0u, ~0u, std::move(Detail)});
+        return;
+      }
     }
   }
 

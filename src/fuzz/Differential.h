@@ -66,6 +66,10 @@ enum class FuzzDiscrepancyKind {
   /// testers produced different graphs or TestStats on the same
   /// kernel; the two routings must be indistinguishable.
   BatchDivergence,
+  /// A store-served graph (core/ResultStore.h) differed from the
+  /// freshly computed one on the same kernel; cached and fresh answers
+  /// must be indistinguishable.
+  StoreDivergence,
   /// An exception escaped a decider; the never-crash contract broke.
   Abort,
 };
@@ -104,6 +108,13 @@ struct FuzzCheckConfig {
   /// compiled out or fault injection is armed, which forces the
   /// scalar path anyway).
   bool RunBatchCrossCheck = true;
+  /// On kernels that run the whole-pipeline check and while a
+  /// persistent result store is active, rebuild the dependence graph
+  /// twice through the store (populating, then hitting) and require
+  /// graphs and TestStats byte-identical to the store-bypassed fresh
+  /// build (skipped when the store is compiled out, inactive, or any
+  /// fault injector is armed).
+  bool RunStoreCrossCheck = true;
   /// Deliberately planted harness-validation bugs: the fuzzer must
   /// catch its own sabotage (used by the self-tests and the shrinker
   /// unit tests; never on in real campaigns).
@@ -125,6 +136,8 @@ struct FuzzKernelVerdict {
   bool GroundTruth = false;
   /// The interpreter coverage check ran.
   bool DynamicChecked = false;
+  /// The cached-vs-fresh store cross-check ran.
+  bool StoreCrossChecked = false;
   std::vector<FuzzDiscrepancy> Discrepancies;
 
   bool failed() const { return !Discrepancies.empty(); }

@@ -31,6 +31,7 @@ struct WorkerState {
   uint64_t ExactnessLosses = 0;
   uint64_t GroundTruth = 0;
   uint64_t Dynamic = 0;
+  uint64_t StoreCross = 0;
   uint64_t Discrepancies = 0;
   uint64_t Aborts = 0;
   std::array<uint64_t, NumFuzzStrata> StratumKernels{};
@@ -103,6 +104,8 @@ FuzzCampaignReport pdt::runFuzzCampaign(const FuzzCampaignConfig &Config) {
     }
     if (V.DynamicChecked)
       W.Dynamic += 1;
+    if (V.StoreCrossChecked)
+      W.StoreCross += 1;
     if (V.failed()) {
       W.Discrepancies += V.Discrepancies.size();
       for (const FuzzDiscrepancy &D : V.Discrepancies)
@@ -122,6 +125,7 @@ FuzzCampaignReport pdt::runFuzzCampaign(const FuzzCampaignConfig &Config) {
     Report.ExactnessLosses += W.ExactnessLosses;
     Report.GroundTruthKernels += W.GroundTruth;
     Report.DynamicChecks += W.Dynamic;
+    Report.StoreCrossChecks += W.StoreCross;
     Report.Discrepancies += W.Discrepancies;
     Report.Aborts += W.Aborts;
     for (unsigned S = 0; S != NumFuzzStrata; ++S) {
@@ -270,6 +274,7 @@ std::string pdt::fuzzReportJson(const FuzzCampaignConfig &Config,
      << "  \"pairs_checked\": " << Report.PairsChecked << ",\n"
      << "  \"ground_truth_kernels\": " << Report.GroundTruthKernels << ",\n"
      << "  \"dynamic_checks\": " << Report.DynamicChecks << ",\n"
+     << "  \"store_cross_checks\": " << Report.StoreCrossChecks << ",\n"
      << "  \"exactness_losses\": " << Report.ExactnessLosses << ",\n"
      << "  \"discrepancies\": " << Report.Discrepancies << ",\n"
      << "  \"aborts\": " << Report.Aborts << ",\n"

@@ -23,6 +23,13 @@ std::atomic<uint64_t> Counter{0};
 std::atomic<uint64_t> Target{0};
 std::atomic<FailureKind> Kind{FailureKind::Overflow};
 
+// The I/O injector mirrors the arithmetic one but counts sites per
+// kind and reports trips by return value instead of raising.
+std::atomic<bool> IoArmed{false};
+std::atomic<uint64_t> IoCounter{0};
+std::atomic<uint64_t> IoTarget{0};
+std::atomic<IoFaultKind> IoKind{IoFaultKind::Open};
+
 // One-time PDT_FAULT_INJECT pickup, shared by checkpoint() and
 // armed() so routing decisions made before the first checkpoint
 // (e.g. the batched-vs-scalar gate) already see an env-armed
@@ -43,7 +50,33 @@ std::optional<FailureKind> parseKind(const std::string &Name) {
   return std::nullopt;
 }
 
+std::optional<IoFaultKind> parseIoKind(const std::string &Name) {
+  if (Name == "io_open")
+    return IoFaultKind::Open;
+  if (Name == "io_write")
+    return IoFaultKind::Write;
+  if (Name == "io_fsync")
+    return IoFaultKind::Fsync;
+  if (Name == "io_torn_tail")
+    return IoFaultKind::TornTail;
+  return std::nullopt;
+}
+
 } // namespace
+
+const char *pdt::ioFaultKindName(IoFaultKind K) {
+  switch (K) {
+  case IoFaultKind::Open:
+    return "io_open";
+  case IoFaultKind::Write:
+    return "io_write";
+  case IoFaultKind::Fsync:
+    return "io_fsync";
+  case IoFaultKind::TornTail:
+    return "io_torn_tail";
+  }
+  return "io_unknown";
+}
 
 void FaultInjector::arm(FailureKind K, uint64_t TargetSite) {
   Kind.store(K, std::memory_order_relaxed);
@@ -56,30 +89,53 @@ bool FaultInjector::armFromSpec(const std::string &Spec) {
   std::string::size_type At = Spec.find('@');
   if (At == std::string::npos || At == 0 || At + 1 >= Spec.size())
     return false;
-  std::optional<FailureKind> K = parseKind(Spec.substr(0, At));
-  if (!K)
-    return false;
+  const std::string KindStr = Spec.substr(0, At);
   const std::string SiteStr = Spec.substr(At + 1);
   char *End = nullptr;
   unsigned long long Site = std::strtoull(SiteStr.c_str(), &End, 10);
   if (End == SiteStr.c_str() || *End != '\0')
     return false;
+  if (std::optional<IoFaultKind> IoK = parseIoKind(KindStr)) {
+    armIo(*IoK, Site);
+    return true;
+  }
+  std::optional<FailureKind> K = parseKind(KindStr);
+  if (!K)
+    return false;
   arm(*K, Site);
   return true;
+}
+
+void FaultInjector::armIo(IoFaultKind K, uint64_t TargetSite) {
+  IoKind.store(K, std::memory_order_relaxed);
+  IoTarget.store(TargetSite, std::memory_order_relaxed);
+  IoCounter.store(0, std::memory_order_relaxed);
+  IoArmed.store(true, std::memory_order_release);
 }
 
 void FaultInjector::disarm() {
   Armed.store(false, std::memory_order_release);
   Counter.store(0, std::memory_order_relaxed);
+  IoArmed.store(false, std::memory_order_release);
+  IoCounter.store(0, std::memory_order_relaxed);
 }
 
 uint64_t FaultInjector::siteCount() {
   return Counter.load(std::memory_order_relaxed);
 }
 
+uint64_t FaultInjector::ioSiteCount() {
+  return IoCounter.load(std::memory_order_relaxed);
+}
+
 bool FaultInjector::armed() {
   std::call_once(EnvOnce, initFromEnvironment);
   return Armed.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::ioArmed() {
+  std::call_once(EnvOnce, initFromEnvironment);
+  return IoArmed.load(std::memory_order_relaxed);
 }
 
 void FaultInjector::initFromEnvironment() {
@@ -97,4 +153,15 @@ void FaultInjector::checkpoint() {
   if (T != 0 && Site == T)
     raiseFailure(Kind.load(std::memory_order_relaxed),
                  "injected fault (PDT_FAULT_INJECT)");
+}
+
+bool FaultInjector::ioCheckpoint(IoFaultKind K) {
+  std::call_once(EnvOnce, initFromEnvironment);
+  if (!IoArmed.load(std::memory_order_acquire))
+    return false;
+  if (IoKind.load(std::memory_order_relaxed) != K)
+    return false;
+  uint64_t Site = IoCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t T = IoTarget.load(std::memory_order_relaxed);
+  return T != 0 && Site == T;
 }

@@ -78,6 +78,26 @@ const char *pdt::metricName(Metric M) {
     return "fuzz.exactness_losses";
   case Metric::FuzzShrinkSteps:
     return "fuzz.shrink_steps";
+  case Metric::StoreHits:
+    return "store.hits";
+  case Metric::StoreMisses:
+    return "store.misses";
+  case Metric::StoreInserts:
+    return "store.inserts";
+  case Metric::StoreRecordsLoaded:
+    return "store.recovery.records_loaded";
+  case Metric::StoreCorruptRecords:
+    return "store.recovery.corrupt_records";
+  case Metric::StoreTornTails:
+    return "store.recovery.torn_tails";
+  case Metric::StoreStaleSegments:
+    return "store.recovery.stale_segments";
+  case Metric::StoreQuarantined:
+    return "store.recovery.quarantined";
+  case Metric::StoreRebuilds:
+    return "store.recovery.rebuilds";
+  case Metric::StoreWriteFailures:
+    return "store.write_failures";
   }
   pdt_unreachable("covered switch");
 }

@@ -68,8 +68,18 @@ enum class Metric : unsigned {
   FuzzDiscrepancies,   ///< Soundness-class discrepancies found.
   FuzzExactnessLosses, ///< Conservative (inexact, not unsound) edges seen.
   FuzzShrinkSteps,     ///< Candidate reductions evaluated while shrinking.
+  StoreHits,           ///< Persistent-store lookups served from disk.
+  StoreMisses,         ///< Persistent-store lookups that computed fresh.
+  StoreInserts,        ///< Results persisted into the store.
+  StoreRecordsLoaded,  ///< Valid records replayed when opening the store.
+  StoreCorruptRecords, ///< Checksum/parse-invalid records rejected.
+  StoreTornTails,      ///< Truncated segment tails recovered on open.
+  StoreStaleSegments,  ///< Segments invalidated by generation skew.
+  StoreQuarantined,    ///< Damaged/stale segment files set aside.
+  StoreRebuilds,       ///< Segments rebuilt from their valid records.
+  StoreWriteFailures,  ///< Store writes that failed (store went broken).
 };
-constexpr unsigned NumMetrics = 26;
+constexpr unsigned NumMetrics = 36;
 
 /// Gauges, merged by maximum.
 enum class Gauge : unsigned {

@@ -1,0 +1,326 @@
+//===- tests/support/StoreTest.cpp --------------------------------------------===//
+//
+// The crash-safety contract of the append-only segment store: every
+// byte-level corruption (truncation sweep, bit flips), every injected
+// io_* fault at every site, and generation skew must leave reopen
+// succeeding, surviving records byte-identical to what was inserted,
+// and the store degraded at worst to in-memory service — never a
+// throw, never a wrong value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Store.h"
+
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace pdt;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A unique store directory, destroyed with the test.
+struct TempDir {
+  fs::path Path;
+  explicit TempDir(const std::string &Tag) {
+    static int Counter = 0;
+    Path = fs::temp_directory_path() /
+           ("pdt-store-test-" + std::to_string(::getpid()) + "-" + Tag + "-" +
+            std::to_string(Counter++));
+    fs::remove_all(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+struct InjectorGuard {
+  ~InjectorGuard() { FaultInjector::disarm(); }
+};
+
+const std::string Gen = "store-test-gen-1";
+
+std::map<std::string, std::string> sampleRecords(unsigned N) {
+  std::map<std::string, std::string> R;
+  for (unsigned I = 0; I != N; ++I)
+    R["key-" + std::to_string(I)] =
+        "value-" + std::to_string(I) + std::string(I, 'x');
+  return R;
+}
+
+void populate(const std::string &Dir,
+              const std::map<std::string, std::string> &Records) {
+  std::unique_ptr<SegmentStore> S = SegmentStore::open(Dir, Gen);
+  ASSERT_TRUE(S);
+  for (const auto &[K, V] : Records)
+    S->insert(K, V);
+  // Destructor flushes and closes.
+}
+
+/// Every record the reopened store serves must carry exactly the value
+/// originally inserted: recovery may lose records, never mangle them.
+void expectSubsetWithExactValues(
+    SegmentStore &S, const std::map<std::string, std::string> &Original) {
+  uint64_t Served = 0;
+  for (const auto &[K, V] : Original) {
+    std::optional<std::string> Got = S.lookup(K);
+    if (Got) {
+      EXPECT_EQ(*Got, V) << "key " << K << " rehydrated with a wrong value";
+      ++Served;
+    }
+  }
+  EXPECT_EQ(S.size(), Served)
+      << "store serves records that were never inserted";
+}
+
+std::vector<fs::path> segmentFiles(const std::string &Dir) {
+  std::vector<fs::path> Files;
+  for (const auto &Entry : fs::directory_iterator(Dir))
+    if (Entry.is_regular_file())
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+TEST(SegmentStore, RoundTripAcrossReopen) {
+  TempDir Dir("roundtrip");
+  auto Records = sampleRecords(16);
+  populate(Dir.str(), Records);
+
+  std::unique_ptr<SegmentStore> S = SegmentStore::open(Dir.str(), Gen);
+  EXPECT_FALSE(S->broken());
+  EXPECT_EQ(S->size(), Records.size());
+  EXPECT_EQ(S->recoveryStats().RecordsLoaded, Records.size());
+  EXPECT_EQ(S->recoveryStats().Quarantined, 0u);
+  for (const auto &[K, V] : Records)
+    EXPECT_EQ(S->lookup(K), std::optional<std::string>(V));
+  EXPECT_FALSE(S->lookup("never-inserted"));
+}
+
+TEST(SegmentStore, FirstWriteWins) {
+  TempDir Dir("firstwrite");
+  std::unique_ptr<SegmentStore> S = SegmentStore::open(Dir.str(), Gen);
+  S->insert("k", "original");
+  S->insert("k", "usurper");
+  EXPECT_EQ(S->lookup("k"), std::optional<std::string>("original"));
+  S.reset();
+  S = SegmentStore::open(Dir.str(), Gen);
+  EXPECT_EQ(S->lookup("k"), std::optional<std::string>("original"));
+}
+
+TEST(SegmentStore, TruncationSweepNeverBreaksReopen) {
+  TempDir Dir("truncate");
+  auto Records = sampleRecords(6);
+  populate(Dir.str(), Records);
+  auto Files = segmentFiles(Dir.str());
+  ASSERT_EQ(Files.size(), 1u);
+  std::ifstream In(Files[0], std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  ASSERT_GT(Bytes.size(), 16u);
+
+  // Every prefix of the segment is a legal crash image: reopen must
+  // succeed and serve some prefix of the records, values intact.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    TempDir Cut("truncate-cut");
+    fs::create_directories(Cut.Path);
+    std::ofstream Out(Cut.Path / "seg-1.pdt", std::ios::binary);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Len));
+    Out.close();
+
+    std::unique_ptr<SegmentStore> S = SegmentStore::open(Cut.str(), Gen);
+    ASSERT_TRUE(S) << "truncation at " << Len;
+    expectSubsetWithExactValues(*S, Records);
+    // A damaged segment must have been quarantined and (when any
+    // record survived) rebuilt: the *next* open sees a clean store.
+    StoreRecoveryStats First = S->recoveryStats();
+    uint64_t Survivors = S->size();
+    S.reset();
+    S = SegmentStore::open(Cut.str(), Gen);
+    EXPECT_EQ(S->size(), Survivors) << "truncation at " << Len;
+    EXPECT_EQ(S->recoveryStats().CorruptRecords, 0u)
+        << "second open after healing still sees damage (cut " << Len
+        << ", first open: " << First.TornTails << " torn)";
+    EXPECT_EQ(S->recoveryStats().TornTails, 0u);
+    expectSubsetWithExactValues(*S, Records);
+  }
+}
+
+TEST(SegmentStore, BitFlipSweepNeverServesWrongValues) {
+  TempDir Dir("bitflip");
+  auto Records = sampleRecords(5);
+  populate(Dir.str(), Records);
+  auto Files = segmentFiles(Dir.str());
+  ASSERT_EQ(Files.size(), 1u);
+  std::ifstream In(Files[0], std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+
+  for (size_t Pos = 0; Pos < Bytes.size(); ++Pos) {
+    std::string Mutated = Bytes;
+    Mutated[Pos] = static_cast<char>(Mutated[Pos] ^ 0x55);
+    TempDir Flip("bitflip-pos");
+    fs::create_directories(Flip.Path);
+    std::ofstream Out(Flip.Path / "seg-1.pdt", std::ios::binary);
+    Out.write(Mutated.data(), static_cast<std::streamsize>(Mutated.size()));
+    Out.close();
+
+    std::unique_ptr<SegmentStore> S = SegmentStore::open(Flip.str(), Gen);
+    ASSERT_TRUE(S) << "bit flip at " << Pos;
+    // The checksum may catch the flip (record dropped) or the flip may
+    // hit framing (rest of segment abandoned) or the header (all
+    // records stale). What can never happen: a record served with a
+    // value that differs from what was inserted. A flip inside a key
+    // makes that key "never inserted", which size() accounting below
+    // tolerates only if the checksum caught it — an undetected key
+    // flip with an intact checksum is impossible by construction
+    // (the checksum covers key and value).
+    uint64_t Served = 0;
+    for (const auto &[K, V] : Records)
+      if (std::optional<std::string> Got = S->lookup(K)) {
+        EXPECT_EQ(*Got, V) << "bit flip at " << Pos;
+        ++Served;
+      }
+    EXPECT_LE(S->size(), Records.size()) << "bit flip at " << Pos;
+    EXPECT_GE(S->size(), Served) << "bit flip at " << Pos;
+  }
+}
+
+TEST(SegmentStore, GenerationSkewInvalidatesWholesale) {
+  TempDir Dir("genskew");
+  auto Records = sampleRecords(4);
+  populate(Dir.str(), Records);
+
+  std::unique_ptr<SegmentStore> S =
+      SegmentStore::open(Dir.str(), "store-test-gen-2");
+  EXPECT_EQ(S->size(), 0u);
+  EXPECT_EQ(S->recoveryStats().StaleSegments, 1u);
+  EXPECT_EQ(S->recoveryStats().Quarantined, 1u);
+  EXPECT_FALSE(S->broken());
+  S->insert("fresh", "record");
+  S.reset();
+
+  // The new generation's own records round-trip; the old generation's
+  // records stay invalidated (quarantined, not resurrected).
+  S = SegmentStore::open(Dir.str(), "store-test-gen-2");
+  EXPECT_EQ(S->lookup("fresh"), std::optional<std::string>("record"));
+  for (const auto &[K, V] : Records) {
+    (void)V;
+    EXPECT_FALSE(S->lookup(K));
+  }
+}
+
+TEST(SegmentStore, IoFaultSweepDegradesWithoutDataLossOrThrow) {
+  auto Records = sampleRecords(4);
+  constexpr IoFaultKind Kinds[] = {IoFaultKind::Open, IoFaultKind::Write,
+                                   IoFaultKind::Fsync, IoFaultKind::TornTail};
+  for (IoFaultKind Kind : Kinds) {
+    // Count mode first: discover how many sites of this kind the
+    // workload (open, N inserts, flush, reopen) executes.
+    InjectorGuard Guard;
+    FaultInjector::armIo(Kind, /*TargetSite=*/0);
+    {
+      TempDir Dir("iocount");
+      populate(Dir.str(), Records);
+      SegmentStore::open(Dir.str(), Gen).reset();
+    }
+    uint64_t Sites = FaultInjector::ioSiteCount();
+    ASSERT_GT(Sites, 0u) << ioFaultKindName(Kind) << " has no sites";
+
+    for (uint64_t Site = 1; Site <= Sites; ++Site) {
+      TempDir Dir("iosweep");
+      FaultInjector::armIo(Kind, Site);
+      {
+        std::unique_ptr<SegmentStore> S = SegmentStore::open(Dir.str(), Gen);
+        ASSERT_TRUE(S) << ioFaultKindName(Kind) << "@" << Site;
+        for (const auto &[K, V] : Records)
+          S->insert(K, V);
+        // Whatever the disk did, memory still serves everything.
+        for (const auto &[K, V] : Records)
+          EXPECT_EQ(S->lookup(K), std::optional<std::string>(V))
+              << ioFaultKindName(Kind) << "@" << Site;
+        S->flush();
+      }
+      FaultInjector::disarm();
+
+      // Reopen on the possibly damaged image: never throws, serves a
+      // subset with exact values, and heals so the next open is clean.
+      std::unique_ptr<SegmentStore> S = SegmentStore::open(Dir.str(), Gen);
+      ASSERT_TRUE(S) << ioFaultKindName(Kind) << "@" << Site;
+      expectSubsetWithExactValues(*S, Records);
+      uint64_t Survivors = S->size();
+      S.reset();
+      S = SegmentStore::open(Dir.str(), Gen);
+      EXPECT_EQ(S->size(), Survivors) << ioFaultKindName(Kind) << "@" << Site;
+      EXPECT_EQ(S->recoveryStats().CorruptRecords, 0u);
+      EXPECT_EQ(S->recoveryStats().TornTails, 0u);
+    }
+  }
+}
+
+TEST(SegmentStore, BrokenStoreKeepsServingMemory) {
+  InjectorGuard Guard;
+  TempDir Dir("broken");
+  FaultInjector::armIo(IoFaultKind::Write, 1);
+  std::unique_ptr<SegmentStore> S = SegmentStore::open(Dir.str(), Gen);
+  S->insert("a", "1");
+  EXPECT_TRUE(S->broken());
+  EXPECT_GE(S->recoveryStats().WriteFailures, 1u);
+  EXPECT_EQ(S->lookup("a"), std::optional<std::string>("1"));
+  S->insert("b", "2"); // Still accepted in memory, silently unpersisted.
+  EXPECT_EQ(S->lookup("b"), std::optional<std::string>("2"));
+}
+
+TEST(SegmentStore, TornTailFaultLosesAtMostTheInFlightRecord) {
+  InjectorGuard Guard;
+  TempDir Dir("torn");
+  {
+    std::unique_ptr<SegmentStore> S = SegmentStore::open(Dir.str(), Gen);
+    S->insert("committed-1", "v1");
+    S->insert("committed-2", "v2");
+    S->flush();
+    // The third insert is cut off halfway through its record, the
+    // crash image of a power loss mid-append.
+    FaultInjector::armIo(IoFaultKind::TornTail, 1);
+    S->insert("in-flight", "v3");
+    EXPECT_TRUE(S->broken());
+  }
+  FaultInjector::disarm();
+
+  std::unique_ptr<SegmentStore> S = SegmentStore::open(Dir.str(), Gen);
+  EXPECT_EQ(S->lookup("committed-1"), std::optional<std::string>("v1"));
+  EXPECT_EQ(S->lookup("committed-2"), std::optional<std::string>("v2"));
+  EXPECT_FALSE(S->lookup("in-flight"));
+  StoreRecoveryStats Stats = S->recoveryStats();
+  EXPECT_GE(Stats.TornTails + Stats.CorruptRecords, 1u);
+  EXPECT_EQ(Stats.RecordsLoaded, 2u);
+}
+
+TEST(SegmentStore, UnusableDirectoryDegradesToMemory) {
+  // A path that cannot be a directory (its parent is a file).
+  TempDir Dir("unusable");
+  fs::create_directories(Dir.Path);
+  std::ofstream(Dir.Path / "file").put('x');
+  std::unique_ptr<SegmentStore> S =
+      SegmentStore::open((Dir.Path / "file" / "store").string(), Gen);
+  ASSERT_TRUE(S);
+  EXPECT_TRUE(S->broken());
+  S->insert("k", "v");
+  EXPECT_EQ(S->lookup("k"), std::optional<std::string>("v"));
+}
+
+} // namespace
