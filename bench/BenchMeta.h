@@ -16,6 +16,7 @@
 #ifndef PDT_BENCH_BENCHMETA_H
 #define PDT_BENCH_BENCHMETA_H
 
+#include "support/BuildInfo.h"
 #include "support/Env.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -53,6 +54,7 @@ inline std::string benchMetaJson(const char *BenchName) {
          (PDT_BENCH_SANITIZE ? "\"address,undefined\"" : "\"none\"") + ",\n";
   Out += std::string("    \"tracing_compiled_in\": ") +
          (Trace::compiledIn() ? "true" : "false") + ",\n";
+  Out += "    \"build\": " + buildInfoJson() + ",\n";
   Out += "    \"threads\": " +
          std::to_string(ThreadPool::defaultThreadCount()) + ",\n";
   Out += std::string("    \"timestamp\": \"") + Time + "\"\n";

@@ -1,0 +1,346 @@
+//===- bench/bench_x9_monitor.cpp -----------------------------------------===//
+//
+// Experiment X9: the continuous-monitoring overhead contract. The
+// always-on monitor stack — flight recorder rings, event journal,
+// telemetry sampler, stall watchdog — claims to be cheap enough to
+// leave armed in production: on the X3 graph-construction workload it
+// must cost <= 5% over the fully disarmed configuration, it must never
+// change the analysis (byte-identical dependence edges), and flight
+// memory must stay exactly at the configured per-thread cap no matter
+// how many spans flow through.
+//
+// Three legs:
+//
+//   * disarmed: nothing armed — the bare production baseline;
+//   * armed:    flight recorder (bounded rings) + in-memory journal +
+//               threadless sampler + armed watchdog, interleaved with
+//               the disarmed leg rep by rep so machine drift divides
+//               out of every paired ratio (same statistic as X5);
+//   * stall:    untimed, fully deterministic — an injected clock and a
+//               tight-quiet heartbeat prove that a silent stage yields
+//               exactly one watchdog verdict, one journaled
+//               "watchdog-stall" event, and one parseable postmortem
+//               flight dump.
+//
+// Writes BENCH_monitor.json plus a companion pdt-report-v1 document
+// (BENCH_monitor_report.json) whose leg timings ride along as workload
+// values; the depprof_monitor_history ctest appends the latter to the
+// perf ledger. Run with --smoke for the sub-second workload (the <= 5%
+// assert is enforced only in the full run, where timing noise is
+// amortized).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchMeta.h"
+
+#include "core/DependenceGraph.h"
+#include "driver/Analyzer.h"
+#include "driver/RunReport.h"
+#include "driver/WorkloadGenerator.h"
+#include "support/EventLog.h"
+#include "support/FlightRecorder.h"
+#include "support/Json.h"
+#include "support/Sampler.h"
+#include "support/Trace.h"
+#include "support/Watchdog.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+/// One dependence edge rendered without graph identity (same format as
+/// bench_x3 / bench_x5), so the two legs compare byte for byte.
+std::string renderEdges(const std::vector<Dependence> &Edges) {
+  std::string Out;
+  for (const Dependence &D : Edges) {
+    Out += dependenceKindName(D.Kind);
+    Out += ' ';
+    Out += std::to_string(D.Source);
+    Out += "->";
+    Out += std::to_string(D.Sink);
+    Out += ' ';
+    Out += D.Vector.str();
+    Out += D.Carrier ? " @" + D.Carrier->getIndexName() : " indep";
+    Out += D.Exact ? " exact" : " assumed";
+    Out += '\n';
+  }
+  return Out;
+}
+
+struct Leg {
+  double Secs = 0;
+  std::string EdgeReport;
+};
+
+double seconds(std::chrono::steady_clock::duration D) {
+  return std::chrono::duration<double>(D).count();
+}
+
+/// The armed leg's flight cap: small enough that the X3 workload wraps
+/// every ring several times over, so the bounded-memory assertion
+/// below actually bites (4 KiB = the 64-slot ring minimum).
+constexpr size_t FlightCapBytes = 4096;
+
+/// Arms or disarms the whole monitor stack. The armed configuration is
+/// deliberately threadless (sampler interval 0, watchdog poll 0, both
+/// driven manually once per rep): the measured cost is the always-on
+/// record-path work — ring writes, journal bookkeeping, beat stores —
+/// not background-thread scheduling noise.
+void armMonitors(bool Arm) {
+  if (Arm) {
+    FlightRecorder::start(FlightCapBytes);
+    if (!EventLog::enabled())
+      EventLog::start("");
+    Sampler::start(/*IntervalMs=*/0);
+    Watchdog::start(Watchdog::DefaultStallFactor, Watchdog::DefaultQuietMs,
+                    /*PollMs=*/0);
+  } else {
+    Watchdog::stop();
+    Sampler::stop();
+    EventLog::stop();
+    FlightRecorder::stop();
+  }
+}
+
+/// One timed graph build; arming happens before the timer.
+Leg timeOneBuild(const Program &Prog, const SymbolRangeMap &Symbols,
+                 unsigned Threads, bool Arm) {
+  armMonitors(Arm);
+  Heartbeat HB("x9.graph-build");
+  Leg L;
+  auto Start = std::chrono::steady_clock::now();
+  DependenceGraph G =
+      DependenceGraph::build(Prog, Symbols, nullptr, false, Threads);
+  HB.beat();
+  if (Arm) {
+    Sampler::sampleOnceForTest();
+    Watchdog::pollOnceForTest();
+  }
+  L.Secs = seconds(std::chrono::steady_clock::now() - Start);
+  L.EdgeReport = renderEdges(G.dependences());
+  return L;
+}
+
+/// Interleaved paired reps; returns the median armed/disarmed overhead
+/// (see bench_x5 for why median-of-paired-ratios and not best-of-N).
+double timeBuilds(unsigned Reps, const Program &Prog,
+                  const SymbolRangeMap &Symbols, unsigned Threads,
+                  Leg &Disarmed, Leg &Armed) {
+  std::vector<double> Ratios;
+  Ratios.reserve(Reps);
+  for (unsigned R = 0; R != Reps; ++R) {
+    Leg D = timeOneBuild(Prog, Symbols, Threads, /*Arm=*/false);
+    Leg A = timeOneBuild(Prog, Symbols, Threads, /*Arm=*/true);
+    if (D.Secs > 0)
+      Ratios.push_back(A.Secs / D.Secs);
+    if (Disarmed.EdgeReport.empty() || D.Secs < Disarmed.Secs)
+      Disarmed = std::move(D);
+    if (Armed.EdgeReport.empty() || A.Secs < Armed.Secs)
+      Armed = std::move(A);
+  }
+  if (Ratios.empty())
+    return 0.0;
+  std::sort(Ratios.begin(), Ratios.end());
+  size_t N = Ratios.size();
+  double Median =
+      N % 2 ? Ratios[N / 2] : (Ratios[N / 2 - 1] + Ratios[N / 2]) / 2.0;
+  return Median - 1.0;
+}
+
+std::atomic<uint64_t> FakeMs{0};
+uint64_t fakeClock() { return FakeMs.load(std::memory_order_relaxed); }
+
+std::string slurp(const std::string &Path) {
+  std::ifstream File(Path);
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  return Buffer.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RunReport::noteTool("bench_x9_monitor");
+  bool Smoke = false;
+  unsigned Threads = 4;
+  unsigned NumNests = 96;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--smoke"))
+      Smoke = true;
+    else if (!std::strcmp(argv[I], "--threads") && I + 1 != argc)
+      Threads = std::strtoul(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--nests") && I + 1 != argc)
+      NumNests = std::strtoul(argv[++I], nullptr, 10);
+    else {
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--threads N] [--nests N]\n";
+      return 2;
+    }
+  }
+  if (Smoke)
+    NumNests = 4;
+  unsigned Reps = Smoke ? 2 : 25;
+  unsigned Failures = 0;
+  auto Fail = [&](const std::string &Why) {
+    ++Failures;
+    std::cerr << "FAIL: " << Why << "\n";
+  };
+
+  // The X3 workload: same generator, same seed.
+  std::mt19937_64 Rng(0xBADC0FFEE);
+  std::string Source = generateRandomProgramSource(Rng, NumNests,
+                                                   /*MaxDepth=*/3,
+                                                   /*StmtsPerNest=*/3);
+  AnalyzerOptions Opt;
+  Opt.NumThreads = 1;
+  AnalysisResult Base = analyzeSource(Source, "x9-workload", Opt);
+  if (!Base.Parsed) {
+    std::cerr << "workload failed to parse\n";
+    return 1;
+  }
+  const Program &Prog = *Base.Prog;
+  SymbolRangeMap Symbols;
+  Symbols.try_emplace("n", Interval(1, std::nullopt));
+
+  Leg Disarmed, Armed;
+  double Overhead = timeBuilds(Reps, Prog, Symbols, Threads, Disarmed, Armed);
+
+  // Monitoring must never change the analysis.
+  if (Armed.EdgeReport != Disarmed.EdgeReport)
+    Fail("armed run produced different dependence edges than the "
+         "disarmed run");
+
+  // The bounded-memory contract: however many spans flowed through,
+  // every ring holds exactly SlotsPerThread slots and in-use bytes
+  // equal rings * slots * event size, at or under the configured cap
+  // per recording thread.
+  FlightRecorder::Stats Flight = FlightRecorder::stats();
+  if (FlightRecorder::compiledIn()) {
+    if (Flight.Recorded == 0)
+      Fail("armed runs recorded no flight spans");
+    if (Flight.BytesInUse != uint64_t(Flight.Threads) *
+                                 Flight.SlotsPerThread * sizeof(TraceEvent))
+      Fail("flight bytes-in-use does not equal rings * slots * slot size");
+    if (Flight.BytesInUse > uint64_t(Flight.Threads) * FlightCapBytes)
+      Fail("flight memory " + std::to_string(Flight.BytesInUse) +
+           " exceeds the configured cap of " +
+           std::to_string(FlightCapBytes) + " bytes/thread");
+  }
+  uint64_t SamplerSamples = Sampler::summary().Samples;
+  if (FlightRecorder::compiledIn() && SamplerSamples == 0)
+    Fail("armed runs took no telemetry samples");
+
+  // Leg 3 (untimed): the injected-stall drill. A heartbeat with a
+  // 10ms quiet deadline goes silent for 300 fake milliseconds; the
+  // sweep must produce exactly one verdict, a journaled
+  // "watchdog-stall" event, and a postmortem dump at the configured
+  // path tagged with the stall reason.
+  uint64_t StallVerdicts = 0;
+  bool StallJournaled = false, StallDumpOk = false;
+  std::string StallDumpPath = benchOutputPath("BENCH_x9_stall_flight.json");
+  if (FlightRecorder::compiledIn()) {
+    std::remove(StallDumpPath.c_str());
+    Watchdog::stop();
+    Watchdog::setClockForTest(fakeClock);
+    FlightRecorder::start(FlightCapBytes, StallDumpPath);
+    EventLog::start("");
+    Watchdog::start(/*StallFactor=*/2.0, /*QuietMs=*/1000, /*PollMs=*/0);
+    {
+      Heartbeat Probe("x9.stall-probe", /*QuietMs=*/10);
+      { Span S("bench_x9_monitor::stall_drill", "monitor"); }
+      FakeMs.store(300);
+      StallVerdicts = Watchdog::pollOnceForTest();
+    }
+    for (const std::string &Line : EventLog::recentLines())
+      StallJournaled |= Line.find("watchdog-stall") != std::string::npos &&
+                        Line.find("x9.stall-probe") != std::string::npos;
+    if (std::optional<json::Value> Dump = json::parse(slurp(StallDumpPath)))
+      if (const json::Value *Header = Dump->find("flightRecorder"))
+        StallDumpOk = Header->stringAt("reason") == "watchdog-stall";
+    Watchdog::stop();
+    Watchdog::setClockForTest(nullptr);
+    EventLog::stop();
+    FlightRecorder::stop();
+
+    if (StallVerdicts != 1)
+      Fail("injected stall produced " + std::to_string(StallVerdicts) +
+           " verdicts (want exactly 1)");
+    if (!StallJournaled)
+      Fail("stall verdict did not land in the event journal");
+    if (!StallDumpOk)
+      Fail("stall did not produce a parseable postmortem flight dump");
+  }
+
+  // Only the full run has enough work to time the difference above
+  // scheduler noise; the paper-facing contract is <= 5%.
+  if (!Smoke && FlightRecorder::compiledIn() && Overhead > 0.05)
+    Fail("armed overhead " + std::to_string(Overhead * 100) +
+         "% exceeds the 5% contract");
+
+  std::printf("x9 monitor: disarmed %.1f ms, armed %.1f ms (%+.2f%%), "
+              "%llu spans in %u rings (%llu overwritten), %llu samples, "
+              "stall drill %s — %s\n",
+              Disarmed.Secs * 1e3, Armed.Secs * 1e3, Overhead * 100,
+              static_cast<unsigned long long>(Flight.Recorded),
+              Flight.Threads,
+              static_cast<unsigned long long>(Flight.Overwritten),
+              static_cast<unsigned long long>(SamplerSamples),
+              StallDumpOk && StallJournaled ? "ok" : "FAILED",
+              Failures ? "FAILURES" : "all checks passed");
+
+  std::ofstream Json(benchOutputPath("BENCH_monitor.json"));
+  Json << "{\n"
+       << benchMetaJson("x9_monitor") << ",\n"
+       << "  \"workload\": {\"nests\": " << NumNests
+       << ", \"smoke\": " << (Smoke ? "true" : "false") << "},\n"
+       << "  \"disarmed_ms\": " << Disarmed.Secs * 1e3 << ",\n"
+       << "  \"armed_ms\": " << Armed.Secs * 1e3 << ",\n"
+       << "  \"overhead_ratio\": " << Overhead << ",\n"
+       << "  \"flight\": {\"recorded\": " << Flight.Recorded
+       << ", \"overwritten\": " << Flight.Overwritten
+       << ", \"threads\": " << Flight.Threads
+       << ", \"bytes_in_use\": " << Flight.BytesInUse
+       << ", \"cap_bytes_per_thread\": " << FlightCapBytes << "},\n"
+       << "  \"sampler_samples\": " << SamplerSamples << ",\n"
+       << "  \"stall\": {\"verdicts\": " << StallVerdicts
+       << ", \"journaled\": " << (StallJournaled ? "true" : "false")
+       << ", \"dump_ok\": " << (StallDumpOk ? "true" : "false") << "},\n"
+       << "  \"edges_identical\": "
+       << (Armed.EdgeReport == Disarmed.EdgeReport ? "true" : "false")
+       << ",\n"
+       << "  \"tracing_compiled_in\": "
+       << (FlightRecorder::compiledIn() ? "true" : "false") << ",\n"
+       << "  \"failures\": " << Failures << "\n"
+       << "}\n";
+
+  // The pdt-report-v1 companion for the perf ledger: leg timings ride
+  // along as workload *_ns values (Time-class keys) on top of the
+  // workload's deterministic stats.
+  RunReport::reset();
+  RunReport::noteTool("bench_x9_monitor");
+  RunReport::noteWorkload("mode", "monitor");
+  RunReport::noteWorkload("config", Smoke ? "smoke" : "full");
+  RunReport::noteWorkload("nests", static_cast<uint64_t>(NumNests));
+  RunReport::noteWorkload(
+      "disarmed_wall_ns", static_cast<uint64_t>(Disarmed.Secs * 1e9));
+  RunReport::noteWorkload("armed_wall_ns",
+                          static_cast<uint64_t>(Armed.Secs * 1e9));
+  RunReport::noteStats(Base.Stats);
+  RunReport::noteWallNs(static_cast<int64_t>((Disarmed.Secs + Armed.Secs) *
+                                             1e9));
+  if (!RunReport::writeTo(benchOutputPath("BENCH_monitor_report.json")))
+    Fail("cannot write BENCH_monitor_report.json");
+
+  return Failures ? 1 : 0;
+}

@@ -26,6 +26,7 @@
 #include "driver/Analyzer.h"
 #include "driver/RunReport.h"
 #include "ir/PrettyPrinter.h"
+#include "support/BuildInfo.h"
 #include "transforms/Parallelizer.h"
 
 #include <chrono>
@@ -49,6 +50,10 @@ int main(int argc, char **argv) {
   AnalyzerOptions Options;
   bool Explain = false;
   for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--version") == 0) {
+      std::printf("%s\n", buildInfoLine("depcheck").c_str());
+      return 0;
+    }
     if (std::strcmp(argv[I], "--no-normalize") == 0)
       Options.Normalize = false;
     else if (std::strcmp(argv[I], "--no-ivsub") == 0)

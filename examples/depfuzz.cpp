@@ -33,6 +33,7 @@
 #include "fuzz/Fuzzer.h"
 #include "fuzz/Repro.h"
 #include "fuzz/Shrinker.h"
+#include "support/BuildInfo.h"
 #include "support/FaultInjector.h"
 
 #include <cstdio>
@@ -115,6 +116,10 @@ int main(int argc, char **argv) {
     return std::strtoull(argv[++I], nullptr, 10);
   };
   for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--version")) {
+      std::printf("%s\n", buildInfoLine("depfuzz").c_str());
+      return 0;
+    }
     if (!std::strcmp(argv[I], "--seed"))
       Config.Seed = NumArg(I, "--seed");
     else if (!std::strcmp(argv[I], "--count"))

@@ -1,0 +1,462 @@
+//===- examples/depmon.cpp - Monitor-artifact query tool ------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The read side of the continuous-observability stack: depmon answers
+// "what happened while that run was live" from the three artifacts the
+// monitor subsystem writes, without rerunning anything.
+//
+//   depmon events <journal.jsonl> [--sev info|warn|error] [--layer L]
+//          [--what W] [--since MS] [--until MS] [--limit N]
+//     Prints the event journal (support/EventLog.h, pdt-events-v1)
+//     filtered by severity, layer, what-tag, and a [since, until)
+//     t_ms window; ends with per-severity totals.
+//
+//   depmon stalls <journal.jsonl>
+//     Summarizes watchdog stall verdicts and flight-recorder
+//     postmortems: which stage, how long it was silent, where the
+//     dump went. Exit 1 when any stall was journaled.
+//
+//   depmon series <timeseries.jsonl> [--key NAME] [--since MS]
+//          [--until MS]
+//     Reads a pdt-timeseries-v1 stream (support/Sampler.h). Without
+//     --key: per-key totals over the window. With --key: one
+//     "t_ms value" line per sample for plotting.
+//
+//   depmon flight <dump.json> [--top K]
+//     Reads a flight-recorder dump (Chrome-trace JSON with a
+//     "flightRecorder" header) and prints the ring stats plus the
+//     top-K spans by self time (duration minus enclosed spans).
+//
+//   depmon --version
+//     Prints the uniform build-info line (support/BuildInfo.h).
+//
+// Exit codes: 0 clean, 1 stalls found (stalls mode), 2 usage or I/O
+// error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pdt;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s events <journal.jsonl> [--sev info|warn|error]\n"
+      "              [--layer L] [--what W] [--since MS] [--until MS]"
+      " [--limit N]\n"
+      "       %s stalls <journal.jsonl>\n"
+      "       %s series <timeseries.jsonl> [--key NAME] [--since MS]"
+      " [--until MS]\n"
+      "       %s flight <dump.json> [--top K]\n"
+      "       %s --version\n",
+      Argv0, Argv0, Argv0, Argv0, Argv0);
+  return 2;
+}
+
+/// Parsed JSONL stream: the header object (line 1) plus one value per
+/// body line. Malformed lines are counted, not fatal — a crash can
+/// truncate the final line mid-object and the rest must stay readable.
+struct JsonlFile {
+  json::Value Header;
+  std::vector<json::Value> Lines;
+  unsigned Malformed = 0;
+};
+
+std::optional<JsonlFile> loadJsonl(const char *Path, const char *Schema) {
+  std::ifstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "depmon: cannot open %s\n", Path);
+    return std::nullopt;
+  }
+  JsonlFile Out;
+  std::string Line;
+  bool First = true;
+  while (std::getline(File, Line)) {
+    if (Line.empty())
+      continue;
+    std::optional<json::Value> V = json::parse(Line);
+    if (!V) {
+      ++Out.Malformed;
+      continue;
+    }
+    if (First) {
+      First = false;
+      std::optional<std::string> Tag = V->stringAt("schema");
+      if (!Tag || *Tag != Schema) {
+        std::fprintf(stderr, "depmon: %s: not a %s stream\n", Path, Schema);
+        return std::nullopt;
+      }
+      Out.Header = std::move(*V);
+      continue;
+    }
+    Out.Lines.push_back(std::move(*V));
+  }
+  if (First) {
+    std::fprintf(stderr, "depmon: %s: empty (no %s header)\n", Path, Schema);
+    return std::nullopt;
+  }
+  return Out;
+}
+
+struct Window {
+  uint64_t SinceMs = 0;
+  uint64_t UntilMs = ~static_cast<uint64_t>(0);
+
+  bool contains(uint64_t TMs) const { return TMs >= SinceMs && TMs < UntilMs; }
+};
+
+uint64_t numArg(int &I, int argc, char **argv) {
+  if (I + 1 >= argc) {
+    std::fprintf(stderr, "depmon: %s needs a value\n", argv[I]);
+    std::exit(2);
+  }
+  return std::strtoull(argv[++I], nullptr, 10);
+}
+
+void printFields(const json::Value &Event) {
+  if (const json::Value *Fields = Event.find("fields"))
+    if (Fields->isObject())
+      for (const auto &[Key, V] : Fields->asObject())
+        if (V.isNumber())
+          std::printf(" %s=%.0f", Key.c_str(), V.asDouble());
+}
+
+int cmdEvents(int argc, char **argv) {
+  const char *Path = nullptr;
+  std::string Sev, Layer, What;
+  Window W;
+  uint64_t Limit = ~static_cast<uint64_t>(0);
+  for (int I = 0; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--sev") && I + 1 < argc)
+      Sev = argv[++I];
+    else if (!std::strcmp(argv[I], "--layer") && I + 1 < argc)
+      Layer = argv[++I];
+    else if (!std::strcmp(argv[I], "--what") && I + 1 < argc)
+      What = argv[++I];
+    else if (!std::strcmp(argv[I], "--since"))
+      W.SinceMs = numArg(I, argc, argv);
+    else if (!std::strcmp(argv[I], "--until"))
+      W.UntilMs = numArg(I, argc, argv);
+    else if (!std::strcmp(argv[I], "--limit"))
+      Limit = numArg(I, argc, argv);
+    else if (!Path)
+      Path = argv[I];
+    else
+      return usage("depmon");
+  }
+  if (!Path)
+    return usage("depmon");
+  std::optional<JsonlFile> Journal = loadJsonl(Path, "pdt-events-v1");
+  if (!Journal)
+    return 2;
+
+  uint64_t Printed = 0, Info = 0, Warn = 0, Error = 0, Suppressed = 0;
+  for (const json::Value &E : Journal->Lines) {
+    uint64_t TMs = E.uintAt("t_ms").value_or(0);
+    std::string ESev = E.stringAt("sev").value_or("?");
+    if (!W.contains(TMs))
+      continue;
+    if (!Sev.empty() && ESev != Sev)
+      continue;
+    if (!Layer.empty() && E.stringAt("layer").value_or("") != Layer)
+      continue;
+    if (!What.empty() && E.stringAt("what").value_or("") != What)
+      continue;
+    Info += ESev == "info";
+    Warn += ESev == "warn";
+    Error += ESev == "error";
+    Suppressed += E.uintAt("suppressed").value_or(0);
+    if (Printed++ >= Limit)
+      continue;
+    std::printf("%8llu ms  %-5s %-8s %-16s %s",
+                static_cast<unsigned long long>(TMs), ESev.c_str(),
+                E.stringAt("layer").value_or("?").c_str(),
+                E.stringAt("what").value_or("?").c_str(),
+                E.stringAt("detail").value_or("").c_str());
+    printFields(E);
+    if (uint64_t S = E.uintAt("suppressed").value_or(0))
+      std::printf(" (+%llu suppressed)", static_cast<unsigned long long>(S));
+    std::printf("\n");
+  }
+  if (Printed > Limit)
+    std::printf("... %llu more (raise --limit)\n",
+                static_cast<unsigned long long>(Printed - Limit));
+  std::printf("%llu event(s): %llu info, %llu warn, %llu error; "
+              "%llu suppressed upstream%s\n",
+              static_cast<unsigned long long>(Printed),
+              static_cast<unsigned long long>(Info),
+              static_cast<unsigned long long>(Warn),
+              static_cast<unsigned long long>(Error),
+              static_cast<unsigned long long>(Suppressed),
+              Journal->Malformed ? " (journal has malformed lines)" : "");
+  return 0;
+}
+
+int cmdStalls(int argc, char **argv) {
+  if (argc != 1)
+    return usage("depmon");
+  std::optional<JsonlFile> Journal = loadJsonl(argv[0], "pdt-events-v1");
+  if (!Journal)
+    return 2;
+
+  uint64_t Stalls = 0, Dumps = 0;
+  for (const json::Value &E : Journal->Lines) {
+    std::string What = E.stringAt("what").value_or("");
+    if (What == "watchdog-stall") {
+      ++Stalls;
+      std::printf("STALL at %llu ms: %s",
+                  static_cast<unsigned long long>(
+                      E.uintAt("t_ms").value_or(0)),
+                  E.stringAt("detail").value_or("?").c_str());
+      printFields(E);
+      std::printf("\n");
+    } else if (What == "flight-dump") {
+      ++Dumps;
+      std::printf("dump  at %llu ms: %s\n",
+                  static_cast<unsigned long long>(
+                      E.uintAt("t_ms").value_or(0)),
+                  E.stringAt("detail").value_or("?").c_str());
+    }
+  }
+  std::printf("%llu stall verdict(s), %llu flight dump(s)\n",
+              static_cast<unsigned long long>(Stalls),
+              static_cast<unsigned long long>(Dumps));
+  return Stalls ? 1 : 0;
+}
+
+/// Accumulates one sample object's "counters"/"gauges"/"series"
+/// members into per-key totals (counters are deltas, so summing gives
+/// the window total; gauges and series keep the last value).
+void foldSample(const json::Value &Sample, const char *Member, bool Sum,
+                std::map<std::string, double> &Totals) {
+  if (const json::Value *Obj = Sample.find(Member))
+    if (Obj->isObject())
+      for (const auto &[Key, V] : Obj->asObject())
+        if (V.isNumber())
+          Totals[std::string(Member) + "." + Key] =
+              Sum ? Totals[std::string(Member) + "." + Key] + V.asDouble()
+                  : V.asDouble();
+}
+
+int cmdSeries(int argc, char **argv) {
+  const char *Path = nullptr;
+  std::string KeyFilter;
+  Window W;
+  for (int I = 0; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--key") && I + 1 < argc)
+      KeyFilter = argv[++I];
+    else if (!std::strcmp(argv[I], "--since"))
+      W.SinceMs = numArg(I, argc, argv);
+    else if (!std::strcmp(argv[I], "--until"))
+      W.UntilMs = numArg(I, argc, argv);
+    else if (!Path)
+      Path = argv[I];
+    else
+      return usage("depmon");
+  }
+  if (!Path)
+    return usage("depmon");
+  std::optional<JsonlFile> Series = loadJsonl(Path, "pdt-timeseries-v1");
+  if (!Series)
+    return 2;
+
+  if (!KeyFilter.empty()) {
+    // Plot mode: "t_ms value" rows; the key may name a counter, gauge,
+    // or custom series member.
+    uint64_t Rows = 0;
+    for (const json::Value &S : Series->Lines) {
+      uint64_t TMs = S.uintAt("t_ms").value_or(0);
+      if (!W.contains(TMs))
+        continue;
+      for (const char *Member : {"counters", "gauges", "series"})
+        if (const json::Value *Obj = S.find(Member))
+          if (const json::Value *V = Obj->find(KeyFilter.c_str()))
+            if (V->isNumber()) {
+              std::printf("%llu %.6g\n",
+                          static_cast<unsigned long long>(TMs),
+                          V->asDouble());
+              ++Rows;
+            }
+    }
+    if (!Rows)
+      std::fprintf(stderr, "depmon: no samples carry \"%s\" in the window\n",
+                   KeyFilter.c_str());
+    return 0;
+  }
+
+  uint64_t Samples = 0, FirstMs = 0, LastMs = 0;
+  std::map<std::string, double> Totals;
+  for (const json::Value &S : Series->Lines) {
+    uint64_t TMs = S.uintAt("t_ms").value_or(0);
+    if (!W.contains(TMs))
+      continue;
+    if (!Samples)
+      FirstMs = TMs;
+    LastMs = TMs;
+    ++Samples;
+    foldSample(S, "counters", /*Sum=*/true, Totals);
+    foldSample(S, "gauges", /*Sum=*/false, Totals);
+    foldSample(S, "series", /*Sum=*/false, Totals);
+  }
+  std::printf("%llu sample(s) every %llu ms covering [%llu, %llu] ms\n",
+              static_cast<unsigned long long>(Samples),
+              static_cast<unsigned long long>(
+                  Series->Header.uintAt("interval_ms").value_or(0)),
+              static_cast<unsigned long long>(FirstMs),
+              static_cast<unsigned long long>(LastMs));
+  for (const auto &[Key, Total] : Totals)
+    if (Total != 0)
+      std::printf("  %-44s %.6g\n", Key.c_str(), Total);
+  return 0;
+}
+
+int cmdFlight(int argc, char **argv) {
+  const char *Path = nullptr;
+  uint64_t TopK = 20;
+  for (int I = 0; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--top"))
+      TopK = numArg(I, argc, argv);
+    else if (!Path)
+      Path = argv[I];
+    else
+      return usage("depmon");
+  }
+  if (!Path)
+    return usage("depmon");
+
+  std::ifstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "depmon: cannot open %s\n", Path);
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  std::string Error;
+  std::optional<json::Value> Dump = json::parse(Buffer.str(), &Error);
+  if (!Dump) {
+    std::fprintf(stderr, "depmon: %s: %s\n", Path, Error.c_str());
+    return 2;
+  }
+  const json::Value *Header = Dump->find("flightRecorder");
+  if (!Header) {
+    std::fprintf(stderr, "depmon: %s: no \"flightRecorder\" header (not a "
+                         "flight dump)\n",
+                 Path);
+    return 2;
+  }
+  std::printf("flight dump: %s\n", Path);
+  std::printf("  reason       %s\n",
+              Header->stringAt("reason").value_or("?").c_str());
+  std::printf("  recorded     %llu span(s), %llu overwritten\n",
+              static_cast<unsigned long long>(
+                  Header->uintAt("recorded").value_or(0)),
+              static_cast<unsigned long long>(
+                  Header->uintAt("overwritten").value_or(0)));
+  std::printf("  rings        %llu thread(s) x %llu slot(s), %llu bytes\n",
+              static_cast<unsigned long long>(
+                  Header->uintAt("threads").value_or(0)),
+              static_cast<unsigned long long>(
+                  Header->uintAt("slots_per_thread").value_or(0)),
+              static_cast<unsigned long long>(
+                  Header->uintAt("bytes_in_use").value_or(0)));
+
+  // Self time per name: within one tid, events sorted by (start asc,
+  // duration desc) nest like a call stack; a span's self time is its
+  // duration minus its direct children's.
+  struct Ev {
+    std::string Name;
+    uint64_t Tid;
+    double Ts, Dur;
+  };
+  std::vector<Ev> Events;
+  if (const json::Value *Trace = Dump->find("traceEvents"))
+    for (const json::Value &E : Trace->asArray()) {
+      if (E.stringAt("ph").value_or("") != "X")
+        continue;
+      Events.push_back({E.stringAt("name").value_or("?"),
+                        E.uintAt("tid").value_or(0),
+                        E.numberAt("ts").value_or(0),
+                        E.numberAt("dur").value_or(0)});
+    }
+  std::sort(Events.begin(), Events.end(), [](const Ev &A, const Ev &B) {
+    if (A.Tid != B.Tid)
+      return A.Tid < B.Tid;
+    if (A.Ts != B.Ts)
+      return A.Ts < B.Ts;
+    return A.Dur > B.Dur;
+  });
+
+  struct Agg {
+    uint64_t Calls = 0;
+    double SelfUs = 0;
+  };
+  std::map<std::string, Agg> ByName;
+  std::vector<size_t> Stack; // Indices of currently open spans.
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const Ev &E = Events[I];
+    while (!Stack.empty() &&
+           (Events[Stack.back()].Tid != E.Tid ||
+            Events[Stack.back()].Ts + Events[Stack.back()].Dur <= E.Ts))
+      Stack.pop_back();
+    Agg &A = ByName[E.Name];
+    ++A.Calls;
+    A.SelfUs += E.Dur;
+    if (!Stack.empty())
+      ByName[Events[Stack.back()].Name].SelfUs -= E.Dur;
+    Stack.push_back(I);
+  }
+
+  std::vector<std::pair<std::string, Agg>> Sorted(ByName.begin(),
+                                                  ByName.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    return A.second.SelfUs > B.second.SelfUs;
+  });
+  if (Sorted.size() > TopK)
+    Sorted.resize(TopK);
+  if (!Sorted.empty())
+    std::printf("\n%-44s %10s %14s\n", "span (top self time)", "calls",
+                "self (us)");
+  for (const auto &[Name, A] : Sorted)
+    std::printf("%-44s %10llu %14.3f\n", Name.c_str(),
+                static_cast<unsigned long long>(A.Calls), A.SelfUs);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+  if (!std::strcmp(argv[1], "--version")) {
+    std::printf("%s\n", buildInfoLine("depmon").c_str());
+    return 0;
+  }
+  if (!std::strcmp(argv[1], "events"))
+    return cmdEvents(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "stalls"))
+    return cmdStalls(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "series"))
+    return cmdSeries(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "flight"))
+    return cmdFlight(argc - 2, argv + 2);
+  return usage(argv[0]);
+}

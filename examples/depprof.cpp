@@ -32,11 +32,20 @@
 //     against the median of the prior runs and flagged beyond
 //     noise-k median-absolute-deviations (exit 1 when flagged).
 //
+//   depprof history verify <ledger.jsonl> [--noise-k F]
+//     Whole-ledger health check: every line must parse and every
+//     (bench, config) group must scan clean. Run by ctest against the
+//     committed ledger.
+//
+//   depprof --version
+//     Prints the uniform build-info line (support/BuildInfo.h).
+//
 // Exit codes: 0 clean, 1 regression/flag, 2 usage or I/O error.
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/ReportDiff.h"
+#include "support/BuildInfo.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -62,8 +71,10 @@ int usage(const char *Argv0) {
       "       %s history append <ledger.jsonl> <run.json> --bench NAME"
       " [--config STR]\n"
       "       %s history scan <ledger.jsonl> --bench NAME [--config STR]"
-      " [--noise-k F]\n",
-      Argv0, Argv0, Argv0, Argv0);
+      " [--noise-k F]\n"
+      "       %s history verify <ledger.jsonl> [--noise-k F]\n"
+      "       %s --version\n",
+      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -318,6 +329,43 @@ int cmdHistory(int argc, char **argv) {
     else
       Paths.push_back(argv[I]);
   }
+  // "verify" takes the whole ledger: every line must parse and every
+  // (bench, config) group present must scan clean. This is the ctest
+  // fixture that keeps the committed BENCH_HISTORY.jsonl honest.
+  if (!std::strcmp(Mode, "verify")) {
+    if (Paths.size() != 1 || !Bench.empty())
+      return usage("depprof");
+    HistoryLoad Load = loadHistory(Paths[0]);
+    if (Load.Lines.empty() && !Load.Malformed) {
+      std::fprintf(stderr, "depprof: %s is empty or unreadable\n", Paths[0]);
+      return 2;
+    }
+    if (Load.Malformed)
+      std::fprintf(stderr, "depprof: %u malformed line(s) in %s\n",
+                   Load.Malformed, Paths[0]);
+    std::vector<std::pair<std::string, std::string>> Groups;
+    for (const HistoryLine &L : Load.Lines) {
+      std::pair<std::string, std::string> G{L.Bench, L.Config};
+      if (std::find(Groups.begin(), Groups.end(), G) == Groups.end())
+        Groups.push_back(std::move(G));
+    }
+    unsigned Flagged = 0;
+    for (const auto &[B, C] : Groups) {
+      HistoryScan Scan = scanHistory(Load.Lines, B, C, NoiseK);
+      for (const HistoryFlag &F : Scan.Flags) {
+        std::printf("REGRESSION %s (%s) %s: %.6g vs median %.6g "
+                    "(band %.6g)\n",
+                    B.c_str(), C.c_str(), F.Key.c_str(), F.Latest, F.Median,
+                    F.Band);
+        ++Flagged;
+      }
+    }
+    std::printf("%zu line(s) across %zu group(s); %u malformed, "
+                "%u flag(s)\n",
+                Load.Lines.size(), Groups.size(), Load.Malformed, Flagged);
+    return Load.Malformed || Flagged ? 1 : 0;
+  }
+
   if (Bench.empty()) {
     std::fprintf(stderr, "depprof: history needs --bench NAME\n");
     return 2;
@@ -375,6 +423,10 @@ int cmdHistory(int argc, char **argv) {
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage(argv[0]);
+  if (!std::strcmp(argv[1], "--version")) {
+    std::printf("%s\n", buildInfoLine("depprof").c_str());
+    return 0;
+  }
   if (!std::strcmp(argv[1], "report"))
     return cmdReport(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "diff"))

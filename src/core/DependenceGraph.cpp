@@ -12,11 +12,13 @@
 #include "core/PairBatch.h"
 #include "ir/PrettyPrinter.h"
 #include "support/Casting.h"
+#include "support/EventLog.h"
 #include "support/FaultInjector.h"
 #include "support/JobGraph.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
+#include "support/Watchdog.h"
 
 #include <algorithm>
 #include <cassert>
@@ -172,6 +174,16 @@ degradedPairEdges(const std::vector<ArrayAccess> &Accesses, unsigned I,
                              Accesses[J].Ref->getNumDims());
     ++Stats->DimensionHistogram[std::min(Dims - 1, 3u)];
   }
+  // Counters already record *how many* pairs degraded; the journal
+  // records *which* and *why* (rate-limited, so a degradation storm
+  // cannot flood it). The enabled() guard keeps the disarmed cost to
+  // one relaxed load on this already-cold path.
+  if (EventLog::enabled())
+    EventLog::event(EventSeverity::Warn, "core", "degraded-pair",
+                    std::string(failureKindName(Failure.Kind)) +
+                        (Failure.Message.empty() ? "" : ": ") +
+                        Failure.Message,
+                    {{"src", I}, {"snk", J}});
   return emitEdges(Accesses, I, J,
                    degradedTestResult(Depth, std::move(Failure), Stats));
 }
@@ -236,6 +248,15 @@ DependenceGraph DependenceGraph::build(const Program &P,
   if (Budget)
     Tracker.emplace(*Budget);
 
+  // Stall watchdog probe: beats per pair from whichever worker tests
+  // it. The quiet interval follows the query deadline when one exists
+  // — a build silent past a multiple of its own deadline is stuck, not
+  // slow.
+  Heartbeat BuildBeat("DependenceGraph::build",
+                      Budget && Budget->Deadline
+                          ? static_cast<uint64_t>(Budget->Deadline->count())
+                          : 0);
+
   // Route eligible ZIV/strong-SIV pairs through the batched SoA
   // kernels unless the mode, the compile flag, a pair-skipping budget,
   // or armed fault injection says otherwise. A deadline or pair cap
@@ -260,6 +281,7 @@ DependenceGraph DependenceGraph::build(const Program &P,
 
   std::vector<std::vector<Dependence>> PerPair(Pairs.size());
   auto ProcessScalar = [&](size_t PairIdx, TestStats *WS) {
+    BuildBeat.beat();
     auto [I, J] = Pairs[PairIdx];
     // A failed lowering job leaves its accesses unready; its exception
     // is already propagating out of the build, so the pair's edges are
@@ -296,6 +318,7 @@ DependenceGraph DependenceGraph::build(const Program &P,
   auto ProcessBatched = [&](const PairBatchPlan &Plan,
                             const PairBatchPlan::PairRecord &Rec,
                             TestStats *WS) {
+    BuildBeat.beat();
     try {
       PerPair[Rec.PairIdx] = emitEdges(G.Accesses, Rec.I, Rec.J,
                                        materializeBatchedPair(Plan, Rec, WS));

@@ -10,6 +10,7 @@
 #include "analysis/InductionSubstitution.h"
 #include "analysis/Normalization.h"
 #include "core/ResultStore.h"
+#include "support/BuildInfo.h"
 #include "support/Casting.h"
 #include "support/Env.h"
 
@@ -78,7 +79,7 @@ void ensureEnvResultStore(const AnalyzerOptions &Options) {
 } // namespace
 
 std::string pdt::analyzerOptionsFingerprint(const AnalyzerOptions &Options) {
-  std::string F = "pdt-analyzer-v7;";
+  std::string F = std::string(AnalyzerVersion) + ";";
   F += "norm=";
   F += Options.Normalize ? '1' : '0';
   F += ";subst=";

@@ -78,10 +78,16 @@ KeyClass pdt::classifyKey(std::string_view Key) {
   // first even though their sum is deterministic.
   // "store.*" (and the store metrics) likewise: hit/miss splits depend
   // on what earlier runs left on disk, never on what the answers were.
+  // "monitor.*" and the monitor/trace counters are operational
+  // telemetry about the run (journal volume, sampler ticks, flight
+  // ring churn) that varies with env arming and wall time.
   if (startsWith(Key, "routing.") || startsWith(Key, "store.") ||
+      startsWith(Key, "monitor.") ||
       startsWith(Key, "metrics.counters.store.") ||
       startsWith(Key, "metrics.counters.pool.") ||
       startsWith(Key, "metrics.counters.lowering.memo.") ||
+      startsWith(Key, "metrics.counters.monitor.") ||
+      startsWith(Key, "metrics.counters.trace.") ||
       startsWith(Key, "metrics.gauges.") ||
       startsWith(Key, "metrics.derived.") ||
       Key == "metrics.counters.budget.deadline_skips")

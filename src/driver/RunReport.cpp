@@ -8,14 +8,19 @@
 #include "driver/RunReport.h"
 
 #include "core/DependenceTypes.h"
+#include "support/BuildInfo.h"
 #include "support/CrashSafety.h"
 #include "support/Env.h"
+#include "support/EventLog.h"
 #include "support/Failure.h"
+#include "support/FlightRecorder.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Profile.h"
+#include "support/Sampler.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
+#include "support/Watchdog.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -189,6 +194,7 @@ std::string RunReport::render() {
   Out += "{\n\"schema\": \"pdt-report-v1\",\n";
   Out += "\"meta\": {\n";
   Out += "  \"tool\": \"" + json::escape(Tool) + "\",\n";
+  Out += "  \"build\": " + buildInfoJson() + ",\n";
   Out += std::string("  \"tracing_compiled_in\": ") +
          (Trace::compiledIn() ? "true" : "false") + ",\n";
   Out += "  \"threads\": " +
@@ -225,6 +231,32 @@ std::string RunReport::render() {
   Out += "\"store\": {\n";
   Out += "  \"hits\": " + std::to_string(Stats.StoreHits) + ",\n";
   Out += "  \"misses\": " + std::to_string(Stats.StoreMisses) + "\n},\n";
+
+  // Monitor activity (journal, sampler, flight recorder, watchdog) is
+  // operational telemetry about the run, not an analysis result:
+  // "monitor.*" gets the Sched never-gate classification, like routing
+  // and store. Present even when idle so diffs never see one-sided
+  // keys here.
+  EventLog::Counts Journal = EventLog::counts();
+  Sampler::Summary Samples = Sampler::summary();
+  FlightRecorder::Stats Flight = FlightRecorder::stats();
+  Out += "\"monitor\": {\n";
+  Out += "  \"journal\": {\"info\": " +
+         std::to_string(Journal.emitted(EventSeverity::Info)) +
+         ", \"warn\": " +
+         std::to_string(Journal.emitted(EventSeverity::Warn)) +
+         ", \"error\": " +
+         std::to_string(Journal.emitted(EventSeverity::Error)) +
+         ", \"suppressed\": " + std::to_string(Journal.Suppressed) + "},\n";
+  Out += "  \"sampler\": {\"samples\": " + std::to_string(Samples.Samples) +
+         ", \"interval_ms\": " + std::to_string(Samples.IntervalMs) + "},\n";
+  Out += "  \"flight\": {\"recorded\": " + std::to_string(Flight.Recorded) +
+         ", \"overwritten\": " + std::to_string(Flight.Overwritten) +
+         ", \"bytes_in_use\": " + std::to_string(Flight.BytesInUse) + "},\n";
+  Out += "  \"watchdog_stalls\": " + std::to_string(Watchdog::stallCount()) +
+         ",\n";
+  Out += "  \"trace_dropped_spans\": " + std::to_string(Trace::droppedSpans()) +
+         "\n},\n";
 
   // Metrics::toJson is a full document ending in "}\n"; embed it as
   // the member value minus the trailing newline.

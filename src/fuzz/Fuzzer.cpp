@@ -12,9 +12,12 @@
 #include "support/Env.h"
 #include "support/FaultInjector.h"
 #include "support/Metrics.h"
+#include "support/Sampler.h"
 #include "support/ThreadPool.h"
+#include "support/Watchdog.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -80,8 +83,36 @@ FuzzCampaignReport pdt::runFuzzCampaign(const FuzzCampaignConfig &Config) {
   std::vector<WorkerState> Workers(Pool.numWorkers());
   const unsigned FailureCap = std::max(Config.MaxFindings, 1u);
 
+  // Campaign watchdog probe (beats per kernel) plus live per-stratum
+  // kernel counts published to the time-series sampler, so a
+  // multi-hour campaign's progress is visible while it runs, not just
+  // in the final report.
+  Heartbeat CampaignBeat("fuzz.campaign",
+                         Config.Budget.Deadline
+                             ? static_cast<uint64_t>(
+                                   Config.Budget.Deadline->count())
+                             : 0);
+  std::array<std::atomic<uint64_t>, NumFuzzStrata> LiveStratum{};
+  struct SeriesGuard {
+    std::vector<size_t> Ids;
+    ~SeriesGuard() {
+      for (size_t Id : Ids)
+        Sampler::unregisterSeries(Id);
+    }
+  } Series;
+  if (Sampler::enabled())
+    for (unsigned S = 0; S != NumFuzzStrata; ++S)
+      Series.Ids.push_back(Sampler::registerSeries(
+          std::string("fuzz.stratum.") +
+              fuzzStratumName(static_cast<FuzzStratum>(S)),
+          [&LiveStratum, S] {
+            return LiveStratum[S].load(std::memory_order_relaxed);
+          }));
+  const bool LiveSeries = !Series.Ids.empty();
+
   Pool.parallelFor(Config.Count, [&](size_t Index, unsigned Worker) {
     WorkerState &W = Workers[Worker];
+    CampaignBeat.beat();
     if (Tracker.deadlineExpired()) {
       W.Skipped += 1;
       Metrics::count(Metric::BudgetDeadlineSkips);
@@ -98,6 +129,9 @@ FuzzCampaignReport pdt::runFuzzCampaign(const FuzzCampaignConfig &Config) {
     W.Pairs += V.PairsChecked;
     W.ExactnessLosses += V.ExactnessLosses;
     W.StratumKernels[static_cast<unsigned>(K.Stratum)] += 1;
+    if (LiveSeries)
+      LiveStratum[static_cast<unsigned>(K.Stratum)].fetch_add(
+          1, std::memory_order_relaxed);
     if (V.GroundTruth) {
       W.GroundTruth += 1;
       W.StratumGroundTruth[static_cast<unsigned>(K.Stratum)] += 1;

@@ -1,0 +1,78 @@
+//===- support/BuildInfo.cpp - One build-provenance struct ----------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+#include "support/Trace.h"
+
+// The build passes these through pdt_support's compile definitions;
+// standalone compilation gets honest fallbacks.
+#ifndef PDT_BUILD_TYPE
+#define PDT_BUILD_TYPE "unknown"
+#endif
+#ifndef PDT_OPT_BATCHING
+#define PDT_OPT_BATCHING 1
+#endif
+#ifndef PDT_OPT_STORE
+#define PDT_OPT_STORE 1
+#endif
+#ifndef PDT_OPT_SANITIZE
+#define PDT_OPT_SANITIZE 0
+#endif
+
+using namespace pdt;
+
+const BuildInfo &pdt::buildInfo() {
+  static const BuildInfo Info = {
+      AnalyzerVersion,
+      sizeof(PDT_BUILD_TYPE) > 1 ? PDT_BUILD_TYPE : "unknown",
+      Trace::compiledIn(),
+      PDT_OPT_BATCHING != 0,
+      PDT_OPT_STORE != 0,
+      PDT_OPT_SANITIZE != 0,
+  };
+  return Info;
+}
+
+static const char *onOff(bool B) { return B ? "on" : "off"; }
+
+std::string pdt::buildInfoLine(const char *Tool) {
+  const BuildInfo &I = buildInfo();
+  std::string Out = Tool;
+  Out += ' ';
+  Out += I.Version;
+  Out += " (build ";
+  Out += I.BuildType;
+  Out += "; tracing=";
+  Out += onOff(I.Tracing);
+  Out += " batching=";
+  Out += onOff(I.Batching);
+  Out += " store=";
+  Out += onOff(I.PersistentStore);
+  Out += " sanitize=";
+  Out += onOff(I.Sanitize);
+  Out += ')';
+  return Out;
+}
+
+std::string pdt::buildInfoJson() {
+  const BuildInfo &I = buildInfo();
+  std::string Out = "{\"version\": \"";
+  Out += I.Version;
+  Out += "\", \"build_type\": \"";
+  Out += I.BuildType;
+  Out += "\", \"tracing\": ";
+  Out += I.Tracing ? "true" : "false";
+  Out += ", \"batching\": ";
+  Out += I.Batching ? "true" : "false";
+  Out += ", \"store\": ";
+  Out += I.PersistentStore ? "true" : "false";
+  Out += ", \"sanitize\": ";
+  Out += I.Sanitize ? "true" : "false";
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,260 @@
+//===- support/EventLog.cpp - Severity-tagged JSONL event journal ---------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+#include "support/BuildInfo.h"
+#include "support/Env.h"
+#include "support/ErrorHandling.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <deque>
+#include <map>
+#include <mutex>
+
+using namespace pdt;
+
+const char *pdt::eventSeverityName(EventSeverity Sev) {
+  switch (Sev) {
+  case EventSeverity::Info:
+    return "info";
+  case EventSeverity::Warn:
+    return "warn";
+  case EventSeverity::Error:
+    return "error";
+  }
+  pdt_unreachable("covered switch");
+}
+
+#if PDT_TRACING
+
+namespace {
+
+constexpr size_t MaxRecentLines = 256;
+constexpr uint64_t DefaultRateMax = 32;
+constexpr uint64_t DefaultRateWindowMs = 1000;
+
+/// Per-(layer,what) rate window.
+struct RateCell {
+  uint64_t WindowStartMs = 0;
+  uint64_t EmittedInWindow = 0;
+  uint64_t Suppressed = 0; ///< Since the last emitted line of this key.
+};
+
+struct JournalState {
+  std::mutex M;
+  // Outside the mutex so enabled() and the event() early-out are one
+  // relaxed load — degradation sites check it before building detail
+  // strings.
+  std::atomic<bool> Enabled{false};
+  std::FILE *File = nullptr;
+  std::string Path;
+  std::deque<std::string> Recent;
+  EventLog::Counts Counts;
+  std::map<std::pair<const char *, const char *>, RateCell> Rates;
+  uint64_t RateMax = DefaultRateMax;
+  uint64_t RateWindowMs = DefaultRateWindowMs;
+  uint64_t (*ClockMs)() = nullptr;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+JournalState &state() {
+  // Immortal: events may be journaled from crash hooks after static
+  // destruction began.
+  static JournalState *S = new JournalState;
+  return *S;
+}
+
+uint64_t nowMsLocked(JournalState &S) {
+  if (S.ClockMs)
+    return S.ClockMs();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - S.Epoch)
+          .count());
+}
+
+/// Renders the pdt-events-v1 header line (no trailing newline).
+std::string headerLine() {
+  char Time[32] = "unknown";
+  std::time_t Now = std::time(nullptr);
+  if (std::tm *UTC = std::gmtime(&Now))
+    std::strftime(Time, sizeof(Time), "%Y-%m-%dT%H:%M:%SZ", UTC);
+  std::string Out = "{\"schema\": \"pdt-events-v1\", \"build\": ";
+  Out += buildInfoJson();
+  Out += ", \"start\": \"";
+  Out += Time;
+  Out += "\"}";
+  return Out;
+}
+
+void appendLineLocked(JournalState &S, const std::string &Line,
+                      bool ToRecent) {
+  if (ToRecent) {
+    if (S.Recent.size() == MaxRecentLines)
+      S.Recent.pop_front();
+    S.Recent.push_back(Line);
+  }
+  if (S.File) {
+    std::fwrite(Line.data(), 1, Line.size(), S.File);
+    std::fputc('\n', S.File);
+    // Crash safety is per line: a SIGABRT one instruction later still
+    // leaves a parseable journal.
+    std::fflush(S.File);
+  }
+}
+
+} // namespace
+
+bool EventLog::enabled() {
+  return state().Enabled.load(std::memory_order_relaxed);
+}
+
+bool EventLog::start(const std::string &Path) {
+  JournalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.File) {
+    std::fclose(S.File);
+    S.File = nullptr;
+  }
+  S.Recent.clear();
+  S.Counts = Counts();
+  S.Rates.clear();
+  S.Epoch = std::chrono::steady_clock::now();
+  S.Path = Path;
+  S.Enabled.store(true, std::memory_order_relaxed);
+  if (Path.empty())
+    return true;
+  S.File = std::fopen(Path.c_str(), "w");
+  if (!S.File)
+    return false;
+  appendLineLocked(S, headerLine(), /*ToRecent=*/false);
+  return true;
+}
+
+void EventLog::stop() {
+  JournalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Enabled.store(false, std::memory_order_relaxed);
+  if (S.File) {
+    std::fclose(S.File);
+    S.File = nullptr;
+  }
+}
+
+void EventLog::event(
+    EventSeverity Sev, const char *Layer, const char *What,
+    const std::string &Detail,
+    std::initializer_list<std::pair<const char *, uint64_t>> Fields) {
+  JournalState &S = state();
+  if (!S.Enabled.load(std::memory_order_relaxed))
+    return;
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (!S.Enabled.load(std::memory_order_relaxed))
+    return;
+  uint64_t NowMs = nowMsLocked(S);
+  RateCell &Cell = S.Rates[{Layer, What}];
+  if (NowMs - Cell.WindowStartMs >= S.RateWindowMs) {
+    Cell.WindowStartMs = NowMs;
+    Cell.EmittedInWindow = 0;
+  }
+  if (Cell.EmittedInWindow >= S.RateMax) {
+    ++Cell.Suppressed;
+    ++S.Counts.Suppressed;
+    Metrics::count(Metric::EventsSuppressed);
+    return;
+  }
+  ++Cell.EmittedInWindow;
+  ++S.Counts.Emitted[static_cast<unsigned>(Sev)];
+  Metrics::count(Metric::EventsEmitted);
+
+  std::string Line = "{\"t_ms\": " + std::to_string(NowMs);
+  Line += ", \"sev\": \"";
+  Line += eventSeverityName(Sev);
+  Line += "\", \"layer\": \"";
+  Line += json::escape(Layer);
+  Line += "\", \"what\": \"";
+  Line += json::escape(What);
+  Line += "\"";
+  if (!Detail.empty())
+    Line += ", \"detail\": \"" + json::escape(Detail) + "\"";
+  if (Fields.size()) {
+    Line += ", \"fields\": {";
+    bool First = true;
+    for (const auto &[Key, Value] : Fields) {
+      Line += First ? "" : ", ";
+      First = false;
+      Line += "\"" + json::escape(Key) + "\": " + std::to_string(Value);
+    }
+    Line += "}";
+  }
+  if (Cell.Suppressed) {
+    Line += ", \"suppressed\": " + std::to_string(Cell.Suppressed);
+    Cell.Suppressed = 0;
+  }
+  Line += "}";
+  appendLineLocked(S, Line, /*ToRecent=*/true);
+}
+
+EventLog::Counts EventLog::counts() {
+  JournalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  return S.Counts;
+}
+
+std::vector<std::string> EventLog::recentLines() {
+  JournalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  return {S.Recent.begin(), S.Recent.end()};
+}
+
+void EventLog::configureRateLimit(uint64_t MaxPerWindow, uint64_t WindowMs) {
+  JournalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.RateMax = MaxPerWindow ? MaxPerWindow : 1;
+  S.RateWindowMs = WindowMs ? WindowMs : 1;
+}
+
+void EventLog::setClockForTest(uint64_t (*NowMs)()) {
+  JournalState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.ClockMs = NowMs;
+}
+
+#endif // PDT_TRACING
+
+void EventLog::initFromEnvironment() {
+  static bool Done = false;
+  if (Done)
+    return;
+  Done = true;
+  std::optional<std::string> Path = envPath("PDT_EVENTS");
+  if (!Path)
+    return;
+  if (!compiledIn()) {
+    std::fprintf(stderr, "pdt: warning: PDT_EVENTS is set but the journal "
+                         "was compiled out (PDT_TRACING=OFF); no events "
+                         "will be written\n");
+    return;
+  }
+#if PDT_TRACING
+  if (!EventLog::start(*Path))
+    std::fprintf(stderr, "pdt: warning: cannot open PDT_EVENTS file %s\n",
+                 Path->c_str());
+#endif
+}
+
+namespace {
+/// Arms PDT_EVENTS before main, mirroring Trace/Metrics.
+[[maybe_unused]] const bool EventsEnvInitialized =
+    (EventLog::initFromEnvironment(), true);
+} // namespace

@@ -7,6 +7,8 @@
 
 #include "support/FaultInjector.h"
 
+#include "support/EventLog.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -150,9 +152,16 @@ void FaultInjector::checkpoint() {
     return;
   uint64_t Site = Counter.fetch_add(1, std::memory_order_relaxed) + 1;
   uint64_t T = Target.load(std::memory_order_relaxed);
-  if (T != 0 && Site == T)
+  if (T != 0 && Site == T) {
+    // Journal before raising: the trip is deliberate sabotage and the
+    // journal is how a post-run reader tells it from a real failure.
+    if (EventLog::enabled())
+      EventLog::event(EventSeverity::Info, "faults", "injected-trip",
+                      failureKindName(Kind.load(std::memory_order_relaxed)),
+                      {{"site", Site}});
     raiseFailure(Kind.load(std::memory_order_relaxed),
                  "injected fault (PDT_FAULT_INJECT)");
+  }
 }
 
 bool FaultInjector::ioCheckpoint(IoFaultKind K) {
@@ -163,5 +172,9 @@ bool FaultInjector::ioCheckpoint(IoFaultKind K) {
     return false;
   uint64_t Site = IoCounter.fetch_add(1, std::memory_order_relaxed) + 1;
   uint64_t T = IoTarget.load(std::memory_order_relaxed);
-  return T != 0 && Site == T;
+  bool Trip = T != 0 && Site == T;
+  if (Trip && EventLog::enabled())
+    EventLog::event(EventSeverity::Info, "faults", "injected-io-trip",
+                    ioFaultKindName(K), {{"site", Site}});
+  return Trip;
 }

@@ -1,0 +1,337 @@
+//===- support/FlightRecorder.cpp - Bounded last-N span rings -------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FlightRecorder.h"
+
+#include "support/BuildInfo.h"
+#include "support/CrashSafety.h"
+#include "support/EventLog.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+using namespace pdt;
+
+namespace {
+
+/// Parses the bytes component of a PDT_FLIGHT spec: decimal digits
+/// with an optional k/K (KiB) or m/M (MiB) suffix.
+bool parseBytes(const std::string &S, size_t &Out) {
+  if (S.empty())
+    return false;
+  size_t Mult = 1;
+  std::string Digits = S;
+  char Last = Digits.back();
+  if (Last == 'k' || Last == 'K')
+    Mult = 1024, Digits.pop_back();
+  else if (Last == 'm' || Last == 'M')
+    Mult = 1024 * 1024, Digits.pop_back();
+  if (Digits.empty() || Digits.size() > 12)
+    return false;
+  size_t Value = 0;
+  for (char C : Digits) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    Value = Value * 10 + static_cast<size_t>(C - '0');
+  }
+  Value *= Mult;
+  // At least one slot beyond any sane span, at most 1 GiB per thread.
+  if (Value < sizeof(TraceEvent) || Value > (size_t(1) << 30))
+    return false;
+  Out = Value;
+  return true;
+}
+
+bool parseSpecImpl(const std::string &Spec, bool &On, size_t &BytesPerThread,
+                   std::string &DumpPath) {
+  // Split on commas: "on[,bytes[,path]]" or "off".
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (true) {
+    size_t Comma = Spec.find(',', Pos);
+    Parts.push_back(Spec.substr(Pos, Comma - Pos));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Parts.empty() || Parts.size() > 3)
+    return false;
+  if (Parts[0] == "off")
+    return Parts.size() == 1 ? (On = false, true) : false;
+  if (Parts[0] != "on")
+    return false;
+  size_t Bytes = 0;
+  if (Parts.size() >= 2 && !parseBytes(Parts[1], Bytes))
+    return false;
+  if (Parts.size() == 3 && Parts[2].empty())
+    return false;
+  On = true;
+  if (Bytes)
+    BytesPerThread = Bytes;
+  if (Parts.size() == 3)
+    DumpPath = Parts[2];
+  return true;
+}
+
+} // namespace
+
+#if PDT_TRACING
+
+namespace {
+
+/// One thread's ring. Single writer (the owning thread): store the
+/// slot, then publish Count with release. Count is monotonic and
+/// never wrapped — slot index is Count % Slots.size().
+struct FlightRing {
+  std::vector<TraceEvent> Slots;
+  std::atomic<uint64_t> Count{0};
+  uint32_t Tid = 0;
+};
+
+struct FlightState {
+  std::mutex M;
+  std::vector<std::shared_ptr<FlightRing>> Rings;
+  size_t SlotsPerThread = FlightRecorder::DefaultBytesPerThread /
+                          sizeof(TraceEvent);
+  std::string DumpPath = "pdt-flight.json";
+  std::atomic<bool> Enabled{false};
+  // Bumped by start(): retires every thread's cached ring so capacity
+  // changes take effect and old events vanish.
+  std::atomic<uint64_t> Generation{0};
+};
+
+FlightState &state() {
+  // Immortal like the trace collector: the crash-dump hook may run
+  // after static destruction began.
+  static FlightState *S = new FlightState;
+  return *S;
+}
+
+std::shared_ptr<FlightRing> registerRing() {
+  FlightState &S = state();
+  auto Ring = std::make_shared<FlightRing>();
+  std::lock_guard<std::mutex> Lock(S.M);
+  Ring->Slots.resize(S.SlotsPerThread);
+  Ring->Tid = static_cast<uint32_t>(S.Rings.size());
+  S.Rings.push_back(Ring);
+  return Ring;
+}
+
+struct ThreadRingRef {
+  std::shared_ptr<FlightRing> Ring;
+  uint64_t Generation = ~uint64_t(0);
+};
+
+ThreadRingRef &threadRing() {
+  thread_local ThreadRingRef Ref;
+  return Ref;
+}
+
+} // namespace
+
+bool FlightRecorder::enabled() {
+  return state().Enabled.load(std::memory_order_relaxed);
+}
+
+bool FlightRecorder::start(size_t BytesPerThread, std::string DumpPath) {
+  FlightState &S = state();
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Rings.clear();
+    size_t Slots = BytesPerThread / sizeof(TraceEvent);
+    S.SlotsPerThread = Slots < 64 ? 64 : Slots;
+    if (!DumpPath.empty())
+      S.DumpPath = std::move(DumpPath);
+  }
+  S.Generation.fetch_add(1, std::memory_order_release);
+  // Anchor the span clock before the first ring write can observe it.
+  Trace::nowNs();
+  S.Enabled.store(true, std::memory_order_relaxed);
+  Trace::setCaptureBit(Trace::CaptureFlight, true);
+  return true;
+}
+
+void FlightRecorder::stop() {
+  Trace::setCaptureBit(Trace::CaptureFlight, false);
+  state().Enabled.store(false, std::memory_order_relaxed);
+}
+
+void FlightRecorder::record(const TraceEvent &E) {
+  FlightState &S = state();
+  if (!S.Enabled.load(std::memory_order_relaxed))
+    return;
+  ThreadRingRef &Ref = threadRing();
+  uint64_t Gen = S.Generation.load(std::memory_order_acquire);
+  if (!Ref.Ring || Ref.Generation != Gen) {
+    Ref.Ring = registerRing();
+    Ref.Generation = Gen;
+  }
+  FlightRing &Ring = *Ref.Ring;
+  uint64_t N = Ring.Count.load(std::memory_order_relaxed);
+  TraceEvent Slot = E;
+  Slot.Tid = Ring.Tid;
+  Ring.Slots[N % Ring.Slots.size()] = Slot;
+  Ring.Count.store(N + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> FlightRecorder::snapshot() {
+  FlightState &S = state();
+  std::vector<TraceEvent> All;
+  std::vector<std::shared_ptr<FlightRing>> Rings;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Rings = S.Rings;
+  }
+  for (const std::shared_ptr<FlightRing> &Ring : Rings) {
+    const uint64_t Cap = Ring->Slots.size();
+    uint64_t End = Ring->Count.load(std::memory_order_acquire);
+    uint64_t Begin = End > Cap ? End - Cap : 0;
+    std::vector<std::pair<uint64_t, TraceEvent>> Window;
+    Window.reserve(End - Begin);
+    for (uint64_t I = Begin; I != End; ++I)
+      Window.emplace_back(I, Ring->Slots[I % Cap]);
+    // Writers kept running during the copy: any slot whose index the
+    // writer could have reused — published overwrites up to End2, plus
+    // the one unpublished write of index End2 that may be in flight —
+    // must be discarded, or we could return a torn event.
+    uint64_t End2 = Ring->Count.load(std::memory_order_acquire);
+    uint64_t FirstSafe = End2 >= Cap ? End2 - Cap + 1 : 0;
+    for (const auto &[Index, Event] : Window)
+      if (Index >= FirstSafe)
+        All.push_back(Event);
+  }
+  std::sort(All.begin(), All.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              return A.DurationNs > B.DurationNs;
+            });
+  return All;
+}
+
+FlightRecorder::Stats FlightRecorder::stats() {
+  FlightState &S = state();
+  Stats Out;
+  std::lock_guard<std::mutex> Lock(S.M);
+  Out.SlotsPerThread = static_cast<uint32_t>(S.SlotsPerThread);
+  Out.Threads = static_cast<uint32_t>(S.Rings.size());
+  for (const std::shared_ptr<FlightRing> &Ring : S.Rings) {
+    uint64_t Count = Ring->Count.load(std::memory_order_relaxed);
+    uint64_t Cap = Ring->Slots.size();
+    Out.Recorded += Count;
+    Out.Overwritten += Count > Cap ? Count - Cap : 0;
+    Out.BytesInUse += Cap * sizeof(TraceEvent);
+  }
+  return Out;
+}
+
+std::string FlightRecorder::toJson(const char *Reason) {
+  std::vector<TraceEvent> Events = snapshot();
+  Stats S = stats();
+  std::string Out;
+  Out.reserve(Events.size() * 96 + 512);
+  Out += "{\n\"displayTimeUnit\": \"ns\",\n";
+  Out += "\"flightRecorder\": {\"reason\": \"";
+  Out += Reason ? Reason : "on-demand";
+  Out += "\", \"recorded\": " + std::to_string(S.Recorded);
+  Out += ", \"overwritten\": " + std::to_string(S.Overwritten);
+  Out += ", \"threads\": " + std::to_string(S.Threads);
+  Out += ", \"slots_per_thread\": " + std::to_string(S.SlotsPerThread);
+  Out += ", \"bytes_in_use\": " + std::to_string(S.BytesInUse);
+  Out += ", \"build\": " + buildInfoJson();
+  Out += "},\n\"traceEvents\": [\n";
+  Trace::appendEventsJson(Out, Events);
+  Out += "\n]\n}\n";
+  return Out;
+}
+
+bool FlightRecorder::dump(const std::string &Path, const char *Reason) {
+  std::ofstream File(Path);
+  if (!File)
+    return false;
+  File << toJson(Reason);
+  File.flush();
+  if (!File.good())
+    return false;
+  Metrics::count(Metric::FlightDumps);
+  return true;
+}
+
+bool FlightRecorder::postmortem(const char *Reason) {
+  std::string Path = dumpPath();
+  bool Ok = dump(Path, Reason);
+  EventLog::event(EventSeverity::Error, "monitor", "flight-dump",
+                  std::string(Reason ? Reason : "postmortem") +
+                      (Ok ? " -> " + Path : " (write failed)"));
+  return Ok;
+}
+
+std::string FlightRecorder::dumpPath() {
+  FlightState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  return S.DumpPath;
+}
+
+#endif // PDT_TRACING
+
+bool FlightRecorder::parseSpec(const std::string &Spec, bool &On,
+                               size_t &BytesPerThread,
+                               std::string &DumpPath) {
+  return parseSpecImpl(Spec, On, BytesPerThread, DumpPath);
+}
+
+void FlightRecorder::initFromEnvironment() {
+  static bool Done = false;
+  if (Done)
+    return;
+  Done = true;
+  const char *Spec = std::getenv("PDT_FLIGHT");
+  if (!Spec || !*Spec)
+    return;
+  bool On = false;
+  size_t Bytes = DefaultBytesPerThread;
+  std::string Path;
+  if (!parseSpec(Spec, On, Bytes, Path)) {
+    std::fprintf(stderr,
+                 "pdt: warning: malformed PDT_FLIGHT value '%s' "
+                 "(expected on[,bytes[,path]] or off); flight recorder "
+                 "stays disarmed\n",
+                 Spec);
+    return;
+  }
+  if (!On)
+    return;
+  if (!compiledIn()) {
+    std::fprintf(stderr, "pdt: warning: PDT_FLIGHT is set but tracing was "
+                         "compiled out (PDT_TRACING=OFF); no flight "
+                         "recorder available\n");
+    return;
+  }
+#if PDT_TRACING
+  FlightRecorder::start(Bytes, std::move(Path));
+  // A crashing run is exactly when the black box matters: dump the
+  // surviving window before the process dies.
+  registerCrashFlush("PDT_FLIGHT", [] {
+    if (FlightRecorder::enabled())
+      FlightRecorder::postmortem("crash");
+  });
+#endif
+}
+
+namespace {
+/// Arms PDT_FLIGHT before main, mirroring Trace/Metrics.
+[[maybe_unused]] const bool FlightEnvInitialized =
+    (FlightRecorder::initFromEnvironment(), true);
+} // namespace

@@ -9,6 +9,7 @@
 
 #include "support/Failure.h"
 #include "support/ThreadPool.h"
+#include "support/Watchdog.h"
 
 #include <condition_variable>
 #include <deque>
@@ -50,6 +51,12 @@ void JobGraph::run(ThreadPool &Pool) {
     if (Jobs[Id].PendingDeps == 0)
       Ready.push_back(Id);
 
+  // Watchdog probe: one beat per completed job. A starved pool (all
+  // workers parked on ReadyCV with nothing refilling the queue) stops
+  // beating and the monitor flags the scheduler itself, not just the
+  // stage running on it.
+  Heartbeat RunBeat("JobGraph::run");
+
   Pool.parallelFor(Jobs.size(), [&](size_t, unsigned) {
     JobId Id;
     {
@@ -74,6 +81,7 @@ void JobGraph::run(ThreadPool &Pool) {
           Ready.push_back(Succ);
       ReadyCV.notify_all();
     }
+    RunBeat.beat();
   });
 
   if (FirstError)

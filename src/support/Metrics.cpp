@@ -98,6 +98,18 @@ const char *pdt::metricName(Metric M) {
     return "store.recovery.rebuilds";
   case Metric::StoreWriteFailures:
     return "store.write_failures";
+  case Metric::TraceSpanDrops:
+    return "trace.dropped_spans";
+  case Metric::FlightDumps:
+    return "monitor.flight.dumps";
+  case Metric::WatchdogStalls:
+    return "monitor.watchdog.stalls";
+  case Metric::EventsEmitted:
+    return "monitor.events.emitted";
+  case Metric::EventsSuppressed:
+    return "monitor.events.suppressed";
+  case Metric::SamplerSamples:
+    return "monitor.sampler.samples";
   }
   pdt_unreachable("covered switch");
 }

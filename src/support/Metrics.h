@@ -78,8 +78,14 @@ enum class Metric : unsigned {
   StoreQuarantined,    ///< Damaged/stale segment files set aside.
   StoreRebuilds,       ///< Segments rebuilt from their valid records.
   StoreWriteFailures,  ///< Store writes that failed (store went broken).
+  TraceSpanDrops,      ///< Spans dropped by the per-thread trace cap.
+  FlightDumps,         ///< Flight-recorder dumps written (incl. postmortem).
+  WatchdogStalls,      ///< Watchdog stall verdicts fired.
+  EventsEmitted,       ///< Journal events written (all severities).
+  EventsSuppressed,    ///< Journal events dropped by the rate limiter.
+  SamplerSamples,      ///< Time-series samples taken.
 };
-constexpr unsigned NumMetrics = 36;
+constexpr unsigned NumMetrics = 42;
 
 /// Gauges, merged by maximum.
 enum class Gauge : unsigned {

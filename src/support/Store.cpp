@@ -7,6 +7,7 @@
 
 #include "support/Store.h"
 
+#include "support/EventLog.h"
 #include "support/FaultInjector.h"
 
 #include <algorithm>
@@ -249,6 +250,8 @@ void SegmentStore::quarantine(const std::string &Path) {
     Base = Base.substr(Slash + 1);
   if (::rename(Path.c_str(), (QDir + "/" + Base).c_str()) == 0) {
     Stats.Quarantined++;
+    if (EventLog::enabled())
+      EventLog::event(EventSeverity::Warn, "store", "quarantine", Base);
     return;
   }
   // Could not set it aside: remove it so the damage is not replayed
@@ -289,6 +292,9 @@ bool SegmentStore::writeSegment(
     return false;
   }
   Stats.Rebuilds++;
+  if (EventLog::enabled())
+    EventLog::event(EventSeverity::Info, "store", "rebuild", Final,
+                    {{"records", Recs.size()}});
   return true;
 }
 
@@ -378,4 +384,12 @@ StoreRecoveryStats SegmentStore::recoveryStats() {
   return Stats;
 }
 
-void SegmentStore::markBroken() { Broken = true; }
+void SegmentStore::markBroken() {
+  // First transition only: the store keeps answering from memory after
+  // it breaks, so one journal line per episode is the signal, not one
+  // per failed write.
+  if (!Broken && EventLog::enabled())
+    EventLog::event(EventSeverity::Error, "store", "broken",
+                    "store went broken; degrading to in-memory answers");
+  Broken = true;
+}

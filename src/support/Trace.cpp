@@ -9,6 +9,8 @@
 
 #include "support/CrashSafety.h"
 #include "support/Env.h"
+#include "support/FlightRecorder.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <chrono>
@@ -24,7 +26,19 @@
 
 using namespace pdt;
 
-std::atomic<bool> Trace::EnabledFlag{false};
+std::atomic<unsigned> Trace::CaptureFlags{0};
+
+namespace {
+
+/// Per-thread span cap for the full buffers. Long fuzz campaigns used
+/// to grow these without bound; the cap turns that into counted drops.
+constexpr uint32_t DefaultMaxSpansPerThread = 1u << 20;
+std::atomic<uint32_t> MaxSpansCap{DefaultMaxSpansPerThread};
+/// Multi-writer (any capped thread), so a real fetch_add — the path is
+/// already off the happy path when it runs.
+std::atomic<uint64_t> DroppedSpanCount{0};
+
+} // namespace
 
 namespace {
 
@@ -149,10 +163,45 @@ int64_t Trace::nowNs() {
       .count();
 }
 
+void Trace::setCaptureBit(CaptureBit Bit, bool On) {
+  if (On)
+    CaptureFlags.fetch_or(Bit, std::memory_order_relaxed);
+  else
+    CaptureFlags.fetch_and(~static_cast<unsigned>(Bit),
+                           std::memory_order_relaxed);
+}
+
+void Trace::setMaxSpansPerThread(uint32_t Cap) {
+  MaxSpansCap.store(Cap ? Cap : DefaultMaxSpansPerThread,
+                    std::memory_order_relaxed);
+}
+
+uint32_t Trace::maxSpansPerThread() {
+  return MaxSpansCap.load(std::memory_order_relaxed);
+}
+
+uint64_t Trace::droppedSpans() {
+  return DroppedSpanCount.load(std::memory_order_relaxed);
+}
+
 void Trace::record(const char *Name, const char *Category, int16_t Kind,
                    int64_t StartNs, int64_t EndNs) {
+  unsigned Flags = CaptureFlags.load(std::memory_order_relaxed);
+  if (Flags & CaptureFlight)
+    FlightRecorder::record(
+        {Name, Category, 0, Kind, StartNs, EndNs - StartNs});
+  if (!(Flags & CaptureFull))
+    return;
   ThreadBuffer &Buffer = threadBuffer();
   uint32_t N = Buffer.Size.load(std::memory_order_relaxed);
+  if (N >= MaxSpansCap.load(std::memory_order_relaxed)) {
+    // At the cap: the span is dropped, not silently — the count feeds
+    // the run report's "flight" section and the trace.dropped_spans
+    // metric.
+    DroppedSpanCount.fetch_add(1, std::memory_order_relaxed);
+    Metrics::count(Metric::TraceSpanDrops);
+    return;
+  }
   if (N == Buffer.Events.size()) {
     // Growth is structural: take the mutex so a concurrent snapshot
     // never reads across a reallocation.
@@ -173,14 +222,15 @@ bool Trace::start(std::string Path) {
     std::lock_guard<std::mutex> Lock(C.M);
     C.Path = std::move(Path);
   }
+  DroppedSpanCount.store(0, std::memory_order_relaxed);
   // Anchor the clock before the first span can observe it.
   nowNs();
-  EnabledFlag.store(true, std::memory_order_relaxed);
+  setCaptureBit(CaptureFull, true);
   return true;
 }
 
 bool Trace::stop() {
-  EnabledFlag.store(false, std::memory_order_relaxed);
+  setCaptureBit(CaptureFull, false);
   std::string Path;
   {
     Collector &C = collector();
@@ -231,7 +281,13 @@ std::string Trace::toJson(const std::vector<TraceEvent> &Events) {
   std::string Out;
   Out.reserve(Events.size() * 96 + 256);
   Out += "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  appendEventsJson(Out, Events);
+  Out += "\n]\n}\n";
+  return Out;
+}
 
+void Trace::appendEventsJson(std::string &Out,
+                             const std::vector<TraceEvent> &Events) {
   uint32_t MaxTid = 0;
   for (const TraceEvent &E : Events)
     MaxTid = std::max(MaxTid, E.Tid);
@@ -268,8 +324,6 @@ std::string Trace::toJson(const std::vector<TraceEvent> &Events) {
                   static_cast<long long>(E.DurationNs % 1000));
     Out += Number;
   }
-  Out += "\n]\n}\n";
-  return Out;
 }
 
 bool Trace::writeTo(const std::string &Path) {
@@ -286,6 +340,11 @@ void Trace::initFromEnvironment() {
   if (Done)
     return;
   Done = true;
+  // The cap applies to any armed full trace (PDT_TRACE here or a
+  // programmatic start), so parse it before the arming decision.
+  if (std::optional<int64_t> Cap =
+          envInt("PDT_TRACE_MAX_SPANS", 1024, int64_t(1) << 28))
+    setMaxSpansPerThread(static_cast<uint32_t>(*Cap));
   std::optional<std::string> Path = envPath("PDT_TRACE");
   if (!Path)
     return;

@@ -30,6 +30,13 @@
 /// writes the trace at process exit. Span names must be string
 /// literals (they are stored, not copied).
 ///
+/// Spans have two consumers behind one capture gate: the full
+/// per-thread buffers here (every span kept, bounded only by the
+/// PDT_TRACE_MAX_SPANS per-thread cap, drops counted) and the
+/// flight recorder's fixed-size rings (support/FlightRecorder.h,
+/// last-N spans at bounded memory). Either, both, or neither may be
+/// armed; the Span fast path stays a single relaxed load.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PDT_SUPPORT_TRACE_H
@@ -69,10 +76,26 @@ struct TraceEvent {
 /// them owns one buffer per thread that ever finished a span.
 class Trace {
 public:
-  /// True when spans are being recorded.
+  /// Capture-gate bits: which span consumers are armed.
+  enum CaptureBit : unsigned {
+    CaptureFull = 1u << 0,   ///< The full per-thread buffers (PDT_TRACE).
+    CaptureFlight = 1u << 1, ///< The flight-recorder rings (PDT_FLIGHT).
+  };
+
+  /// True when the full trace buffers are recording.
   static bool enabled() {
-    return EnabledFlag.load(std::memory_order_relaxed);
+    return (CaptureFlags.load(std::memory_order_relaxed) & CaptureFull) != 0;
   }
+
+  /// True when any span consumer (full trace or flight recorder) is
+  /// armed — the Span constructor's single gate.
+  static bool capturing() {
+    return CaptureFlags.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Arms or disarms one capture consumer. Used by the flight
+  /// recorder; start()/stop() manage the CaptureFull bit.
+  static void setCaptureBit(CaptureBit Bit, bool On);
 
   /// True when span instrumentation was compiled in (PDT_TRACING=ON).
   static constexpr bool compiledIn() { return PDT_TRACING != 0; }
@@ -104,9 +127,27 @@ public:
   /// Nanoseconds since the process-wide trace clock anchor.
   static int64_t nowNs();
 
-  /// Arms tracing from PDT_TRACE (hardened parsing: a present-but-
-  /// empty value warns and stays disarmed). Called once automatically
-  /// before main via a static initializer; exposed for tests.
+  /// Per-thread span cap for the *full* buffers (the flight rings are
+  /// bounded by construction). A thread that reaches the cap drops
+  /// further spans and counts them; 0 restores the built-in default.
+  /// Env-tunable via PDT_TRACE_MAX_SPANS.
+  static void setMaxSpansPerThread(uint32_t Cap);
+  static uint32_t maxSpansPerThread();
+
+  /// Spans dropped by the per-thread cap since the last start().
+  static uint64_t droppedSpans();
+
+  /// Appends \p Events to \p Out as a comma-separated run of Chrome
+  /// "ph":"X" complete-event objects plus per-thread thread_name
+  /// metadata (no surrounding array). Shared by toJson and the flight
+  /// recorder's dump so the two artifacts stay format-identical.
+  static void appendEventsJson(std::string &Out,
+                               const std::vector<TraceEvent> &Events);
+
+  /// Arms tracing from PDT_TRACE and the span cap from
+  /// PDT_TRACE_MAX_SPANS (hardened parsing: a present-but-empty value
+  /// warns and stays disarmed). Called once automatically before main
+  /// via a static initializer; exposed for tests.
   static void initFromEnvironment();
 
 private:
@@ -117,7 +158,7 @@ private:
 #endif
   static void record(const char *Name, const char *Category, int16_t Kind,
                      int64_t StartNs, int64_t EndNs);
-  static std::atomic<bool> EnabledFlag;
+  static std::atomic<unsigned> CaptureFlags;
 };
 
 /// The compiled-out span: constructing and destroying it is a no-op
@@ -146,7 +187,7 @@ class Span {
 public:
   explicit Span(const char *Name, const char *Category = "pdt",
                 int KindTag = TraceEvent::NoTag) {
-    if (Trace::enabled()) {
+    if (Trace::capturing()) {
       this->Name = Name;
       this->Category = Category;
       Kind = static_cast<int16_t>(KindTag);
