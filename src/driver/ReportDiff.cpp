@@ -80,10 +80,13 @@ KeyClass pdt::classifyKey(std::string_view Key) {
   // on what earlier runs left on disk, never on what the answers were.
   // "monitor.*" and the monitor/trace counters are operational
   // telemetry about the run (journal volume, sampler ticks, flight
-  // ring churn) that varies with env arming and wall time.
+  // ring churn) that varies with env arming and wall time. "serve.*"
+  // counts connections and requests — load-generator traffic, not
+  // analysis answers.
   if (startsWith(Key, "routing.") || startsWith(Key, "store.") ||
-      startsWith(Key, "monitor.") ||
+      startsWith(Key, "monitor.") || startsWith(Key, "serve.") ||
       startsWith(Key, "metrics.counters.store.") ||
+      startsWith(Key, "metrics.counters.serve.") ||
       startsWith(Key, "metrics.counters.pool.") ||
       startsWith(Key, "metrics.counters.lowering.memo.") ||
       startsWith(Key, "metrics.counters.monitor.") ||

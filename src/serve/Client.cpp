@@ -1,0 +1,158 @@
+//===- serve/Client.cpp - Blocking loopback HTTP client -------------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace pdt;
+using namespace pdt::serve;
+
+const std::string *ClientResponse::header(std::string_view Name) const {
+  for (const HttpHeader &H : Headers)
+    if (headerNameEquals(H.Name, Name))
+      return &H.Value;
+  return nullptr;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Parser.resetForNext();
+}
+
+bool Client::connectTo(uint16_t Port, std::string *Error) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  timeval TV{static_cast<time_t>(TimeoutSeconds), 0};
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Error)
+      *Error = "connect to port " + std::to_string(Port) + ": " +
+               std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::sendRaw(const std::string &Bytes, std::string *Error) {
+  if (Fd < 0) {
+    if (Error)
+      *Error = "not connected";
+    return false;
+  }
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Client::readResponse(ClientResponse &Out, std::string *Error) {
+  if (Fd < 0) {
+    if (Error)
+      *Error = "not connected";
+    return false;
+  }
+  for (;;) {
+    char Buffer[16 * 1024];
+    ssize_t N = ::recv(Fd, Buffer, sizeof(Buffer), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      if (Error)
+        *Error = "connection closed before a complete response";
+      close();
+      return false;
+    }
+    ResponseParser::State S = Parser.feed(Buffer, static_cast<size_t>(N));
+    if (S == ResponseParser::State::Failed) {
+      if (Error)
+        *Error = "bad response: " + Parser.errorDetail();
+      close();
+      return false;
+    }
+    if (S != ResponseParser::State::Complete)
+      continue;
+    Out.Status = Parser.status();
+    Out.Headers = Parser.headers();
+    Out.Body = Parser.body();
+    // Honor the server's close decision so the next request
+    // reconnects instead of writing into a dead socket.
+    bool ServerCloses = false;
+    if (const std::string *C = Out.header("Connection"))
+      ServerCloses = headerNameEquals(*C, "close");
+    Parser.resetForNext();
+    if (ServerCloses)
+      close();
+    return true;
+  }
+}
+
+bool Client::request(const std::string &Method, const std::string &Target,
+                     const std::string &Body, ClientResponse &Out,
+                     std::string *Error,
+                     const std::vector<HttpHeader> &ExtraHeaders) {
+  std::string Wire = Method + " " + Target + " HTTP/1.1\r\n";
+  Wire += "Host: 127.0.0.1\r\n";
+  bool HasContentType = false;
+  for (const HttpHeader &H : ExtraHeaders) {
+    Wire += H.Name + ": " + H.Value + "\r\n";
+    if (headerNameEquals(H.Name, "Content-Type"))
+      HasContentType = true;
+  }
+  if (!Body.empty()) {
+    if (!HasContentType)
+      Wire += "Content-Type: application/json\r\n";
+    Wire += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  } else if (Method != "GET" && Method != "HEAD") {
+    Wire += "Content-Length: 0\r\n";
+  }
+  Wire += "\r\n";
+  Wire += Body;
+  if (!sendRaw(Wire, Error))
+    return false;
+  return readResponse(Out, Error);
+}

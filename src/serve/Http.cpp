@@ -1,0 +1,407 @@
+//===- serve/Http.cpp - HTTP/1.1 message parsing ----------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Http.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace pdt;
+using namespace pdt::serve;
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+bool pdt::serve::headerNameEquals(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+namespace {
+
+std::string_view trim(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
+    S.remove_prefix(1);
+  while (!S.empty() && (S.back() == ' ' || S.back() == '\t'))
+    S.remove_suffix(1);
+  return S;
+}
+
+/// An RFC 9110 token: printable ASCII minus separators. Good enough
+/// for method and header-name validation; anything else is malformed.
+bool isTokenChar(char C) {
+  if (C >= 'a' && C <= 'z')
+    return true;
+  if (C >= 'A' && C <= 'Z')
+    return true;
+  if (C >= '0' && C <= '9')
+    return true;
+  switch (C) {
+  case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+  case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+  case '~':
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isToken(std::string_view S) {
+  if (S.empty())
+    return false;
+  return std::all_of(S.begin(), S.end(), isTokenChar);
+}
+
+/// Strict non-negative decimal parse for Content-Length. Rejects
+/// empty, signs, and trailing characters; false on overflow.
+bool parseContentLength(std::string_view S, size_t &Out) {
+  if (S.empty())
+    return false;
+  size_t Value = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    size_t Digit = static_cast<size_t>(C - '0');
+    if (Value > (SIZE_MAX - Digit) / 10)
+      return false;
+    Value = Value * 10 + Digit;
+  }
+  Out = Value;
+  return true;
+}
+
+/// Splits the header block (without the final blank line) into header
+/// entries. Returns false on a malformed line.
+bool parseHeaderLines(std::string_view Block, std::vector<HttpHeader> &Out,
+                      std::string &Error) {
+  size_t Pos = 0;
+  while (Pos < Block.size()) {
+    size_t End = Block.find("\r\n", Pos);
+    if (End == std::string_view::npos)
+      End = Block.size();
+    std::string_view Line = Block.substr(Pos, End - Pos);
+    Pos = End + (End < Block.size() ? 2 : 0);
+    if (Line.empty())
+      continue;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos) {
+      Error = "header line without ':'";
+      return false;
+    }
+    std::string_view Name = Line.substr(0, Colon);
+    if (!isToken(Name)) {
+      Error = "malformed header name";
+      return false;
+    }
+    std::string_view Value = trim(Line.substr(Colon + 1));
+    Out.push_back({std::string(Name), std::string(Value)});
+  }
+  return true;
+}
+
+const std::string *findHeader(const std::vector<HttpHeader> &Headers,
+                              std::string_view Name) {
+  for (const HttpHeader &H : Headers)
+    if (headerNameEquals(H.Name, Name))
+      return &H.Value;
+  return nullptr;
+}
+
+/// Case-insensitive "does the comma-separated header value contain
+/// this token" test, for Connection: close / keep-alive.
+bool valueContainsToken(std::string_view Value, std::string_view Token) {
+  size_t Pos = 0;
+  while (Pos < Value.size()) {
+    size_t Comma = Value.find(',', Pos);
+    if (Comma == std::string_view::npos)
+      Comma = Value.size();
+    if (headerNameEquals(trim(Value.substr(Pos, Comma - Pos)), Token))
+      return true;
+    Pos = Comma + 1;
+  }
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// HttpRequest / HttpResponse
+//===----------------------------------------------------------------------===//
+
+const std::string *HttpRequest::header(std::string_view Name) const {
+  return findHeader(Headers, Name);
+}
+
+bool HttpRequest::wantsKeepAlive() const {
+  const std::string *Connection = header("Connection");
+  if (Connection && valueContainsToken(*Connection, "close"))
+    return false;
+  if (Version == "HTTP/1.0")
+    return Connection && valueContainsToken(*Connection, "keep-alive");
+  return true;
+}
+
+bool HttpRequest::expectsContinue() const {
+  const std::string *Expect = header("Expect");
+  return Expect && headerNameEquals(trim(*Expect), "100-continue");
+}
+
+const char *pdt::serve::statusReason(int Status) {
+  switch (Status) {
+  case 100: return "Continue";
+  case 200: return "OK";
+  case 400: return "Bad Request";
+  case 404: return "Not Found";
+  case 405: return "Method Not Allowed";
+  case 408: return "Request Timeout";
+  case 413: return "Payload Too Large";
+  case 422: return "Unprocessable Content";
+  case 429: return "Too Many Requests";
+  case 431: return "Request Header Fields Too Large";
+  case 500: return "Internal Server Error";
+  case 501: return "Not Implemented";
+  case 503: return "Service Unavailable";
+  case 505: return "HTTP Version Not Supported";
+  default: return "Unknown";
+  }
+}
+
+std::string HttpResponse::serialize() const {
+  std::string Out;
+  Out.reserve(Body.size() + 256);
+  Out += "HTTP/1.1 ";
+  Out += std::to_string(Status);
+  Out += ' ';
+  Out += statusReason(Status);
+  Out += "\r\n";
+  for (const HttpHeader &H : Headers) {
+    Out += H.Name;
+    Out += ": ";
+    Out += H.Value;
+    Out += "\r\n";
+  }
+  Out += "Content-Length: ";
+  Out += std::to_string(Body.size());
+  Out += "\r\n";
+  if (CloseConnection)
+    Out += "Connection: close\r\n";
+  Out += "\r\n";
+  Out += Body;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// RequestParser
+//===----------------------------------------------------------------------===//
+
+RequestParser::State RequestParser::fail(int Status, std::string Detail) {
+  TheState = State::Failed;
+  ErrorStatus = Status;
+  ErrorDetail = std::move(Detail);
+  return TheState;
+}
+
+RequestParser::State RequestParser::feed(const char *Data, size_t N) {
+  if (TheState != State::Incomplete)
+    return TheState;
+  Buffer.append(Data, N);
+  if (!HeadersDone) {
+    State S = parseHeaders();
+    if (S != State::Incomplete || !HeadersDone)
+      return S;
+  }
+  return parseBody();
+}
+
+RequestParser::State RequestParser::parseHeaders() {
+  size_t BlockEnd = Buffer.find("\r\n\r\n");
+  if (BlockEnd == std::string::npos) {
+    // Cap enforcement while the block is still streaming in: a peer
+    // that never sends the blank line must not grow the buffer
+    // unboundedly.
+    if (Buffer.size() > Limits.MaxHeaderBytes)
+      return fail(431, "header block exceeds " +
+                           std::to_string(Limits.MaxHeaderBytes) + " bytes");
+    return State::Incomplete;
+  }
+  if (BlockEnd + 4 > Limits.MaxHeaderBytes)
+    return fail(431, "header block exceeds " +
+                         std::to_string(Limits.MaxHeaderBytes) + " bytes");
+
+  std::string_view Block(Buffer.data(), BlockEnd);
+  size_t LineEnd = Block.find("\r\n");
+  std::string_view RequestLine =
+      LineEnd == std::string_view::npos ? Block : Block.substr(0, LineEnd);
+
+  // METHOD SP TARGET SP VERSION, single spaces, no other whitespace.
+  size_t Sp1 = RequestLine.find(' ');
+  size_t Sp2 = Sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : RequestLine.find(' ', Sp1 + 1);
+  if (Sp1 == std::string_view::npos || Sp2 == std::string_view::npos ||
+      RequestLine.find(' ', Sp2 + 1) != std::string_view::npos)
+    return fail(400, "malformed request line");
+  std::string_view Method = RequestLine.substr(0, Sp1);
+  std::string_view Target = RequestLine.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  std::string_view Version = RequestLine.substr(Sp2 + 1);
+  if (!isToken(Method))
+    return fail(400, "malformed method token");
+  if (Target.empty() || Target[0] != '/')
+    return fail(400, "request target must be origin-form (start with '/')");
+  if (Version != "HTTP/1.1" && Version != "HTTP/1.0")
+    return fail(505, "unsupported protocol version");
+
+  Request.Method = std::string(Method);
+  Request.Target = std::string(Target);
+  Request.Version = std::string(Version);
+  std::string HeaderError;
+  std::string_view HeaderBlock =
+      LineEnd == std::string_view::npos ? std::string_view()
+                                        : Block.substr(LineEnd + 2);
+  if (!parseHeaderLines(HeaderBlock, Request.Headers, HeaderError))
+    return fail(400, HeaderError);
+
+  if (Request.header("Transfer-Encoding"))
+    return fail(501, "Transfer-Encoding is not supported; "
+                     "use Content-Length");
+
+  BodyLength = 0;
+  bool SawLength = false;
+  for (const HttpHeader &H : Request.Headers) {
+    if (!headerNameEquals(H.Name, "Content-Length"))
+      continue;
+    size_t Value = 0;
+    if (!parseContentLength(H.Value, Value))
+      return fail(400, "malformed Content-Length");
+    if (SawLength && Value != BodyLength)
+      return fail(400, "conflicting Content-Length headers");
+    BodyLength = Value;
+    SawLength = true;
+  }
+  if (BodyLength > Limits.MaxBodyBytes)
+    return fail(413, "declared body of " + std::to_string(BodyLength) +
+                         " bytes exceeds the " +
+                         std::to_string(Limits.MaxBodyBytes) + "-byte cap");
+
+  Buffer.erase(0, BlockEnd + 4);
+  HeadersDone = true;
+  return State::Incomplete;
+}
+
+RequestParser::State RequestParser::parseBody() {
+  if (Buffer.size() < BodyLength)
+    return State::Incomplete;
+  Request.Body = Buffer.substr(0, BodyLength);
+  Buffer.erase(0, BodyLength);
+  TheState = State::Complete;
+  return TheState;
+}
+
+void RequestParser::resetForNext() {
+  TheState = State::Incomplete;
+  ErrorStatus = 0;
+  ErrorDetail.clear();
+  HeadersDone = false;
+  BodyLength = 0;
+  Request = HttpRequest();
+  if (!Buffer.empty()) {
+    // Re-parse what we already have.
+    std::string Pending = std::move(Buffer);
+    Buffer.clear();
+    feed(Pending.data(), Pending.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ResponseParser
+//===----------------------------------------------------------------------===//
+
+ResponseParser::State ResponseParser::fail(std::string Detail) {
+  TheState = State::Failed;
+  ErrorDetail = std::move(Detail);
+  return TheState;
+}
+
+ResponseParser::State ResponseParser::feed(const char *Data, size_t N) {
+  if (TheState != State::Incomplete)
+    return TheState;
+  Buffer.append(Data, N);
+
+  if (!HeadersDone) {
+    size_t BlockEnd = Buffer.find("\r\n\r\n");
+    if (BlockEnd == std::string::npos) {
+      if (Buffer.size() > Limits.MaxHeaderBytes)
+        return fail("response header block too large");
+      return State::Incomplete;
+    }
+    std::string_view Block(Buffer.data(), BlockEnd);
+    size_t LineEnd = Block.find("\r\n");
+    std::string_view StatusLine =
+        LineEnd == std::string_view::npos ? Block : Block.substr(0, LineEnd);
+    // HTTP/1.1 SP NNN SP reason
+    if (StatusLine.size() < 12 || StatusLine.substr(0, 5) != "HTTP/")
+      return fail("malformed status line");
+    size_t Sp1 = StatusLine.find(' ');
+    if (Sp1 == std::string_view::npos || Sp1 + 4 > StatusLine.size())
+      return fail("malformed status line");
+    std::string_view Code = StatusLine.substr(Sp1 + 1, 3);
+    int Parsed = 0;
+    for (char C : Code) {
+      if (C < '0' || C > '9')
+        return fail("malformed status code");
+      Parsed = Parsed * 10 + (C - '0');
+    }
+    Status = Parsed;
+    std::string HeaderError;
+    std::string_view HeaderBlock =
+        LineEnd == std::string_view::npos ? std::string_view()
+                                          : Block.substr(LineEnd + 2);
+    if (!parseHeaderLines(HeaderBlock, Headers, HeaderError))
+      return fail(HeaderError);
+    BodyLength = 0;
+    if (const std::string *Length = header("Content-Length")) {
+      if (!parseContentLength(*Length, BodyLength))
+        return fail("malformed Content-Length");
+      if (BodyLength > Limits.MaxBodyBytes)
+        return fail("response body too large");
+    }
+    Buffer.erase(0, BlockEnd + 4);
+    HeadersDone = true;
+  }
+
+  if (Buffer.size() < BodyLength)
+    return State::Incomplete;
+  Body = Buffer.substr(0, BodyLength);
+  Buffer.erase(0, BodyLength);
+  TheState = State::Complete;
+  return TheState;
+}
+
+const std::string *ResponseParser::header(std::string_view Name) const {
+  return findHeader(Headers, Name);
+}
+
+void ResponseParser::resetForNext() {
+  TheState = State::Incomplete;
+  ErrorDetail.clear();
+  HeadersDone = false;
+  BodyLength = 0;
+  Status = 0;
+  Headers.clear();
+  Body.clear();
+  if (!Buffer.empty()) {
+    std::string Pending = std::move(Buffer);
+    Buffer.clear();
+    feed(Pending.data(), Pending.size());
+  }
+}

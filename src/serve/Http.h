@@ -1,0 +1,195 @@
+//===- serve/Http.h - Dependency-free HTTP/1.1 messages ---------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire layer of depserved: HTTP/1.1 request/response models, an
+/// incremental request parser, and a response parser for the load
+/// generator's client. No external dependencies — plain byte pushing,
+/// because the serving layer must obey the same never-crash contract
+/// as the analysis it fronts: every malformed, truncated, oversized,
+/// or hostile byte stream ends in a clean 4xx/5xx classification, a
+/// parser in the Failed state, and nothing else. The parser never
+/// throws for input-shaped problems and has no unbounded buffer: the
+/// header and body byte caps turn resource-exhaustion inputs into 431
+/// and 413 before memory grows.
+///
+/// Scope (documented in docs/SERVING.md, which the serving tests
+/// cross-check): methods are free-form tokens (the router answers 405
+/// for unsupported ones), bodies are Content-Length-delimited only
+/// (Transfer-Encoding requests are answered 501), and the only
+/// versions accepted are HTTP/1.1 and HTTP/1.0 (anything else is
+/// answered 505). Keep-alive follows HTTP/1.1 defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SERVE_HTTP_H
+#define PDT_SERVE_HTTP_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdt {
+namespace serve {
+
+/// One header line. Name comparisons throughout are case-insensitive
+/// (RFC 9110); values keep their original bytes, surrounding
+/// whitespace trimmed.
+struct HttpHeader {
+  std::string Name;
+  std::string Value;
+};
+
+/// True when \p A and \p B match ASCII case-insensitively.
+bool headerNameEquals(std::string_view A, std::string_view B);
+
+/// One parsed request.
+struct HttpRequest {
+  std::string Method;  ///< "GET", "POST", ... (verbatim token).
+  std::string Target;  ///< Request target, e.g. "/v1/analyze".
+  std::string Version; ///< "HTTP/1.1" or "HTTP/1.0".
+  std::vector<HttpHeader> Headers;
+  std::string Body;
+
+  /// First header value with \p Name (case-insensitive); nullptr when
+  /// absent.
+  const std::string *header(std::string_view Name) const;
+
+  /// Connection persistence per HTTP/1.1 defaults: keep-alive unless
+  /// "Connection: close" (or HTTP/1.0 without
+  /// "Connection: keep-alive").
+  bool wantsKeepAlive() const;
+
+  /// True when the client sent "Expect: 100-continue" and is waiting
+  /// for an interim response before transmitting the body.
+  bool expectsContinue() const;
+};
+
+/// One response under construction. Content-Length, the reason
+/// phrase, and the Connection header are added by serialize().
+struct HttpResponse {
+  int Status = 200;
+  std::vector<HttpHeader> Headers; ///< Extra headers (Content-Type, ...).
+  std::string Body;
+  /// Adds "Connection: close" (the server is about to close).
+  bool CloseConnection = false;
+
+  std::string serialize() const;
+};
+
+/// Canonical reason phrase for every status depserved emits; "Unknown"
+/// otherwise.
+const char *statusReason(int Status);
+
+/// Byte caps for one request. Exceeding the header cap fails the
+/// parse with 431, exceeding the body cap (via Content-Length or raw
+/// bytes) with 413.
+struct ParserLimits {
+  size_t MaxHeaderBytes = 16 * 1024;
+  size_t MaxBodyBytes = 1024 * 1024;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed raw bytes as they
+/// arrive; the parser buffers at most one request plus the byte caps
+/// and classifies every malformed input as a 4xx/5xx status instead
+/// of throwing. After Complete, leftover bytes (pipelined requests)
+/// carry over through resetForNext().
+class RequestParser {
+public:
+  explicit RequestParser(ParserLimits Limits = {}) : Limits(Limits) {}
+
+  enum class State { Incomplete, Complete, Failed };
+
+  /// Appends \p N bytes and advances the parse. Idempotent once
+  /// Complete or Failed (extra bytes are buffered / ignored).
+  State feed(const char *Data, size_t N);
+  State feed(std::string_view Data) { return feed(Data.data(), Data.size()); }
+
+  State state() const { return TheState; }
+
+  /// The HTTP status classifying the failure (400, 413, 431, 501,
+  /// 505); 0 while not Failed.
+  int errorStatus() const { return ErrorStatus; }
+  /// One-line description of what was wrong, for the error body.
+  const std::string &errorDetail() const { return ErrorDetail; }
+
+  /// True once the header block parsed cleanly (the request line and
+  /// headers of request() are then valid even while the body is still
+  /// streaming in) — the server uses this to answer
+  /// "Expect: 100-continue" before the body arrives.
+  bool headersComplete() const { return HeadersDone; }
+
+  /// The parsed request; fully valid when Complete.
+  const HttpRequest &request() const { return Request; }
+
+  /// Begins parsing the next request of a keep-alive connection,
+  /// retaining any already-received bytes beyond the completed
+  /// request.
+  void resetForNext();
+
+private:
+  State fail(int Status, std::string Detail);
+  State parseHeaders();
+  State parseBody();
+
+  ParserLimits Limits;
+  State TheState = State::Incomplete;
+  int ErrorStatus = 0;
+  std::string ErrorDetail;
+  bool HeadersDone = false;
+  size_t BodyLength = 0;
+  std::string Buffer;  ///< Unconsumed input bytes.
+  HttpRequest Request; ///< Filled as parsing progresses.
+};
+
+/// Incremental HTTP/1.1 *response* parser for the in-repo client
+/// (serve/Client.h) and the load generator. Same shape as
+/// RequestParser; responses it cannot understand fail with status 0.
+class ResponseParser {
+public:
+  explicit ResponseParser(ParserLimits Limits = {MaxResponseHeaderBytes,
+                                                 MaxResponseBodyBytes})
+      : Limits(Limits) {}
+
+  enum class State { Incomplete, Complete, Failed };
+
+  State feed(const char *Data, size_t N);
+  State state() const { return TheState; }
+  const std::string &errorDetail() const { return ErrorDetail; }
+
+  /// Parsed status code; valid when Complete.
+  int status() const { return Status; }
+  const std::vector<HttpHeader> &headers() const { return Headers; }
+  const std::string &body() const { return Body; }
+  const std::string *header(std::string_view Name) const;
+
+  void resetForNext();
+
+  /// Client-side caps are generous: analysis responses (explain
+  /// reports, batch results) can be large.
+  static constexpr size_t MaxResponseHeaderBytes = 64 * 1024;
+  static constexpr size_t MaxResponseBodyBytes = 64 * 1024 * 1024;
+
+private:
+  State fail(std::string Detail);
+
+  ParserLimits Limits;
+  State TheState = State::Incomplete;
+  std::string ErrorDetail;
+  bool HeadersDone = false;
+  size_t BodyLength = 0;
+  std::string Buffer;
+  int Status = 0;
+  std::vector<HttpHeader> Headers;
+  std::string Body;
+};
+
+} // namespace serve
+} // namespace pdt
+
+#endif // PDT_SERVE_HTTP_H

@@ -1,0 +1,408 @@
+//===- serve/Server.cpp - The depserved socket daemon -----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "support/Env.h"
+#include "support/EventLog.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace pdt;
+using namespace pdt::serve;
+
+//===----------------------------------------------------------------------===//
+// Socket helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sends every byte of \p Data (MSG_NOSIGNAL: a peer that closed
+/// mid-response must not SIGPIPE the daemon). False on any error.
+bool writeAll(int Fd, const std::string &Data) {
+  size_t Sent = 0;
+  while (Sent < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Sent, Data.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Configuration
+//===----------------------------------------------------------------------===//
+
+ServerConfig ServerConfig::fromEnvironment() {
+  ServerConfig C;
+  if (std::optional<int64_t> V = envInt("PDT_SERVE_PORT", 0, 65535))
+    C.Port = static_cast<uint16_t>(*V);
+  if (std::optional<int64_t> V = envInt("PDT_SERVE_THREADS", 1, 256))
+    C.Threads = static_cast<unsigned>(*V);
+  if (std::optional<int64_t> V = envInt("PDT_SERVE_QUEUE", 0, 65536))
+    C.QueueCapacity = static_cast<size_t>(*V);
+  if (std::optional<int64_t> V = envInt("PDT_SERVE_IDLE_MS", 10, 3600000))
+    C.IdleTimeoutMs = static_cast<uint64_t>(*V);
+  if (std::optional<int64_t> V =
+          envInt("PDT_SERVE_MAX_BODY", 1024, 1024 * 1024 * 1024))
+    C.MaxBodyBytes = static_cast<size_t>(*V);
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerConfig Config, Service &Svc)
+    : Config(Config), Svc(Svc) {}
+
+Server::~Server() {
+  requestDrain();
+  waitDrained();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  for (int Fd : {WakePipe[0], WakePipe[1]})
+    if (Fd >= 0)
+      ::close(Fd);
+}
+
+bool Server::start(std::string *Error) {
+  auto Fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why + ": " + std::strerror(errno);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+
+  if (::pipe(WakePipe) != 0)
+    return Fail("cannot create wake pipe");
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    return Fail("cannot create socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Config.Port);
+  Addr.sin_addr.s_addr =
+      Config.LoopbackOnly ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return Fail("cannot bind port " + std::to_string(Config.Port));
+  if (::listen(ListenFd, 128) != 0)
+    return Fail("cannot listen");
+
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+
+  Started.store(true, std::memory_order_release);
+  Workers.reserve(Config.Threads);
+  for (unsigned I = 0; I != Config.Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  {
+    // Admission counts idle workers, so don't start accepting until
+    // the whole pool has parked on the queue — otherwise the first
+    // connections race worker startup and bounce off a spurious 429.
+    std::unique_lock<std::mutex> Lock(QueueMutex);
+    QueueCV.wait(Lock, [this] { return IdleWorkers == Config.Threads; });
+  }
+  Acceptor = std::thread([this] { acceptLoop(); });
+
+  EventLog::event(EventSeverity::Info, "serve", "listening",
+                  "port " + std::to_string(BoundPort),
+                  {{"workers", Config.Threads},
+                   {"queue", Config.QueueCapacity}});
+  return true;
+}
+
+void Server::requestDrain() {
+  // Async-signal-safe: one atomic store and one pipe write.
+  DrainFlag.store(true, std::memory_order_relaxed);
+  if (WakePipe[1] >= 0) {
+    char Byte = 'd';
+    // A full pipe is fine — the acceptor only needs one byte ever.
+    [[maybe_unused]] ssize_t N = ::write(WakePipe[1], &Byte, 1);
+  }
+}
+
+void Server::waitDrained() {
+  if (!Started.load(std::memory_order_acquire))
+    return;
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats S;
+  S.Accepted = SAccepted.load(std::memory_order_relaxed);
+  S.Rejected429 = SRejected.load(std::memory_order_relaxed);
+  S.Requests = SRequests.load(std::memory_order_relaxed);
+  S.ParseFailures = SParseFailures.load(std::memory_order_relaxed);
+  S.IdleTimeouts = SIdleTimeouts.load(std::memory_order_relaxed);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Accept loop: admission control lives here
+//===----------------------------------------------------------------------===//
+
+void Server::acceptLoop() {
+  while (!DrainFlag.load(std::memory_order_relaxed)) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int Ready = ::poll(Fds, 2, -1);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (DrainFlag.load(std::memory_order_relaxed))
+      break;
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+
+    int Fd = ::accept4(ListenFd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (Fd < 0)
+      continue; // transient (ECONNABORTED, EMFILE, ...): keep serving
+
+    bool Admitted = false;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      // Admit while a worker is free or the bounded queue has room;
+      // beyond that, backpressure.
+      if (Queue.size() < Config.QueueCapacity + IdleWorkers) {
+        Queue.push_back(Fd);
+        Admitted = true;
+      }
+    }
+    if (Admitted) {
+      QueueCV.notify_one();
+      SAccepted.fetch_add(1, std::memory_order_relaxed);
+      Metrics::count(Metric::ServeConnections);
+      continue;
+    }
+
+    // Saturated: immediate 429 with a retry hint, then close. The
+    // response is canned and tiny, so the write cannot block long
+    // enough to matter.
+    SRejected.fetch_add(1, std::memory_order_relaxed);
+    Metrics::count(Metric::ServeRejected);
+    EventLog::event(EventSeverity::Warn, "serve", "saturated",
+                    "connection rejected with 429",
+                    {{"queue", Queue.size()}});
+    HttpResponse R = errorResponse(
+        429, "server saturated: all workers busy and the admission "
+             "queue is full");
+    R.Headers.push_back({"Retry-After", "1"});
+    R.CloseConnection = true;
+    writeAll(Fd, R.serialize());
+    ::close(Fd);
+  }
+
+  // Drain: stop accepting, then release the workers.
+  ::close(ListenFd);
+  ListenFd = -1;
+  EventLog::event(EventSeverity::Info, "serve", "drain-begin",
+                  "listener closed; serving admitted connections");
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    QueueClosed = true;
+  }
+  QueueCV.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop() {
+  for (;;) {
+    int Fd = -1;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      ++IdleWorkers;
+      QueueCV.notify_all(); // start() waits for the pool to park
+      QueueCV.wait(Lock, [this] { return !Queue.empty() || QueueClosed; });
+      --IdleWorkers;
+      if (Queue.empty())
+        return; // closed and drained
+      Fd = Queue.front();
+      Queue.pop_front();
+    }
+    serveConnection(Fd);
+    ::close(Fd);
+  }
+}
+
+void Server::serveConnection(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
+  RequestParser Parser({Config.MaxHeaderBytes, Config.MaxBodyBytes});
+  bool SentContinue = false;
+  size_t BytesThisRequest = 0;
+  int64_t IdleSince = nowMs();
+
+  for (;;) {
+    // Poll in short slices so a drain request interrupts an idle
+    // keep-alive wait within ~100 ms instead of a full idle timeout.
+    pollfd P{Fd, POLLIN, 0};
+    int64_t IdleBudget =
+        static_cast<int64_t>(Config.IdleTimeoutMs) - (nowMs() - IdleSince);
+    if (IdleBudget <= 0 ||
+        (DrainFlag.load(std::memory_order_relaxed) && BytesThisRequest == 0)) {
+      // Idle too long, or draining between requests: close. A
+      // mid-request stall gets an explicit 408 so the client knows.
+      if (BytesThisRequest != 0) {
+        SIdleTimeouts.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse R = errorResponse(408, "request incomplete after " +
+                                                std::to_string(
+                                                    Config.IdleTimeoutMs) +
+                                                " ms");
+        R.CloseConnection = true;
+        writeAll(Fd, R.serialize());
+      } else if (IdleBudget <= 0) {
+        SIdleTimeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    int Ready = ::poll(&P, 1, static_cast<int>(std::min<int64_t>(
+                               IdleBudget, 100)));
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (Ready == 0)
+      continue; // slice elapsed; re-check drain + idle budget
+    if (P.revents & (POLLERR | POLLNVAL))
+      return;
+
+    char Buffer[16 * 1024];
+    ssize_t N = ::recv(Fd, Buffer, sizeof(Buffer), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (N == 0)
+      return; // peer closed
+    BytesThisRequest += static_cast<size_t>(N);
+
+    RequestParser::State S = Parser.feed(Buffer, static_cast<size_t>(N));
+
+    if (S == RequestParser::State::Incomplete && Parser.headersComplete() &&
+        !SentContinue && Parser.request().expectsContinue()) {
+      // Interim response so curl-style clients transmit the body.
+      writeAll(Fd, "HTTP/1.1 100 Continue\r\n\r\n");
+      SentContinue = true;
+    }
+
+    if (S == RequestParser::State::Failed) {
+      SParseFailures.fetch_add(1, std::memory_order_relaxed);
+      SRequests.fetch_add(1, std::memory_order_relaxed);
+      Metrics::count(Metric::ServeRequests);
+      Metrics::count(Metric::ServeClientErrors);
+      EventLog::event(EventSeverity::Warn, "serve", "malformed-http",
+                      Parser.errorDetail(),
+                      {{"status", static_cast<uint64_t>(
+                                      Parser.errorStatus())}});
+      HttpResponse R =
+          errorResponse(Parser.errorStatus(), Parser.errorDetail());
+      R.CloseConnection = true;
+      writeAll(Fd, R.serialize());
+      return;
+    }
+
+    if (S != RequestParser::State::Complete)
+      continue;
+
+    // One complete request: route, time, respond.
+    int64_t T0 = Trace::nowNs();
+    HttpResponse R = Svc.handle(Parser.request());
+    Metrics::observe(Histo::ServeRequestNs,
+                     static_cast<uint64_t>(Trace::nowNs() - T0));
+    SRequests.fetch_add(1, std::memory_order_relaxed);
+    Metrics::count(Metric::ServeRequests);
+    if (R.Status >= 500)
+      Metrics::count(Metric::ServeServerErrors);
+    else if (R.Status >= 400)
+      Metrics::count(Metric::ServeClientErrors);
+
+    bool KeepAlive = Parser.request().wantsKeepAlive() &&
+                     !DrainFlag.load(std::memory_order_relaxed);
+    R.CloseConnection = !KeepAlive;
+    if (!writeAll(Fd, R.serialize()))
+      return;
+    if (!KeepAlive)
+      return;
+
+    Parser.resetForNext();
+    SentContinue = false;
+    BytesThisRequest = 0;
+    IdleSince = nowMs();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Signal handling
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<Server *> SignalTarget{nullptr};
+
+extern "C" void pdtServeSignalHandler(int) {
+  if (Server *S = SignalTarget.load(std::memory_order_relaxed))
+    S->requestDrain(); // one atomic store + one pipe write: signal-safe
+}
+} // namespace
+
+void Server::installSignalHandlers(Server *S) {
+  SignalTarget.store(S, std::memory_order_relaxed);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  if (S) {
+    SA.sa_handler = pdtServeSignalHandler;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = SA_RESTART;
+  } else {
+    SA.sa_handler = SIG_DFL;
+  }
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+}

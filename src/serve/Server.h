@@ -1,0 +1,157 @@
+//===- serve/Server.h - The depserved socket daemon -------------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived serving loop of depserved: a loopback (or any-
+/// interface) TCP listener, a bounded admission queue, and a fixed
+/// pool of connection workers, fronting serve::Service. The design is
+/// deliberately thread-per-connection over a bounded queue — on the
+/// target box request concurrency is small and the analysis itself is
+/// CPU-bound, so the interesting engineering is *admission control*,
+/// not epoll scalability:
+///
+///   * Admission control / backpressure: the accept loop admits a
+///     connection only while fewer than QueueCapacity connections are
+///     waiting for a worker; beyond that it answers a canned
+///     429 + Retry-After immediately and closes. Saturation is
+///     journaled (rate-limited) and counted (serve.rejected_429).
+///   * Keep-alive: a worker owns one connection at a time and serves
+///     requests off it until the client closes, the idle timeout
+///     expires, or the server drains. Idle connections therefore
+///     occupy workers — that is the documented saturation semantics
+///     (docs/SERVING.md §Saturation), not an accident.
+///   * Graceful drain: requestDrain() (SIGTERM/SIGINT via
+///     installSignalHandlers, which is async-signal-safe through a
+///     self-pipe) stops the accept loop, lets every already-admitted
+///     connection finish its current request, answers in-flight
+///     keep-alive requests with "Connection: close", and joins the
+///     workers. waitDrained() blocks until that completes.
+///   * Telemetry: every request is timed into the
+///     latency.serve_request_ns histogram, counted into the serve.*
+///     metrics, and notable incidents (saturation, malformed
+///     requests, drain begin/end) are journaled through the PR-8
+///     event journal; the sampler therefore picks up serving
+///     time-series for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SERVE_SERVER_H
+#define PDT_SERVE_SERVER_H
+
+#include "serve/Http.h"
+#include "serve/Service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pdt {
+namespace serve {
+
+/// Socket-layer configuration (the service-layer caps live in
+/// ServiceLimits).
+struct ServerConfig {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t Port = 8177;
+  /// Connection worker threads.
+  unsigned Threads = 4;
+  /// Admitted-but-unclaimed connection cap; beyond it new connections
+  /// get 429. 0 = reject whenever no worker is free.
+  size_t QueueCapacity = 64;
+  /// Keep-alive idle timeout; a connection with no request bytes for
+  /// this long is closed (mid-request timeouts answer 408).
+  uint64_t IdleTimeoutMs = 5000;
+  /// Request byte caps (ParserLimits). Bodies beyond MaxBodyBytes get
+  /// 413, header blocks beyond MaxHeaderBytes get 431.
+  size_t MaxBodyBytes = 1024 * 1024;
+  size_t MaxHeaderBytes = 16 * 1024;
+  /// Bind loopback only (the default) or all interfaces.
+  bool LoopbackOnly = true;
+
+  /// Applies PDT_SERVE_PORT / PDT_SERVE_THREADS / PDT_SERVE_QUEUE /
+  /// PDT_SERVE_IDLE_MS / PDT_SERVE_MAX_BODY on top of the defaults.
+  static ServerConfig fromEnvironment();
+};
+
+/// Socket-layer counters for reporting (service-level counters live
+/// in ServiceCounters).
+struct ServerStats {
+  uint64_t Accepted = 0;     ///< Connections admitted to the queue.
+  uint64_t Rejected429 = 0;  ///< Connections refused with 429.
+  uint64_t Requests = 0;     ///< Requests answered (any status).
+  uint64_t ParseFailures = 0; ///< Connections ended by a malformed request.
+  uint64_t IdleTimeouts = 0; ///< Connections reaped by the idle timeout.
+};
+
+class Server {
+public:
+  Server(ServerConfig Config, Service &Svc);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens, and spawns the accept loop + workers. False with
+  /// \p Error set when the socket cannot be bound.
+  bool start(std::string *Error = nullptr);
+
+  /// The bound port (the ephemeral one when Config.Port was 0).
+  uint16_t port() const { return BoundPort; }
+
+  /// Begins a graceful drain; safe from any thread and (via the
+  /// self-pipe) from signal handlers. Idempotent.
+  void requestDrain();
+
+  /// Blocks until the drain completes and every thread joined.
+  /// Returns immediately if start() was never called.
+  void waitDrained();
+
+  /// True once requestDrain() was called.
+  bool draining() const { return DrainFlag.load(std::memory_order_relaxed); }
+
+  ServerStats stats() const;
+
+  /// Routes SIGTERM and SIGINT to \p S->requestDrain() through a
+  /// self-pipe (async-signal-safe). Pass nullptr to restore the
+  /// default disposition. One server at a time.
+  static void installSignalHandlers(Server *S);
+
+private:
+  void acceptLoop();
+  void workerLoop();
+  void serveConnection(int Fd);
+
+  ServerConfig Config;
+  Service &Svc;
+  int ListenFd = -1;
+  int WakePipe[2] = {-1, -1};
+  uint16_t BoundPort = 0;
+  std::atomic<bool> DrainFlag{false};
+  std::atomic<bool> Started{false};
+
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<int> Queue; ///< Admitted connection fds.
+  bool QueueClosed = false;
+  size_t IdleWorkers = 0; ///< Workers waiting on the queue (for admission).
+
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+
+  std::atomic<uint64_t> SAccepted{0}, SRejected{0}, SRequests{0},
+      SParseFailures{0}, SIdleTimeouts{0};
+};
+
+} // namespace serve
+} // namespace pdt
+
+#endif // PDT_SERVE_SERVER_H

@@ -1,0 +1,147 @@
+//===- serve/Service.h - Request routing for depserved ----------*- C++ -*-===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The REST surface of depserved, separated from the socket layer so
+/// it is a pure, thread-safe function from HttpRequest to
+/// HttpResponse. Every endpoint, request/response schema, and status
+/// code here is documented in docs/SERVING.md — the serving tests
+/// cross-check the two, so keep them in lockstep.
+///
+/// Endpoints (the canonical list; serve::allEndpoints() mirrors it):
+///   GET  /healthz          liveness + drain state
+///   GET  /v1/version       build provenance
+///   GET  /v1/stats         server counters (pdt-serve-stats-v1)
+///   GET  /v1/corpus        built-in kernel listing
+///   POST /v1/analyze       analyze one kernel (pdt-serve-v1)
+///   POST /v1/batch         analyze many kernels (pdt-serve-batch-v1)
+///
+/// Every analysis request runs as a parse -> analyze JobGraph pipeline
+/// (support/JobGraph.h) on a per-request pool of JobThreads workers
+/// (default 1: serial, deterministic, and contention-free — request
+/// parallelism comes from the server's worker threads). Per-request
+/// resource budgets reuse AnalyzerOptions::Budget: the request may
+/// lower, but never raise, the server's deadline and pair caps.
+///
+/// Determinism contract: for a fixed service configuration, the
+/// response body for an analysis request is a pure function of the
+/// request bytes — no timestamps, no counters, no scheduling artifacts
+/// — so concurrent clients issuing the same request receive
+/// byte-identical payloads (the serving tests enforce this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PDT_SERVE_SERVICE_H
+#define PDT_SERVE_SERVICE_H
+
+#include "core/TestStats.h"
+#include "serve/Http.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pdt {
+namespace serve {
+
+/// Server-side caps a request cannot exceed. Zero means unlimited.
+struct ServiceLimits {
+  /// Default and maximum per-request wall-clock budget
+  /// (AnalyzerOptions::Budget.Deadline). A request's "budget_ms" is
+  /// clamped to this.
+  uint64_t DeadlineMs = 2000;
+  /// Default and maximum per-request pair cap
+  /// (AnalyzerOptions::Budget.MaxPairs).
+  uint64_t MaxPairs = 1000000;
+  /// Workers of the per-request parse->analyze job graph.
+  unsigned JobThreads = 1;
+  /// Kernels accepted in one /v1/batch request.
+  uint64_t MaxBatchKernels = 256;
+};
+
+/// Monotonic counters for /v1/stats. Mirrored into the Metrics
+/// registry (serve.*) by the socket layer; these exist so the
+/// endpoint works even when metrics are disarmed.
+struct ServiceCounters {
+  uint64_t Requests = 0;     ///< Requests routed (all endpoints).
+  uint64_t Ok = 0;           ///< 2xx responses.
+  uint64_t ClientErrors = 0; ///< 4xx responses.
+  uint64_t ServerErrors = 0; ///< 5xx responses.
+  uint64_t Analyses = 0;     ///< Kernels analyzed to completion.
+  uint64_t ParseFailures = 0; ///< Kernels rejected as unparseable (422).
+  uint64_t ReferencePairs = 0;
+  uint64_t IndependentPairs = 0;
+  uint64_t DegradedResults = 0;
+  uint64_t EdgesEmitted = 0;
+};
+
+class Service {
+public:
+  explicit Service(ServiceLimits Limits = {});
+
+  /// Routes one request. Thread-safe; any number of server workers
+  /// may call concurrently. Never throws: internal errors become 500
+  /// responses.
+  HttpResponse handle(const HttpRequest &Req);
+
+  /// While draining, analysis endpoints answer 503 (health stays 200
+  /// so orchestrators can watch the drain).
+  void setDraining(bool D) { Draining.store(D, std::memory_order_relaxed); }
+  bool draining() const { return Draining.load(std::memory_order_relaxed); }
+
+  const ServiceLimits &limits() const { return Limits; }
+  ServiceCounters counters() const;
+
+  /// Accumulated TestStats over every analysis served, for the
+  /// RunReport the daemon writes at exit.
+  TestStats accumulatedStats() const;
+
+  /// ServiceLimits from PDT_SERVE_DEADLINE_MS, PDT_SERVE_MAX_PAIRS,
+  /// and PDT_SERVE_JOB_THREADS (hardened parsing, documented
+  /// defaults).
+  static ServiceLimits limitsFromEnvironment();
+
+private:
+  struct Impl;
+  HttpResponse route(const HttpRequest &Req);
+
+  ServiceLimits Limits;
+  std::atomic<bool> Draining{false};
+  // Counter cells; plain relaxed increments (exact totals matter, order
+  // does not).
+  std::atomic<uint64_t> CRequests{0}, COk{0}, CClient{0}, CServer{0},
+      CAnalyses{0}, CParseFailures{0}, CRefPairs{0}, CIndependent{0},
+      CDegraded{0}, CEdges{0};
+  /// Guarded accumulated TestStats (merged per analysis).
+  struct StatsCell;
+  std::shared_ptr<StatsCell> Stats;
+};
+
+/// The uniform error body {"error":"<code>","detail":"<text>"} with
+/// the canonical code for \p Status, Content-Type set. Shared by the
+/// router and the socket layer so every failure path speaks the same
+/// schema.
+HttpResponse errorResponse(int Status, const std::string &Detail);
+
+/// The canonical endpoint table ("METHOD PATH" strings) — the serving
+/// tests assert docs/SERVING.md documents every entry.
+const std::vector<std::string> &allEndpoints();
+
+/// Every HTTP status depserved can emit — likewise cross-checked
+/// against docs/SERVING.md.
+const std::vector<int> &allStatusCodes();
+
+/// Every PDT_SERVE_* environment knob (serve layer only) — likewise
+/// cross-checked against docs/SERVING.md and the README env table.
+const std::vector<std::string> &allEnvKnobs();
+
+} // namespace serve
+} // namespace pdt
+
+#endif // PDT_SERVE_SERVICE_H

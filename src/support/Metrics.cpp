@@ -110,6 +110,18 @@ const char *pdt::metricName(Metric M) {
     return "monitor.events.suppressed";
   case Metric::SamplerSamples:
     return "monitor.sampler.samples";
+  case Metric::ServeConnections:
+    return "serve.connections";
+  case Metric::ServeRejected:
+    return "serve.rejected_429";
+  case Metric::ServeRequests:
+    return "serve.requests";
+  case Metric::ServeClientErrors:
+    return "serve.errors.client";
+  case Metric::ServeServerErrors:
+    return "serve.errors.server";
+  case Metric::ServeAnalyses:
+    return "serve.analyses";
   }
   pdt_unreachable("covered switch");
 }
@@ -134,6 +146,8 @@ const char *pdt::histoName(Histo H) {
     return "latency.fm_ns";
   case Histo::FuzzKernelNs:
     return "latency.fuzz_kernel_ns";
+  case Histo::ServeRequestNs:
+    return "latency.serve_request_ns";
   }
   pdt_unreachable("covered switch");
 }

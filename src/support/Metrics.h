@@ -84,8 +84,14 @@ enum class Metric : unsigned {
   EventsEmitted,       ///< Journal events written (all severities).
   EventsSuppressed,    ///< Journal events dropped by the rate limiter.
   SamplerSamples,      ///< Time-series samples taken.
+  ServeConnections,    ///< Connections admitted by depserved.
+  ServeRejected,       ///< Connections refused with 429 (saturation).
+  ServeRequests,       ///< HTTP requests answered (any status).
+  ServeClientErrors,   ///< 4xx responses (incl. malformed HTTP).
+  ServeServerErrors,   ///< 5xx responses.
+  ServeAnalyses,       ///< Kernels analyzed to completion while serving.
 };
-constexpr unsigned NumMetrics = 42;
+constexpr unsigned NumMetrics = 48;
 
 /// Gauges, merged by maximum.
 enum class Gauge : unsigned {
@@ -100,8 +106,9 @@ enum class Histo : unsigned {
   DeltaNs,       ///< One Delta-test run on a coupled group.
   FMNs,          ///< One Fourier-Motzkin feasibility decision.
   FuzzKernelNs,  ///< One generated kernel through all fuzz deciders.
+  ServeRequestNs, ///< One HTTP request through route + respond.
 };
-constexpr unsigned NumHistos = 4;
+constexpr unsigned NumHistos = 5;
 constexpr unsigned HistoBuckets = 32;
 
 /// Report-time name ("graph.pairs.tested", "pool.steals", ...).

@@ -1,0 +1,215 @@
+//===- tests/serve/HttpParserTest.cpp - Wire-layer robustness -------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The never-crash contract at the HTTP layer: every byte stream —
+// valid, truncated, malformed, oversized, or random — ends in
+// Incomplete, Complete, or a Failed state carrying a documented 4xx/5xx
+// status. Nothing throws, nothing grows without bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Http.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+using namespace pdt::serve;
+
+namespace {
+
+using State = RequestParser::State;
+
+State feedAll(RequestParser &P, const std::string &Bytes) {
+  return P.feed(Bytes.data(), Bytes.size());
+}
+
+TEST(HttpParser, SimpleGet) {
+  RequestParser P;
+  EXPECT_EQ(feedAll(P, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            State::Complete);
+  EXPECT_EQ(P.request().Method, "GET");
+  EXPECT_EQ(P.request().Target, "/healthz");
+  EXPECT_EQ(P.request().Version, "HTTP/1.1");
+  EXPECT_TRUE(P.request().Body.empty());
+  EXPECT_TRUE(P.request().wantsKeepAlive());
+}
+
+TEST(HttpParser, PostWithBody) {
+  RequestParser P;
+  EXPECT_EQ(feedAll(P, "POST /v1/analyze HTTP/1.1\r\nHost: x\r\n"
+                       "Content-Type: application/json\r\n"
+                       "Content-Length: 7\r\n\r\n{\"a\":1}"),
+            State::Complete);
+  EXPECT_EQ(P.request().Body, "{\"a\":1}");
+  const std::string *CT = P.request().header("content-type");
+  ASSERT_NE(CT, nullptr); // case-insensitive lookup
+  EXPECT_EQ(*CT, "application/json");
+}
+
+TEST(HttpParser, ByteAtATimeIsEquivalent) {
+  const std::string Wire = "POST /v1/analyze HTTP/1.0\r\n"
+                           "Connection: keep-alive\r\n"
+                           "Content-Length: 4\r\n\r\nabcd";
+  RequestParser Whole, Trickle;
+  EXPECT_EQ(feedAll(Whole, Wire), State::Complete);
+  for (char C : Wire)
+    Trickle.feed(&C, 1);
+  ASSERT_EQ(Trickle.state(), State::Complete);
+  EXPECT_EQ(Trickle.request().Method, Whole.request().Method);
+  EXPECT_EQ(Trickle.request().Body, Whole.request().Body);
+  EXPECT_TRUE(Trickle.request().wantsKeepAlive()); // 1.0 + explicit keep-alive
+}
+
+TEST(HttpParser, KeepAliveDefaults) {
+  RequestParser P10;
+  feedAll(P10, "GET / HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(P10.state(), State::Complete);
+  EXPECT_FALSE(P10.request().wantsKeepAlive()); // 1.0 defaults to close
+
+  RequestParser P11;
+  feedAll(P11, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_EQ(P11.state(), State::Complete);
+  EXPECT_FALSE(P11.request().wantsKeepAlive());
+}
+
+TEST(HttpParser, PipelinedRequestsCarryOver) {
+  RequestParser P;
+  EXPECT_EQ(feedAll(P, "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            State::Complete);
+  EXPECT_EQ(P.request().Target, "/a");
+  P.resetForNext();
+  ASSERT_EQ(P.state(), State::Complete); // second request already buffered
+  EXPECT_EQ(P.request().Target, "/b");
+}
+
+TEST(HttpParser, MalformedRequestLineIs400) {
+  for (const char *Wire :
+       {"GARBAGE\r\n\r\n", "GET\r\n\r\n", "GET  /two-spaces HTTP/1.1\r\n\r\n",
+        "GET /x\r\n\r\n", " GET /x HTTP/1.1\r\n\r\n",
+        "GET relative-target HTTP/1.1\r\n\r\n"}) {
+    RequestParser P;
+    EXPECT_EQ(feedAll(P, Wire), State::Failed) << Wire;
+    EXPECT_EQ(P.errorStatus(), 400) << Wire;
+    EXPECT_FALSE(P.errorDetail().empty());
+  }
+}
+
+TEST(HttpParser, UnsupportedVersionIs505) {
+  RequestParser P;
+  EXPECT_EQ(feedAll(P, "GET / HTTP/2.0\r\n\r\n"), State::Failed);
+  EXPECT_EQ(P.errorStatus(), 505);
+}
+
+TEST(HttpParser, TransferEncodingIs501) {
+  RequestParser P;
+  EXPECT_EQ(feedAll(P, "POST / HTTP/1.1\r\n"
+                       "Transfer-Encoding: chunked\r\n\r\n"),
+            State::Failed);
+  EXPECT_EQ(P.errorStatus(), 501);
+}
+
+TEST(HttpParser, ConflictingContentLengthIs400) {
+  RequestParser P;
+  EXPECT_EQ(feedAll(P, "POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+                       "Content-Length: 5\r\n\r\n"),
+            State::Failed);
+  EXPECT_EQ(P.errorStatus(), 400);
+
+  RequestParser P2;
+  EXPECT_EQ(feedAll(P2, "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+            State::Failed);
+  EXPECT_EQ(P2.errorStatus(), 400);
+}
+
+TEST(HttpParser, OversizedBodyIs413) {
+  RequestParser P({/*MaxHeaderBytes=*/16 * 1024, /*MaxBodyBytes=*/64});
+  EXPECT_EQ(feedAll(P, "POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n"),
+            State::Failed);
+  EXPECT_EQ(P.errorStatus(), 413); // rejected from the declaration alone
+}
+
+TEST(HttpParser, OversizedHeaderBlockIs431) {
+  RequestParser P({/*MaxHeaderBytes=*/256, /*MaxBodyBytes=*/1024});
+  std::string Wire = "GET / HTTP/1.1\r\n";
+  for (int I = 0; I < 64; ++I)
+    Wire += "X-Padding-" + std::to_string(I) + ": aaaaaaaaaaaaaaaa\r\n";
+  Wire += "\r\n";
+  EXPECT_EQ(feedAll(P, Wire), State::Failed);
+  EXPECT_EQ(P.errorStatus(), 431);
+}
+
+TEST(HttpParser, HeaderCapAppliesToUnterminatedStream) {
+  // A stream that never finishes its header block must trip the cap,
+  // not buffer forever.
+  RequestParser P({/*MaxHeaderBytes=*/256, /*MaxBodyBytes=*/1024});
+  std::string Chunk(64, 'a');
+  State S = State::Incomplete;
+  for (int I = 0; I < 32 && S == State::Incomplete; ++I)
+    S = P.feed(Chunk.data(), Chunk.size());
+  EXPECT_EQ(S, State::Failed);
+  EXPECT_EQ(P.errorStatus(), 431);
+}
+
+TEST(HttpParser, ExpectContinueDetected) {
+  RequestParser P;
+  EXPECT_EQ(feedAll(P, "POST / HTTP/1.1\r\nExpect: 100-continue\r\n"
+                       "Content-Length: 3\r\n\r\n"),
+            State::Incomplete);
+  EXPECT_TRUE(P.headersComplete());
+  EXPECT_TRUE(P.request().expectsContinue());
+  EXPECT_EQ(feedAll(P, "abc"), State::Complete);
+}
+
+TEST(HttpParser, RandomBytesNeverAbort) {
+  // Deterministic seed: a regression here must reproduce.
+  std::mt19937_64 R(20260808);
+  for (int Trial = 0; Trial != 512; ++Trial) {
+    RequestParser P({/*MaxHeaderBytes=*/512, /*MaxBodyBytes=*/512});
+    size_t Len = R() % 600;
+    std::string Bytes(Len, '\0');
+    for (char &C : Bytes)
+      C = static_cast<char>(R() & 0xff);
+    State S = feedAll(P, Bytes);
+    if (S == State::Failed) {
+      int St = P.errorStatus();
+      EXPECT_TRUE(St == 400 || St == 413 || St == 431 || St == 501 ||
+                  St == 505)
+          << St;
+    }
+  }
+}
+
+TEST(HttpResponseSerialize, RoundTripsThroughResponseParser) {
+  HttpResponse R;
+  R.Status = 429;
+  R.Headers.push_back({"Retry-After", "1"});
+  R.Headers.push_back({"Content-Type", "application/json"});
+  R.Body = "{\"error\":\"too-many-requests\"}";
+  R.CloseConnection = true;
+  std::string Wire = R.serialize();
+
+  ResponseParser P;
+  ASSERT_EQ(P.feed(Wire.data(), Wire.size()), ResponseParser::State::Complete);
+  EXPECT_EQ(P.status(), 429);
+  EXPECT_EQ(P.body(), R.Body);
+  ASSERT_NE(P.header("retry-after"), nullptr);
+  EXPECT_EQ(*P.header("retry-after"), "1");
+  ASSERT_NE(P.header("Connection"), nullptr);
+  EXPECT_EQ(*P.header("Connection"), "close");
+  ASSERT_NE(P.header("Content-Length"), nullptr);
+  EXPECT_EQ(*P.header("Content-Length"), std::to_string(R.Body.size()));
+}
+
+TEST(HttpResponseSerialize, EveryStatusHasAReason) {
+  for (int S : {100, 200, 400, 404, 405, 408, 413, 422, 429, 431, 500, 501,
+                503, 505})
+    EXPECT_STRNE(statusReason(S), "Unknown") << S;
+}
+
+} // namespace

@@ -1,0 +1,386 @@
+//===- tests/serve/ServiceTest.cpp - REST routing contract ----------------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The service layer without sockets: every endpoint, every error
+// classification, the server-side budget clamps, the determinism
+// contract, and the docs cross-check that keeps docs/SERVING.md in
+// lockstep with the canonical endpoint/status/knob tables.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Service.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pdt;
+using namespace pdt::serve;
+
+namespace {
+
+HttpRequest makeRequest(const std::string &Method, const std::string &Target,
+                        const std::string &Body = "") {
+  HttpRequest R;
+  R.Method = Method;
+  R.Target = Target;
+  R.Version = "HTTP/1.1";
+  if (!Body.empty())
+    R.Headers.push_back({"Content-Type", "application/json"});
+  R.Body = Body;
+  return R;
+}
+
+json::Value parsedBody(const HttpResponse &R) {
+  std::string Error;
+  std::optional<json::Value> V = json::parse(R.Body, &Error);
+  EXPECT_TRUE(V.has_value()) << Error << " in: " << R.Body;
+  return V ? *V : json::Value();
+}
+
+TEST(Service, HealthzReportsLivenessAndDrainState) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest("GET", "/healthz"));
+  EXPECT_EQ(R.Status, 200);
+  json::Value V = parsedBody(R);
+  EXPECT_EQ(V.stringAt("status").value_or(""), "ok");
+  EXPECT_EQ(V.boolAt("draining").value_or(true), false);
+
+  S.setDraining(true);
+  R = S.handle(makeRequest("GET", "/healthz"));
+  EXPECT_EQ(R.Status, 200); // health stays up through a drain
+  EXPECT_EQ(parsedBody(R).boolAt("draining").value_or(false), true);
+}
+
+TEST(Service, VersionCarriesBuildProvenance) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest("GET", "/v1/version"));
+  EXPECT_EQ(R.Status, 200);
+  json::Value V = parsedBody(R);
+  EXPECT_EQ(V.stringAt("schema").value_or(""), "pdt-serve-version-v1");
+  EXPECT_NE(V.find("build"), nullptr);
+}
+
+TEST(Service, CorpusListsBuiltInKernels) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest("GET", "/v1/corpus"));
+  EXPECT_EQ(R.Status, 200);
+  json::Value V = parsedBody(R);
+  EXPECT_EQ(V.stringAt("schema").value_or(""), "pdt-serve-corpus-v1");
+  const json::Value *Kernels = V.find("kernels");
+  ASSERT_NE(Kernels, nullptr);
+  ASSERT_TRUE(Kernels->isArray());
+  bool SawDaxpy = false;
+  for (const json::Value &K : Kernels->asArray())
+    SawDaxpy |= K.stringAt("name").value_or("") == "daxpy";
+  EXPECT_TRUE(SawDaxpy);
+}
+
+TEST(Service, UnknownPathIs404) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest("GET", "/nope"));
+  EXPECT_EQ(R.Status, 404);
+  EXPECT_EQ(parsedBody(R).stringAt("error").value_or(""), "not-found");
+}
+
+TEST(Service, WrongMethodIs405WithAllow) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest("POST", "/healthz", "{}"));
+  EXPECT_EQ(R.Status, 405);
+  bool SawAllow = false;
+  for (const HttpHeader &H : R.Headers)
+    if (headerNameEquals(H.Name, "Allow")) {
+      SawAllow = true;
+      EXPECT_EQ(H.Value, "GET");
+    }
+  EXPECT_TRUE(SawAllow);
+
+  R = S.handle(makeRequest("GET", "/v1/analyze"));
+  EXPECT_EQ(R.Status, 405);
+}
+
+TEST(Service, QueryStringsAreIgnoredForRouting) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest("GET", "/healthz?probe=1"));
+  EXPECT_EQ(R.Status, 200);
+}
+
+TEST(Service, MalformedJsonIs400) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest("POST", "/v1/analyze", "{nope"));
+  EXPECT_EQ(R.Status, 400);
+  EXPECT_EQ(parsedBody(R).stringAt("error").value_or(""), "bad-request");
+}
+
+TEST(Service, UnknownMembersAreRejected) {
+  // Strict parsing: a typo like "budgetms" must fail loudly, not be
+  // silently ignored.
+  Service S;
+  HttpResponse R = S.handle(makeRequest(
+      "POST", "/v1/analyze", "{\"corpus\":\"daxpy\",\"budgetms\":5}"));
+  EXPECT_EQ(R.Status, 400);
+  R = S.handle(makeRequest(
+      "POST", "/v1/analyze",
+      "{\"corpus\":\"daxpy\",\"options\":{\"budgetms\":5}}"));
+  EXPECT_EQ(R.Status, 400);
+}
+
+TEST(Service, SourceAndCorpusAreMutuallyExclusive) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest(
+      "POST", "/v1/analyze",
+      "{\"source\":\"do i = 1, n\\n  a(i) = 0\\nend do\","
+      "\"corpus\":\"daxpy\"}"));
+  EXPECT_EQ(R.Status, 400);
+  R = S.handle(makeRequest("POST", "/v1/analyze", "{}"));
+  EXPECT_EQ(R.Status, 400);
+}
+
+TEST(Service, UnknownCorpusKernelIs404) {
+  Service S;
+  HttpResponse R = S.handle(
+      makeRequest("POST", "/v1/analyze", "{\"corpus\":\"no-such-kernel\"}"));
+  EXPECT_EQ(R.Status, 404);
+  json::Value V = parsedBody(R);
+  EXPECT_EQ(V.stringAt("error").value_or(""), "not-found");
+  EXPECT_EQ(V.stringAt("name").value_or(""), "no-such-kernel");
+}
+
+TEST(Service, UnparseableKernelIs422WithDiagnostics) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest(
+      "POST", "/v1/analyze", "{\"source\":\"do i = 1 n ???\"}"));
+  EXPECT_EQ(R.Status, 422);
+  json::Value V = parsedBody(R);
+  EXPECT_EQ(V.stringAt("error").value_or(""), "unparseable-kernel");
+  const json::Value *Diags = V.find("diagnostics");
+  ASSERT_NE(Diags, nullptr);
+  ASSERT_TRUE(Diags->isArray());
+  EXPECT_FALSE(Diags->asArray().empty());
+}
+
+TEST(Service, AnalyzeSourceReportsFlowDependence) {
+  Service S;
+  HttpResponse R = S.handle(makeRequest(
+      "POST", "/v1/analyze",
+      "{\"source\":\"do i = 2, n\\n  a(i) = a(i-1) + b(i)\\nend do\"}"));
+  ASSERT_EQ(R.Status, 200);
+  json::Value V = parsedBody(R);
+  EXPECT_EQ(V.stringAt("schema").value_or(""), "pdt-serve-v1");
+  EXPECT_EQ(V.boolAt("parsed").value_or(false), true);
+  const json::Value *Edges = V.find("edges");
+  ASSERT_NE(Edges, nullptr);
+  ASSERT_FALSE(Edges->asArray().empty());
+  const json::Value &E = Edges->asArray()[0];
+  EXPECT_EQ(E.stringAt("kind").value_or(""), "flow");
+  EXPECT_EQ(E.stringAt("vector").value_or(""), "(1)");
+  EXPECT_EQ(E.stringAt("carrier").value_or(""), "i");
+  const json::Value *Loops = V.find("loops");
+  ASSERT_NE(Loops, nullptr);
+  ASSERT_FALSE(Loops->asArray().empty());
+  EXPECT_EQ(Loops->asArray()[0].boolAt("parallel").value_or(true), false);
+}
+
+TEST(Service, ExplainIsOptInAndIncluded) {
+  Service S;
+  HttpResponse Without =
+      S.handle(makeRequest("POST", "/v1/analyze", "{\"corpus\":\"daxpy\"}"));
+  ASSERT_EQ(Without.Status, 200);
+  EXPECT_EQ(parsedBody(Without).find("explain"), nullptr);
+
+  HttpResponse With = S.handle(makeRequest(
+      "POST", "/v1/analyze", "{\"corpus\":\"daxpy\",\"explain\":true}"));
+  ASSERT_EQ(With.Status, 200);
+  json::Value V = parsedBody(With);
+  const json::Value *Explain = V.find("explain");
+  ASSERT_NE(Explain, nullptr);
+  EXPECT_NE(Explain->asString().find("pair 1"), std::string::npos);
+}
+
+TEST(Service, SymbolRangesShapeTheVerdict) {
+  // n <= 3 makes a(i) and a(i+4) provably independent; unbounded n
+  // does not.
+  Service S;
+  const char *Source =
+      "\"source\":\"do i = 1, n\\n  a(i) = a(i+4) + 1\\nend do\"";
+  HttpResponse Bounded = S.handle(makeRequest(
+      "POST", "/v1/analyze",
+      std::string("{") + Source +
+          ",\"options\":{\"symbols\":{\"n\":[1,3]}}}"));
+  ASSERT_EQ(Bounded.Status, 200);
+  uint64_t Independent = parsedBody(Bounded)
+                             .find("stats")
+                             ->uintAt("proven_independent")
+                             .value_or(0);
+  EXPECT_GE(Independent, 1u);
+
+  HttpResponse Rejected = S.handle(makeRequest(
+      "POST", "/v1/analyze",
+      std::string("{") + Source +
+          ",\"options\":{\"symbols\":{\"n\":[5,3]}}}"));
+  EXPECT_EQ(Rejected.Status, 400); // empty range
+}
+
+TEST(Service, BatchPreservesOrderAndCaps) {
+  ServiceLimits Limits;
+  Limits.MaxBatchKernels = 2;
+  Service S(Limits);
+  HttpResponse R = S.handle(makeRequest(
+      "POST", "/v1/batch",
+      "{\"kernels\":[{\"corpus\":\"dscal\"},{\"corpus\":\"daxpy\"}]}"));
+  ASSERT_EQ(R.Status, 200);
+  json::Value V = parsedBody(R);
+  EXPECT_EQ(V.stringAt("schema").value_or(""), "pdt-serve-batch-v1");
+  const json::Value *Results = V.find("results");
+  ASSERT_NE(Results, nullptr);
+  ASSERT_EQ(Results->asArray().size(), 2u);
+  EXPECT_EQ(Results->asArray()[0].stringAt("name").value_or(""), "dscal");
+  EXPECT_EQ(Results->asArray()[1].stringAt("name").value_or(""), "daxpy");
+
+  R = S.handle(makeRequest(
+      "POST", "/v1/batch",
+      "{\"kernels\":[{\"corpus\":\"dscal\"},{\"corpus\":\"daxpy\"},"
+      "{\"corpus\":\"ddot\"}]}"));
+  EXPECT_EQ(R.Status, 400); // over the batch cap
+}
+
+TEST(Service, BatchMixesSuccessAndPerKernelFailure) {
+  // One bad kernel must not poison the batch: its slot carries the
+  // error, the others analyze normally.
+  Service S;
+  HttpResponse R = S.handle(makeRequest(
+      "POST", "/v1/batch",
+      "{\"kernels\":[{\"corpus\":\"daxpy\"},{\"corpus\":\"no-such\"}]}"));
+  ASSERT_EQ(R.Status, 200);
+  json::Value V = parsedBody(R);
+  const json::Value *Results = V.find("results");
+  ASSERT_NE(Results, nullptr);
+  ASSERT_EQ(Results->asArray().size(), 2u);
+  EXPECT_EQ(Results->asArray()[0].boolAt("parsed").value_or(false), true);
+  EXPECT_EQ(Results->asArray()[1].stringAt("error").value_or(""),
+            "not-found");
+}
+
+TEST(Service, DrainingAnswers503ForAnalysisOnly) {
+  Service S;
+  S.setDraining(true);
+  HttpResponse R =
+      S.handle(makeRequest("POST", "/v1/analyze", "{\"corpus\":\"daxpy\"}"));
+  EXPECT_EQ(R.Status, 503);
+  EXPECT_EQ(parsedBody(R).stringAt("error").value_or(""), "draining");
+  EXPECT_EQ(S.handle(makeRequest("GET", "/v1/stats")).Status, 200);
+}
+
+TEST(Service, ResponsesAreDeterministicAcrossThreads) {
+  // The concurrency contract: identical requests get byte-identical
+  // payloads no matter how many workers are routing.
+  Service S;
+  const std::string Body =
+      "{\"corpus\":\"dgefa_update\",\"explain\":true,"
+      "\"options\":{\"budget_ms\":2000}}";
+  HttpResponse Reference =
+      S.handle(makeRequest("POST", "/v1/analyze", Body));
+  ASSERT_EQ(Reference.Status, 200);
+
+  constexpr int NumThreads = 4, PerThread = 8;
+  std::vector<std::vector<std::string>> Bodies(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I != PerThread; ++I)
+        Bodies[T].push_back(
+            S.handle(makeRequest("POST", "/v1/analyze", Body)).Body);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (const std::vector<std::string> &PerThreadBodies : Bodies)
+    for (const std::string &B : PerThreadBodies)
+      EXPECT_EQ(B, Reference.Body);
+}
+
+TEST(Service, CountersAccumulate) {
+  Service S;
+  S.handle(makeRequest("GET", "/healthz"));
+  S.handle(makeRequest("POST", "/v1/analyze", "{\"corpus\":\"daxpy\"}"));
+  S.handle(makeRequest("POST", "/v1/analyze", "{nope"));
+  ServiceCounters C = S.counters();
+  EXPECT_EQ(C.Requests, 3u);
+  EXPECT_EQ(C.Ok, 2u);
+  EXPECT_EQ(C.ClientErrors, 1u);
+  EXPECT_EQ(C.Analyses, 1u);
+  EXPECT_GE(C.ReferencePairs, 1u);
+  EXPECT_GE(S.accumulatedStats().ReferencePairs, 1u);
+}
+
+TEST(Service, StatsEndpointMatchesCounters) {
+  Service S;
+  S.handle(makeRequest("POST", "/v1/analyze", "{\"corpus\":\"daxpy\"}"));
+  HttpResponse R = S.handle(makeRequest("GET", "/v1/stats"));
+  ASSERT_EQ(R.Status, 200);
+  json::Value V = parsedBody(R);
+  EXPECT_EQ(V.stringAt("schema").value_or(""), "pdt-serve-stats-v1");
+  const json::Value *Analysis = V.find("analysis");
+  ASSERT_NE(Analysis, nullptr);
+  EXPECT_EQ(Analysis->uintAt("analyses").value_or(0), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Docs cross-check: the canonical tables vs docs/SERVING.md
+//===----------------------------------------------------------------------===//
+
+std::string readRepoFile(const std::string &Relative) {
+  std::ifstream In(std::string(PDT_REPO_ROOT) + "/" + Relative);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+TEST(ServingDocs, EveryEndpointIsDocumented) {
+  std::string Doc = readRepoFile("docs/SERVING.md");
+  ASSERT_FALSE(Doc.empty()) << "docs/SERVING.md missing or unreadable";
+  for (const std::string &Endpoint : allEndpoints())
+    EXPECT_NE(Doc.find(Endpoint), std::string::npos)
+        << "undocumented endpoint: " << Endpoint;
+}
+
+TEST(ServingDocs, EveryStatusCodeIsDocumented) {
+  std::string Doc = readRepoFile("docs/SERVING.md");
+  ASSERT_FALSE(Doc.empty());
+  for (int Status : allStatusCodes()) {
+    std::string Needle = "`" + std::to_string(Status) + "`";
+    EXPECT_NE(Doc.find(Needle), std::string::npos)
+        << "undocumented status code: " << Status;
+  }
+}
+
+TEST(ServingDocs, EveryEnvKnobIsDocumentedAndInReadme) {
+  std::string Doc = readRepoFile("docs/SERVING.md");
+  std::string Readme = readRepoFile("README.md");
+  ASSERT_FALSE(Doc.empty());
+  ASSERT_FALSE(Readme.empty());
+  for (const std::string &Knob : allEnvKnobs()) {
+    EXPECT_NE(Doc.find(Knob), std::string::npos)
+        << "knob missing from docs/SERVING.md: " << Knob;
+    EXPECT_NE(Readme.find(Knob), std::string::npos)
+        << "knob missing from README.md env table: " << Knob;
+  }
+}
+
+TEST(ServingDocs, OperationsRunbookCoversServing) {
+  std::string Doc = readRepoFile("docs/OPERATIONS.md");
+  ASSERT_FALSE(Doc.empty()) << "docs/OPERATIONS.md missing or unreadable";
+  for (const char *Needle : {"depserved", "SIGTERM", "429", "drain"})
+    EXPECT_NE(Doc.find(Needle), std::string::npos)
+        << "runbook missing: " << Needle;
+}
+
+} // namespace
