@@ -10,10 +10,20 @@
 // monitor subsystem writes, without rerunning anything.
 //
 //   depmon events <journal.jsonl> [--sev info|warn|error] [--layer L]
-//          [--what W] [--since MS] [--until MS] [--limit N]
+//          [--what W] [--req ID] [--since MS] [--until MS] [--limit N]
 //     Prints the event journal (support/EventLog.h, pdt-events-v1)
-//     filtered by severity, layer, what-tag, and a [since, until)
-//     t_ms window; ends with per-severity totals.
+//     filtered by severity, layer, what-tag, request ID, and a
+//     [since, until) t_ms window; ends with per-severity totals. Each
+//     line shows the journal's per-process "seq" so interleaved
+//     journals from one process can be totally ordered.
+//
+//   depmon access <access.jsonl> [--route R] [--status N] [--id ID]
+//          [--since MS] [--until MS] [--sort time|wall|queue|analyze|bytes]
+//          [--limit N]
+//     Prints the serving access log (serve/AccessLog.h,
+//     pdt-access-v1) filtered by route, status, request ID, and time
+//     window, sorted by the chosen column; ends with status totals
+//     and wall-time percentiles (p50/p90/p99/max) over the selection.
 //
 //   depmon stalls <journal.jsonl>
 //     Summarizes watchdog stall verdicts and flight-recorder
@@ -61,14 +71,17 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s events <journal.jsonl> [--sev info|warn|error]\n"
-      "              [--layer L] [--what W] [--since MS] [--until MS]"
-      " [--limit N]\n"
+      "              [--layer L] [--what W] [--req ID] [--since MS]"
+      " [--until MS] [--limit N]\n"
+      "       %s access <access.jsonl> [--route R] [--status N] [--id ID]\n"
+      "              [--since MS] [--until MS]"
+      " [--sort time|wall|queue|analyze|bytes] [--limit N]\n"
       "       %s stalls <journal.jsonl>\n"
       "       %s series <timeseries.jsonl> [--key NAME] [--since MS]"
       " [--until MS]\n"
       "       %s flight <dump.json> [--top K]\n"
       "       %s --version\n",
-      Argv0, Argv0, Argv0, Argv0, Argv0);
+      Argv0, Argv0, Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -142,7 +155,7 @@ void printFields(const json::Value &Event) {
 
 int cmdEvents(int argc, char **argv) {
   const char *Path = nullptr;
-  std::string Sev, Layer, What;
+  std::string Sev, Layer, What, Req;
   Window W;
   uint64_t Limit = ~static_cast<uint64_t>(0);
   for (int I = 0; I != argc; ++I) {
@@ -152,6 +165,8 @@ int cmdEvents(int argc, char **argv) {
       Layer = argv[++I];
     else if (!std::strcmp(argv[I], "--what") && I + 1 < argc)
       What = argv[++I];
+    else if (!std::strcmp(argv[I], "--req") && I + 1 < argc)
+      Req = argv[++I];
     else if (!std::strcmp(argv[I], "--since"))
       W.SinceMs = numArg(I, argc, argv);
     else if (!std::strcmp(argv[I], "--until"))
@@ -181,17 +196,23 @@ int cmdEvents(int argc, char **argv) {
       continue;
     if (!What.empty() && E.stringAt("what").value_or("") != What)
       continue;
+    if (!Req.empty() && E.stringAt("req").value_or("") != Req)
+      continue;
     Info += ESev == "info";
     Warn += ESev == "warn";
     Error += ESev == "error";
     Suppressed += E.uintAt("suppressed").value_or(0);
     if (Printed++ >= Limit)
       continue;
-    std::printf("%8llu ms  %-5s %-8s %-16s %s",
-                static_cast<unsigned long long>(TMs), ESev.c_str(),
-                E.stringAt("layer").value_or("?").c_str(),
-                E.stringAt("what").value_or("?").c_str(),
-                E.stringAt("detail").value_or("").c_str());
+    std::printf("%8llu ms #%-6llu %-5s %-8s %-16s",
+                static_cast<unsigned long long>(TMs),
+                static_cast<unsigned long long>(
+                    E.uintAt("seq").value_or(0)),
+                ESev.c_str(), E.stringAt("layer").value_or("?").c_str(),
+                E.stringAt("what").value_or("?").c_str());
+    if (std::optional<std::string> EventReq = E.stringAt("req"))
+      std::printf(" [req %s]", EventReq->c_str());
+    std::printf(" %s", E.stringAt("detail").value_or("").c_str());
     printFields(E);
     if (uint64_t S = E.uintAt("suppressed").value_or(0))
       std::printf(" (+%llu suppressed)", static_cast<unsigned long long>(S));
@@ -208,6 +229,139 @@ int cmdEvents(int argc, char **argv) {
               static_cast<unsigned long long>(Error),
               static_cast<unsigned long long>(Suppressed),
               Journal->Malformed ? " (journal has malformed lines)" : "");
+  return 0;
+}
+
+/// Nearest-rank percentile over a sorted sample vector (0 for empty).
+uint64_t percentile(const std::vector<uint64_t> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  size_t Rank = static_cast<size_t>(Q * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Rank, Sorted.size() - 1)];
+}
+
+int cmdAccess(int argc, char **argv) {
+  const char *Path = nullptr;
+  std::string Route, Id, SortKey = "time";
+  std::optional<uint64_t> Status;
+  Window W;
+  uint64_t Limit = ~static_cast<uint64_t>(0);
+  for (int I = 0; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--route") && I + 1 < argc)
+      Route = argv[++I];
+    else if (!std::strcmp(argv[I], "--id") && I + 1 < argc)
+      Id = argv[++I];
+    else if (!std::strcmp(argv[I], "--status"))
+      Status = numArg(I, argc, argv);
+    else if (!std::strcmp(argv[I], "--sort") && I + 1 < argc)
+      SortKey = argv[++I];
+    else if (!std::strcmp(argv[I], "--since"))
+      W.SinceMs = numArg(I, argc, argv);
+    else if (!std::strcmp(argv[I], "--until"))
+      W.UntilMs = numArg(I, argc, argv);
+    else if (!std::strcmp(argv[I], "--limit"))
+      Limit = numArg(I, argc, argv);
+    else if (!Path)
+      Path = argv[I];
+    else
+      return usage("depmon");
+  }
+  if (!Path)
+    return usage("depmon");
+  if (SortKey != "time" && SortKey != "wall" && SortKey != "queue" &&
+      SortKey != "analyze" && SortKey != "bytes") {
+    std::fprintf(stderr, "depmon: unknown --sort key \"%s\"\n",
+                 SortKey.c_str());
+    return 2;
+  }
+  std::optional<JsonlFile> Log = loadJsonl(Path, "pdt-access-v1");
+  if (!Log)
+    return 2;
+
+  // Select, then sort by the chosen column (descending for the cost
+  // columns: the expensive requests are what the operator is after).
+  std::vector<const json::Value *> Selected;
+  for (const json::Value &L : Log->Lines) {
+    if (!W.contains(L.uintAt("t_ms").value_or(0)))
+      continue;
+    if (!Route.empty() && L.stringAt("route").value_or("") != Route)
+      continue;
+    if (!Id.empty() && L.stringAt("id").value_or("") != Id)
+      continue;
+    if (Status && L.uintAt("status").value_or(0) != *Status)
+      continue;
+    Selected.push_back(&L);
+  }
+  auto SortColumn = [&](const json::Value *L) -> uint64_t {
+    if (SortKey == "wall")
+      return L->uintAt("wall_ns").value_or(0);
+    if (SortKey == "queue")
+      return L->uintAt("queue_ns").value_or(0);
+    if (SortKey == "analyze")
+      return L->uintAt("analyze_ns").value_or(0);
+    return L->uintAt("bytes_in").value_or(0) +
+           L->uintAt("bytes_out").value_or(0);
+  };
+  if (SortKey != "time")
+    std::stable_sort(Selected.begin(), Selected.end(),
+                     [&](const json::Value *A, const json::Value *B) {
+                       return SortColumn(A) > SortColumn(B);
+                     });
+
+  uint64_t Printed = 0, TotalBytesIn = 0, TotalBytesOut = 0, Analyses = 0;
+  std::map<uint64_t, uint64_t> ByStatus;
+  std::vector<uint64_t> WallNs;
+  for (const json::Value *L : Selected) {
+    uint64_t Wall = L->uintAt("wall_ns").value_or(0);
+    WallNs.push_back(Wall);
+    ++ByStatus[L->uintAt("status").value_or(0)];
+    TotalBytesIn += L->uintAt("bytes_in").value_or(0);
+    TotalBytesOut += L->uintAt("bytes_out").value_or(0);
+    Analyses += L->uintAt("analyses").value_or(0);
+    if (Printed++ >= Limit)
+      continue;
+    uint64_t Pairs = 0, Degraded = 0;
+    if (const json::Value *Stats = L->find("stats")) {
+      Pairs = Stats->uintAt("reference_pairs").value_or(0);
+      Degraded = Stats->uintAt("degraded").value_or(0);
+    }
+    std::printf("%8llu ms  %3llu %-20s %-24s %9.3f ms wall"
+                " %9.3f ms queue %9.3f ms analyze %6llu pair(s)",
+                static_cast<unsigned long long>(
+                    L->uintAt("t_ms").value_or(0)),
+                static_cast<unsigned long long>(
+                    L->uintAt("status").value_or(0)),
+                L->stringAt("route").value_or("-").c_str(),
+                L->stringAt("id").value_or("?").c_str(), Wall / 1e6,
+                L->uintAt("queue_ns").value_or(0) / 1e6,
+                L->uintAt("analyze_ns").value_or(0) / 1e6,
+                static_cast<unsigned long long>(Pairs));
+    if (Degraded)
+      std::printf(" (%llu degraded)",
+                  static_cast<unsigned long long>(Degraded));
+    std::printf("\n");
+  }
+  if (Printed > Limit)
+    std::printf("... %llu more (raise --limit)\n",
+                static_cast<unsigned long long>(Printed - Limit));
+
+  std::sort(WallNs.begin(), WallNs.end());
+  std::printf("%llu request(s), %llu analyses, %llu bytes in, "
+              "%llu bytes out%s\n",
+              static_cast<unsigned long long>(Selected.size()),
+              static_cast<unsigned long long>(Analyses),
+              static_cast<unsigned long long>(TotalBytesIn),
+              static_cast<unsigned long long>(TotalBytesOut),
+              Log->Malformed ? " (log has malformed lines)" : "");
+  for (const auto &[S, N] : ByStatus)
+    std::printf("  status %3llu  %llu\n", static_cast<unsigned long long>(S),
+                static_cast<unsigned long long>(N));
+  if (!WallNs.empty())
+    std::printf("  wall p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, "
+                "max %.3f ms\n",
+                percentile(WallNs, 0.50) / 1e6,
+                percentile(WallNs, 0.90) / 1e6,
+                percentile(WallNs, 0.99) / 1e6, WallNs.back() / 1e6);
   return 0;
 }
 
@@ -452,6 +606,8 @@ int main(int argc, char **argv) {
   }
   if (!std::strcmp(argv[1], "events"))
     return cmdEvents(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "access"))
+    return cmdAccess(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "stalls"))
     return cmdStalls(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "series"))

@@ -12,6 +12,7 @@
 //   depserved [--port N] [--threads N] [--queue N] [--idle-ms N]
 //             [--max-body BYTES] [--deadline-ms N] [--max-pairs N]
 //             [--job-threads N] [--any-interface] [--report FILE]
+//             [--access-log FILE]
 //   depserved --version
 //
 // Defaults come from the PDT_SERVE_* environment knobs (see
@@ -32,6 +33,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "serve/AccessLog.h"
 #include "serve/Server.h"
 #include "serve/Service.h"
 #include "support/BuildInfo.h"
@@ -54,6 +56,7 @@ int usage(const char *Argv0) {
       "usage: %s [--port N] [--threads N] [--queue N] [--idle-ms N]\n"
       "          [--max-body BYTES] [--deadline-ms N] [--max-pairs N]\n"
       "          [--job-threads N] [--any-interface] [--report FILE]\n"
+      "          [--access-log FILE]\n"
       "       %s --version\n"
       "\n"
       "Dependence analysis as a service; see docs/SERVING.md.\n"
@@ -80,6 +83,7 @@ int main(int Argc, char **Argv) {
   ServerConfig Config = ServerConfig::fromEnvironment();
   ServiceLimits Limits = Service::limitsFromEnvironment();
   std::string ReportPath;
+  std::string AccessLogPath;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -132,6 +136,14 @@ int main(int Argc, char **Argv) {
       if (!V)
         return usage(Argv[0]);
       ReportPath = V;
+    } else if (!std::strcmp(Arg, "--access-log")) {
+      // Flag parity with PDT_ACCESS_LOG (a flag always wins: the env
+      // path was already armed by the static initializer, so this
+      // restarts the log at the flag's path).
+      const char *V = Value();
+      if (!V)
+        return usage(Argv[0]);
+      AccessLogPath = V;
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", Argv[0], Arg);
       return usage(Argv[0]);
@@ -143,6 +155,12 @@ int main(int Argc, char **Argv) {
   // real counters and latency quantiles.
   if (!Metrics::enabled())
     Metrics::enable();
+
+  if (!AccessLogPath.empty() && !AccessLog::start(AccessLogPath)) {
+    std::fprintf(stderr, "depserved: cannot open access log %s\n",
+                 AccessLogPath.c_str());
+    return 1;
+  }
 
   Service Svc(Limits);
   Server Daemon(Config, Svc);
@@ -184,6 +202,10 @@ int main(int Argc, char **Argv) {
   RunReport::noteWorkload("serve.requests", SS.Requests);
   RunReport::noteWorkload("serve.rejected_429", SS.Rejected429);
   RunReport::noteWorkload("serve.analyses", SC.Analyses);
+  if (AccessLog::enabled()) {
+    RunReport::noteWorkload("serve.access_lines", AccessLog::linesWritten());
+    AccessLog::stop();
+  }
   RunReport::noteStats(Svc.accumulatedStats());
   if (!ReportPath.empty() && !RunReport::writeTo(ReportPath)) {
     std::fprintf(stderr, "depserved: cannot write report to %s\n",

@@ -38,6 +38,7 @@ void Client::close() {
 
 bool Client::connectTo(uint16_t Port, std::string *Error) {
   close();
+  LastRequestId.clear(); // a fresh connection owes nothing to the old one
   Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (Fd < 0) {
     if (Error)
@@ -86,6 +87,14 @@ bool Client::sendRaw(const std::string &Bytes, std::string *Error) {
 }
 
 bool Client::readResponse(ClientResponse &Out, std::string *Error) {
+  // Socket-level failures name the last identified response on this
+  // connection — the server's access log can then be searched from
+  // that ID forward.
+  auto WithLastId = [this](std::string Detail) {
+    if (!LastRequestId.empty())
+      Detail += " (last request id: " + LastRequestId + ")";
+    return Detail;
+  };
   if (Fd < 0) {
     if (Error)
       *Error = "not connected";
@@ -98,19 +107,19 @@ bool Client::readResponse(ClientResponse &Out, std::string *Error) {
       if (errno == EINTR)
         continue;
       if (Error)
-        *Error = std::string("recv: ") + std::strerror(errno);
+        *Error = WithLastId(std::string("recv: ") + std::strerror(errno));
       return false;
     }
     if (N == 0) {
       if (Error)
-        *Error = "connection closed before a complete response";
+        *Error = WithLastId("connection closed before a complete response");
       close();
       return false;
     }
     ResponseParser::State S = Parser.feed(Buffer, static_cast<size_t>(N));
     if (S == ResponseParser::State::Failed) {
       if (Error)
-        *Error = "bad response: " + Parser.errorDetail();
+        *Error = WithLastId("bad response: " + Parser.errorDetail());
       close();
       return false;
     }
@@ -119,6 +128,11 @@ bool Client::readResponse(ClientResponse &Out, std::string *Error) {
     Out.Status = Parser.status();
     Out.Headers = Parser.headers();
     Out.Body = Parser.body();
+    Out.RequestId.clear();
+    if (const std::string *Id = Out.header("X-PDT-Request-Id")) {
+      Out.RequestId = *Id;
+      LastRequestId = *Id;
+    }
     // Honor the server's close decision so the next request
     // reconnects instead of writing into a dead socket.
     bool ServerCloses = false;

@@ -34,6 +34,10 @@ struct ClientResponse {
   int Status = 0;
   std::vector<HttpHeader> Headers;
   std::string Body;
+  /// The server's X-PDT-Request-Id echo (empty when the server did not
+  /// send one) — the join key into access lines, journal events, and
+  /// flight dumps.
+  std::string RequestId;
 
   /// First header value with \p Name (case-insensitive); nullptr when
   /// absent.
@@ -81,10 +85,17 @@ public:
   /// Blocks for one complete response off the wire.
   bool readResponse(ClientResponse &Out, std::string *Error = nullptr);
 
+  /// The X-PDT-Request-Id of the most recent complete response on this
+  /// connection (empty before one arrives). Socket-level failure
+  /// strings carry it as "(last request id: ...)" so a bug report
+  /// names the request that preceded the breakage.
+  const std::string &lastRequestId() const { return LastRequestId; }
+
 private:
   int Fd = -1;
   unsigned TimeoutSeconds = 10;
   ResponseParser Parser;
+  std::string LastRequestId;
 };
 
 } // namespace serve

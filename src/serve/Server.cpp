@@ -7,9 +7,11 @@
 
 #include "serve/Server.h"
 
+#include "serve/AccessLog.h"
 #include "support/Env.h"
 #include "support/EventLog.h"
 #include "support/Metrics.h"
+#include "support/RequestContext.h"
 #include "support/Trace.h"
 
 #include <arpa/inet.h>
@@ -53,6 +55,25 @@ int64_t nowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Writes the access line for a request the service never saw (accept-
+/// time 429, malformed HTTP, mid-request 408) — the socket layer owns
+/// these so the "one line per answered request" contract holds end to
+/// end.
+void appendSocketAccessLine(const std::string &Id, int Status,
+                            uint64_t BytesIn, uint64_t BytesOut,
+                            uint64_t QueueNs) {
+  if (!AccessLog::enabled())
+    return;
+  AccessRecord A;
+  A.Id = Id;
+  A.Route = "-"; // no request line was (fully) parsed
+  A.Status = Status;
+  A.BytesIn = BytesIn;
+  A.BytesOut = BytesOut;
+  A.QueueNs = QueueNs;
+  AccessLog::append(A);
 }
 
 } // namespace
@@ -206,32 +227,42 @@ void Server::acceptLoop() {
       // Admit while a worker is free or the bounded queue has room;
       // beyond that, backpressure.
       if (Queue.size() < Config.QueueCapacity + IdleWorkers) {
-        Queue.push_back(Fd);
+        Queue.push_back({Fd, Trace::nowNs()});
         Admitted = true;
       }
     }
     if (Admitted) {
-      QueueCV.notify_one();
+      // Count before waking a worker: on a single-CPU box the woken
+      // worker preempts this thread immediately and can serve the
+      // whole connection (and have its stats read) before control
+      // returns here.
       SAccepted.fetch_add(1, std::memory_order_relaxed);
       Metrics::count(Metric::ServeConnections);
+      QueueCV.notify_one();
       continue;
     }
 
     // Saturated: immediate 429 with a retry hint, then close. The
     // response is canned and tiny, so the write cannot block long
-    // enough to matter.
+    // enough to matter. The rejection still gets an identity and an
+    // access line: under saturation is exactly when accounting for
+    // every request matters.
     SRejected.fetch_add(1, std::memory_order_relaxed);
     Metrics::count(Metric::ServeRejected);
     EventLog::event(EventSeverity::Warn, "serve", "saturated",
                     "connection rejected with 429",
                     {{"queue", Queue.size()}});
+    std::string Id = RequestContext::mint(RequestContext::nextSequence());
+    RequestContext::Scope Ctx(RequestContext::intern(Id));
     HttpResponse R = errorResponse(
         429, "server saturated: all workers busy and the admission "
              "queue is full");
+    R.Headers.push_back({"X-PDT-Request-Id", Id});
     R.Headers.push_back({"Retry-After", "1"});
     R.CloseConnection = true;
     writeAll(Fd, R.serialize());
     ::close(Fd);
+    appendSocketAccessLine(Id, 429, 0, R.Body.size(), 0);
   }
 
   // Drain: stop accepting, then release the workers.
@@ -252,7 +283,7 @@ void Server::acceptLoop() {
 
 void Server::workerLoop() {
   for (;;) {
-    int Fd = -1;
+    QueuedConn Conn{-1, 0};
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
       ++IdleWorkers;
@@ -261,11 +292,15 @@ void Server::workerLoop() {
       --IdleWorkers;
       if (Queue.empty())
         return; // closed and drained
-      Fd = Queue.front();
+      Conn = Queue.front();
       Queue.pop_front();
     }
-    serveConnection(Fd);
-    ::close(Fd);
+    // Hand the admission-queue wait to the service: its first access
+    // line for this connection carries it as queue_ns.
+    AccessLog::noteQueueNs(
+        static_cast<uint64_t>(Trace::nowNs() - Conn.EnqueuedNs));
+    serveConnection(Conn.Fd);
+    ::close(Conn.Fd);
   }
 }
 
@@ -290,12 +325,17 @@ void Server::serveConnection(int Fd) {
       // mid-request stall gets an explicit 408 so the client knows.
       if (BytesThisRequest != 0) {
         SIdleTimeouts.fetch_add(1, std::memory_order_relaxed);
+        std::string Id = RequestContext::mint(RequestContext::nextSequence());
+        RequestContext::Scope Ctx(RequestContext::intern(Id));
         HttpResponse R = errorResponse(408, "request incomplete after " +
                                                 std::to_string(
                                                     Config.IdleTimeoutMs) +
                                                 " ms");
+        R.Headers.push_back({"X-PDT-Request-Id", Id});
         R.CloseConnection = true;
         writeAll(Fd, R.serialize());
+        appendSocketAccessLine(Id, 408, BytesThisRequest, R.Body.size(),
+                               AccessLog::takeQueueNs());
       } else if (IdleBudget <= 0) {
         SIdleTimeouts.fetch_add(1, std::memory_order_relaxed);
       }
@@ -342,10 +382,17 @@ void Server::serveConnection(int Fd) {
                       Parser.errorDetail(),
                       {{"status", static_cast<uint64_t>(
                                       Parser.errorStatus())}});
+      // A malformed request never reaches the service, but it was
+      // still answered: mint it an identity and an access line here.
+      std::string Id = RequestContext::mint(RequestContext::nextSequence());
+      RequestContext::Scope Ctx(RequestContext::intern(Id));
       HttpResponse R =
           errorResponse(Parser.errorStatus(), Parser.errorDetail());
+      R.Headers.push_back({"X-PDT-Request-Id", Id});
       R.CloseConnection = true;
       writeAll(Fd, R.serialize());
+      appendSocketAccessLine(Id, R.Status, BytesThisRequest, R.Body.size(),
+                             AccessLog::takeQueueNs());
       return;
     }
 

@@ -35,7 +35,13 @@
 ///     metrics, and notable incidents (saturation, malformed
 ///     requests, drain begin/end) are journaled through the PR-8
 ///     event journal; the sampler therefore picks up serving
-///     time-series for free.
+///     time-series for free. With PDT_ACCESS_LOG armed, every
+///     answered request — including accept-time 429s, malformed-HTTP
+///     rejections, and mid-request 408s, which never reach the
+///     service — gets exactly one pdt-access-v1 line keyed by its
+///     X-PDT-Request-Id (minted here for the paths the router never
+///     sees), with the admission-queue wait handed to the router via
+///     AccessLog::noteQueueNs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -126,6 +132,14 @@ public:
   static void installSignalHandlers(Server *S);
 
 private:
+  /// One admitted connection waiting for a worker: the fd plus when it
+  /// was enqueued, so the claiming worker can report the admission-
+  /// queue wait on the connection's first access line.
+  struct QueuedConn {
+    int Fd;
+    int64_t EnqueuedNs;
+  };
+
   void acceptLoop();
   void workerLoop();
   void serveConnection(int Fd);
@@ -140,7 +154,7 @@ private:
 
   std::mutex QueueMutex;
   std::condition_variable QueueCV;
-  std::deque<int> Queue; ///< Admitted connection fds.
+  std::deque<QueuedConn> Queue; ///< Admitted connections.
   bool QueueClosed = false;
   size_t IdleWorkers = 0; ///< Workers waiting on the queue (for admission).
 

@@ -12,13 +12,17 @@
 #include "ir/PrettyPrinter.h"
 #include "core/Explain.h"
 #include "parser/Parser.h"
+#include "serve/AccessLog.h"
 #include "support/BuildInfo.h"
 #include "support/Env.h"
 #include "support/EventLog.h"
+#include "support/FlightRecorder.h"
 #include "support/JobGraph.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
+#include "support/RequestContext.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <deque>
@@ -33,8 +37,11 @@ using namespace pdt::serve;
 
 const std::vector<std::string> &pdt::serve::allEndpoints() {
   static const std::vector<std::string> Endpoints = {
-      "GET /healthz",    "GET /v1/version", "GET /v1/stats",
-      "GET /v1/corpus",  "POST /v1/analyze", "POST /v1/batch",
+      "GET /healthz",          "GET /v1/version",
+      "GET /v1/stats",         "GET /v1/corpus",
+      "GET /v1/metricz",       "GET /v1/debug/flight",
+      "GET /v1/debug/requests", "POST /v1/analyze",
+      "POST /v1/batch",
   };
   return Endpoints;
 }
@@ -49,7 +56,7 @@ const std::vector<std::string> &pdt::serve::allEnvKnobs() {
   static const std::vector<std::string> Knobs = {
       "PDT_SERVE_PORT",       "PDT_SERVE_THREADS",     "PDT_SERVE_QUEUE",
       "PDT_SERVE_DEADLINE_MS", "PDT_SERVE_MAX_PAIRS",  "PDT_SERVE_JOB_THREADS",
-      "PDT_SERVE_MAX_BODY",   "PDT_SERVE_IDLE_MS",
+      "PDT_SERVE_MAX_BODY",   "PDT_SERVE_IDLE_MS",     "PDT_ACCESS_LOG",
   };
   return Knobs;
 }
@@ -99,6 +106,17 @@ HttpResponse pdt::serve::errorResponse(int Status, const std::string &Detail) {
   Body += quoted(errorCode(Status));
   Body += ",\"detail\":";
   Body += quoted(Detail);
+  // Error bodies are diagnostics, not analysis results, so they may —
+  // and for triage, must — name the request. Success bodies never do
+  // (the determinism contract); there the ID lives in the response
+  // header only.
+  if (uint32_t Req = RequestContext::current()) {
+    std::string Id = RequestContext::idFor(Req);
+    if (!Id.empty()) {
+      Body += ",\"request_id\":";
+      Body += quoted(Id);
+    }
+  }
   Body += "}\n";
   return jsonResponse(Status, std::move(Body));
 }
@@ -461,8 +479,50 @@ struct Service::StatsCell {
   TestStats Stats;
 };
 
+/// What route() hands back to handle() about the one request it just
+/// served, for the access line, the debug ring, and the journal event.
+struct Service::RouteTelemetry {
+  uint64_t AnalyzeNs = 0; ///< Inside the parse->analyze job graph.
+  uint64_t Analyses = 0;  ///< Kernels analyzed to completion.
+  TestStats Delta;        ///< This request's TestStats contribution.
+};
+
+/// The /v1/debug/requests backing store: a slot-keyed in-flight list
+/// (slots, not IDs, so concurrent requests reusing one client ID stay
+/// distinct) plus a bounded ring of completed summaries.
+struct Service::DebugRing {
+  std::mutex Mutex;
+  uint64_t NextSlot = 0;
+  std::vector<std::pair<uint64_t, RequestSummary>> InFlight;
+  std::deque<RequestSummary> Completed;
+
+  uint64_t noteStart(const std::string &Id, const std::string &Route) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    uint64_t Slot = ++NextSlot;
+    RequestSummary S;
+    S.Id = Id;
+    S.Route = Route;
+    InFlight.push_back({Slot, std::move(S)});
+    return Slot;
+  }
+
+  void noteFinish(uint64_t Slot, RequestSummary Done) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (size_t I = 0; I != InFlight.size(); ++I) {
+      if (InFlight[I].first == Slot) {
+        InFlight.erase(InFlight.begin() + I);
+        break;
+      }
+    }
+    Completed.push_back(std::move(Done));
+    if (Completed.size() > DebugRingCapacity)
+      Completed.pop_front();
+  }
+};
+
 Service::Service(ServiceLimits Limits)
-    : Limits(Limits), Stats(std::make_shared<StatsCell>()) {}
+    : Limits(Limits), Stats(std::make_shared<StatsCell>()),
+      Ring(std::make_shared<DebugRing>()) {}
 
 ServiceLimits Service::limitsFromEnvironment() {
   ServiceLimits L;
@@ -496,35 +556,123 @@ TestStats Service::accumulatedStats() const {
   return Stats->Stats;
 }
 
+std::vector<RequestSummary> Service::recentRequests() const {
+  std::lock_guard<std::mutex> Lock(Ring->Mutex);
+  std::vector<RequestSummary> Out;
+  Out.reserve(Ring->InFlight.size() + Ring->Completed.size());
+  for (const std::pair<uint64_t, RequestSummary> &P : Ring->InFlight)
+    Out.push_back(P.second);
+  for (const RequestSummary &S : Ring->Completed)
+    Out.push_back(S);
+  return Out;
+}
+
 HttpResponse Service::handle(const HttpRequest &Req) {
   CRequests.fetch_add(1, std::memory_order_relaxed);
+
+  // Adopt the client's X-PDT-Request-Id (when well-formed) or mint one;
+  // the scope makes the ID visible to every span, journal line, flight
+  // slot, and JobGraph continuation this request runs.
+  std::string Id;
+  if (const std::string *H = Req.header("X-PDT-Request-Id");
+      H && RequestContext::validId(*H))
+    Id = *H;
+  else
+    Id = RequestContext::mint(RequestContext::nextSequence());
+  RequestContext::Scope Ctx(RequestContext::intern(Id));
+
+  std::string Route =
+      Req.Method + " " + Req.Target.substr(0, Req.Target.find('?'));
+  uint64_t Slot = Ring->noteStart(Id, Route);
+
+  int64_t T0 = Trace::nowNs();
+  RouteTelemetry T;
   HttpResponse R;
-  try {
-    R = route(Req);
-  } catch (const std::exception &E) {
-    EventLog::event(EventSeverity::Error, "serve", "internal-error", E.what());
-    R = errorResponse(500, "internal error");
-  } catch (...) {
-    EventLog::event(EventSeverity::Error, "serve", "internal-error",
-                    "unknown exception");
-    R = errorResponse(500, "internal error");
+  {
+    // One span per request, so a flight dump shows the request even
+    // when the route touched no instrumented analysis code.
+    Span RequestSpan("serve.request", "serve");
+    try {
+      R = route(Req, T);
+    } catch (const std::exception &E) {
+      EventLog::event(EventSeverity::Error, "serve", "internal-error",
+                      E.what());
+      R = errorResponse(500, "internal error");
+    } catch (...) {
+      EventLog::event(EventSeverity::Error, "serve", "internal-error",
+                      "unknown exception");
+      R = errorResponse(500, "internal error");
+    }
   }
+  uint64_t WallNs = static_cast<uint64_t>(Trace::nowNs() - T0);
+
   if (R.Status >= 500)
     CServer.fetch_add(1, std::memory_order_relaxed);
   else if (R.Status >= 400)
     CClient.fetch_add(1, std::memory_order_relaxed);
   else
     COk.fetch_add(1, std::memory_order_relaxed);
+
+  // Every response names its request (success bodies never do — the
+  // header is the only determinism-safe channel).
+  R.Headers.push_back({"X-PDT-Request-Id", Id});
+
+  // One journal event per request (the per-(layer,what) rate limiter
+  // applies; the access log below is the exempt, exact record).
+  EventLog::event(EventSeverity::Info, "serve", "request", Route,
+                  {{"status", static_cast<uint64_t>(R.Status)},
+                   {"wall_ns", WallNs},
+                   {"analyses", T.Analyses}});
+
+  RequestSummary Done;
+  Done.Id = Id;
+  Done.Route = Route;
+  Done.Status = R.Status;
+  Done.WallNs = WallNs;
+  Done.AnalyzeNs = T.AnalyzeNs;
+  Done.Analyses = T.Analyses;
+  Done.ReferencePairs = T.Delta.ReferencePairs;
+  Done.IndependentPairs = T.Delta.IndependentPairs;
+  Done.DegradedResults = T.Delta.DegradedResults;
+  Ring->noteFinish(Slot, std::move(Done));
+
+  // Consume the admission-queue wait unconditionally: it belongs to
+  // this request whether or not the log is armed (a later request on
+  // this keep-alive connection must not inherit it).
+  uint64_t QueueNs = AccessLog::takeQueueNs();
+  if (AccessLog::enabled()) {
+    AccessRecord A;
+    A.Id = std::move(Id);       // last use of either: the response header
+    A.Route = std::move(Route); // and the ring summary hold their own copies
+    A.Status = R.Status;
+    A.BytesIn = Req.Body.size();
+    A.BytesOut = R.Body.size();
+    A.WallNs = WallNs;
+    A.QueueNs = QueueNs;
+    A.AnalyzeNs = T.AnalyzeNs;
+    A.Analyses = T.Analyses;
+    A.ReferencePairs = T.Delta.ReferencePairs;
+    A.IndependentPairs = T.Delta.IndependentPairs;
+    A.DegradedResults = T.Delta.DegradedResults;
+    A.BatchedZIV = T.Delta.BatchedZIV;
+    A.BatchedStrongSIV = T.Delta.BatchedStrongSIV;
+    A.ScalarFallback = T.Delta.ScalarFallback;
+    A.StoreHits = T.Delta.StoreHits;
+    A.StoreMisses = T.Delta.StoreMisses;
+    AccessLog::append(A);
+  }
   return R;
 }
 
-HttpResponse Service::route(const HttpRequest &Req) {
+HttpResponse Service::route(const HttpRequest &Req, RouteTelemetry &T) {
   // Query strings are accepted and ignored (documented).
   std::string Path = Req.Target.substr(0, Req.Target.find('?'));
 
   bool IsAnalysis = Path == "/v1/analyze" || Path == "/v1/batch";
   bool Known = Path == "/healthz" || Path == "/v1/version" ||
-               Path == "/v1/stats" || Path == "/v1/corpus" || IsAnalysis;
+               Path == "/v1/stats" || Path == "/v1/corpus" ||
+               Path == "/v1/metricz" || Path == "/v1/debug/flight" ||
+               Path == "/v1/debug/requests" || IsAnalysis;
   if (!Known)
     return errorResponse(404, "unknown endpoint \"" + Path + "\"");
 
@@ -582,6 +730,55 @@ HttpResponse Service::route(const HttpRequest &Req) {
     return jsonResponse(200, std::move(Body));
   }
 
+  // Observability endpoints. Deliberately not gated on draining: an
+  // operator watching a drain needs them most.
+  if (Path == "/v1/metricz") {
+    // Zeros when metrics are disarmed — a scraper should see the
+    // series exist either way, not flap between 200 and 404.
+    HttpResponse R;
+    R.Status = 200;
+    R.Headers.push_back(
+        {"Content-Type", "text/plain; version=0.0.4; charset=utf-8"});
+    R.Body = Metrics::toPrometheus(Metrics::snapshot());
+    return R;
+  }
+
+  if (Path == "/v1/debug/flight") {
+    if (!FlightRecorder::enabled())
+      return errorResponse(
+          404, "flight recorder is not armed (set PDT_FLIGHT=on)");
+    return jsonResponse(200, FlightRecorder::toJson("serve-debug"));
+  }
+
+  if (Path == "/v1/debug/requests") {
+    std::vector<RequestSummary> Requests = recentRequests();
+    std::string Body =
+        "{\"schema\":\"pdt-serve-requests-v1\",\"capacity\":" +
+        std::to_string(DebugRingCapacity) + ",\"requests\":[";
+    for (size_t I = 0; I != Requests.size(); ++I) {
+      const RequestSummary &S = Requests[I];
+      if (I)
+        Body += ',';
+      Body += "{\"id\":" + quoted(S.Id);
+      Body += ",\"route\":" + quoted(S.Route);
+      // Status 0 = still being routed (this request reports itself as
+      // in flight).
+      Body += ",\"in_flight\":";
+      Body += S.Status == 0 ? "true" : "false";
+      Body += ",\"status\":" + std::to_string(S.Status);
+      Body += ",\"wall_ns\":" + std::to_string(S.WallNs);
+      Body += ",\"analyze_ns\":" + std::to_string(S.AnalyzeNs);
+      Body += ",\"analyses\":" + std::to_string(S.Analyses);
+      Body += ",\"stats\":{\"reference_pairs\":" +
+              std::to_string(S.ReferencePairs);
+      Body += ",\"proven_independent\":" + std::to_string(S.IndependentPairs);
+      Body += ",\"degraded\":" + std::to_string(S.DegradedResults);
+      Body += "}}";
+    }
+    Body += "]}\n";
+    return jsonResponse(200, std::move(Body));
+  }
+
   // Analysis endpoints from here on.
   if (draining())
     return errorResponse(503, "server is draining; retry against another "
@@ -629,14 +826,18 @@ HttpResponse Service::route(const HttpRequest &Req) {
         },
         {ParseJob});
   }
+  int64_t AnalyzeT0 = Trace::nowNs();
   Graph.run(Pool);
+  T.AnalyzeNs = static_cast<uint64_t>(Trace::nowNs() - AnalyzeT0);
 
-  // Fold stats and render.
+  // Fold stats (global counters and this request's telemetry delta)
+  // and render.
   uint64_t AnalyzedHere = 0;
   for (size_t I = 0; I != N; ++I) {
     if (!Spec.Kernels[I].Error.empty() || !Results[I].Parsed)
       continue;
     ++AnalyzedHere;
+    T.Delta.merge(Results[I].Stats);
     CRefPairs.fetch_add(Results[I].Stats.ReferencePairs,
                         std::memory_order_relaxed);
     CIndependent.fetch_add(Results[I].Stats.IndependentPairs,
@@ -648,6 +849,7 @@ HttpResponse Service::route(const HttpRequest &Req) {
     std::lock_guard<std::mutex> Lock(Stats->Mutex);
     Stats->Stats.merge(Results[I].Stats);
   }
+  T.Analyses = AnalyzedHere;
   CAnalyses.fetch_add(AnalyzedHere, std::memory_order_relaxed);
   Metrics::count(Metric::ServeAnalyses, AnalyzedHere);
 

@@ -17,8 +17,24 @@
 ///   GET  /v1/version       build provenance
 ///   GET  /v1/stats         server counters (pdt-serve-stats-v1)
 ///   GET  /v1/corpus        built-in kernel listing
+///   GET  /v1/metricz       Prometheus text exposition of the Metrics
+///                          registry (counters, gauges, histogram
+///                          buckets)
+///   GET  /v1/debug/flight  on-demand flight-recorder snapshot
+///                          (Chrome-trace JSON; 404 when not armed)
+///   GET  /v1/debug/requests last-N in-flight/completed request
+///                          summaries (pdt-serve-requests-v1)
 ///   POST /v1/analyze       analyze one kernel (pdt-serve-v1)
 ///   POST /v1/batch         analyze many kernels (pdt-serve-batch-v1)
+///
+/// Request identity: every request adopts the client's
+/// X-PDT-Request-Id (validated: 1..64 chars of [A-Za-z0-9._-]) or
+/// mints one from the process-wide sequence ("pdt-<n>"). The ID is
+/// echoed in the X-PDT-Request-Id response header of every response,
+/// stamped into error bodies as "request_id", propagated through the
+/// RequestContext scope into spans / journal lines / flight slots /
+/// JobGraph continuations, and written to the access log
+/// (serve/AccessLog.h) as the line's "id".
 ///
 /// Every analysis request runs as a parse -> analyze JobGraph pipeline
 /// (support/JobGraph.h) on a per-request pool of JobThreads workers
@@ -31,7 +47,10 @@
 /// response body for an analysis request is a pure function of the
 /// request bytes — no timestamps, no counters, no scheduling artifacts
 /// — so concurrent clients issuing the same request receive
-/// byte-identical payloads (the serving tests enforce this).
+/// byte-identical payloads (the serving tests enforce this). Request
+/// IDs respect the contract: a successful analysis body never contains
+/// the ID (only the response header does); error bodies, which are
+/// diagnostics rather than analysis results, do carry "request_id".
 ///
 //===----------------------------------------------------------------------===//
 
@@ -81,8 +100,25 @@ struct ServiceCounters {
   uint64_t EdgesEmitted = 0;
 };
 
+/// One finished (or still running) request as /v1/debug/requests
+/// reports it. WallNs is 0 while the request is in flight.
+struct RequestSummary {
+  std::string Id;
+  std::string Route; ///< "METHOD /path".
+  int Status = 0;
+  uint64_t WallNs = 0;
+  uint64_t AnalyzeNs = 0;
+  uint64_t Analyses = 0;
+  uint64_t ReferencePairs = 0;
+  uint64_t IndependentPairs = 0;
+  uint64_t DegradedResults = 0;
+};
+
 class Service {
 public:
+  /// Completed-request summaries kept for /v1/debug/requests.
+  static constexpr size_t DebugRingCapacity = 64;
+
   explicit Service(ServiceLimits Limits = {});
 
   /// Routes one request. Thread-safe; any number of server workers
@@ -102,6 +138,10 @@ public:
   /// RunReport the daemon writes at exit.
   TestStats accumulatedStats() const;
 
+  /// The /v1/debug/requests view: requests still being routed, then
+  /// the last-N completed ones, oldest first. Exposed for tests.
+  std::vector<RequestSummary> recentRequests() const;
+
   /// ServiceLimits from PDT_SERVE_DEADLINE_MS, PDT_SERVE_MAX_PAIRS,
   /// and PDT_SERVE_JOB_THREADS (hardened parsing, documented
   /// defaults).
@@ -109,7 +149,10 @@ public:
 
 private:
   struct Impl;
-  HttpResponse route(const HttpRequest &Req);
+  /// Per-request numbers route() reports back to handle() so the
+  /// access line and debug ring can carry them (defined in the .cpp).
+  struct RouteTelemetry;
+  HttpResponse route(const HttpRequest &Req, RouteTelemetry &T);
 
   ServiceLimits Limits;
   std::atomic<bool> Draining{false};
@@ -121,6 +164,9 @@ private:
   /// Guarded accumulated TestStats (merged per analysis).
   struct StatsCell;
   std::shared_ptr<StatsCell> Stats;
+  /// In-flight list + completed ring for /v1/debug/requests.
+  struct DebugRing;
+  std::shared_ptr<DebugRing> Ring;
 };
 
 /// The uniform error body {"error":"<code>","detail":"<text>"} with

@@ -12,6 +12,7 @@
 #include "support/ErrorHandling.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
+#include "support/RequestContext.h"
 
 #include <atomic>
 #include <chrono>
@@ -65,6 +66,11 @@ struct JournalState {
   uint64_t RateWindowMs = DefaultRateWindowMs;
   uint64_t (*ClockMs)() = nullptr;
   std::chrono::steady_clock::time_point Epoch;
+  /// Per-process monotonic line sequence. Deliberately NOT reset by
+  /// start(): a process that journals to several files in turn still
+  /// hands out globally ordered numbers, so interleaved multi-writer
+  /// tails can be totally ordered by (file, seq) -> seq alone.
+  uint64_t Seq = 0;
 };
 
 JournalState &state() {
@@ -178,6 +184,7 @@ void EventLog::event(
   Metrics::count(Metric::EventsEmitted);
 
   std::string Line = "{\"t_ms\": " + std::to_string(NowMs);
+  Line += ", \"seq\": " + std::to_string(++S.Seq);
   Line += ", \"sev\": \"";
   Line += eventSeverityName(Sev);
   Line += "\", \"layer\": \"";
@@ -185,6 +192,13 @@ void EventLog::event(
   Line += "\", \"what\": \"";
   Line += json::escape(What);
   Line += "\"";
+  // Request attribution: an event emitted inside a serving request's
+  // RequestContext scope names the request it served.
+  if (uint32_t Req = RequestContext::current()) {
+    std::string Id = RequestContext::idFor(Req);
+    if (!Id.empty())
+      Line += ", \"req\": \"" + json::escape(Id) + "\"";
+  }
   if (!Detail.empty())
     Line += ", \"detail\": \"" + json::escape(Detail) + "\"";
   if (Fields.size()) {

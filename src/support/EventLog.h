@@ -15,8 +15,14 @@
 /// Schema (pdt-events-v1): the first line is a header object
 ///   {"schema":"pdt-events-v1","build":{...},"start":"<iso8601>"}
 /// and every following line is
-///   {"t_ms":N,"sev":"info|warn|error","layer":"core","what":"...",
-///    "detail":"...","fields":{...}[,"suppressed":N]}
+///   {"t_ms":N,"seq":N,"sev":"info|warn|error","layer":"core",
+///    "what":"...",["req":"<id>",]"detail":"...","fields":{...}
+///    [,"suppressed":N]}
+/// "seq" is a per-process monotonic sequence (never reset, not even by
+/// start()), so tails of several journals written by one process can
+/// be totally ordered; `depmon events` prints it. "req" appears when
+/// the event fired inside a serving request's RequestContext scope and
+/// names that request's X-PDT-Request-Id.
 ///
 /// Crash-safe by construction: each line is appended and flushed
 /// before event() returns, so the journal survives SIGABRT without a

@@ -8,6 +8,7 @@
 #include "support/JobGraph.h"
 
 #include "support/Failure.h"
+#include "support/RequestContext.h"
 #include "support/ThreadPool.h"
 #include "support/Watchdog.h"
 
@@ -22,7 +23,17 @@ JobGraph::JobId JobGraph::add(std::function<void()> Fn,
                               const std::vector<JobId> &Deps) {
   pdt_check(!Ran, "JobGraph is single-shot; jobs added after run()");
   JobId Id = Jobs.size();
-  Jobs.push_back({std::move(Fn), {}, 0});
+  // Continuation capture: the job adopts the request identity of the
+  // thread that *added* it, so spans and journal lines produced on a
+  // pool worker attribute to the originating serving request instead
+  // of whichever request that worker last ran.
+  uint32_t Req = RequestContext::current();
+  Jobs.push_back({[Inner = std::move(Fn), Req] {
+                    RequestContext::Scope Ctx(Req);
+                    Inner();
+                  },
+                  {},
+                  0});
   for (JobId Dep : Deps) {
     pdt_check(Dep < Id, "job dependency on a not-yet-added job");
     Jobs[Dep].Succs.push_back(Id);

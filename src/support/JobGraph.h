@@ -48,7 +48,10 @@ public:
 
   /// Adds a job that runs \p Fn after every job in \p Deps completed.
   /// Every dependency must be the id of a previously added job (this
-  /// makes cycles unrepresentable). Returns the new job's id.
+  /// makes cycles unrepresentable). Returns the new job's id. The job
+  /// captures the calling thread's RequestContext token and runs under
+  /// it, so worker-thread telemetry attributes to the request that
+  /// scheduled the job.
   JobId add(std::function<void()> Fn, const std::vector<JobId> &Deps = {});
 
   /// Executes the whole graph on \p Pool and blocks until every job

@@ -389,6 +389,74 @@ std::string Metrics::toJson(const MetricsSnapshot &S) {
   return Out;
 }
 
+namespace {
+
+/// "graph.pairs.tested" -> "pdt_graph_pairs_tested": the registry's
+/// dotted names mangled into the Prometheus metric-name alphabet
+/// [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string promName(const char *Registry) {
+  std::string Out = "pdt_";
+  for (const char *P = Registry; *P; ++P) {
+    char C = *P;
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+void promHeader(std::string &Out, const std::string &Name,
+                const char *Registry, const char *Type) {
+  Out += "# HELP " + Name + " pdt registry ";
+  Out += Type;
+  Out += " ";
+  Out += Registry;
+  Out += "\n# TYPE " + Name + " ";
+  Out += Type;
+  Out += "\n";
+}
+
+} // namespace
+
+std::string Metrics::toPrometheus(const MetricsSnapshot &S) {
+  std::string Out;
+  Out.reserve(8192);
+  for (unsigned I = 0; I != NumMetrics; ++I) {
+    const char *Registry = metricName(static_cast<Metric>(I));
+    std::string Name = promName(Registry);
+    promHeader(Out, Name, Registry, "counter");
+    Out += Name + " " + std::to_string(S.Counters[I]) + "\n";
+  }
+  for (unsigned I = 0; I != NumGauges; ++I) {
+    const char *Registry = gaugeName(static_cast<Gauge>(I));
+    std::string Name = promName(Registry);
+    promHeader(Out, Name, Registry, "gauge");
+    Out += Name + " " + std::to_string(S.Gauges[I]) + "\n";
+  }
+  for (unsigned I = 0; I != NumHistos; ++I) {
+    const char *Registry = histoName(static_cast<Histo>(I));
+    std::string Name = promName(Registry);
+    const MetricsSnapshot::Histogram &H = S.Histograms[I];
+    promHeader(Out, Name, Registry, "histogram");
+    // Exact cumulative upper bounds: bucket B counts bit_width == B,
+    // i.e. integers in [2^(B-1), 2^B - 1], so the running total
+    // through B is the count of samples <= 2^B - 1. The clamped
+    // overflow bucket (B = HistoBuckets - 1) has no finite bound and
+    // is covered by +Inf alone.
+    uint64_t Cumulative = 0;
+    for (unsigned B = 0; B + 1 != HistoBuckets; ++B) {
+      Cumulative += H.Buckets[B];
+      uint64_t Le = B == 0 ? 0 : (uint64_t(1) << B) - 1;
+      Out += Name + "_bucket{le=\"" + std::to_string(Le) + "\"} " +
+             std::to_string(Cumulative) + "\n";
+    }
+    Out += Name + "_bucket{le=\"+Inf\"} " + std::to_string(H.Count) + "\n";
+    Out += Name + "_sum " + std::to_string(H.SumNs) + "\n";
+    Out += Name + "_count " + std::to_string(H.Count) + "\n";
+  }
+  return Out;
+}
+
 bool Metrics::writeTo(const std::string &Path) {
   std::ofstream File(Path);
   if (!File)

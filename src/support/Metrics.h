@@ -229,6 +229,18 @@ public:
   /// Renders a snapshot as a JSON document.
   static std::string toJson(const MetricsSnapshot &S);
 
+  /// Renders a snapshot in the Prometheus text exposition format
+  /// (version 0.0.4): every counter as `pdt_<name> N` with HELP/TYPE
+  /// comments, gauges likewise, and each histogram as a cumulative
+  /// `_bucket{le="..."}` series plus `_sum`/`_count`. Dots and dashes
+  /// in registry names become underscores. The log2 buckets map
+  /// exactly: bucket B holds values with bit_width == B, so the
+  /// cumulative count through B is the count of values <= 2^B - 1 and
+  /// the emitted le values are 0, 1, 3, 7, ..., 2^30 - 1, +Inf (the
+  /// clamped top bucket only ever lands in +Inf). Served by depserved
+  /// as GET /v1/metricz.
+  static std::string toPrometheus(const MetricsSnapshot &S);
+
   /// Writes snapshot() to \p Path; false on I/O failure.
   static bool writeTo(const std::string &Path);
 

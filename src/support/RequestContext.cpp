@@ -1,0 +1,94 @@
+//===- support/RequestContext.cpp - Thread-propagated request IDs ---------===//
+//
+// Part of the practical-dependence-testing project, released under the
+// MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RequestContext.h"
+
+#include <atomic>
+#include <mutex>
+
+using namespace pdt;
+
+namespace {
+
+/// One intern slot: the token that owns it plus the ID string. A
+/// lookup whose token no longer matches the slot's owner has been
+/// recycled and resolves to "".
+struct InternSlot {
+  uint32_t Token = 0;
+  std::string Id;
+};
+
+struct InternTable {
+  std::mutex M;
+  InternSlot Slots[RequestContext::RecentCapacity];
+  /// Next token to hand out; tokens are never 0 (None).
+  uint32_t Next = 1;
+};
+
+InternTable &table() {
+  // Immortal, like the trace/metrics collectors: spans may be rendered
+  // by exit-time flush hooks after static destruction began.
+  static InternTable *T = new InternTable;
+  return *T;
+}
+
+thread_local uint32_t CurrentToken = RequestContext::None;
+
+std::atomic<uint64_t> Sequence{0};
+
+} // namespace
+
+uint32_t RequestContext::intern(const std::string &Id) {
+  InternTable &T = table();
+  std::lock_guard<std::mutex> Lock(T.M);
+  uint32_t Token = T.Next++;
+  if (T.Next == 0) // wrapped: skip the reserved None token
+    T.Next = 1;
+  InternSlot &Slot = T.Slots[Token % RecentCapacity];
+  Slot.Token = Token;
+  Slot.Id = Id;
+  return Token;
+}
+
+std::string RequestContext::idFor(uint32_t Token) {
+  if (Token == None)
+    return {};
+  InternTable &T = table();
+  std::lock_guard<std::mutex> Lock(T.M);
+  const InternSlot &Slot = T.Slots[Token % RecentCapacity];
+  if (Slot.Token != Token)
+    return {}; // recycled
+  return Slot.Id;
+}
+
+uint32_t RequestContext::current() { return CurrentToken; }
+
+uint64_t RequestContext::nextSequence() {
+  return Sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string RequestContext::mint(uint64_t Sequence) {
+  return "pdt-" + std::to_string(Sequence);
+}
+
+bool RequestContext::validId(const std::string &Id) {
+  if (Id.empty() || Id.size() > 64)
+    return false;
+  for (char C : Id) {
+    bool Ok = (C >= 'A' && C <= 'Z') || (C >= 'a' && C <= 'z') ||
+              (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+RequestContext::Scope::Scope(uint32_t Token) : Prev(CurrentToken) {
+  CurrentToken = Token;
+}
+
+RequestContext::Scope::~Scope() { CurrentToken = Prev; }

@@ -11,6 +11,7 @@
 #include "support/Env.h"
 #include "support/FlightRecorder.h"
 #include "support/Metrics.h"
+#include "support/RequestContext.h"
 
 #include <algorithm>
 #include <chrono>
@@ -187,9 +188,13 @@ uint64_t Trace::droppedSpans() {
 void Trace::record(const char *Name, const char *Category, int16_t Kind,
                    int64_t StartNs, int64_t EndNs) {
   unsigned Flags = CaptureFlags.load(std::memory_order_relaxed);
+  // Request attribution: one thread-local read per recorded span. The
+  // token travels with the event into both consumers, so flight slots
+  // and full buffers agree on which request a span served.
+  uint32_t Req = RequestContext::current();
   if (Flags & CaptureFlight)
     FlightRecorder::record(
-        {Name, Category, 0, Kind, StartNs, EndNs - StartNs});
+        {Name, Category, 0, Kind, Req, StartNs, EndNs - StartNs});
   if (!(Flags & CaptureFull))
     return;
   ThreadBuffer &Buffer = threadBuffer();
@@ -208,8 +213,8 @@ void Trace::record(const char *Name, const char *Category, int16_t Kind,
     std::lock_guard<std::mutex> Lock(Buffer.M);
     Buffer.Events.resize(Buffer.Events.size() * 2);
   }
-  Buffer.Events[N] = {Name,  Category, Buffer.Tid,
-                      Kind,  StartNs,  EndNs - StartNs};
+  Buffer.Events[N] = {Name, Category, Buffer.Tid,
+                      Kind, Req,      StartNs,    EndNs - StartNs};
   Buffer.Size.store(N + 1, std::memory_order_release);
 }
 
@@ -317,12 +322,23 @@ void Trace::appendEventsJson(std::string &Out,
     // resolution exactly, so nesting survives the round-trip.
     std::snprintf(Number, sizeof(Number),
                   "\", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
-                  "\"ts\": %lld.%03lld, \"dur\": %lld.%03lld}",
+                  "\"ts\": %lld.%03lld, \"dur\": %lld.%03lld",
                   E.Tid, static_cast<long long>(E.StartNs / 1000),
                   static_cast<long long>(E.StartNs % 1000),
                   static_cast<long long>(E.DurationNs / 1000),
                   static_cast<long long>(E.DurationNs % 1000));
     Out += Number;
+    if (E.Req != RequestContext::None) {
+      // Resolved at dump time; a recycled token renders without the
+      // tag rather than with a stale ID.
+      std::string Id = RequestContext::idFor(E.Req);
+      if (!Id.empty()) {
+        Out += ", \"args\": {\"req\": \"";
+        appendEscaped(Out, Id.c_str());
+        Out += "\"}";
+      }
+    }
+    Out += '}';
   }
 }
 

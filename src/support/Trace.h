@@ -60,7 +60,10 @@ namespace pdt {
 /// tests through Trace::snapshot(). Times are nanoseconds since the
 /// trace clock anchor. Kind is a small attribution tag (the core layer
 /// stores its TestKind enumerator there, see support/Profile.h);
-/// NoTag for structural spans that belong to no particular test.
+/// NoTag for structural spans that belong to no particular test. Req
+/// is the RequestContext token of the serving request the span ran
+/// under (support/RequestContext.h; 0 = none), resolved to the ID
+/// string only at dump time — the JSON emits it as an "args.req" tag.
 struct TraceEvent {
   static constexpr int16_t NoTag = -1;
 
@@ -68,6 +71,7 @@ struct TraceEvent {
   const char *Category = nullptr;
   uint32_t Tid = 0;
   int16_t Kind = NoTag;
+  uint32_t Req = 0;
   int64_t StartNs = 0;
   int64_t DurationNs = 0;
 };

@@ -116,6 +116,44 @@ TEST_F(EventLogTest, FileJournalStartsWithAParseableBuildHeader) {
   std::remove(Path);
 }
 
+TEST_F(EventLogTest, SeqIsStrictlyMonotonicOnEveryLine) {
+  EventLog::start("");
+  for (int I = 0; I != 5; ++I)
+    EventLog::event(EventSeverity::Info, "test", "seq", std::to_string(I));
+  uint64_t Prev = 0;
+  for (const std::string &Line : EventLog::recentLines()) {
+    std::optional<json::Value> V = json::parse(Line);
+    ASSERT_TRUE(V.has_value()) << Line;
+    std::optional<uint64_t> Seq = V->uintAt("seq");
+    ASSERT_TRUE(Seq.has_value()) << "line without seq: " << Line;
+    EXPECT_GT(*Seq, Prev) << Line;
+    Prev = *Seq;
+  }
+  EXPECT_GT(Prev, 0u);
+}
+
+TEST_F(EventLogTest, SeqIsNeverResetByRestart) {
+  // The sequence is per-process, not per-session: a journal line
+  // written after stop()/start() must still order after every line
+  // written before, so interleaved logs from one process can always
+  // be totally ordered.
+  EventLog::start("");
+  EventLog::event(EventSeverity::Info, "test", "before");
+  std::vector<std::string> First = EventLog::recentLines();
+  ASSERT_FALSE(First.empty());
+  uint64_t LastBefore =
+      json::parse(First.back())->uintAt("seq").value_or(0);
+  EventLog::stop();
+
+  EventLog::start("");
+  EventLog::event(EventSeverity::Info, "test", "after");
+  std::vector<std::string> Second = EventLog::recentLines();
+  ASSERT_FALSE(Second.empty());
+  uint64_t FirstAfter =
+      json::parse(Second.back())->uintAt("seq").value_or(0);
+  EXPECT_GT(FirstAfter, LastBefore);
+}
+
 TEST_F(EventLogTest, RateLimiterSuppressesAndReportsOnNextLine) {
   EventLog::setClockForTest(fakeClock);
   FakeMs.store(0);

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -243,12 +244,77 @@ TEST(MetricsQuantile, OutOfRangeQIsClamped) {
   EXPECT_EQ(H.quantileNs(2.0), H.quantileNs(1.0));
 }
 
+TEST(MetricsQuantile, AllMassInTheOverflowBucketClampsToMax) {
+  // Every sample saturated into the clamped top bucket: quantiles
+  // interpolate within the bucket's nominal range, never exceed the
+  // observed maximum, and never overflow or NaN.
+  MetricsSnapshot::Histogram H =
+      bucketed({{HistoBuckets - 1, 12}}, /*MaxNs=*/5'000'000'000ull);
+  for (double Q : {0.0, 0.5, 1.0}) {
+    double V = H.quantileNs(Q);
+    EXPECT_GE(V, static_cast<double>(1u << 30)) << "at Q=" << Q;
+    EXPECT_LE(V, 5e9) << "at Q=" << Q;
+  }
+  double Prev = -1.0;
+  for (double Q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    double V = H.quantileNs(Q);
+    EXPECT_GE(V, Prev) << "at Q=" << Q;
+    Prev = V;
+  }
+}
+
 TEST(MetricsQuantile, JsonCarriesQuantileSummaries) {
   MetricsSnapshot S = synthetic(6);
   std::string Json = Metrics::toJson(S);
   EXPECT_NE(Json.find("\"p50_ns\""), std::string::npos);
   EXPECT_NE(Json.find("\"p95_ns\""), std::string::npos);
   EXPECT_NE(Json.find("\"p99_ns\""), std::string::npos);
+}
+
+TEST(Metrics, PrometheusNamesEveryRegisteredMetricSanitized) {
+  MetricsSnapshot S = synthetic(6);
+  std::string Text = Metrics::toPrometheus(S);
+  auto Sanitized = [](std::string Name) {
+    for (char &C : Name)
+      if (!std::isalnum(static_cast<unsigned char>(C)))
+        C = '_';
+    return "pdt_" + Name;
+  };
+  for (unsigned I = 0; I != NumMetrics; ++I)
+    EXPECT_NE(Text.find(Sanitized(metricName(static_cast<Metric>(I)))),
+              std::string::npos)
+        << metricName(static_cast<Metric>(I));
+  for (unsigned I = 0; I != NumGauges; ++I)
+    EXPECT_NE(Text.find(Sanitized(gaugeName(static_cast<Gauge>(I)))),
+              std::string::npos);
+  for (unsigned I = 0; I != NumHistos; ++I)
+    EXPECT_NE(Text.find(Sanitized(histoName(static_cast<Histo>(I))) +
+                        "_bucket{le=\"0\"}"),
+              std::string::npos)
+        << histoName(static_cast<Histo>(I));
+}
+
+TEST(Metrics, PrometheusCumulativeBucketsMatchTheLog2Cells) {
+  // The log2 cells map exactly onto cumulative le bounds: the count
+  // through bucket B is the count of values <= 2^B - 1, and the
+  // clamped top bucket contributes only to +Inf.
+  MetricsSnapshot S;
+  auto &H = S.Histograms[static_cast<unsigned>(Histo::PairTestNs)];
+  H = bucketed({{0, 2}, {3, 5}, {HistoBuckets - 1, 4}}, /*MaxNs=*/9'000);
+  H.SumNs = 12345;
+  std::string Text = Metrics::toPrometheus(S);
+  const std::string N = "pdt_latency_pair_test_ns";
+  EXPECT_NE(Text.find(N + "_bucket{le=\"0\"} 2"), std::string::npos) << Text;
+  EXPECT_NE(Text.find(N + "_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(Text.find(N + "_bucket{le=\"3\"} 2"), std::string::npos);
+  EXPECT_NE(Text.find(N + "_bucket{le=\"7\"} 7"), std::string::npos);
+  // The last finite bound excludes the overflow bucket...
+  EXPECT_NE(Text.find(N + "_bucket{le=\"1073741823\"} 7"),
+            std::string::npos);
+  // ...which surfaces only in +Inf, which must equal _count.
+  EXPECT_NE(Text.find(N + "_bucket{le=\"+Inf\"} 11"), std::string::npos);
+  EXPECT_NE(Text.find(N + "_count 11"), std::string::npos);
+  EXPECT_NE(Text.find(N + "_sum 12345"), std::string::npos);
 }
 
 TEST(Metrics, JsonNamesEveryRegisteredMetric) {
